@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Ablation: VM-exit accounting across BMcast's phases, the minimal-
+ * exit configuration (§4.1), and the VMXOFF question (§4.3).
+ *
+ * During deployment only storage-controller accesses and the
+ * preemption timer exit; after de-virtualization interposition is
+ * gone. Without VMXOFF (the evaluated prototype) VMX stays enabled
+ * and only the unconditional-but-rare CPUID exits remain — "their
+ * overhead was negligible" (§5.5.2); with the VMXOFF extension even
+ * those disappear.
+ */
+
+#include "bench/harness.hh"
+#include "workloads/fio.hh"
+
+using namespace bench;
+
+namespace {
+
+void
+run(bool vmxoff)
+{
+    sim::Lba img = (2 * sim::kGiB) / sim::kSectorSize;
+    Testbed tb(1, hw::StorageKind::Ahci, img);
+    bmcast::VmmParams p = paperVmmParams();
+    p.moderation.vmmWriteInterval = 2 * sim::kMs;
+    bmcast::BmcastDeployer dep(tb.eq, "dep", tb.machine(),
+                               tb.guest(), kServerMac, img, p, false,
+                               /*vmxoffSupported=*/vmxoff);
+    bool up = false;
+    dep.run([&]() { up = true; });
+    tb.runUntil(1000 * sim::kSec, [&]() { return up; });
+
+    auto &vmx = tb.machine().vmx();
+    auto &bus = tb.machine().bus();
+    sim::Tick boot_span =
+        dep.timeline().guestBootDone - dep.timeline().vmmReady;
+    std::uint64_t io_exits_boot =
+        vmx.exits(hw::ExitReason::MmioAccess) +
+        vmx.exits(hw::ExitReason::PioAccess);
+
+    // Run an I/O-heavy minute during deployment.
+    workloads::FioParams fp;
+    fp.totalBytes = 64 * sim::kMiB;
+    fp.layoutFirst = true;
+    workloads::Fio fio(tb.eq, "fio", tb.guest().blk(), fp);
+    bool fio_done = false;
+    std::uint64_t exits_before = vmx.totalExits();
+    sim::Tick t0 = tb.eq.now();
+    fio.run([&](workloads::FioResult) { fio_done = true; });
+    tb.runUntil(tb.eq.now() + 400 * sim::kSec,
+                [&]() { return fio_done; });
+    double deploy_rate =
+        double(vmx.totalExits() - exits_before) /
+        sim::toSeconds(tb.eq.now() - t0);
+
+    // Finish deployment, de-virtualize.
+    tb.runUntil(40000 * sim::kSec,
+                [&]() { return dep.bareMetalReached(); });
+
+    std::uint64_t intercepted_after = bus.interceptedAccesses();
+    bool done2 = false;
+    workloads::FioParams fp2;
+    fp2.totalBytes = 64 * sim::kMiB;
+    fp2.startLba = 500 * 2048;
+    fp2.layoutFirst = true;
+    workloads::Fio fio2(tb.eq, "fio2", tb.guest().blk(), fp2);
+    fio2.run([&](workloads::FioResult) { done2 = true; });
+    tb.runUntil(tb.eq.now() + 400 * sim::kSec,
+                [&]() { return done2; });
+
+    sim::Table t({"Metric", "Value"});
+    t.addRow({"I/O exits during guest boot",
+              std::to_string(io_exits_boot)});
+    t.addRow({"  (boot span)",
+              sim::Table::num(sim::toSeconds(boot_span), 1) + " s"});
+    t.addRow({"Exit rate during deploy-phase fio",
+              sim::Table::num(deploy_rate, 0) + " /s"});
+    t.addRow({"Intercepted accesses after devirt",
+              std::to_string(bus.interceptedAccesses() -
+                             intercepted_after)});
+    t.addRow({"VMX still enabled after devirt",
+              tb.machine().vmx().anyInVmx() ? "yes (CPUID-only exits)"
+                                            : "no (VMXOFF)"});
+    t.print(std::cout);
+    std::cout << "\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    figureHeader("Ablation: VM-exit accounting and VMXOFF (§4.1, "
+                 "§4.3, §5.5.2)");
+    std::cout << "--- Evaluated prototype (no VMXOFF):\n";
+    run(false);
+    std::cout << "--- With the VMXOFF extension:\n";
+    run(true);
+    std::cout << "Either way, zero guest accesses are intercepted "
+                 "after de-virtualization;\nVMXOFF only removes the "
+                 "rare unconditional CPUID exits (§4.3).\n";
+    return 0;
+}

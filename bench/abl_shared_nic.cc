@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Ablation (paper §6): dedicated versus shared NIC.
+ *
+ * The prototype uses a NIC dedicated to the VMM; §6 argues a shared
+ * NIC (shadow ring buffers) is possible but costs guest latency,
+ * jitter, and bandwidth when deployment traffic competes. This
+ * bench measures a guest request/response workload against a peer
+ * while the VMM streams image data, in both configurations.
+ */
+
+#include "aoe/initiator.hh"
+#include "bench/harness.hh"
+#include "bmcast/nic_mediator.hh"
+#include "hw/e1000_driver.hh"
+
+using namespace bench;
+
+namespace {
+
+struct Result
+{
+    double meanRttUs = 0;
+    double p99RttUs = 0;
+    double vmmMBps = 0;
+};
+
+/** Guest ping-pong with a peer while the VMM fetches image blocks. */
+Result
+run(bool shared)
+{
+    Testbed tb;
+    auto &m = tb.machine();
+    hw::MemArena vmm_arena(0x78000000, 128 * sim::kMiB);
+    hw::MemArena guest_arena(32 * sim::kMiB, 128 * sim::kMiB);
+
+    // --- VMM network path: shared (mediated guest NIC) or
+    // dedicated (own NIC + driver).
+    std::unique_ptr<bmcast::NicMediator> med;
+    std::unique_ptr<hw::E1000Driver> vmm_nic;
+    net::L2Endpoint *vmm_l2 = nullptr;
+    if (shared) {
+        med = std::make_unique<bmcast::NicMediator>(
+            tb.eq, "nicmed", m.bus(), m.mem(), m.guestNic(),
+            vmm_arena);
+        med->install();
+        vmm_l2 = med.get();
+    } else {
+        vmm_nic = std::make_unique<hw::E1000Driver>(
+            tb.eq, "vmmnic", hw::BusView(m.bus(), false),
+            m.mgmtNic(), m.mem(), vmm_arena,
+            hw::E1000Driver::Mode::Polling);
+        vmm_l2 = vmm_nic.get();
+    }
+    aoe::AoeInitiator init(tb.eq, "aoe", *vmm_l2, kServerMac);
+
+    // VMM poll loop (mediator sync / polled NIC).
+    std::function<void()> poll = [&]() {
+        if (med)
+            med->poll();
+        if (vmm_nic)
+            vmm_nic->poll();
+        tb.eq.schedule(100 * sim::kUs, poll);
+    };
+    poll();
+
+    // Continuous deployment traffic: 1 MiB fetches back to back.
+    sim::Bytes fetched = 0;
+    std::function<void(sim::Lba)> fetch = [&](sim::Lba lba) {
+        init.readSectors(lba, 2048, [&, lba](const auto &) {
+            fetched += sim::kMiB;
+            fetch((lba + 2048) % (tb.imageSectors - 4096));
+        });
+    };
+    fetch(0);
+
+    // Guest request/response against a peer (RPC-style, 1 KB).
+    hw::E1000Driver guest_nic(
+        tb.eq, "gnic", hw::BusView(m.bus(), true), m.guestNic(),
+        m.mem(), guest_arena, hw::E1000Driver::Mode::Interrupt,
+        &m.intc(), hw::kGuestNicIrq);
+    net::Port &peer = tb.lan.attach(0x77);
+    peer.onReceive([&](const net::Frame &f) {
+        net::Frame reply;
+        reply.dst = f.src;
+        reply.etherType = 0x88B5;
+        reply.payload = f.payload;
+        peer.send(reply);
+    });
+
+    sim::Distribution rtt;
+    sim::Tick issued = 0;
+    unsigned rounds = 0;
+    std::function<void()> ping = [&]() {
+        issued = tb.eq.now();
+        net::Frame f;
+        f.dst = 0x77;
+        f.etherType = 0x88B5;
+        f.payload.assign(1024, 0xAB);
+        guest_nic.sendFrame(f);
+    };
+    guest_nic.setRxHandler([&](const net::Frame &) {
+        rtt.add(sim::toMicros(tb.eq.now() - issued));
+        if (++rounds < 2000)
+            tb.eq.schedule(1 * sim::kMs, ping);
+    });
+
+    sim::Tick t0 = tb.eq.now();
+    ping();
+    tb.runUntil(tb.eq.now() + 400 * sim::kSec,
+                [&]() { return rounds >= 2000; });
+
+    Result r;
+    r.meanRttUs = rtt.mean();
+    r.p99RttUs = rtt.percentile(99);
+    r.vmmMBps = sim::toMBps(fetched, tb.eq.now() - t0);
+    return r;
+}
+
+} // namespace
+
+int
+main()
+{
+    figureHeader("Ablation (paper §6): dedicated vs shared NIC — "
+                 "guest RPC latency under deployment traffic");
+    Result dedicated = run(false);
+    Result shared = run(true);
+
+    sim::Table t({"Configuration", "Guest RTT mean (us)",
+                  "Guest RTT p99 (us)", "VMM fetch MB/s"});
+    t.addRow({"Dedicated NIC (paper's choice)",
+              sim::Table::num(dedicated.meanRttUs, 1),
+              sim::Table::num(dedicated.p99RttUs, 1),
+              sim::Table::num(dedicated.vmmMBps, 1)});
+    t.addRow({"Shared NIC (shadow rings)",
+              sim::Table::num(shared.meanRttUs, 1),
+              sim::Table::num(shared.p99RttUs, 1),
+              sim::Table::num(shared.vmmMBps, 1)});
+    t.print(std::cout);
+    std::cout << "\nPaper §6: a shared NIC is technically possible "
+                 "but adds latency and jitter on the guest's\n"
+                 "network critical path while the VMM's deployment "
+                 "traffic competes for bandwidth —\nhence the "
+                 "dedicated-NIC design choice.\n";
+    return 0;
+}

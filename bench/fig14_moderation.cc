@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Figure 14: moderation of the background copy (paper §5.6) — guest
+ * read (a) and write (b) throughput versus the VMM write interval,
+ * swept from 1 s down to 1 us and then full speed, with 1024 KB VMM
+ * blocks. The guest-I/O-frequency suspension is disabled for the
+ * sweep (the figure isolates the interval knob).
+ */
+
+#include "bench/harness.hh"
+#include "workloads/fio.hh"
+
+using namespace bench;
+
+namespace {
+
+struct Row
+{
+    std::string label;
+    double guestMBps;
+    double vmmMBps;
+};
+
+Row
+runPoint(bool guest_writes, sim::Tick interval,
+         const std::string &label)
+{
+    Testbed tb;
+    bmcast::VmmParams p = paperVmmParams();
+    p.moderation.vmmWriteInterval =
+        interval == 0 ? 1 : interval; // full speed: no idle gap
+    bmcast::BmcastDeployer dep(tb.eq, "dep", tb.machine(), tb.guest(),
+                               kServerMac, tb.imageSectors, p, false);
+    bool up = false;
+    dep.run([&]() { up = true; });
+    tb.runUntil(1000 * sim::kSec, [&]() { return up; });
+
+    auto &copy = dep.vmm().backgroundCopy();
+    copy.disableFreqThreshold();
+    copy.setWriteInterval(interval == 0 ? 1 : interval);
+
+    // Steady-state warmup: long enough for the boot-time
+    // copy-on-read stash backlog to drain, so the measurement sees
+    // pure 1024 KB background-copy blocks.
+    tb.runFor(90 * sim::kSec);
+    sim::Bytes vmm_before = copy.bytesWritten();
+    sim::Tick t0 = tb.eq.now();
+
+    workloads::FioParams fp;
+    fp.isWrite = guest_writes;
+    fp.totalBytes = 400 * sim::kMiB;
+    fp.layoutFirst = true; // guest reads its own (local) file
+    workloads::Fio fio(tb.eq, "fio", tb.guest().blk(), fp);
+    bool done = false;
+    double guest_mbps = 0;
+    fio.run([&](workloads::FioResult r) {
+        guest_mbps = r.mbPerSec;
+        done = true;
+    });
+    tb.runUntil(tb.eq.now() + 4000 * sim::kSec, [&]() { return done; });
+
+    double vmm_mbps = sim::toMBps(copy.bytesWritten() - vmm_before,
+                                  tb.eq.now() - t0);
+    return Row{label, guest_mbps, vmm_mbps};
+}
+
+void
+sweep(bool guest_writes, const char *title)
+{
+    std::cout << "\n" << title << "\n";
+    struct Point
+    {
+        sim::Tick interval;
+        const char *label;
+    };
+    const Point points[] = {
+        {1 * sim::kSec, "1 s"},   {100 * sim::kMs, "100 ms"},
+        {10 * sim::kMs, "10 ms"}, {1 * sim::kMs, "1 ms"},
+        {100 * sim::kUs, "100 us"}, {10 * sim::kUs, "10 us"},
+        {1 * sim::kUs, "1 us"},   {0, "full speed"},
+    };
+
+    // Bare-metal reference (no deployment at all).
+    double bare;
+    {
+        Testbed tb;
+        tb.machine().disk().store().write(0, tb.imageSectors,
+                                          kImageBase);
+        bool up = false;
+        tb.guest().start([&]() { up = true; });
+        tb.runUntil(400 * sim::kSec, [&]() { return up; });
+        workloads::FioParams fp;
+        fp.isWrite = guest_writes;
+        fp.totalBytes = 400 * sim::kMiB;
+        workloads::Fio fio(tb.eq, "fio", tb.guest().blk(), fp);
+        bool done = false;
+        bare = 0;
+        fio.run([&](workloads::FioResult r) {
+            bare = r.mbPerSec;
+            done = true;
+        });
+        tb.runUntil(tb.eq.now() + 4000 * sim::kSec,
+                    [&]() { return done; });
+    }
+
+    sim::Table t({"VMM write interval", "Guest MB/s", "VMM MB/s",
+                  "Sum MB/s"});
+    t.addRow({"(bare metal)", sim::Table::num(bare, 1), "0.0",
+              sim::Table::num(bare, 1)});
+    for (const Point &pt : points) {
+        Row r = runPoint(guest_writes, pt.interval, pt.label);
+        t.addRow({r.label, sim::Table::num(r.guestMBps, 1),
+                  sim::Table::num(r.vmmMBps, 1),
+                  sim::Table::num(r.guestMBps + r.vmmMBps, 1)});
+    }
+    t.print(std::cout);
+}
+
+} // namespace
+
+int
+main()
+{
+    figureHeader("Figure 14: moderation of background copy — guest "
+                 "vs VMM disk throughput");
+    sweep(false, "(a) guest sequential READ vs VMM writes "
+                 "(1024 KB blocks)");
+    sweep(true, "(b) guest sequential WRITE vs VMM writes "
+                "(1024 KB blocks)");
+    std::cout << "\nPaper: as the interval shrinks 1 s -> 1 us -> "
+                 "full speed, guest throughput falls gradually and "
+                 "VMM throughput rises;\nthe sum stays below bare "
+                 "metal (polling-based access + seeks between the "
+                 "two write streams).\n";
+    return 0;
+}

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Shared benchmark testbed: reproduces the paper's experimental
+ * setup (§5) — FUJITSU RX200-class machines, gigabit Ethernet with
+ * jumbo frames, an InfiniBand 4X QDR fabric, an AoE storage server
+ * (thread-pooled vblade) exporting a 32-GB OS image.
+ *
+ * Every bench binary builds its world through this header so the
+ * configuration matches across figures.
+ */
+
+#ifndef BENCH_HARNESS_HH
+#define BENCH_HARNESS_HH
+
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "aoe/server.hh"
+#include "baselines/image_copy.hh"
+#include "baselines/kvm.hh"
+#include "baselines/net_root.hh"
+#include "bmcast/deployer.hh"
+#include "guest/guest_os.hh"
+#include "hw/ib_hca.hh"
+#include "hw/machine.hh"
+#include "net/network.hh"
+#include "simcore/table.hh"
+
+namespace bench {
+
+constexpr net::MacAddr kServerMac = 0x525400000001ULL;
+constexpr std::uint64_t kImageBase = 0xABCD000000000001ULL;
+
+/** The paper's 32-GB OS image. */
+constexpr sim::Lba kImageSectors = (32 * sim::kGiB) / sim::kSectorSize;
+
+/** Boot trace calibrated to the paper's startup numbers (Fig. 4):
+ *  ~29 s local boot, ~72 MB read during boot. */
+inline guest::BootTrace
+paperBootTrace()
+{
+    guest::BootTrace b;
+    b.loaderBytes = 2 * sim::kMiB;
+    b.kernelBytes = 26 * sim::kMiB;
+    b.numReads = 3600;
+    b.avgReadBytes = 12 * sim::kKiB;
+    b.seqFraction = 0.35;
+    b.cpuTotal = 14 * sim::kSec;
+    b.regionBytes = 8 * sim::kGiB;
+    return b;
+}
+
+/** The testbed. */
+struct Testbed
+{
+    explicit Testbed(unsigned numMachines = 1,
+                     hw::StorageKind storage = hw::StorageKind::Ahci,
+                     sim::Lba imageSectors = kImageSectors,
+                     double serverCacheHitRate = 0.0)
+        : imageSectors(imageSectors),
+          lan(eq, "lan", 4 * sim::kUs, 1),
+          ib(eq, "ib-switch"),
+          serverPort(lan.attach(kServerMac,
+                                net::PortConfig{1e9, 9000, 0.0}))
+    {
+        aoe::ServerParams sp;
+        sp.workers = 8; // thread-pooled vblade (paper §4.2)
+        // File-level baselines (NFS) enjoy server page caching;
+        // block-level paths read the raw image.
+        sp.cacheHitRate = serverCacheHitRate;
+        server = std::make_unique<aoe::AoeServer>(eq, "server",
+                                                  serverPort, sp);
+        server->addTarget(0, 0, imageSectors, kImageBase);
+
+        for (unsigned i = 0; i < numMachines; ++i)
+            addMachine(storage);
+    }
+
+    hw::Machine &
+    addMachine(hw::StorageKind storage)
+    {
+        auto idx = static_cast<unsigned>(machines.size());
+        hw::MachineConfig mc;
+        mc.name = "node" + std::to_string(idx);
+        mc.storage = storage;
+        mc.hasInfiniBand = true;
+        mc.ibNodeId = idx;
+        mc.seed = 100 + idx;
+        machines.push_back(std::make_unique<hw::Machine>(
+            eq, mc, lan, 0x5254000100ULL + idx, lan,
+            0x5254000200ULL + idx, &ib));
+
+        guest::GuestOsParams gp;
+        gp.boot = paperBootTrace();
+        gp.seed = 7 + idx;
+        guests.push_back(std::make_unique<guest::GuestOs>(
+            eq, mc.name + ".guest", *machines.back(), gp));
+        return *machines.back();
+    }
+
+    hw::Machine &machine(unsigned i = 0) { return *machines.at(i); }
+    guest::GuestOs &guest(unsigned i = 0) { return *guests.at(i); }
+
+    /** Advance simulated time by @p duration (events or not). */
+    void
+    runFor(sim::Tick duration)
+    {
+        eq.runUntil(eq.now() + duration);
+    }
+
+    /** Run until @p pred holds (or deadline); abort loudly if not. */
+    template <typename Pred>
+    bool
+    runUntil(sim::Tick deadline, Pred &&pred)
+    {
+        while (!pred()) {
+            if (eq.now() > deadline || eq.empty())
+                return pred();
+            eq.step();
+        }
+        return true;
+    }
+
+    sim::Lba imageSectors;
+    sim::EventQueue eq;
+    net::Network lan;
+    hw::IbFabric ib;
+    net::Port &serverPort;
+    std::unique_ptr<aoe::AoeServer> server;
+    std::vector<std::unique_ptr<hw::Machine>> machines;
+    std::vector<std::unique_ptr<guest::GuestOs>> guests;
+};
+
+/** Default VMM parameters used by the benches (calibrated;
+ *  EXPERIMENTS.md records the derivation). */
+inline bmcast::VmmParams
+paperVmmParams()
+{
+    bmcast::VmmParams p;
+    // 32 GiB at one 1-MiB block per interval ~= 16 min deployment
+    // under a quiet guest (Fig. 5a).
+    p.moderation.vmmWriteInterval = 28 * sim::kMs;
+    p.moderation.guestIoFreqThreshold = 24.0;
+    p.moderation.vmmWriteSuspendInterval = 250 * sim::kMs;
+    return p;
+}
+
+/** Print a figure header. */
+inline void
+figureHeader(const std::string &title)
+{
+    std::cout << "\n==========================================="
+                 "=====================\n"
+              << title << "\n"
+              << "============================================"
+                 "====================\n";
+}
+
+} // namespace bench
+
+#endif // BENCH_HARNESS_HH

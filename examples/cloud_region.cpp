@@ -1,0 +1,76 @@
+/**
+ * @file
+ * A small bare-metal cloud region using the high-level Cloud API:
+ * two golden images, four machines, tenants provisioning instances
+ * on demand — the paper's motivating service model (§1: on-demand
+ * self-service, resource pooling, rapid elasticity) on top of
+ * BMcast deployment.
+ */
+
+#include <iostream>
+
+#include "bmcast/cloud.hh"
+#include "simcore/table.hh"
+
+int
+main()
+{
+    sim::EventQueue eq;
+
+    bmcast::CloudConfig cfg;
+    cfg.machines = 4;
+    cfg.vmm.moderation.vmmWriteInterval = 6 * sim::kMs;
+    bmcast::Cloud cloud(eq, "region-a", cfg);
+
+    cloud.addImage("ubuntu-14.04", 2 * sim::kGiB,
+                   0xAAAA000000000001ULL);
+    cloud.addImage("centos-6.3", 2 * sim::kGiB,
+                   0xBBBB000000000001ULL);
+
+    // Tenant requests arrive over the first minute.
+    struct Req
+    {
+        sim::Tick at;
+        const char *image;
+    };
+    const Req reqs[] = {
+        {0, "ubuntu-14.04"},
+        {10 * sim::kSec, "centos-6.3"},
+        {20 * sim::kSec, "ubuntu-14.04"},
+        {30 * sim::kSec, "ubuntu-14.04"},
+    };
+
+    for (const Req &r : reqs) {
+        eq.schedule(r.at, [&cloud, &eq, image = r.image]() {
+            bmcast::Instance *inst = cloud.provision(
+                image, [&eq](bmcast::Instance &i) {
+                    std::cout
+                        << "[" << sim::toSeconds(eq.now())
+                        << "s] instance on " << i.machine().name()
+                        << " serving '" << i.image() << "' after "
+                        << sim::Table::num(i.timeToServingSec(), 1)
+                        << " s\n";
+                });
+            if (!inst)
+                std::cout << "region full!\n";
+        });
+    }
+
+    eq.run();
+
+    std::cout << "\nFinal instance states:\n";
+    sim::Table t({"Machine", "Image", "State", "Time to serving"});
+    for (const auto &i : cloud.instances()) {
+        t.addRow({i->machine().name(), i->image(),
+                  i->state() == bmcast::Instance::State::BareMetal
+                      ? "bare-metal"
+                      : "deploying",
+                  sim::Table::num(i->timeToServingSec(), 1) + " s"});
+    }
+    t.print(std::cout);
+    std::cout << "\nEvery instance served within ~a minute of its "
+                 "request; every VMM is gone\n(de-virtualized) once "
+                 "its image landed — agility AND bare-metal "
+                 "performance.\n";
+    return 0;
+}

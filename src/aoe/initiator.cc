@@ -1,0 +1,272 @@
+#include "aoe/initiator.hh"
+
+#include <algorithm>
+
+#include "hw/disk_store.hh"
+#include "simcore/logging.hh"
+
+namespace aoe {
+
+AoeInitiator::AoeInitiator(sim::EventQueue &eq, std::string name,
+                           net::L2Endpoint &nic_, net::MacAddr server_mac,
+                           InitiatorParams params_)
+    : sim::SimObject(eq, std::move(name)),
+      nic(nic_), server(server_mac), params(params_)
+{
+    nic.setRxHandler([this](const net::Frame &f) { onFrame(f); });
+}
+
+void
+AoeInitiator::readSectors(sim::Lba lba, std::uint32_t count,
+                          ReadCallback done)
+{
+    sim::panicIfNot(count > 0, "zero-sector AoE read");
+    auto call = std::make_shared<Call>();
+    call->tokens.resize(count);
+    call->readDone = std::move(done);
+    call->remainingRequests =
+        (count + params.maxSectorsPerRequest - 1) /
+        params.maxSectorsPerRequest;
+
+    std::uint32_t off = 0;
+    while (off < count) {
+        std::uint32_t n =
+            std::min(params.maxSectorsPerRequest, count - off);
+        issue(false, lba + off, n, call, off);
+        off += n;
+    }
+}
+
+void
+AoeInitiator::writeSectors(sim::Lba lba,
+                           std::vector<std::uint64_t> tokens,
+                           WriteCallback done)
+{
+    sim::panicIfNot(!tokens.empty(), "zero-sector AoE write");
+    auto count = static_cast<std::uint32_t>(tokens.size());
+    auto call = std::make_shared<Call>();
+    call->tokens = std::move(tokens);
+    call->writeDone = std::move(done);
+    call->remainingRequests =
+        (count + params.maxSectorsPerRequest - 1) /
+        params.maxSectorsPerRequest;
+
+    std::uint32_t off = 0;
+    while (off < count) {
+        std::uint32_t n =
+            std::min(params.maxSectorsPerRequest, count - off);
+        issue(true, lba + off, n, call, off);
+        off += n;
+    }
+}
+
+void
+AoeInitiator::writeRange(sim::Lba lba, std::uint32_t count,
+                         std::uint64_t content_base, WriteCallback done)
+{
+    std::vector<std::uint64_t> tokens(count);
+    for (std::uint32_t i = 0; i < count; ++i)
+        tokens[i] = hw::sectorToken(content_base, lba + i);
+    writeSectors(lba, std::move(tokens), std::move(done));
+}
+
+void
+AoeInitiator::shutdown()
+{
+    for (auto &[tag, p] : pending)
+        eventQueue().cancel(p.timer);
+    pending.clear();
+    discoverPending.clear();
+}
+
+void
+AoeInitiator::discover(DiscoverCallback done)
+{
+    std::uint32_t tag = nextTag++;
+    discoverPending[tag] = std::move(done);
+
+    Message m;
+    m.command = kCmdDiscover;
+    m.major = params.major;
+    m.minor = params.minor;
+    m.tag = tag;
+    nic.sendFrame(toFrame(m, server));
+
+    schedule(50 * sim::kMs, [this, tag]() {
+        auto it = discoverPending.find(tag);
+        if (it != discoverPending.end()) {
+            auto cb = std::move(it->second);
+            discoverPending.erase(it);
+            cb(false);
+        }
+    });
+}
+
+void
+AoeInitiator::issue(bool is_write, sim::Lba lba, std::uint32_t count,
+                    std::shared_ptr<Call> call, std::uint32_t offset)
+{
+    std::uint32_t tag = nextTag++;
+    Pending p;
+    p.isWrite = is_write;
+    p.lba = lba;
+    p.count = count;
+    p.call = std::move(call);
+    p.callOffset = offset;
+    if (!is_write) {
+        p.rxTokens.resize(count);
+        p.got.assign(count, false);
+    }
+    auto [it, ok] = pending.emplace(tag, std::move(p));
+    sim::panicIfNot(ok, "AoE tag collision");
+    ++numRequests;
+    sendRequest(tag, it->second);
+}
+
+void
+AoeInitiator::sendRequest(std::uint32_t tag, Pending &p)
+{
+    p.lastSent = now();
+    std::uint32_t per_frame = sectorsPerFrame(nic.mtu());
+
+    if (!p.isWrite) {
+        // A read request is a single header-only frame; the server
+        // fragments the response.
+        Message m;
+        m.major = params.major;
+        m.minor = params.minor;
+        m.tag = tag;
+        m.ataCmd = 0x25; // READ DMA EXT register image
+        m.lba = p.lba;
+        m.sectors = static_cast<std::uint16_t>(
+            std::min<std::uint32_t>(p.count, 0xFFFF));
+        m.totalSectors = p.count;
+        nic.sendFrame(toFrame(m, server));
+    } else {
+        // Write data travels in request fragments.
+        for (std::uint32_t off = 0; off < p.count; off += per_frame) {
+            std::uint32_t n = std::min(per_frame, p.count - off);
+            Message m;
+            m.major = params.major;
+            m.minor = params.minor;
+            m.tag = tag;
+            m.ataCmd = 0x35; // WRITE DMA EXT register image
+            m.lba = p.lba + off;
+            m.sectors = static_cast<std::uint16_t>(n);
+            m.fragOffset = off;
+            m.totalSectors = p.count;
+            m.data.assign(p.call->tokens.begin() + p.callOffset + off,
+                          p.call->tokens.begin() + p.callOffset + off +
+                              n);
+            nic.sendFrame(toFrame(m, server));
+        }
+    }
+    armTimer(tag, p);
+}
+
+sim::Tick
+AoeInitiator::timeout(const Pending &p) const
+{
+    sim::Tick base = std::max(params.minTimeout, 4 * rttEma);
+    // Exponential backoff, capped.
+    int shift = std::min(p.retries, 6);
+    return base << shift;
+}
+
+void
+AoeInitiator::armTimer(std::uint32_t tag, Pending &p)
+{
+    eventQueue().cancel(p.timer);
+    p.timer = schedule(timeout(p), [this, tag]() { onTimeout(tag); });
+}
+
+void
+AoeInitiator::onTimeout(std::uint32_t tag)
+{
+    auto it = pending.find(tag);
+    if (it == pending.end())
+        return;
+    Pending &p = it->second;
+    ++p.retries;
+    ++numRetx;
+    if (p.retries % params.warnEveryRetries == 0) {
+        sim::warn(name(), ": request tag ", tag, " retried ",
+                  p.retries, " times (server unreachable?)");
+    }
+    sendRequest(tag, p);
+}
+
+void
+AoeInitiator::onFrame(const net::Frame &frame)
+{
+    auto parsed = parse(frame);
+    if (!parsed || !parsed->response)
+        return;
+    const Message &m = *parsed;
+
+    if (m.command == kCmdDiscover) {
+        auto dit = discoverPending.find(m.tag);
+        if (dit != discoverPending.end()) {
+            auto cb = std::move(dit->second);
+            discoverPending.erase(dit);
+            cb(!m.error);
+        }
+        return;
+    }
+
+    auto it = pending.find(m.tag);
+    if (it == pending.end())
+        return; // stale duplicate
+    Pending &p = it->second;
+
+    if (p.isWrite) {
+        if (!p.acked) {
+            p.acked = true;
+            bytesWritten += sim::Bytes(p.count) * sim::kSectorSize;
+            completeRequest(m.tag, p);
+        }
+        return;
+    }
+
+    // Read response fragment.
+    for (std::size_t i = 0; i < m.data.size(); ++i) {
+        std::uint32_t idx = m.fragOffset + static_cast<std::uint32_t>(i);
+        if (idx >= p.count)
+            break;
+        if (!p.got[idx]) {
+            p.got[idx] = true;
+            p.rxTokens[idx] = m.data[i];
+            ++p.numGot;
+        }
+    }
+    if (p.numGot == p.count) {
+        bytesRead += sim::Bytes(p.count) * sim::kSectorSize;
+        std::copy(p.rxTokens.begin(), p.rxTokens.end(),
+                  p.call->tokens.begin() + p.callOffset);
+        completeRequest(m.tag, p);
+    }
+}
+
+void
+AoeInitiator::completeRequest(std::uint32_t tag, Pending &p)
+{
+    eventQueue().cancel(p.timer);
+
+    // RTT sample only from first transmissions (Karn's rule).
+    if (p.retries == 0) {
+        sim::Tick sample = now() - p.lastSent;
+        rttEma = rttEma == 0 ? sample : (rttEma * 7 + sample) / 8;
+    }
+
+    std::shared_ptr<Call> call = p.call;
+    pending.erase(tag);
+
+    if (--call->remainingRequests == 0) {
+        if (call->readDone)
+            call->readDone(call->tokens);
+        if (call->writeDone)
+            call->writeDone();
+    }
+}
+
+} // namespace aoe

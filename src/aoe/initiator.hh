@@ -1,0 +1,141 @@
+/**
+ * @file
+ * AoE initiator: the client side used by the BMcast VMM (copy-on-read
+ * redirection and background copy) and by the image-copying baseline.
+ *
+ * Large transfers split into requests of at most
+ * maxSectorsPerRequest; each request's data moves in MTU-sized
+ * fragments. Lost frames are recovered by whole-request
+ * retransmission with exponential backoff (the paper's extension for
+ * loss tolerance).
+ */
+
+#ifndef AOE_INITIATOR_HH
+#define AOE_INITIATOR_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "net/l2.hh"
+#include "aoe/protocol.hh"
+#include "simcore/sim_object.hh"
+
+namespace aoe {
+
+/** Initiator tuning. */
+struct InitiatorParams
+{
+    std::uint16_t major = 0;
+    std::uint8_t minor = 0;
+    /** Per-request cap (2048 sectors = 1 MiB). */
+    std::uint32_t maxSectorsPerRequest = 2048;
+    /** Floor for the retransmission timeout (well above a loaded
+     *  server's worst-case service time; retransmission is for
+     *  loss, not for pacing). */
+    sim::Tick minTimeout = 80 * sim::kMs;
+    /** Retries before each loud warning (retrying never stops). */
+    int warnEveryRetries = 10;
+};
+
+/** The initiator. */
+class AoeInitiator : public sim::SimObject
+{
+  public:
+    using ReadCallback =
+        std::function<void(const std::vector<std::uint64_t> &tokens)>;
+    using WriteCallback = std::function<void()>;
+    using DiscoverCallback = std::function<void(bool found)>;
+
+    AoeInitiator(sim::EventQueue &eq, std::string name,
+                 net::L2Endpoint &nic, net::MacAddr serverMac,
+                 InitiatorParams params = InitiatorParams{});
+
+    /** Read [lba, lba+count); completion delivers one token/sector. */
+    void readSectors(sim::Lba lba, std::uint32_t count,
+                     ReadCallback done);
+
+    /** Write tokens to [lba, lba+count). */
+    void writeSectors(sim::Lba lba,
+                      std::vector<std::uint64_t> tokens,
+                      WriteCallback done);
+
+    /** Write a whole range sharing one content base. */
+    void writeRange(sim::Lba lba, std::uint32_t count,
+                    std::uint64_t contentBase, WriteCallback done);
+
+    /** Probe the server. */
+    void discover(DiscoverCallback done);
+
+    /**
+     * Cancel all outstanding requests and timers (power-off /
+     * teardown). Completion callbacks of in-flight requests are
+     * dropped.
+     */
+    void shutdown();
+
+    /** @name Telemetry */
+    /// @{
+    std::uint64_t requestsIssued() const { return numRequests; }
+    std::uint64_t retransmissions() const { return numRetx; }
+    sim::Bytes dataBytesRead() const { return bytesRead; }
+    sim::Bytes dataBytesWritten() const { return bytesWritten; }
+    std::size_t inflight() const { return pending.size(); }
+    sim::Tick rttEstimate() const { return rttEma; }
+    /// @}
+
+  private:
+    struct Call
+    {
+        std::vector<std::uint64_t> tokens;
+        std::size_t remainingRequests = 0;
+        ReadCallback readDone;
+        WriteCallback writeDone;
+    };
+
+    struct Pending
+    {
+        bool isWrite = false;
+        sim::Lba lba = 0;
+        std::uint32_t count = 0;
+        std::shared_ptr<Call> call;
+        std::uint32_t callOffset = 0;
+
+        std::vector<std::uint64_t> rxTokens;
+        std::vector<bool> got;
+        std::uint32_t numGot = 0;
+        bool acked = false;
+
+        sim::Tick lastSent = 0;
+        int retries = 0;
+        sim::EventId timer;
+    };
+
+    void issue(bool isWrite, sim::Lba lba, std::uint32_t count,
+               std::shared_ptr<Call> call, std::uint32_t offset);
+    void sendRequest(std::uint32_t tag, Pending &p);
+    void armTimer(std::uint32_t tag, Pending &p);
+    void onTimeout(std::uint32_t tag);
+    void onFrame(const net::Frame &frame);
+    void completeRequest(std::uint32_t tag, Pending &p);
+    sim::Tick timeout(const Pending &p) const;
+
+    net::L2Endpoint &nic;
+    net::MacAddr server;
+    InitiatorParams params;
+
+    std::uint32_t nextTag = 1;
+    std::map<std::uint32_t, Pending> pending;
+    std::map<std::uint32_t, DiscoverCallback> discoverPending;
+
+    sim::Tick rttEma = 0;
+    std::uint64_t numRequests = 0;
+    std::uint64_t numRetx = 0;
+    sim::Bytes bytesRead = 0;
+    sim::Bytes bytesWritten = 0;
+};
+
+} // namespace aoe
+
+#endif // AOE_INITIATOR_HH

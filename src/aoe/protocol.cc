@@ -1,0 +1,146 @@
+#include "aoe/protocol.hh"
+
+#include "simcore/logging.hh"
+
+namespace aoe {
+
+namespace {
+
+void
+put8(std::vector<std::uint8_t> &b, std::uint8_t v)
+{
+    b.push_back(v);
+}
+
+void
+put16(std::vector<std::uint8_t> &b, std::uint16_t v)
+{
+    b.push_back(static_cast<std::uint8_t>(v));
+    b.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void
+put32(std::vector<std::uint8_t> &b, std::uint32_t v)
+{
+    put16(b, static_cast<std::uint16_t>(v));
+    put16(b, static_cast<std::uint16_t>(v >> 16));
+}
+
+void
+put64(std::vector<std::uint8_t> &b, std::uint64_t v)
+{
+    put32(b, static_cast<std::uint32_t>(v));
+    put32(b, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint8_t
+get8(const std::vector<std::uint8_t> &b, std::size_t &o)
+{
+    return b[o++];
+}
+
+std::uint16_t
+get16(const std::vector<std::uint8_t> &b, std::size_t &o)
+{
+    std::uint16_t v = b[o] | (std::uint16_t(b[o + 1]) << 8);
+    o += 2;
+    return v;
+}
+
+std::uint32_t
+get32(const std::vector<std::uint8_t> &b, std::size_t &o)
+{
+    std::uint32_t v = get16(b, o);
+    v |= std::uint32_t(get16(b, o)) << 16;
+    return v;
+}
+
+std::uint64_t
+get64(const std::vector<std::uint8_t> &b, std::size_t &o)
+{
+    std::uint64_t v = get32(b, o);
+    v |= std::uint64_t(get32(b, o)) << 32;
+    return v;
+}
+
+} // namespace
+
+net::Frame
+toFrame(const Message &msg, net::MacAddr dst)
+{
+    net::Frame f;
+    f.dst = dst;
+    f.etherType = kEtherType;
+    auto &b = f.payload;
+    b.reserve(kHeaderSize + msg.data.size() * 8);
+
+    std::uint8_t flags = 0x10; // protocol version 1
+    if (msg.response)
+        flags |= kFlagResponse;
+    if (msg.error)
+        flags |= kFlagError;
+    put8(b, flags);
+    put8(b, 0); // error detail (unused)
+    put16(b, msg.major);
+    put8(b, msg.minor);
+    put8(b, msg.command);
+    put32(b, msg.tag);
+    put8(b, msg.ataCmd);
+    put8(b, 0); // features
+    put16(b, msg.sectors);
+    // 48-bit LBA in 6 bytes.
+    for (int i = 0; i < 6; ++i)
+        put8(b, static_cast<std::uint8_t>(msg.lba >> (8 * i)));
+    put32(b, msg.fragOffset);
+    put32(b, msg.totalSectors);
+    while (b.size() < kHeaderSize)
+        put8(b, 0);
+
+    for (std::uint64_t token : msg.data)
+        put64(b, token);
+    // Each 512-byte sector is carried as an 8-byte token; declare the
+    // elided bytes so wire timing stays exact.
+    f.padding = msg.data.size() * kSectorPadding;
+    return f;
+}
+
+std::optional<Message>
+parse(const net::Frame &frame)
+{
+    if (frame.etherType != kEtherType ||
+        frame.payload.size() < kHeaderSize)
+        return std::nullopt;
+
+    const auto &b = frame.payload;
+    std::size_t o = 0;
+    Message m;
+    std::uint8_t flags = get8(b, o);
+    if ((flags & 0xF0) != 0x10)
+        return std::nullopt; // wrong version
+    m.response = flags & kFlagResponse;
+    m.error = flags & kFlagError;
+    get8(b, o); // error detail
+    m.major = get16(b, o);
+    m.minor = get8(b, o);
+    m.command = get8(b, o);
+    m.tag = get32(b, o);
+    m.ataCmd = get8(b, o);
+    get8(b, o); // features
+    m.sectors = get16(b, o);
+    m.lba = 0;
+    for (int i = 0; i < 6; ++i)
+        m.lba |= sim::Lba(get8(b, o)) << (8 * i);
+    m.fragOffset = get32(b, o);
+    m.totalSectors = get32(b, o);
+    o = kHeaderSize;
+
+    std::size_t data_bytes = b.size() - o;
+    if (data_bytes % 8 != 0)
+        return std::nullopt;
+    m.data.reserve(data_bytes / 8);
+    while (o < b.size())
+        m.data.push_back(get64(b, o));
+    return m;
+}
+
+} // namespace aoe

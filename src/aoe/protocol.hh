@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The extended ATA-over-Ethernet protocol (paper §4.2).
+ *
+ * BMcast extends Brantley Coile's AoE with jumbo-frame support,
+ * fragment offsets for multi-frame transfers, and retransmission.
+ * The header mirrors ATA device registers so the VMM can convert an
+ * intercepted command to a request "with minimal effort".
+ *
+ * Messages serialize to real bytes (parsed back by the peer); sector
+ * data rides as 8-byte content tokens with the remaining 504 bytes
+ * per sector declared as frame padding (see net/frame.hh).
+ */
+
+#ifndef AOE_PROTOCOL_HH
+#define AOE_PROTOCOL_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/frame.hh"
+#include "simcore/types.hh"
+
+namespace aoe {
+
+/** EtherType registered for AoE. */
+constexpr std::uint16_t kEtherType = 0x88A2;
+
+/** Header flag bits. */
+constexpr std::uint8_t kFlagResponse = 0x08;
+constexpr std::uint8_t kFlagError = 0x04;
+
+/** Commands. */
+constexpr std::uint8_t kCmdAta = 0x00;
+constexpr std::uint8_t kCmdDiscover = 0x01;
+
+/** Serialized header size. */
+constexpr sim::Bytes kHeaderSize = 32;
+
+/** Bytes of elided payload per data sector (512 - 8-byte token). */
+constexpr sim::Bytes kSectorPadding = sim::kSectorSize - 8;
+
+/** A parsed AoE message. */
+struct Message
+{
+    bool response = false;
+    bool error = false;
+    std::uint16_t major = 0; //!< shelf address
+    std::uint8_t minor = 0;  //!< slot address
+    std::uint8_t command = kCmdAta;
+    std::uint32_t tag = 0; //!< request identifier, echoed in responses
+
+    /** @name ATA section (register mirror). */
+    /// @{
+    std::uint8_t ataCmd = 0; //!< e.g. hw::ide::kCmdReadDmaExt
+    sim::Lba lba = 0;        //!< start LBA of this fragment
+    std::uint16_t sectors = 0; //!< sectors carried/requested here
+    /// @}
+
+    /** @name Extension fields (jumbo/fragmentation support). */
+    /// @{
+    std::uint32_t fragOffset = 0;   //!< sector offset in the request
+    std::uint32_t totalSectors = 0; //!< full request size
+    /// @}
+
+    /** Data tokens (reads: in responses; writes: in requests). */
+    std::vector<std::uint64_t> data;
+
+    bool
+    isWrite() const
+    {
+        return ataCmd == 0xCA || ataCmd == 0x35; // WRITE DMA (EXT)
+    }
+};
+
+/** Serialize into an L2 frame (src filled by the sending port). */
+net::Frame toFrame(const Message &msg, net::MacAddr dst);
+
+/** Parse from an L2 frame; std::nullopt if not a valid AoE frame. */
+std::optional<Message> parse(const net::Frame &frame);
+
+/** Data sectors that fit one frame under the given MTU. */
+constexpr std::uint32_t
+sectorsPerFrame(sim::Bytes mtu)
+{
+    if (mtu <= kHeaderSize + sim::kSectorSize)
+        return 1;
+    return static_cast<std::uint32_t>((mtu - kHeaderSize) /
+                                      sim::kSectorSize);
+}
+
+} // namespace aoe
+
+#endif // AOE_PROTOCOL_HH

@@ -1,0 +1,143 @@
+#include "baselines/image_copy.hh"
+
+#include <algorithm>
+
+#include "guest/ahci_driver.hh"
+#include "guest/ide_driver.hh"
+#include "hw/disk_store.hh"
+#include "simcore/logging.hh"
+
+namespace baselines {
+
+ImageCopyDeployer::ImageCopyDeployer(sim::EventQueue &eq,
+                                     std::string name,
+                                     hw::Machine &machine,
+                                     guest::GuestOs &guest_,
+                                     net::MacAddr server_mac,
+                                     sim::Lba image_sectors,
+                                     ImageCopyParams params_,
+                                     bool cold_firmware)
+    : sim::SimObject(eq, std::move(name)),
+      machine_(machine), guest(guest_), serverMac(server_mac),
+      imageSectors(image_sectors), params(params_),
+      coldFirmware(cold_firmware)
+{
+}
+
+void
+ImageCopyDeployer::run(std::function<void()> on_guest_ready)
+{
+    readyCb = std::move(on_guest_ready);
+    tl.powerOn = now();
+    auto boot_installer = [this]() {
+        tl.firmwareDone = now();
+        schedule(params.installerBoot, [this]() { startInstaller(); });
+    };
+    if (coldFirmware)
+        machine_.firmware().powerOn(boot_installer);
+    else
+        boot_installer();
+}
+
+void
+ImageCopyDeployer::startInstaller()
+{
+    tl.installerReady = now();
+
+    // The installer is itself a (minimal) OS: its own memory arena,
+    // NIC driver on the management network, AoE initiator and a
+    // register-level disk driver.
+    arena = std::make_unique<hw::MemArena>(1 * sim::kGiB,
+                                           512 * sim::kMiB);
+    hw::BusView view(machine_.bus(), /*guestContext=*/true);
+    nic = std::make_unique<hw::E1000Driver>(
+        eventQueue(), name() + ".nic", view, machine_.mgmtNic(),
+        machine_.mem(), *arena, hw::E1000Driver::Mode::Polling);
+    aoe_ = std::make_unique<aoe::AoeInitiator>(
+        eventQueue(), name() + ".aoe", *nic, serverMac);
+
+    if (machine_.storageKind() == hw::StorageKind::Ide) {
+        disk = std::make_unique<guest::IdeDriver>(
+            eventQueue(), name() + ".disk", view, machine_.mem(),
+            machine_.intc(), *arena);
+    } else {
+        disk = std::make_unique<guest::AhciDriver>(
+            eventQueue(), name() + ".disk", view, machine_.mem(),
+            machine_.intc(), *arena);
+    }
+    disk->initialize();
+    pump();
+}
+
+void
+ImageCopyDeployer::pump()
+{
+    if (copyFinished)
+        return;
+    nic->poll();
+
+    while (inflight < params.pipelineDepth && nextLba < imageSectors) {
+        auto count = static_cast<std::uint32_t>(
+            std::min<sim::Lba>(params.chunkSectors,
+                               imageSectors - nextLba));
+        sim::Lba lba = nextLba;
+        nextLba += count;
+        ++inflight;
+        aoe_->readSectors(
+            lba, count,
+            [this, lba,
+             count](const std::vector<std::uint64_t> &tokens) {
+                // Write straight to the local disk.
+                std::uint64_t base =
+                    tokens.empty()
+                        ? 0
+                        : hw::baseFromToken(tokens[0], lba);
+                disk->write(lba, count, base, [this, count]() {
+                    copied += sim::Bytes(count) * sim::kSectorSize;
+                    --inflight;
+                    chunkDone();
+                });
+            });
+    }
+
+    // One periodic service event at a time.
+    eventQueue().cancel(pollEvent);
+    pollEvent = schedule(100 * sim::kUs, [this]() { pump(); });
+}
+
+void
+ImageCopyDeployer::chunkDone()
+{
+    if (nextLba >= imageSectors && inflight == 0 && !copyFinished) {
+        copyFinished = true;
+        tl.copyDone = now();
+        eventQueue().cancel(pollEvent);
+        reboot();
+        return;
+    }
+    pump();
+}
+
+void
+ImageCopyDeployer::reboot()
+{
+    // The installer OS shuts down: its drivers release the hardware
+    // (IRQ handlers unregister) before the deployed OS boots.
+    disk.reset();
+    aoe_.reset();
+    nic.reset();
+
+    // Full restart: firmware again plus shutdown/POST overhead.
+    sim::Tick restart =
+        machine_.firmware().coldInitTime() + params.restartExtra;
+    schedule(restart, [this]() {
+        tl.rebootDone = now();
+        guest.start([this]() {
+            tl.guestBootDone = now();
+            if (readyCb)
+                readyCb();
+        });
+    });
+}
+
+} // namespace baselines

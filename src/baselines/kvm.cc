@@ -1,0 +1,179 @@
+#include "baselines/kvm.hh"
+
+#include "hw/disk_store.hh"
+#include "simcore/logging.hh"
+
+namespace baselines {
+
+KvmBlockDriver::KvmBlockDriver(sim::EventQueue &eq, std::string name,
+                               hw::Machine &machine, KvmConfig config,
+                               net::MacAddr server_mac)
+    : sim::SimObject(eq, std::move(name)),
+      machine_(machine), cfg(config), serverMac(server_mac)
+{
+}
+
+void
+KvmBlockDriver::initialize()
+{
+    if (cfg.storage == KvmStorage::Local || nic)
+        return;
+    // Network-backed image: host-side initiator on the guest LAN.
+    arena = std::make_unique<hw::MemArena>(2 * sim::kGiB,
+                                           256 * sim::kMiB);
+    hw::BusView view(machine_.bus(), /*guestContext=*/false);
+    nic = std::make_unique<hw::E1000Driver>(
+        eventQueue(), name() + ".nic", view, machine_.guestNic(),
+        machine_.mem(), *arena, hw::E1000Driver::Mode::Interrupt,
+        &machine_.intc(), hw::kGuestNicIrq);
+    aoe_ = std::make_unique<aoe::AoeInitiator>(
+        eventQueue(), name() + ".aoe", *nic, serverMac);
+}
+
+sim::Tick
+KvmBlockDriver::virtioCost(sim::Bytes bytes, bool is_write) const
+{
+    double per_kib = is_write ? cfg.virtioPerKiBWriteNs
+                              : cfg.virtioPerKiBReadNs;
+    return cfg.virtioPerOp +
+           static_cast<sim::Tick>(
+               static_cast<double>(bytes) / 1024.0 * per_kib);
+}
+
+sim::Tick
+KvmBlockDriver::backendPerOp() const
+{
+    switch (cfg.storage) {
+      case KvmStorage::Nfs:
+        return cfg.nfsPerOp;
+      case KvmStorage::Iscsi:
+        return cfg.iscsiPerOp;
+      default:
+        return 0;
+    }
+}
+
+void
+KvmBlockDriver::read(sim::Lba lba, std::uint32_t count,
+                     guest::ReadDone done)
+{
+    sim::Tick start = now();
+    sim::Bytes bytes = sim::Bytes(count) * sim::kSectorSize;
+    sim::Tick extra = virtioCost(bytes, false) + backendPerOp();
+
+    if (cfg.storage == KvmStorage::Local) {
+        hw::DiskRequest req;
+        req.lba = lba;
+        req.sectors = count;
+        req.done = [this, lba, count, start, extra,
+                    done = std::move(done)]() {
+            schedule(extra, [this, lba, count, start,
+                             done = std::move(done)]() {
+                std::vector<std::uint64_t> tokens(count);
+                for (std::uint32_t i = 0; i < count; ++i)
+                    tokens[i] =
+                        machine_.disk().store().tokenAt(lba + i);
+                ++numOps;
+                latencySum += now() - start;
+                done(tokens);
+            });
+        };
+        machine_.disk().submit(std::move(req));
+        return;
+    }
+
+    initialize();
+    aoe_->readSectors(
+        lba, count,
+        [this, start, extra,
+         done = std::move(done)](const std::vector<std::uint64_t> &t) {
+            schedule(extra, [this, start, t, done]() {
+                ++numOps;
+                latencySum += now() - start;
+                done(t);
+            });
+        });
+}
+
+void
+KvmBlockDriver::write(sim::Lba lba, std::uint32_t count,
+                      std::uint64_t content_base, guest::WriteDone done)
+{
+    sim::Tick start = now();
+    sim::Bytes bytes = sim::Bytes(count) * sim::kSectorSize;
+    sim::Tick extra = virtioCost(bytes, true) + backendPerOp();
+
+    if (cfg.storage == KvmStorage::Local) {
+        machine_.disk().store().write(lba, count, content_base);
+        hw::DiskRequest req;
+        req.isWrite = true;
+        req.lba = lba;
+        req.sectors = count;
+        req.done = [this, start, extra, done = std::move(done)]() {
+            schedule(extra, [this, start, done]() {
+                ++numOps;
+                latencySum += now() - start;
+                done();
+            });
+        };
+        machine_.disk().submit(std::move(req));
+        return;
+    }
+
+    initialize();
+    aoe_->writeRange(lba, count, content_base,
+                     [this, start, extra, done = std::move(done)]() {
+                         schedule(extra, [this, start, done]() {
+                             ++numOps;
+                             latencySum += now() - start;
+                             done();
+                         });
+                     });
+}
+
+KvmVmm::KvmVmm(sim::EventQueue &eq, std::string name,
+               hw::Machine &machine, KvmConfig config,
+               net::MacAddr server_mac)
+    : sim::SimObject(eq, std::move(name)),
+      machine_(machine), cfg(config)
+{
+    blk = std::make_unique<KvmBlockDriver>(eq, this->name() + ".blk",
+                                           machine, cfg, server_mac);
+}
+
+hw::VirtProfile
+KvmVmm::profile() const
+{
+    hw::VirtProfile p;
+    p.name = cfg.eli ? "kvm-eli" : "kvm";
+    p.virtualized = true;
+    p.nestedPaging = true;
+    p.vmmCpuSteal = cfg.hostCpuSteal;
+    p.tlbMissRateMult = cfg.hugePages ? cfg.tlbMissRateMult
+                                      : cfg.tlbMissRateMultNoHuge;
+    p.tlbMissLatencyMult = cfg.tlbMissLatencyMult;
+    p.cachePollutionFactor = cfg.cachePollution;
+    p.lockHolderPreemptProb = cfg.pinned
+                                  ? cfg.lockHolderPreemptProb
+                                  : cfg.lockHolderPreemptProbUnpinned;
+    p.vcpuDescheduleNs = cfg.vcpuDescheduleNs;
+    p.rdmaLatencyOverhead = cfg.rdmaLatencyOverhead;
+    p.interruptExtraNs = cfg.eli ? cfg.interruptExtraEli
+                                 : cfg.interruptExtraNoEli;
+    p.perIoExtraNs = cfg.virtioPerOp;
+    return p;
+}
+
+void
+KvmVmm::boot(std::function<void()> ready)
+{
+    // Host OS + hypervisor boot (paper §5.1: 30 s, 6x the BMcast
+    // VMM); the profile stays installed for the machine's lifetime
+    // — KVM never de-virtualizes.
+    schedule(cfg.hostBoot, [this, ready = std::move(ready)]() {
+        machine_.setProfile(profile());
+        ready();
+    });
+}
+
+} // namespace baselines

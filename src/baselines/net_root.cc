@@ -1,0 +1,96 @@
+#include "baselines/net_root.hh"
+
+#include "simcore/logging.hh"
+
+namespace baselines {
+
+NetRootDriver::NetRootDriver(sim::EventQueue &eq, std::string name,
+                             hw::Machine &machine,
+                             net::MacAddr server_mac,
+                             NetRootParams params_)
+    : sim::SimObject(eq, std::move(name)),
+      machine_(machine), serverMac(server_mac), params(params_)
+{
+}
+
+void
+NetRootDriver::initialize()
+{
+    if (nic)
+        return;
+    arena = std::make_unique<hw::MemArena>(3 * sim::kGiB,
+                                           256 * sim::kMiB);
+    hw::BusView view(machine_.bus(), /*guestContext=*/true);
+    nic = std::make_unique<hw::E1000Driver>(
+        eventQueue(), name() + ".nic", view, machine_.guestNic(),
+        machine_.mem(), *arena, hw::E1000Driver::Mode::Interrupt,
+        &machine_.intc(), hw::kGuestNicIrq);
+    aoe_ = std::make_unique<aoe::AoeInitiator>(
+        eventQueue(), name() + ".aoe", *nic, serverMac);
+}
+
+void
+NetRootDriver::read(sim::Lba lba, std::uint32_t count,
+                    guest::ReadDone done)
+{
+    initialize();
+    sim::Tick start = now();
+    aoe_->readSectors(
+        lba, count,
+        [this, start,
+         done = std::move(done)](const std::vector<std::uint64_t> &t) {
+            schedule(params.perOpOverhead, [this, start, t, done]() {
+                ++numOps;
+                latencySum += now() - start;
+                done(t);
+            });
+        });
+}
+
+void
+NetRootDriver::write(sim::Lba lba, std::uint32_t count,
+                     std::uint64_t content_base, guest::WriteDone done)
+{
+    initialize();
+    sim::Tick start = now();
+    aoe_->writeRange(
+        lba, count, content_base,
+        [this, start, done = std::move(done)]() {
+            schedule(params.perOpOverhead, [this, start, done]() {
+                ++numOps;
+                latencySum += now() - start;
+                done();
+            });
+        });
+}
+
+NfsRootBoot::NfsRootBoot(sim::EventQueue &eq, std::string name,
+                         hw::Machine &machine, guest::GuestOs &guest_,
+                         NetRootParams params_, bool cold_firmware)
+    : sim::SimObject(eq, std::move(name)),
+      machine_(machine), guest(guest_), params(params_),
+      coldFirmware(cold_firmware)
+{
+}
+
+void
+NfsRootBoot::run(std::function<void()> on_guest_ready)
+{
+    tl.powerOn = now();
+    auto boot = [this, cb = std::move(on_guest_ready)]() mutable {
+        tl.firmwareDone = now();
+        schedule(params.netbootSetup, [this, cb = std::move(cb)]() {
+            guest.start([this, cb = std::move(cb)]() {
+                tl.guestBootDone = now();
+                if (cb)
+                    cb();
+            });
+        });
+    };
+    if (coldFirmware)
+        machine_.firmware().powerOn(std::move(boot));
+    else
+        boot();
+}
+
+} // namespace baselines

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Network-boot baseline (NFS root, paper §2/§5.1): the OS boots
+ * immediately with its root filesystem served over the network and
+ * never deploys to the local disk — fast startup (49 s) but a
+ * permanent per-I/O network cost (the "continuous overhead" column
+ * of Fig. 10).
+ */
+
+#ifndef BASELINES_NET_ROOT_HH
+#define BASELINES_NET_ROOT_HH
+
+#include <functional>
+#include <memory>
+
+#include "aoe/initiator.hh"
+#include "guest/block_driver.hh"
+#include "guest/guest_os.hh"
+#include "hw/e1000_driver.hh"
+#include "hw/machine.hh"
+#include "simcore/sim_object.hh"
+
+namespace baselines {
+
+/** NFS-client cost knobs. */
+struct NetRootParams
+{
+    /** PXE/initrd bring-up before the root mounts. */
+    sim::Tick netbootSetup = 8 * sim::kSec;
+    /** File-level protocol cost per operation (client + server). */
+    sim::Tick perOpOverhead = 300 * sim::kUs;
+};
+
+/** A block driver whose every operation crosses the network. */
+class NetRootDriver : public sim::SimObject,
+                      public guest::BlockDriver
+{
+  public:
+    NetRootDriver(sim::EventQueue &eq, std::string name,
+                  hw::Machine &machine, net::MacAddr serverMac,
+                  NetRootParams params = NetRootParams{});
+
+    void initialize() override;
+    void read(sim::Lba lba, std::uint32_t count,
+              guest::ReadDone done) override;
+    void write(sim::Lba lba, std::uint32_t count,
+               std::uint64_t contentBase,
+               guest::WriteDone done) override;
+    std::uint64_t opsCompleted() const override { return numOps; }
+    sim::Tick totalLatency() const override { return latencySum; }
+
+  private:
+    hw::Machine &machine_;
+    net::MacAddr serverMac;
+    NetRootParams params;
+
+    std::unique_ptr<hw::MemArena> arena;
+    std::unique_ptr<hw::E1000Driver> nic;
+    std::unique_ptr<aoe::AoeInitiator> aoe_;
+
+    std::uint64_t numOps = 0;
+    sim::Tick latencySum = 0;
+};
+
+/** Timeline of a network boot. */
+struct NetRootTimeline
+{
+    sim::Tick powerOn = 0;
+    sim::Tick firmwareDone = 0;
+    sim::Tick guestBootDone = 0;
+};
+
+/** Orchestrates one network-booted instance. */
+class NfsRootBoot : public sim::SimObject
+{
+  public:
+    NfsRootBoot(sim::EventQueue &eq, std::string name,
+                hw::Machine &machine, guest::GuestOs &guest,
+                NetRootParams params = NetRootParams{},
+                bool coldFirmware = true);
+
+    void run(std::function<void()> onGuestReady);
+
+    const NetRootTimeline &timeline() const { return tl; }
+
+  private:
+    hw::Machine &machine_;
+    guest::GuestOs &guest;
+    NetRootParams params;
+    bool coldFirmware;
+    NetRootTimeline tl;
+};
+
+} // namespace baselines
+
+#endif // BASELINES_NET_ROOT_HH

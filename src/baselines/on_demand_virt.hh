@@ -1,0 +1,61 @@
+/**
+ * @file
+ * On-demand virtualization comparison point (Kooburat & Swift,
+ * HotOS'11 — paper §2): converting between physical and virtual
+ * execution by exploiting OS hibernation. More seamless than a
+ * reboot-based VMM uninstall, but it requires slight OS
+ * modifications (not OS-transparent) and the conversion takes about
+ * 90 seconds of downtime — BMcast's de-virtualization, by contrast,
+ * is a sub-millisecond per-CPU switch with no guest cooperation.
+ *
+ * Modelled as timings only; used by the comparison bench.
+ */
+
+#ifndef BASELINES_ON_DEMAND_VIRT_HH
+#define BASELINES_ON_DEMAND_VIRT_HH
+
+#include <functional>
+
+#include "simcore/sim_object.hh"
+
+namespace baselines {
+
+/** Published characteristics of the hibernate-based conversion. */
+struct OnDemandVirtParams
+{
+    /** Physical-to-virtual conversion time (paper §2: 90 s). */
+    sim::Tick conversionTime = 90 * sim::kSec;
+    /** The guest OS must be modified (hibernation hooks). */
+    bool osTransparent = false;
+};
+
+/** The conversion model. */
+class OnDemandVirt : public sim::SimObject
+{
+  public:
+    OnDemandVirt(sim::EventQueue &eq, std::string name,
+                 OnDemandVirtParams params = OnDemandVirtParams{})
+        : sim::SimObject(eq, std::move(name)), params_(params) {}
+
+    /** Convert (either direction); the guest is down throughout. */
+    void
+    convert(std::function<void()> done)
+    {
+        ++numConversions;
+        downtime += params_.conversionTime;
+        schedule(params_.conversionTime, std::move(done));
+    }
+
+    const OnDemandVirtParams &params() const { return params_; }
+    sim::Tick totalDowntime() const { return downtime; }
+    unsigned conversions() const { return numConversions; }
+
+  private:
+    OnDemandVirtParams params_;
+    sim::Tick downtime = 0;
+    unsigned numConversions = 0;
+};
+
+} // namespace baselines
+
+#endif // BASELINES_ON_DEMAND_VIRT_HH

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * The AHCI device mediator (paper §3.2, §4.3: 2,285 LOC in the
+ * prototype — the larger of the two because AHCI has 32 command
+ * slots and in-memory command lists).
+ *
+ * Interpretation: PxCI writes are decoded by reading the guest's
+ * command list/tables from physical memory, exactly as the HBA does.
+ *
+ * Redirection: a read touching EMPTY blocks is withheld (its CI bit
+ * never reaches the device); after the device drains, the data is
+ * fetched (server via AoE, local disk for FILLED sub-ranges) into
+ * the guest's PRDT buffers, and the command is restarted as a
+ * one-sector dummy read issued *on the same slot number* from the
+ * mediator's own command list (PxCLB temporarily swapped), so the
+ * device clears the right CI bit and raises the guest's completion
+ * interrupt itself.
+ *
+ * Multiplexing: VMM commands run from the mediator's command list in
+ * slot 0 while PxIE is gated and completion is detected by polling
+ * PxCI; guest CI writes issued meanwhile are queued and replayed.
+ */
+
+#ifndef BMCAST_AHCI_MEDIATOR_HH
+#define BMCAST_AHCI_MEDIATOR_HH
+
+#include <deque>
+#include <memory>
+
+#include "bmcast/mediator.hh"
+#include "hw/ahci_regs.hh"
+#include "hw/dma.hh"
+#include "hw/io_bus.hh"
+#include "hw/mem_arena.hh"
+#include "hw/phys_mem.hh"
+#include "simcore/sim_object.hh"
+
+namespace bmcast {
+
+/** The mediator. */
+class AhciMediator : public sim::SimObject,
+                     public DeviceMediator,
+                     public hw::IoInterceptor
+{
+  public:
+    AhciMediator(sim::EventQueue &eq, std::string name, hw::IoBus &bus,
+                 hw::PhysMem &mem, hw::MemArena &vmmArena,
+                 MediatorServices services);
+
+    /** @name DeviceMediator */
+    /// @{
+    void install() override;
+    void uninstall() override;
+    void powerOff() override;
+    void poll() override;
+    bool vmmWrite(sim::Lba lba, std::uint32_t count,
+                  std::uint64_t contentBase,
+                  std::function<void()> done) override;
+    bool vmmRead(sim::Lba lba, std::uint32_t count,
+                 std::function<void(const std::vector<std::uint64_t> &)>
+                     done) override;
+    bool vmmOpActive() const override;
+    bool quiescent() const override;
+    /// @}
+
+    /** @name hw::IoInterceptor */
+    /// @{
+    bool interceptRead(sim::Addr addr, unsigned size,
+                       std::uint64_t &value) override;
+    bool interceptWrite(sim::Addr addr, std::uint64_t value,
+                        unsigned size) override;
+    /// @}
+
+  private:
+    enum class State
+    {
+        Passthrough,
+        DrainForRedirect, //!< waiting for guest slots to complete
+        RedirectData,     //!< fetching / local reads
+        RestartActive,    //!< dummy command completing a redirect
+        VmmActive,        //!< multiplexed VMM command on the device
+    };
+
+    /** A withheld guest read awaiting redirection. */
+    struct Redirect
+    {
+        unsigned slot = 0;
+        sim::Lba lba = 0;
+        std::uint32_t count = 0;
+        std::vector<hw::SgEntry> guestSg;
+        std::vector<std::uint64_t> tokens;
+        std::size_t fetchesPending = 0;
+        std::vector<sim::IntervalSet::Range> localRanges;
+        std::size_t nextLocal = 0;
+        bool localInFlight = false;
+        bool zeroFill = false;
+        bool droppedWrite = false;
+        bool dataPhaseStarted = false;
+    };
+
+    /** A mediator-issued command (slot 0 of the mediator's list). */
+    struct MedOp
+    {
+        bool isWrite = false;
+        sim::Lba lba = 0;
+        std::uint32_t count = 0;
+        std::uint64_t contentBase = 0;
+        bool internal = false; //!< redirection local-segment read
+        std::function<void()> writeDone;
+        std::function<void(const std::vector<std::uint64_t> &)>
+            readDone;
+    };
+
+    void onGuestCiWrite(std::uint32_t bits);
+    void queueRedirect(unsigned slot, sim::Lba lba,
+                       std::uint32_t count, bool zeroFill,
+                       bool droppedWrite);
+    void maybeBeginRedirect();
+    void advanceRedirect();
+    void finishRedirectDataPhase();
+    void issueDummyRestart();
+    void onRestartComplete();
+    void startMedOp(MedOp op);
+    bool canStartVmmOp();
+    void maybeStartPending();
+    void checkMedOpCompletion();
+    void replayQueuedWrites();
+
+    std::uint32_t deviceCi();
+    std::vector<hw::SgEntry> parseGuestSg(unsigned slot) const;
+    void decodeGuestSlot(unsigned slot, bool &isWrite, sim::Lba &lba,
+                         std::uint32_t &count) const;
+    void programMediatorSlot(unsigned slot, bool isWrite, sim::Lba lba,
+                             std::uint32_t count, sim::Addr buffer);
+    std::uint32_t guestVisibleCi();
+
+    hw::IoBus &bus;
+    hw::BusView vmmView;
+    hw::PhysMem &mem;
+    MediatorServices svc;
+
+    State state = State::Passthrough;
+    bool installed = false;
+
+    /** Shadows (I/O interpretation). */
+    std::uint32_t shClb = 0;
+    std::uint32_t shIe = 0;
+    /** Slots the guest believes outstanding but whose completion it
+     *  has not yet observed via a PxCI read. */
+    std::uint32_t guestIssued = 0;
+    /** Slots withheld for redirection (guest sees them busy). */
+    std::uint32_t redirectBits = 0;
+
+    std::deque<Redirect> redirects;
+    std::unique_ptr<MedOp> medOp;
+    bool medOpOnDevice = false;
+    /** Accepted but deferred VMM command: injected at the first
+     *  moment the guest quiesces ("find proper timing", §3.2). */
+    std::unique_ptr<MedOp> pendingOp;
+    unsigned restartSlot = 0;
+
+    std::deque<std::pair<sim::Addr, std::uint32_t>> queuedWrites;
+
+    /** Mediator-owned structures in VMM memory. */
+    sim::Addr medCmdList = 0;
+    sim::Addr medTable = 0;      //!< command table for med ops
+    sim::Addr medDummyTable = 0; //!< command table for dummy restarts
+    sim::Addr medBuffer = 0;     //!< bounce buffer
+    sim::Addr dummyBuffer = 0;
+    std::uint32_t medBufferSectors = 2048;
+};
+
+} // namespace bmcast
+
+#endif // BMCAST_AHCI_MEDIATOR_HH

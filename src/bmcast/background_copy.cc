@@ -1,0 +1,260 @@
+#include "bmcast/background_copy.hh"
+
+#include <algorithm>
+
+#include "hw/disk_store.hh"
+#include "simcore/logging.hh"
+
+namespace bmcast {
+
+BackgroundCopy::BackgroundCopy(sim::EventQueue &eq, std::string name,
+                               const VmmParams &params_,
+                               DeviceMediator &mediator_,
+                               BlockBitmap &bitmap_, FetchFn fetch_,
+                               sim::Lba image_sectors,
+                               std::function<void()> on_complete)
+    : sim::SimObject(eq, std::move(name)),
+      params(params_), mod(params_.moderation), mediator(mediator_),
+      bitmap(bitmap_), fetch(std::move(fetch_)),
+      imageSectors(image_sectors), onComplete(std::move(on_complete)),
+      guestIoRate(params_.moderation.guestIoWindow)
+{
+}
+
+void
+BackgroundCopy::start()
+{
+    sim::panicIfNot(!running, "background copy started twice");
+    running = true;
+    retrieverLoop();
+    if (!writerArmed) {
+        writerArmed = true;
+        schedule(mod.vmmWriteInterval, [this]() { writerWake(); });
+    }
+}
+
+void
+BackgroundCopy::stop()
+{
+    running = false;
+}
+
+void
+BackgroundCopy::noteGuestIo(bool is_write, std::uint32_t sectors)
+{
+    (void)is_write;
+    (void)sectors;
+    guestIoRate.record(now());
+    // Seek locality (§3.3): continue copying near the guest's last
+    // access. The retriever picks this up on its next block.
+}
+
+void
+BackgroundCopy::stashFetched(sim::Lba lba, std::uint32_t count,
+                             const std::vector<std::uint64_t> &tokens)
+{
+    if (done || tokens.empty())
+        return;
+    // Copy-on-read data (Fig. 1b: the VMM "also writes the data to
+    // the local disk for future use"): queued for the writer thread,
+    // which drains this queue with priority but under the same
+    // moderation, so deployment work never competes with a booting
+    // or I/O-active guest.
+    std::uint64_t base = hw::baseFromToken(tokens[0], lba);
+    // Coalesce with the previous stash block when contiguous (boot
+    // reads often continue each other), halving the write count and
+    // amortizing seeks.
+    if (!stashQueue.empty()) {
+        Block &back = stashQueue.back();
+        if (back.lba + back.count == lba && back.contentBase == base &&
+            back.count + count <= params.copyBlockSectors) {
+            back.count += count;
+            cursor = std::min<sim::Lba>(lba + count, imageSectors);
+            return;
+        }
+    }
+    stashQueue.push_back(Block{lba, count, base});
+    // Follow the guest's access pattern for subsequent retrieves.
+    cursor = std::min<sim::Lba>(lba + count, imageSectors);
+}
+
+void
+BackgroundCopy::retrieverLoop()
+{
+    if (!running || done || retrieverBusy)
+        return;
+    if (fifo.size() >= params.copyFifoDepth)
+        return; // writer drains, then re-kicks us
+
+    // Pick the next EMPTY block at/after the cursor, wrapping once.
+    auto next = bitmap.firstEmpty(cursor);
+    if (!next || *next >= imageSectors)
+        next = bitmap.firstEmpty(0);
+    if (!next || *next >= imageSectors) {
+        checkComplete();
+        return;
+    }
+    sim::Lba lba = *next;
+    auto empty = bitmap.emptyRanges(
+        lba, std::min<std::uint64_t>(params.copyBlockSectors,
+                                     imageSectors - lba));
+    sim::panicIfNot(!empty.empty(), "firstEmpty disagrees with gaps");
+    auto count = static_cast<std::uint32_t>(empty.front().second -
+                                            empty.front().first);
+    lba = empty.front().first;
+    cursor = lba + count;
+
+    retrieverBusy = true;
+    fetch(lba, count,
+          [this, lba, count](const std::vector<std::uint64_t> &tokens) {
+              retrieverBusy = false;
+              if (!running || done)
+                  return;
+              std::uint64_t base =
+                  tokens.empty() ? 0
+                                 : hw::baseFromToken(tokens[0], lba);
+              fifo.push_back(Block{lba, count, base});
+              retrieverLoop();
+          });
+}
+
+void
+BackgroundCopy::writerWake()
+{
+    writerArmed = false;
+    if (!running || done)
+        return;
+
+    // Moderation (§3.3): suspend while the guest is I/O-active.
+    if (guestIoRate.ratePerSec(now()) > mod.guestIoFreqThreshold) {
+        ++numSuspends;
+        writerArmed = true;
+        schedule(mod.vmmWriteSuspendInterval,
+                 [this]() { writerWake(); });
+        return;
+    }
+
+    // One copy block's worth of sectors per interval; small
+    // copy-on-read stash entries chain until the budget is used.
+    roundBudget = params.copyBlockSectors;
+    roundStart = now();
+    tryWriteHead();
+}
+
+void
+BackgroundCopy::tryWriteHead()
+{
+    if (!running || done)
+        return;
+
+    // Copy-on-read data first (already fetched and needed again
+    // soonest), then fresh blocks from the retriever.
+    while (!stashQueue.empty()) {
+        if (bitmap.claimForVmmWrite(stashQueue.front().lba,
+                                    stashQueue.front().count)) {
+            fifo.push_front(stashQueue.front());
+            stashQueue.pop_front();
+            break;
+        }
+        stashQueue.pop_front();
+        ++skipped;
+    }
+
+    // Drop blocks that lost the race with guest writes (§3.3: the
+    // bitmap is checked atomically before the VMM writes).
+    while (!fifo.empty() &&
+           !bitmap.claimForVmmWrite(fifo.front().lba,
+                                    fifo.front().count)) {
+        // Partially or fully filled meanwhile: write only what is
+        // still empty, as separate sub-blocks.
+        Block b = fifo.front();
+        fifo.pop_front();
+        auto empty = bitmap.emptyRanges(b.lba, b.count);
+        if (empty.empty()) {
+            ++skipped;
+            continue;
+        }
+        // Re-queue the still-empty sub-ranges at the front, in
+        // order.
+        for (auto it = empty.rbegin(); it != empty.rend(); ++it) {
+            fifo.push_front(Block{
+                it->first,
+                static_cast<std::uint32_t>(it->second - it->first),
+                b.contentBase});
+        }
+        break;
+    }
+
+    if (fifo.empty()) {
+        retrieverLoop();
+        writerArmed = true;
+        schedule(mod.vmmWriteInterval, [this]() { writerWake(); });
+        return;
+    }
+
+    Block b = fifo.front();
+    if (writeInFlight)
+        return;
+
+    // The write interval is measured between round *starts*: the
+    // pacing knob controls the block issue rate, not idle gaps.
+    bool accepted = mediator.vmmWrite(
+        b.lba, b.count, b.contentBase, [this, b]() {
+            writeInFlight = false;
+            // FILLED only at completion: until the data is on disk,
+            // reads must keep going to the server.
+            bitmap.markFilled(b.lba, b.count);
+            written += sim::Bytes(b.count) * sim::kSectorSize;
+            roundBudget = roundBudget > b.count
+                              ? roundBudget - b.count
+                              : 0;
+            checkComplete();
+            if (done || !running)
+                return;
+            retrieverLoop();
+            if (roundBudget > 0 &&
+                (!stashQueue.empty() || !fifo.empty())) {
+                // Round budget remains: keep writing queued data.
+                tryWriteHead();
+                return;
+            }
+            if (!writerArmed) {
+                writerArmed = true;
+                sim::Tick elapsed = now() - roundStart;
+                sim::Tick wait =
+                    mod.vmmWriteInterval > elapsed
+                        ? mod.vmmWriteInterval - elapsed
+                        : 0;
+                schedule(wait, [this]() { writerWake(); });
+            }
+        });
+
+    if (accepted) {
+        writeInFlight = true;
+        fifo.pop_front();
+    } else {
+        // Device busy with guest I/O: retry shortly (the mediator
+        // queues nothing for us; we poll).
+        writerArmed = true;
+        schedule(std::min<sim::Tick>(mod.vmmWriteInterval,
+                                     2 * sim::kMs),
+                 [this]() { writerWake(); });
+    }
+}
+
+void
+BackgroundCopy::checkComplete()
+{
+    if (done)
+        return;
+    if (bitmap.isFilled(0, imageSectors)) {
+        done = true;
+        running = false;
+        sim::inform(name(), ": deployment copy complete (",
+                    written / sim::kMiB, " MiB written by VMM)");
+        if (onComplete)
+            onComplete();
+    }
+}
+
+} // namespace bmcast

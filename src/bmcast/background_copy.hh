@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Background copy (paper §3.3): actively fills EMPTY local-disk
+ * blocks with image data from the server.
+ *
+ * Two cooperating "threads" connected by a FIFO queue:
+ *  - the *retriever* fetches blocks over the extended AoE protocol
+ *    (rates differ between network and disk, hence the queue);
+ *  - the *writer* pops blocks and writes them to the local disk via
+ *    the device mediator's I/O multiplexing, pacing itself by the
+ *    moderation policy: if guest I/O frequency exceeds the threshold
+ *    it sleeps for the suspend interval, otherwise it writes one
+ *    block per write interval.
+ *
+ * Blocks are filled from low to high LBA, but the cursor follows the
+ * guest's last access to minimize seeks. The consistency rule: the
+ * writer claims a block against the bitmap immediately before
+ * writing; any block the guest wrote (marked FILLED at command
+ * issue) is skipped.
+ */
+
+#ifndef BMCAST_BACKGROUND_COPY_HH
+#define BMCAST_BACKGROUND_COPY_HH
+
+#include <deque>
+#include <functional>
+
+#include "bmcast/block_bitmap.hh"
+#include "bmcast/mediator.hh"
+#include "bmcast/params.hh"
+#include "simcore/sim_object.hh"
+#include "simcore/stats.hh"
+
+namespace bmcast {
+
+/** The engine. */
+class BackgroundCopy : public sim::SimObject
+{
+  public:
+    using FetchFn = std::function<void(
+        sim::Lba, std::uint32_t,
+        std::function<void(const std::vector<std::uint64_t> &)>)>;
+
+    BackgroundCopy(sim::EventQueue &eq, std::string name,
+                   const VmmParams &params, DeviceMediator &mediator,
+                   BlockBitmap &bitmap, FetchFn fetch,
+                   sim::Lba imageSectors,
+                   std::function<void()> onComplete);
+
+    /** Begin retrieving and writing. */
+    void start();
+
+    /** Stop both threads (deployment aborted or finished). */
+    void stop();
+
+    /** Copy-on-read hands fetched data over for a lazy local write
+     *  ("for future use", §3.1). */
+    void stashFetched(sim::Lba lba, std::uint32_t count,
+                      const std::vector<std::uint64_t> &tokens);
+
+    /** Mediators report guest I/O (moderation + seek locality). */
+    void noteGuestIo(bool isWrite, std::uint32_t sectors);
+
+    /** Live-tune the write interval (Fig. 14 sweep). */
+    void setWriteInterval(sim::Tick t) { mod.vmmWriteInterval = t; }
+    /** Disable the guest-I/O-frequency suspension (Fig. 14). */
+    void disableFreqThreshold() { mod.guestIoFreqThreshold = 1e18; }
+
+    bool complete() const { return done; }
+    sim::Bytes bytesWritten() const { return written; }
+    std::uint64_t blocksSkipped() const { return skipped; }
+    std::uint64_t suspensions() const { return numSuspends; }
+    std::size_t fifoDepth() const { return fifo.size(); }
+
+  private:
+    struct Block
+    {
+        sim::Lba lba;
+        std::uint32_t count;
+        std::uint64_t contentBase;
+    };
+
+    void retrieverLoop();
+    void writerWake();
+    void tryWriteHead();
+    void checkComplete();
+
+    const VmmParams &params;
+    ModerationParams mod;
+    DeviceMediator &mediator;
+    BlockBitmap &bitmap;
+    FetchFn fetch;
+    sim::Lba imageSectors;
+    std::function<void()> onComplete;
+
+    std::deque<Block> fifo;
+    /** Copy-on-read persistence queue (drained with priority by the
+     *  writer thread; §3.1 Fig. 1b). */
+    std::deque<Block> stashQueue;
+    bool retrieverBusy = false;
+    bool writerArmed = false;
+    bool writeInFlight = false;
+    bool running = false;
+    bool done = false;
+
+    sim::Lba cursor = 0;
+    /** Sectors still to write in the current interval round (one
+     *  copy block per interval; small stash entries chain until the
+     *  round budget is used). */
+    std::uint32_t roundBudget = 0;
+    sim::Tick roundStart = 0;
+    sim::RateMeter guestIoRate;
+
+    sim::Bytes written = 0;
+    std::uint64_t skipped = 0;
+    std::uint64_t numSuspends = 0;
+};
+
+} // namespace bmcast
+
+#endif // BMCAST_BACKGROUND_COPY_HH

@@ -1,0 +1,109 @@
+#include "bmcast/cloud.hh"
+
+#include "simcore/logging.hh"
+
+namespace bmcast {
+
+namespace {
+
+constexpr net::MacAddr kServerMac = 0x525400FFFF01ULL;
+
+} // namespace
+
+Cloud::Cloud(sim::EventQueue &eq, std::string name, CloudConfig config)
+    : sim::SimObject(eq, std::move(name)),
+      cfg(std::move(config)),
+      lan(eq, this->name() + ".lan")
+{
+    serverPort = &lan.attach(kServerMac,
+                             net::PortConfig{1e9, 9000, 0.0});
+    server = std::make_unique<aoe::AoeServer>(
+        eq, this->name() + ".imgsrv", *serverPort, cfg.server);
+
+    for (unsigned i = 0; i < cfg.machines; ++i) {
+        hw::MachineConfig mc = cfg.machineTemplate;
+        mc.name = this->name() + ".node" + std::to_string(i);
+        mc.storage = cfg.storage;
+        mc.seed = cfg.machineTemplate.seed + i;
+        pool.push_back(std::make_unique<hw::Machine>(
+            eq, mc, lan, 0xA00000000000ULL + i, lan,
+            0xB00000000000ULL + i));
+        inUse.push_back(false);
+    }
+}
+
+void
+Cloud::addImage(const std::string &img_name, sim::Bytes size,
+                std::uint64_t content_base)
+{
+    sim::fatalIf(images.count(img_name) > 0,
+                 "duplicate image ", img_name);
+    auto sectors = static_cast<sim::Lba>(size / sim::kSectorSize);
+    std::uint16_t major = nextMajor++;
+    server->addTarget(major, 0, sectors, content_base);
+    images[img_name] = Image{major, sectors};
+    sim::inform(name(), ": image '", img_name, "' registered (",
+                size / sim::kMiB, " MiB)");
+}
+
+unsigned
+Cloud::freeMachines() const
+{
+    unsigned n = 0;
+    for (bool used : inUse)
+        if (!used)
+            ++n;
+    return n;
+}
+
+Instance *
+Cloud::provision(const std::string &img_name,
+                 std::function<void(Instance &)> on_serving)
+{
+    auto img = images.find(img_name);
+    sim::fatalIf(img == images.end(), "unknown image ", img_name);
+
+    unsigned slot = cfg.machines;
+    for (unsigned i = 0; i < cfg.machines; ++i) {
+        if (!inUse[i]) {
+            slot = i;
+            break;
+        }
+    }
+    if (slot == cfg.machines)
+        return nullptr; // region full
+
+    inUse[slot] = true;
+    auto inst = std::make_unique<Instance>();
+    Instance *ref = inst.get();
+    ref->image_ = img_name;
+    ref->machine_ = pool[slot].get();
+
+    guest::GuestOsParams gp = cfg.guestTemplate;
+    gp.seed += slot;
+    ref->guest_ = std::make_unique<guest::GuestOs>(
+        eventQueue(), pool[slot]->name() + ".guest", *pool[slot], gp);
+
+    VmmParams vp = cfg.vmm;
+    // The AoE major number selects this instance's image on the
+    // shared storage server.
+    vp.aoeMajor = img->second.major;
+    ref->deployer_ = std::make_unique<BmcastDeployer>(
+        eventQueue(), pool[slot]->name() + ".dep", *pool[slot],
+        *ref->guest_, kServerMac, img->second.sectors, vp,
+        cfg.coldFirmware);
+
+    ref->deployer_->onBareMetal([ref]() {
+        ref->state_ = Instance::State::BareMetal;
+    });
+    ref->deployer_->run([ref, on_serving = std::move(on_serving)]() {
+        ref->state_ = Instance::State::Serving;
+        if (on_serving)
+            on_serving(*ref);
+    });
+
+    leased.push_back(std::move(inst));
+    return ref;
+}
+
+} // namespace bmcast

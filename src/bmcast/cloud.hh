@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Provider-side facade: a bare-metal cloud region built on BMcast.
+ *
+ * Owns the management network, the image server and the machine
+ * pool, and exposes the one operation a control plane needs:
+ * provision a bare-metal instance from a named image, quickly
+ * (§1: on-demand self-service, rapid elasticity). Each provisioned
+ * instance runs the full BMcast pipeline and reports its lifecycle.
+ */
+
+#ifndef BMCAST_CLOUD_HH
+#define BMCAST_CLOUD_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "aoe/server.hh"
+#include "bmcast/deployer.hh"
+#include "guest/guest_os.hh"
+#include "hw/machine.hh"
+#include "net/network.hh"
+#include "simcore/sim_object.hh"
+
+namespace bmcast {
+
+/** Region-wide configuration. */
+struct CloudConfig
+{
+    /** Machines racked in the region. */
+    unsigned machines = 4;
+    hw::StorageKind storage = hw::StorageKind::Ahci;
+    hw::MachineConfig machineTemplate;
+    aoe::ServerParams server;
+    VmmParams vmm;
+    guest::GuestOsParams guestTemplate;
+    /** Cold firmware init on first power-on. */
+    bool coldFirmware = false;
+};
+
+/** One leased instance. */
+class Instance
+{
+  public:
+    enum class State { Provisioning, Serving, BareMetal };
+
+    State state() const { return state_; }
+    hw::Machine &machine() { return *machine_; }
+    guest::GuestOs &guest() { return *guest_; }
+    BmcastDeployer &deployer() { return *deployer_; }
+    const std::string &image() const { return image_; }
+
+    /** Seconds from the provision request to a serving guest. */
+    double
+    timeToServingSec() const
+    {
+        const auto &tl = deployer_->timeline();
+        return sim::toSeconds(tl.guestBootDone - tl.powerOn);
+    }
+
+  private:
+    friend class Cloud;
+
+    State state_ = State::Provisioning;
+    std::string image_;
+    hw::Machine *machine_ = nullptr;
+    std::unique_ptr<guest::GuestOs> guest_;
+    std::unique_ptr<BmcastDeployer> deployer_;
+};
+
+/** The region. */
+class Cloud : public sim::SimObject
+{
+  public:
+    Cloud(sim::EventQueue &eq, std::string name,
+          CloudConfig config = CloudConfig{});
+
+    /** Register a golden image on the storage server. */
+    void addImage(const std::string &name, sim::Bytes size,
+                  std::uint64_t contentBase);
+
+    /**
+     * Lease the next free machine and deploy @p image onto it with
+     * BMcast. @p onServing fires when the guest OS is up (long
+     * before the image has fully landed on the local disk).
+     * @return the instance handle, or nullptr if the region is full.
+     */
+    Instance *provision(const std::string &image,
+                        std::function<void(Instance &)> onServing);
+
+    /** Machines not yet leased. */
+    unsigned freeMachines() const;
+
+    net::Network &network() { return lan; }
+    aoe::AoeServer &imageServer() { return *server; }
+    const std::vector<std::unique_ptr<Instance>> &instances() const
+    {
+        return leased;
+    }
+
+  private:
+    struct Image
+    {
+        std::uint16_t major;
+        sim::Lba sectors;
+    };
+
+    CloudConfig cfg;
+    net::Network lan;
+    net::Port *serverPort;
+    std::unique_ptr<aoe::AoeServer> server;
+    std::vector<std::unique_ptr<hw::Machine>> pool;
+    std::vector<bool> inUse;
+    std::map<std::string, Image> images;
+    std::uint16_t nextMajor = 0;
+    std::vector<std::unique_ptr<Instance>> leased;
+};
+
+} // namespace bmcast
+
+#endif // BMCAST_CLOUD_HH

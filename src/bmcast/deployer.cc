@@ -1,0 +1,54 @@
+#include "bmcast/deployer.hh"
+
+#include "simcore/logging.hh"
+
+namespace bmcast {
+
+BmcastDeployer::BmcastDeployer(sim::EventQueue &eq, std::string name,
+                               hw::Machine &machine,
+                               guest::GuestOs &guest_,
+                               net::MacAddr server_mac,
+                               sim::Lba image_sectors,
+                               VmmParams params, bool cold_firmware,
+                               bool vmxoff_supported)
+    : sim::SimObject(eq, std::move(name)),
+      machine_(machine), guest(guest_), coldFirmware(cold_firmware)
+{
+    vmm_ = std::make_unique<Vmm>(eq, this->name() + ".vmm", machine,
+                                 server_mac, image_sectors, params,
+                                 vmxoff_supported);
+}
+
+void
+BmcastDeployer::run(std::function<void()> on_guest_ready)
+{
+    guestReadyCb = std::move(on_guest_ready);
+    tl.powerOn = now();
+
+    vmm_->onBareMetal([this]() {
+        tl.copyComplete =
+            vmm_->phaseEnteredAt(Vmm::Phase::Devirtualization);
+        tl.bareMetal = now();
+        if (bareMetalCb)
+            bareMetalCb();
+    });
+
+    auto boot_vmm = [this]() {
+        tl.firmwareDone = now();
+        vmm_->netboot([this]() {
+            tl.vmmReady = now();
+            guest.start([this]() {
+                tl.guestBootDone = now();
+                if (guestReadyCb)
+                    guestReadyCb();
+            });
+        });
+    };
+
+    if (coldFirmware)
+        machine_.firmware().powerOn(boot_vmm);
+    else
+        boot_vmm();
+}
+
+} // namespace bmcast

@@ -1,0 +1,688 @@
+#include "bmcast/ide_mediator.hh"
+
+#include <algorithm>
+
+#include "hw/dma.hh"
+#include "simcore/logging.hh"
+
+namespace bmcast {
+
+using namespace hw::ide;
+using hw::IoSpace;
+
+IdeMediator::IdeMediator(sim::EventQueue &eq, std::string name,
+                         hw::IoBus &bus_, hw::PhysMem &mem_,
+                         hw::MemArena &vmm_arena,
+                         MediatorServices services)
+    : sim::SimObject(eq, std::move(name)),
+      bus(bus_), vmmView(bus_, /*guestContext=*/false), mem(mem_),
+      svc(std::move(services))
+{
+    sim::panicIfNot(svc.bitmap != nullptr, "mediator needs a bitmap");
+    vmmPrd = vmm_arena.alloc(64 * kPrdEntrySize, 64);
+    vmmBuffer = vmm_arena.alloc(
+        sim::Bytes(vmmBufferSectors) * sim::kSectorSize, 4096);
+    dummyPrd = vmm_arena.alloc(kPrdEntrySize, 64);
+    dummyBuffer = vmm_arena.alloc(sim::kSectorSize, 512);
+
+    // The dummy PRD never changes: one sector into the dummy buffer.
+    mem.write32(dummyPrd, static_cast<std::uint32_t>(dummyBuffer));
+    mem.write16(dummyPrd + 4, sim::kSectorSize);
+    mem.write16(dummyPrd + 6, kPrdEot);
+}
+
+void
+IdeMediator::install()
+{
+    sim::panicIfNot(!installed, "mediator installed twice");
+    bus.intercept(IoSpace::Pio, kPioBase, kPioSize, this);
+    bus.intercept(IoSpace::Pio, kCtrlPort, 1, this);
+    bus.intercept(IoSpace::Pio, kBmBase, kBmSize, this);
+    installed = true;
+    warmDummySector();
+}
+
+void
+IdeMediator::uninstall()
+{
+    sim::panicIfNot(quiescent(),
+                    "de-virtualizing a non-quiescent IDE mediator");
+    bus.removeIntercept(IoSpace::Pio, kPioBase, kPioSize);
+    bus.removeIntercept(IoSpace::Pio, kCtrlPort, 1);
+    bus.removeIntercept(IoSpace::Pio, kBmBase, kBmSize);
+    installed = false;
+}
+
+void
+IdeMediator::warmDummySector()
+{
+    // Pull the dummy sector into the drive cache so redirection
+    // restarts are cheap from the first use.
+    VmmOp op;
+    op.isWrite = false;
+    op.lba = svc.dummyLba;
+    op.count = 1;
+    op.internal = false;
+    op.readDone = [](const std::vector<std::uint64_t> &) {};
+    startVmmOp(std::move(op));
+    state = State::VmmActive;
+}
+
+bool
+IdeMediator::deviceIdle() const
+{
+    auto st = static_cast<std::uint8_t>(
+        const_cast<IdeMediator *>(this)->vmmView.read(
+            IoSpace::Pio, kCtrlPort, 1));
+    return !(st & kStatusBsy);
+}
+
+sim::Lba
+IdeMediator::shadowLba(bool ext) const
+{
+    if (ext) {
+        return (sim::Lba(sh.lbaHigh[1]) << 40) |
+               (sim::Lba(sh.lbaMid[1]) << 32) |
+               (sim::Lba(sh.lbaLow[1]) << 24) |
+               (sim::Lba(sh.lbaHigh[0]) << 16) |
+               (sim::Lba(sh.lbaMid[0]) << 8) | sim::Lba(sh.lbaLow[0]);
+    }
+    return (sim::Lba(sh.device & 0x0F) << 24) |
+           (sim::Lba(sh.lbaHigh[0]) << 16) |
+           (sim::Lba(sh.lbaMid[0]) << 8) | sim::Lba(sh.lbaLow[0]);
+}
+
+std::uint32_t
+IdeMediator::shadowCount(bool ext) const
+{
+    if (ext) {
+        std::uint32_t c = (std::uint32_t(sh.sectorCount[1]) << 8) |
+                          sh.sectorCount[0];
+        return c == 0 ? 65536u : c;
+    }
+    std::uint32_t c = sh.sectorCount[0];
+    return c == 0 ? 256u : c;
+}
+
+bool
+IdeMediator::interceptWrite(sim::Addr addr, std::uint64_t value,
+                            unsigned size)
+{
+    (void)size;
+
+    if (state != State::Passthrough) {
+        // The device is owned by a redirection or a VMM command:
+        // queue the guest's register writes for later replay (§3.2
+        // I/O multiplexing).
+        queuedWrites.emplace_back(addr, value);
+        ++stats_.queuedGuestWrites;
+        return true;
+    }
+
+    auto v8 = static_cast<std::uint8_t>(value);
+    if (addr >= kPioBase && addr < kPioBase + kPioSize) {
+        switch (addr - kPioBase) {
+          case kSectorCount:
+            sh.sectorCount[1] = sh.sectorCount[0];
+            sh.sectorCount[0] = v8;
+            return false;
+          case kLbaLow:
+            sh.lbaLow[1] = sh.lbaLow[0];
+            sh.lbaLow[0] = v8;
+            return false;
+          case kLbaMid:
+            sh.lbaMid[1] = sh.lbaMid[0];
+            sh.lbaMid[0] = v8;
+            return false;
+          case kLbaHigh:
+            sh.lbaHigh[1] = sh.lbaHigh[0];
+            sh.lbaHigh[0] = v8;
+            return false;
+          case kDevice:
+            sh.device = v8;
+            return false;
+          case kCmdStatus:
+            // onGuestCommand() decides whether the command reaches
+            // the device (passthrough) or is withheld (redirection /
+            // reserved-region conversion).
+            return !onGuestCommand(v8);
+          default:
+            return false;
+        }
+    }
+    if (addr == kCtrlPort) {
+        sh.devCtrl = v8;
+        return false;
+    }
+    if (addr >= kBmBase && addr < kBmBase + kBmSize) {
+        switch (addr - kBmBase) {
+          case kBmCommand:
+            sh.bmCommand = v8;
+            return false;
+          case kBmPrdtAddr:
+            sh.bmPrdt = static_cast<std::uint32_t>(value);
+            return false;
+          default:
+            return false;
+        }
+    }
+    return false;
+}
+
+bool
+IdeMediator::interceptRead(sim::Addr addr, unsigned size,
+                           std::uint64_t &value)
+{
+    (void)size;
+    bool is_status = addr == kPioBase + kCmdStatus;
+    bool is_alt = addr == kCtrlPort;
+    bool is_bm_status = addr == kBmBase + kBmStatus;
+
+    if (state == State::Redirecting) {
+        // Emulate "busy" while we serve the read (§3.2: "device
+        // mediators emulate the status information so that the guest
+        // OS can determine that the device is busy").
+        if (is_status || is_alt) {
+            value = kStatusBsy;
+            return true;
+        }
+        if (is_bm_status) {
+            value = kBmStActive;
+            return true;
+        }
+        return false;
+    }
+
+    if (state == State::VmmActive) {
+        // Emulate "idle" so the guest proceeds to issue its request,
+        // which we queue (§3.2: "emulate the status of the device as
+        // if the device is not busy").
+        if (is_status || is_alt) {
+            value = kStatusDrdy;
+            return true;
+        }
+        if (is_bm_status) {
+            value = 0;
+            return true;
+        }
+        return false;
+    }
+
+    // Passthrough: observe the guest's status read to learn when its
+    // command completed (interpretation), performing the read on its
+    // behalf so INTRQ ack semantics are preserved exactly once.
+    if (is_status) {
+        value = vmmView.read(IoSpace::Pio, addr, 1);
+        if (guestCmdActive && !(value & kStatusBsy)) {
+            guestCmdActive = false;
+            // The device just quiesced: inject a waiting VMM
+            // command before the guest issues its next one.
+            maybeStartPending();
+        }
+        return true;
+    }
+    return false;
+}
+
+bool
+IdeMediator::canStartVmmOp() const
+{
+    return state == State::Passthrough && !guestCmdActive && !vmmOp &&
+           queuedWrites.empty();
+}
+
+void
+IdeMediator::maybeStartPending()
+{
+    if (!canStartVmmOp())
+        return;
+    if (pendingOp) {
+        VmmOp op = std::move(*pendingOp);
+        pendingOp.reset();
+        state = State::VmmActive;
+        startVmmOp(std::move(op));
+        return;
+    }
+    if (quiescent())
+        notifyQuiescent();
+}
+
+bool
+IdeMediator::onGuestCommand(std::uint8_t cmd)
+{
+    if (!isDmaCommand(cmd)) {
+        // FLUSH/IDENTIFY and friends pass through untouched.
+        guestCmdActive = true;
+        return true;
+    }
+
+    bool ext = isExtCommand(cmd);
+    sim::Lba lba = shadowLba(ext);
+    std::uint32_t count = shadowCount(ext);
+    bool overlaps_reserved =
+        lba < svc.reservedEnd && svc.reservedBase < lba + count;
+
+    if (isWriteCommand(cmd)) {
+        if (overlaps_reserved) {
+            // Protect the bitmap home: convert the write to a dummy
+            // read (§3.3); the data is dropped.
+            ++stats_.reservedConversions;
+            sim::warn(name(),
+                      ": guest write into reserved region dropped");
+            state = State::Redirecting;
+            redirect = std::make_unique<Redirect>();
+            redirect->lba = lba;
+            redirect->count = count;
+            redirect->zeroFill = true;
+            issueDummyRestart();
+            return false;
+        }
+        // Guest data is the freshest: mark at issue time so the
+        // background writer can never claim these blocks (§3.3).
+        svc.bitmap->markFilled(lba, count);
+        ++stats_.passthroughWrites;
+        if (svc.onGuestIo)
+            svc.onGuestIo(true, count);
+        guestCmdActive = true;
+        return true;
+    }
+
+    // Read.
+    if (svc.onGuestIo)
+        svc.onGuestIo(false, count);
+    if (overlaps_reserved) {
+        ++stats_.reservedConversions;
+        startRedirect(lba, count);
+        return false;
+    }
+    if (svc.bitmap->isFilled(lba, count)) {
+        ++stats_.passthroughReads;
+        guestCmdActive = true;
+        return true;
+    }
+    startRedirect(lba, count);
+    return false;
+}
+
+void
+IdeMediator::startRedirect(sim::Lba lba, std::uint32_t count)
+{
+    ++stats_.redirectedReads;
+    state = State::Redirecting;
+    redirect = std::make_unique<Redirect>();
+    redirect->lba = lba;
+    redirect->count = count;
+    redirect->tokens.assign(count, 0);
+    redirect->guestPrdt = sh.bmPrdt;
+
+    bool overlaps_reserved =
+        lba < svc.reservedEnd && svc.reservedBase < lba + count;
+    if (overlaps_reserved) {
+        // Reserved-region reads return zeros; nothing to fetch.
+        redirect->zeroFill = true;
+        finishRedirectDataPhase();
+        return;
+    }
+
+    auto empty = svc.bitmap->emptyRanges(lba, count);
+    // FILLED sub-ranges must come from the local disk (the server's
+    // copy may be stale if the guest overwrote them).
+    sim::Lba pos = lba;
+    for (const auto &[s, e] : empty) {
+        if (s > pos)
+            redirect->localRanges.emplace_back(pos, s);
+        pos = e;
+    }
+    if (pos < lba + count)
+        redirect->localRanges.emplace_back(pos, lba + count);
+    if (!redirect->localRanges.empty())
+        ++stats_.mixedRedirects;
+
+    redirect->fetchesPending = empty.size();
+    for (const auto &[s, e] : empty) {
+        auto n = static_cast<std::uint32_t>(e - s);
+        stats_.redirectedSectors += n;
+        sim::Lba seg = s;
+        svc.fetchRemote(
+            seg, n,
+            [this, seg,
+             n](const std::vector<std::uint64_t> &tokens) {
+                if (!redirect || state != State::Redirecting)
+                    return; // stale (cannot normally happen)
+                std::copy(tokens.begin(), tokens.end(),
+                          redirect->tokens.begin() +
+                              (seg - redirect->lba));
+                if (svc.stashFetched)
+                    svc.stashFetched(seg, n, tokens);
+                --redirect->fetchesPending;
+                advanceRedirect();
+            });
+    }
+    advanceRedirect();
+}
+
+void
+IdeMediator::advanceRedirect()
+{
+    if (!redirect)
+        return;
+
+    if (!redirect->localInFlight &&
+        redirect->nextLocal < redirect->localRanges.size()) {
+        auto [s, e] = redirect->localRanges[redirect->nextLocal];
+        redirect->localInFlight = true;
+        VmmOp op;
+        op.isWrite = false;
+        op.lba = s;
+        op.count = static_cast<std::uint32_t>(e - s);
+        op.internal = true;
+        op.readDone = [this,
+                       s](const std::vector<std::uint64_t> &tokens) {
+            if (!redirect)
+                return;
+            std::copy(tokens.begin(), tokens.end(),
+                      redirect->tokens.begin() + (s - redirect->lba));
+            redirect->localInFlight = false;
+            ++redirect->nextLocal;
+            advanceRedirect();
+        };
+        startVmmOp(std::move(op));
+        return;
+    }
+
+    if (redirect->fetchesPending == 0 && !redirect->localInFlight &&
+        redirect->nextLocal == redirect->localRanges.size()) {
+        finishRedirectDataPhase();
+    }
+}
+
+void
+IdeMediator::finishRedirectDataPhase()
+{
+    // Act as a virtual DMA controller: place the data in the guest's
+    // buffers exactly where its PRD table points (§3.2 step 3).
+    if (!redirect->zeroFill || !redirect->tokens.empty()) {
+        auto sg = parseGuestPrdt(redirect->guestPrdt);
+        std::uint32_t i = 0;
+        for (const hw::SgEntry &e : sg) {
+            for (sim::Bytes off = 0;
+                 off < e.bytes && i < redirect->count;
+                 off += sim::kSectorSize, ++i) {
+                mem.write64(e.addr + off, redirect->tokens[i]);
+            }
+            if (i >= redirect->count)
+                break;
+        }
+    }
+    issueDummyRestart();
+}
+
+void
+IdeMediator::issueDummyRestart()
+{
+    // Restart the blocked access as a one-sector read of the dummy
+    // sector into the VMM's dummy buffer so the *device* raises the
+    // completion interrupt (§3.2 step 4).
+    ++stats_.dummyRestarts;
+
+    vmmView.write(IoSpace::Pio, kCtrlPort, sh.devCtrl, 1);
+    vmmView.write(IoSpace::Pio, kBmBase + kBmPrdtAddr,
+                  static_cast<std::uint32_t>(dummyPrd), 4);
+    vmmView.write(IoSpace::Pio, kBmBase + kBmCommand, kBmCmdToMemory,
+                  1);
+    sim::Lba d = svc.dummyLba;
+    vmmView.write(IoSpace::Pio, kPioBase + kSectorCount, 0, 1);
+    vmmView.write(IoSpace::Pio, kPioBase + kSectorCount, 1, 1);
+    vmmView.write(IoSpace::Pio, kPioBase + kLbaLow, (d >> 24) & 0xFF,
+                  1);
+    vmmView.write(IoSpace::Pio, kPioBase + kLbaMid, (d >> 32) & 0xFF,
+                  1);
+    vmmView.write(IoSpace::Pio, kPioBase + kLbaHigh, (d >> 40) & 0xFF,
+                  1);
+    vmmView.write(IoSpace::Pio, kPioBase + kLbaLow, d & 0xFF, 1);
+    vmmView.write(IoSpace::Pio, kPioBase + kLbaMid, (d >> 8) & 0xFF,
+                  1);
+    vmmView.write(IoSpace::Pio, kPioBase + kLbaHigh, (d >> 16) & 0xFF,
+                  1);
+    vmmView.write(IoSpace::Pio, kPioBase + kDevice, kDeviceLbaMode, 1);
+    vmmView.write(IoSpace::Pio, kPioBase + kCmdStatus, kCmdReadDmaExt,
+                  1);
+    vmmView.write(IoSpace::Pio, kBmBase + kBmCommand,
+                  kBmCmdToMemory | kBmCmdStart, 1);
+
+    redirect.reset();
+    state = State::Passthrough;
+    guestCmdActive = true; // until the guest acks the interrupt
+    replayQueuedWrites();
+}
+
+void
+IdeMediator::startVmmOp(VmmOp op)
+{
+    sim::panicIfNot(!vmmOp, "overlapping VMM ops on IDE mediator");
+    vmmOp = std::make_unique<VmmOp>(std::move(op));
+    vmmOpOnDevice = true;
+
+    // Suppress the device interrupt: completion is detected by
+    // polling (§3.2: "device mediators temporarily disable
+    // interrupts and detect completion of requests by polling").
+    vmmView.write(IoSpace::Pio, kCtrlPort, sh.devCtrl | kCtrlNIen, 1);
+
+    sim::panicIfNot(vmmOp->count <= vmmBufferSectors,
+                    "VMM op exceeds bounce buffer");
+    if (vmmOp->isWrite)
+        hw::fillTokenBuffer(mem, vmmBuffer, vmmOp->lba, vmmOp->count,
+                            vmmOp->contentBase);
+
+    // Build the VMM PRD list (64 KiB elements).
+    sim::Bytes total = sim::Bytes(vmmOp->count) * sim::kSectorSize;
+    sim::Addr entry = vmmPrd;
+    sim::Addr buf = vmmBuffer;
+    while (total > 0) {
+        sim::Bytes chunk = std::min<sim::Bytes>(total, 65536);
+        mem.write32(entry, static_cast<std::uint32_t>(buf));
+        mem.write16(entry + 4,
+                    static_cast<std::uint16_t>(chunk == 65536 ? 0
+                                                              : chunk));
+        total -= chunk;
+        buf += chunk;
+        mem.write16(entry + 6, total == 0 ? kPrdEot : 0);
+        entry += kPrdEntrySize;
+    }
+
+    std::uint8_t dir = vmmOp->isWrite ? 0 : kBmCmdToMemory;
+    vmmView.write(IoSpace::Pio, kBmBase + kBmPrdtAddr,
+                  static_cast<std::uint32_t>(vmmPrd), 4);
+    vmmView.write(IoSpace::Pio, kBmBase + kBmCommand, dir, 1);
+
+    sim::Lba lba = vmmOp->lba;
+    std::uint32_t n = vmmOp->count;
+    vmmView.write(IoSpace::Pio, kPioBase + kSectorCount, (n >> 8) & 0xFF,
+                  1);
+    vmmView.write(IoSpace::Pio, kPioBase + kSectorCount, n & 0xFF, 1);
+    vmmView.write(IoSpace::Pio, kPioBase + kLbaLow, (lba >> 24) & 0xFF,
+                  1);
+    vmmView.write(IoSpace::Pio, kPioBase + kLbaMid, (lba >> 32) & 0xFF,
+                  1);
+    vmmView.write(IoSpace::Pio, kPioBase + kLbaHigh,
+                  (lba >> 40) & 0xFF, 1);
+    vmmView.write(IoSpace::Pio, kPioBase + kLbaLow, lba & 0xFF, 1);
+    vmmView.write(IoSpace::Pio, kPioBase + kLbaMid, (lba >> 8) & 0xFF,
+                  1);
+    vmmView.write(IoSpace::Pio, kPioBase + kLbaHigh,
+                  (lba >> 16) & 0xFF, 1);
+    vmmView.write(IoSpace::Pio, kPioBase + kDevice, kDeviceLbaMode, 1);
+    vmmView.write(IoSpace::Pio, kPioBase + kCmdStatus,
+                  vmmOp->isWrite ? kCmdWriteDmaExt : kCmdReadDmaExt,
+                  1);
+    vmmView.write(IoSpace::Pio, kBmBase + kBmCommand,
+                  dir | kBmCmdStart, 1);
+}
+
+void
+IdeMediator::checkVmmOpCompletion()
+{
+    if (!vmmOpOnDevice)
+        return;
+    auto st = static_cast<std::uint8_t>(
+        vmmView.read(IoSpace::Pio, kCtrlPort, 1));
+    if (st & kStatusBsy)
+        return;
+    auto bm = static_cast<std::uint8_t>(
+        vmmView.read(IoSpace::Pio, kBmBase + kBmStatus, 1));
+    if (!(bm & kBmStIrq))
+        return;
+
+    // Stop the engine, clear the interrupt, restore the guest's
+    // interrupt-enable intent.
+    vmmView.write(IoSpace::Pio, kBmBase + kBmCommand, 0, 1);
+    vmmView.write(IoSpace::Pio, kBmBase + kBmStatus,
+                  kBmStIrq | kBmStError, 1);
+    vmmView.write(IoSpace::Pio, kCtrlPort, sh.devCtrl, 1);
+
+    std::unique_ptr<VmmOp> op = std::move(vmmOp);
+    vmmOpOnDevice = false;
+
+    std::vector<std::uint64_t> tokens;
+    if (!op->isWrite) {
+        tokens.resize(op->count);
+        for (std::uint32_t i = 0; i < op->count; ++i)
+            tokens[i] = hw::bufferTokenAt(mem, vmmBuffer, i);
+    }
+
+    if (op->internal) {
+        // Redirection's local segment: remain in Redirecting.
+        if (op->readDone)
+            op->readDone(tokens);
+        return;
+    }
+
+    ++stats_.vmmOps;
+    state = State::Passthrough;
+    replayQueuedWrites();
+    if (op->isWrite) {
+        if (op->writeDone)
+            op->writeDone();
+    } else if (op->readDone) {
+        op->readDone(tokens);
+    }
+    maybeStartPending();
+}
+
+void
+IdeMediator::replayQueuedWrites()
+{
+    // Send queued requests to the device in order (§3.2). Replaying
+    // through the normal intercept path means a queued command can
+    // itself start a redirection, in which case the remainder stays
+    // queued.
+    while (!queuedWrites.empty() && state == State::Passthrough) {
+        auto [addr, value] = queuedWrites.front();
+        queuedWrites.pop_front();
+        if (!interceptWrite(addr, value, 1))
+            vmmView.write(IoSpace::Pio, addr, value, 1);
+    }
+}
+
+std::vector<hw::SgEntry>
+IdeMediator::parseGuestPrdt(std::uint32_t addr) const
+{
+    std::vector<hw::SgEntry> sg;
+    sim::Addr entry = addr;
+    for (int i = 0; i < 512; ++i) {
+        std::uint32_t dba = mem.read32(entry);
+        std::uint16_t count = mem.read16(entry + 4);
+        std::uint16_t flags = mem.read16(entry + 6);
+        sg.push_back(hw::SgEntry{dba, count == 0 ? 65536u : count});
+        if (flags & kPrdEot)
+            return sg;
+        entry += kPrdEntrySize;
+    }
+    sim::panic("guest PRD table without EOT at ", addr);
+}
+
+void
+IdeMediator::powerOff()
+{
+    if (!installed)
+        return;
+    bus.removeIntercept(IoSpace::Pio, kPioBase, kPioSize);
+    bus.removeIntercept(IoSpace::Pio, kCtrlPort, 1);
+    bus.removeIntercept(IoSpace::Pio, kBmBase, kBmSize);
+    installed = false;
+    // Drop all in-flight mediation state; the machine is going down.
+    queuedWrites.clear();
+    redirect.reset();
+    vmmOp.reset();
+    pendingOp.reset();
+    vmmOpOnDevice = false;
+    state = State::Passthrough;
+    guestCmdActive = false;
+}
+
+void
+IdeMediator::poll()
+{
+    checkVmmOpCompletion();
+    maybeStartPending();
+}
+
+bool
+IdeMediator::vmmWrite(sim::Lba lba, std::uint32_t count,
+                      std::uint64_t content_base,
+                      std::function<void()> done)
+{
+    VmmOp op;
+    op.isWrite = true;
+    op.lba = lba;
+    op.count = count;
+    op.contentBase = content_base;
+    op.writeDone = std::move(done);
+    if (canStartVmmOp()) {
+        state = State::VmmActive;
+        startVmmOp(std::move(op));
+        return true;
+    }
+    if (!pendingOp) {
+        pendingOp = std::make_unique<VmmOp>(std::move(op));
+        return true;
+    }
+    return false;
+}
+
+bool
+IdeMediator::vmmRead(
+    sim::Lba lba, std::uint32_t count,
+    std::function<void(const std::vector<std::uint64_t> &)> done)
+{
+    VmmOp op;
+    op.isWrite = false;
+    op.lba = lba;
+    op.count = count;
+    op.readDone = std::move(done);
+    if (canStartVmmOp()) {
+        state = State::VmmActive;
+        startVmmOp(std::move(op));
+        return true;
+    }
+    if (!pendingOp) {
+        pendingOp = std::make_unique<VmmOp>(std::move(op));
+        return true;
+    }
+    return false;
+}
+
+bool
+IdeMediator::vmmOpActive() const
+{
+    return vmmOp != nullptr || pendingOp != nullptr;
+}
+
+bool
+IdeMediator::quiescent() const
+{
+    return state == State::Passthrough && !guestCmdActive && !vmmOp &&
+           !pendingOp && queuedWrites.empty() && !redirect;
+}
+
+} // namespace bmcast

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Device mediators (paper §3.2): polling-based device-interface-level
+ * I/O mediation.
+ *
+ * A mediator owns three tasks:
+ *  - I/O interpretation: watch the guest's register traffic and
+ *    reconstruct command/status/data context;
+ *  - I/O redirection (copy-on-read): withhold guest reads that touch
+ *    EMPTY blocks, fetch the data from the storage server, place it
+ *    in the guest's DMA buffers, and let the *device* generate the
+ *    completion interrupt by re-issuing the command as a one-sector
+ *    dummy read that hits the on-disk cache;
+ *  - I/O multiplexing (background copy): when the device is idle,
+ *    inject VMM-issued commands, emulating an idle status register to
+ *    the guest, queueing guest requests issued meanwhile, suppressing
+ *    the device interrupt (nIEN / PxIE) and detecting completion by
+ *    polling from the preemption-timer loop.
+ *
+ * Mediators never virtualize interrupt controllers and never expose
+ * virtual devices: the guest always sees the physical controller's
+ * architected interface, which is what makes de-virtualization a
+ * plain removal of the intercepts.
+ */
+
+#ifndef BMCAST_MEDIATOR_HH
+#define BMCAST_MEDIATOR_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "bmcast/block_bitmap.hh"
+#include "simcore/types.hh"
+
+namespace bmcast {
+
+/** Services the VMM provides to its mediators. */
+struct MediatorServices
+{
+    /** Copy-on-read fetch: tokens for [lba, lba+count) from the
+     *  storage server via the extended AoE protocol. */
+    std::function<void(
+        sim::Lba, std::uint32_t,
+        std::function<void(const std::vector<std::uint64_t> &)>)>
+        fetchRemote;
+
+    /** Hand fetched data to the background writer for a lazy local
+     *  write ("the VMM also writes the data to the local disk for
+     *  future use", §3.1). */
+    std::function<void(sim::Lba, std::uint32_t,
+                       const std::vector<std::uint64_t> &)>
+        stashFetched;
+
+    /** Guest I/O notification feeding the moderation rate meter. */
+    std::function<void(bool isWrite, std::uint32_t sectors)> onGuestIo;
+
+    /** The consistency bitmap (§3.3). */
+    BlockBitmap *bitmap = nullptr;
+
+    /** Reserved on-disk region [base, end): bitmap home + dummy
+     *  sector; guest access is converted to dummy reads (§3.3). */
+    sim::Lba reservedBase = 0;
+    sim::Lba reservedEnd = 0;
+    /** The dummy sector used for interrupt generation (§3.2). */
+    sim::Lba dummyLba = 0;
+};
+
+/** Mediator statistics (reported by benches/tests). */
+struct MediatorStats
+{
+    std::uint64_t passthroughReads = 0;
+    std::uint64_t passthroughWrites = 0;
+    std::uint64_t redirectedReads = 0;
+    /** Sectors fetched from the server by redirection. */
+    std::uint64_t redirectedSectors = 0;
+    /** Redirections that also required local reads (partial fill). */
+    std::uint64_t mixedRedirects = 0;
+    std::uint64_t vmmOps = 0;
+    /** Guest register writes queued during VMM ops. */
+    std::uint64_t queuedGuestWrites = 0;
+    /** Guest accesses to the reserved region converted to dummies. */
+    std::uint64_t reservedConversions = 0;
+    /** Dummy-sector restarts issued (one per redirected command). */
+    std::uint64_t dummyRestarts = 0;
+};
+
+/** Abstract mediator. */
+class DeviceMediator
+{
+  public:
+    virtual ~DeviceMediator() = default;
+
+    /** Install bus intercepts (entering the deployment phase). */
+    virtual void install() = 0;
+
+    /** Remove all intercepts (de-virtualization). Must only be
+     *  called when quiescent(). */
+    virtual void uninstall() = 0;
+
+    /** Abrupt teardown (power failure model): drop all state and
+     *  remove intercepts without the quiescence requirement. */
+    virtual void powerOff() = 0;
+
+    /** Service routine, called from the VMM's preemption-timer poll
+     *  loop: detect VMM-op completions, advance redirections. */
+    virtual void poll() = 0;
+
+    /**
+     * Multiplex a VMM write of @p count sectors of content
+     * @p contentBase at @p lba.
+     * @retval false the device is not available now; retry later.
+     */
+    virtual bool vmmWrite(sim::Lba lba, std::uint32_t count,
+                          std::uint64_t contentBase,
+                          std::function<void()> done) = 0;
+
+    /** Multiplex a VMM read (bitmap reload, verification). */
+    virtual bool
+    vmmRead(sim::Lba lba, std::uint32_t count,
+            std::function<void(const std::vector<std::uint64_t> &)>
+                done) = 0;
+
+    /** True while a VMM-injected command is pending or in flight. */
+    virtual bool vmmOpActive() const = 0;
+
+    /** True when no guest command, redirection, VMM op or queued
+     *  register write is outstanding — the "consistent hardware
+     *  state" de-virtualization waits for (§3.1). */
+    virtual bool quiescent() const = 0;
+
+    /**
+     * One-shot callback fired at the next instant the mediator is
+     * fully quiescent. A guest that is never idle between polls
+     * still quiesces for a moment inside each interrupt
+     * acknowledgement; this hook is how de-virtualization catches
+     * that moment (§3.1).
+     */
+    void
+    setQuiesceCallback(std::function<void()> cb)
+    {
+        quiesceCb = std::move(cb);
+    }
+
+    const MediatorStats &stats() const { return stats_; }
+
+  protected:
+    /** Called by implementations whenever quiescence is observed. */
+    void
+    notifyQuiescent()
+    {
+        if (quiesceCb) {
+            auto cb = std::move(quiesceCb);
+            quiesceCb = nullptr;
+            cb();
+        }
+    }
+
+    std::function<void()> quiesceCb;
+    MediatorStats stats_;
+};
+
+} // namespace bmcast
+
+#endif // BMCAST_MEDIATOR_HH

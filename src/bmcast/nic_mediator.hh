@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The shared-NIC device mediator (paper §6, "Dedicated v.s. shared
+ * NIC") — implemented in the BMcast prototype for Intel PRO/1000 and
+ * Realtek RTL8169 but not used in the evaluation, because a
+ * dedicated management NIC avoids latency/jitter on the guest's
+ * network critical path. Provided here as the same extension, with
+ * an ablation bench quantifying the paper's argument.
+ *
+ * Mechanism (as sketched in §6): the VMM maintains *shadow ring
+ * buffers* and points the physical NIC at them; the guest's
+ * descriptor-ring registers are virtualized. Guest transmissions are
+ * copied from the guest ring into the shadow ring, interleaved with
+ * the VMM's own frames; received frames are demultiplexed — AoE
+ * traffic to the VMM, everything else copied into the guest's
+ * receive ring. Most housekeeping stays in the guest driver; the
+ * VMM virtualizes only the head/tail pointer registers.
+ */
+
+#ifndef BMCAST_NIC_MEDIATOR_HH
+#define BMCAST_NIC_MEDIATOR_HH
+
+#include <deque>
+
+#include "aoe/protocol.hh"
+#include "hw/e1000_driver.hh"
+#include "hw/io_bus.hh"
+#include "hw/mem_arena.hh"
+#include "hw/nic.hh"
+#include "hw/phys_mem.hh"
+#include "net/l2.hh"
+#include "simcore/sim_object.hh"
+
+namespace bmcast {
+
+/** Statistics for the ablation bench. */
+struct NicMediatorStats
+{
+    std::uint64_t guestTx = 0;
+    std::uint64_t guestRx = 0;
+    std::uint64_t vmmTx = 0;
+    std::uint64_t vmmRx = 0;
+    std::uint64_t copies = 0; //!< descriptor/buffer copies performed
+};
+
+/** The mediator: also the VMM's L2 endpoint on the shared NIC. */
+class NicMediator : public sim::SimObject,
+                    public hw::IoInterceptor,
+                    public net::L2Endpoint
+{
+  public:
+    NicMediator(sim::EventQueue &eq, std::string name, hw::IoBus &bus,
+                hw::PhysMem &mem, hw::E1000Nic &nic,
+                hw::MemArena &vmmArena);
+
+    /** Take the NIC: program shadow rings, intercept registers. */
+    void install();
+
+    /**
+     * De-virtualize the NIC: drain the shadow rings, reprogram the
+     * device with the guest's own ring configuration, remove the
+     * intercepts.
+     */
+    void uninstall();
+
+    /** VMM-side service: drain shadow RX, reap shadow TX. */
+    void poll();
+
+    /** @name net::L2Endpoint (the VMM's network path). */
+    /// @{
+    void sendFrame(net::Frame frame) override;
+    net::MacAddr localMac() const override;
+    sim::Bytes mtu() const override;
+    void setRxHandler(RxHandler handler) override { vmmRx = std::move(handler); }
+    /// @}
+
+    /** @name hw::IoInterceptor (guest register accesses). */
+    /// @{
+    bool interceptRead(sim::Addr addr, unsigned size,
+                       std::uint64_t &value) override;
+    bool interceptWrite(sim::Addr addr, std::uint64_t value,
+                        unsigned size) override;
+    /// @}
+
+    const NicMediatorStats &stats() const { return stats_; }
+
+  private:
+    static constexpr unsigned kShadowSize = 128;
+    static constexpr sim::Bytes kBufSize = 2048;
+
+    void pumpGuestTx();
+    void shadowSend(const net::Frame &frame, bool fromGuest);
+    void drainShadowRx();
+    void deliverToGuest(const net::Frame &frame);
+    unsigned shadowTxFree();
+
+    hw::IoBus &bus;
+    hw::BusView vmmView;
+    hw::PhysMem &mem;
+    hw::E1000Nic &nic;
+
+    bool installed = false;
+    RxHandler vmmRx;
+
+    /** Shadow rings + buffers (VMM memory). */
+    sim::Addr sTxRing = 0;
+    sim::Addr sRxRing = 0;
+    sim::Addr sTxBufs = 0;
+    sim::Addr sRxBufs = 0;
+    unsigned sTxTail = 0;
+    unsigned sTxClean = 0;
+    unsigned sRxHead = 0;
+
+    /** Guest-visible (virtualized) register state. */
+    std::uint32_t gTdbal = 0, gTdlen = 0, gTdh = 0, gTdt = 0;
+    std::uint32_t gRdbal = 0, gRdlen = 0, gRdh = 0, gRdt = 0;
+    std::uint32_t gRctl = 0, gTctl = 0, gIms = 0;
+    std::uint32_t gIcr = 0;
+
+    NicMediatorStats stats_;
+};
+
+} // namespace bmcast
+
+#endif // BMCAST_NIC_MEDIATOR_HH

@@ -1,0 +1,346 @@
+#include "bmcast/vmm.hh"
+
+#include "bmcast/ahci_mediator.hh"
+#include "bmcast/ide_mediator.hh"
+#include "hw/disk_store.hh"
+#include "simcore/logging.hh"
+
+namespace bmcast {
+
+Vmm::Vmm(sim::EventQueue &eq, std::string name, hw::Machine &machine,
+         net::MacAddr server_mac, sim::Lba image_sectors,
+         VmmParams params, bool vmxoff_supported)
+    : sim::SimObject(eq, std::move(name)),
+      machine_(machine), serverMac(server_mac),
+      imageSectors(image_sectors), params_(params),
+      vmxoffSupported(vmxoff_supported)
+{
+    sim::Lba total = machine_.disk().capacitySectors();
+    sim::fatalIf(imageSectors + params_.reservedDiskSectors > total,
+                 "image does not fit the local disk");
+    bitmapHome = total - params_.reservedDiskSectors;
+    dummy = total - 1;
+}
+
+sim::Tick
+Vmm::phaseEnteredAt(Phase p) const
+{
+    return phaseAt[static_cast<std::size_t>(p)];
+}
+
+hw::VirtProfile
+Vmm::deployProfile() const
+{
+    hw::VirtProfile p;
+    p.name = "bmcast-deploy";
+    p.virtualized = true;
+    p.nestedPaging = true;
+    // §5.2: ~6% CPU total — 5% deployment threads (incl. polling),
+    // 1% VMM core.
+    p.vmmCpuSteal = params_.deployCpuWork + params_.coreCpuWork;
+    p.tlbMissRateMult = params_.tlbMissRateMult;
+    p.tlbMissLatencyMult = params_.tlbMissLatencyMult;
+    p.cachePollutionFactor = params_.cachePollution;
+    p.rdmaLatencyOverhead = params_.rdmaOverheadDeploy;
+    // Interrupts are NOT virtualized (mediators poll instead), so no
+    // per-interrupt or per-I/O software cost is added.
+    return p;
+}
+
+void
+Vmm::netboot(std::function<void()> ready)
+{
+    sim::panicIfNot(phase_ == Phase::Off, "VMM booted twice");
+    readyCb = std::move(ready);
+    phase_ = Phase::Initialization;
+    phaseAt[static_cast<std::size_t>(phase_)] = now();
+    sim::inform(name(), ": network boot (minimized image, parallel "
+                        "init)");
+    schedule(params_.bootTime, [this]() { installVmm(); });
+}
+
+void
+Vmm::installVmm()
+{
+    // Reserve our memory by manipulating the BIOS map (§3.4).
+    machine_.firmware().reserve(params_.reservedBase,
+                                params_.reservedBytes);
+    arena = std::make_unique<hw::MemArena>(params_.reservedBase,
+                                           params_.reservedBytes);
+
+    // VMXON with nested paging on every CPU; memory is identity-
+    // mapped, the VMM region unmapped from the guest.
+    for (unsigned c = 0; c < machine_.cores(); ++c)
+        machine_.vmx().vmxon(c);
+
+    // Only the dedicated NIC is initialized by the VMM (§3.1);
+    // polling mode, interrupts masked (§4.3).
+    hw::BusView vmm_view(machine_.bus(), /*guestContext=*/false);
+    nicDriver = std::make_unique<hw::E1000Driver>(
+        eventQueue(), name() + ".nic", vmm_view, machine_.mgmtNic(),
+        machine_.mem(), *arena, hw::E1000Driver::Mode::Polling);
+    aoe::InitiatorParams aoe_params;
+    aoe_params.major = params_.aoeMajor;
+    aoe_params.minor = params_.aoeMinor;
+    aoe_ = std::make_unique<aoe::AoeInitiator>(
+        eventQueue(), name() + ".aoe", *nicDriver, serverMac,
+        aoe_params);
+
+    sim::Lba total = machine_.disk().capacitySectors();
+    bitmap_ = std::make_unique<BlockBitmap>(total);
+    // Only the image region deploys; everything beyond it (incl. the
+    // reserved region) is considered local-only.
+    bitmap_->markFilled(imageSectors, total - imageSectors);
+
+    MediatorServices svc;
+    svc.bitmap = bitmap_.get();
+    svc.reservedBase = bitmapHome;
+    svc.reservedEnd = total;
+    svc.dummyLba = dummy;
+    svc.fetchRemote = [this](sim::Lba lba, std::uint32_t count,
+                             std::function<void(
+                                 const std::vector<std::uint64_t> &)>
+                                 done) {
+        aoe_->readSectors(lba, count, std::move(done));
+    };
+    svc.stashFetched = [this](sim::Lba lba, std::uint32_t count,
+                              const std::vector<std::uint64_t> &t) {
+        if (copy)
+            copy->stashFetched(lba, count, t);
+    };
+    svc.onGuestIo = [this](bool is_write, std::uint32_t sectors) {
+        if (copy)
+            copy->noteGuestIo(is_write, sectors);
+    };
+
+    if (machine_.storageKind() == hw::StorageKind::Ide) {
+        mediator_ = std::make_unique<IdeMediator>(
+            eventQueue(), name() + ".medi", machine_.bus(),
+            machine_.mem(), *arena, svc);
+    } else {
+        mediator_ = std::make_unique<AhciMediator>(
+            eventQueue(), name() + ".medi", machine_.bus(),
+            machine_.mem(), *arena, svc);
+    }
+
+    copy = std::make_unique<BackgroundCopy>(
+        eventQueue(), name() + ".copy", params_, *mediator_, *bitmap_,
+        [this](sim::Lba lba, std::uint32_t count,
+               std::function<void(const std::vector<std::uint64_t> &)>
+                   done) {
+            aoe_->readSectors(lba, count, std::move(done));
+        },
+        imageSectors, [this]() { requestDevirtualization(); });
+
+    mediator_->install();
+    machine_.setProfile(deployProfile());
+
+    // Poll loop on the VT-x preemption timer (§4.1); runs from
+    // installation until the bare-metal phase is reached.
+    machine_.vmx().startPreemptionTimer(
+        params_.pollInterval, [this]() {
+            if (halted)
+                return false;
+            pollLoop();
+            return phase_ != Phase::BareMetal;
+        });
+
+    // Resume an interrupted deployment if the reserved region holds
+    // a bitmap (§3.3).
+    tryRestoreBitmap([this](bool restored) {
+        if (restored) {
+            sim::inform(name(),
+                        ": resumed deployment from saved bitmap (",
+                        bitmap_->filledCount(), " sectors filled)");
+        }
+        phase_ = Phase::Deployment;
+        phaseAt[static_cast<std::size_t>(phase_)] = now();
+        copy->start();
+        armPeriodicBitmapSave();
+        if (readyCb)
+            readyCb();
+    });
+}
+
+void
+Vmm::pollLoop()
+{
+    nicDriver->poll();
+    mediator_->poll();
+    if (devirtRequested && !devirtStarted)
+        tryDevirtualize();
+}
+
+void
+Vmm::powerOff()
+{
+    if (halted || phase_ == Phase::Off)
+        return;
+    halted = true;
+    if (copy)
+        copy->stop();
+    if (aoe_)
+        aoe_->shutdown();
+    if (mediator_)
+        mediator_->powerOff();
+    machine_.clearProfile();
+    for (unsigned c = 0; c < machine_.cores(); ++c)
+        machine_.vmx().vmxoff(c);
+    phase_ = Phase::Off;
+}
+
+void
+Vmm::requestDevirtualization()
+{
+    devirtRequested = true;
+    // A never-idle guest quiesces only momentarily inside interrupt
+    // acknowledgements; have the mediator call us at that instant.
+    mediator_->setQuiesceCallback([this]() {
+        if (devirtRequested && !devirtStarted)
+            tryDevirtualize();
+    });
+}
+
+void
+Vmm::tryDevirtualize()
+{
+    // Wait for a consistent hardware state (§3.1): no guest command,
+    // redirection or VMM command in flight.
+    if (!mediator_->quiescent() || bitmapSaveInFlight) {
+        mediator_->setQuiesceCallback([this]() {
+            if (devirtRequested && !devirtStarted)
+                tryDevirtualize();
+        });
+        return;
+    }
+    if (devirtStarted)
+        return;
+    devirtStarted = true;
+    phase_ = Phase::Devirtualization;
+    phaseAt[static_cast<std::size_t>(phase_)] = now();
+    copy->stop();
+
+    // Persist the final bitmap, then de-virtualize the CPUs.
+    persistBitmap([this]() {
+        // Nested paging off per CPU at independent times: identity
+        // mapping means no cross-CPU TLB consistency problem (§3.4).
+        for (unsigned c = 0; c < machine_.cores(); ++c) {
+            schedule(sim::Tick(c) * 50 * sim::kUs, [this, c]() {
+                machine_.vmx().disableNestedPaging(c);
+                if (++cpusDevirtualized == machine_.cores())
+                    finishDevirtualization();
+            });
+        }
+    });
+}
+
+void
+Vmm::finishDevirtualization()
+{
+    // The guest kept running while the CPUs switched; it may have
+    // issued I/O meanwhile. Removing the intercepts must happen at a
+    // consistent hardware state (§3.1), so wait for the mediator to
+    // quiesce again.
+    if (!mediator_->quiescent()) {
+        mediator_->setQuiesceCallback(
+            [this]() { finishDevirtualization(); });
+        return;
+    }
+    // All CPUs run without nested paging; remove interposition.
+    mediator_->uninstall();
+    sim::panicIfNot(!machine_.bus().anyInterceptActive(),
+                    "intercepts remain after de-virtualization");
+
+    // The deployment network stack is done: cancel any straggling
+    // AoE request (e.g. a retriever prefetch that lost the race with
+    // the final write) — nothing will poll the NIC after this.
+    aoe_->shutdown();
+
+    if (vmxoffSupported) {
+        for (unsigned c = 0; c < machine_.cores(); ++c)
+            machine_.vmx().vmxoff(c);
+    }
+    // Otherwise VMX stays on: only CPUID (unconditional, rare)
+    // causes exits (§5.5.2) — zero measurable overhead.
+
+    machine_.clearProfile();
+    phase_ = Phase::BareMetal;
+    phaseAt[static_cast<std::size_t>(phase_)] = now();
+    sim::inform(name(), ": de-virtualized; guest on bare metal");
+    if (bareMetalCb)
+        bareMetalCb();
+}
+
+void
+Vmm::persistBitmap(std::function<void()> done)
+{
+    if (phase_ == Phase::BareMetal) {
+        done();
+        return;
+    }
+    if (bitmapSaveInFlight) {
+        // One save at a time; caller's periodic rearm handles it.
+        done();
+        return;
+    }
+    bitmapSaveInFlight = true;
+    std::uint64_t token = bitmap_->serializeToken();
+    auto attempt = std::make_shared<std::function<void()>>();
+    *attempt = [this, token, done = std::move(done), attempt]() {
+        if (halted)
+            return;
+        bool ok = mediator_->vmmWrite(bitmapHome, 1, token,
+                                      [this, done]() {
+                                          bitmapSaveInFlight = false;
+                                          done();
+                                      });
+        if (!ok)
+            schedule(2 * sim::kMs, *attempt);
+    };
+    (*attempt)();
+}
+
+void
+Vmm::armPeriodicBitmapSave()
+{
+    // Periodic save during the deployment phase (§3.3: the VMM
+    // saves the bitmap on the local disk for shutdown/reboot).
+    schedule(10 * sim::kSec, [this]() {
+        if (halted || phase_ != Phase::Deployment)
+            return;
+        persistBitmap([] {});
+        armPeriodicBitmapSave();
+    });
+}
+
+void
+Vmm::saveBitmapNow(std::function<void()> done)
+{
+    persistBitmap(std::move(done));
+}
+
+void
+Vmm::tryRestoreBitmap(std::function<void(bool)> done)
+{
+    auto attempt = std::make_shared<std::function<void()>>();
+    auto done_sp =
+        std::make_shared<std::function<void(bool)>>(std::move(done));
+    *attempt = [this, attempt, done_sp]() {
+        bool ok = mediator_->vmmRead(
+            bitmapHome, 1,
+            [this, done_sp](const std::vector<std::uint64_t> &tokens) {
+                bool restored = false;
+                if (!tokens.empty() && tokens[0] != 0) {
+                    std::uint64_t base =
+                        hw::baseFromToken(tokens[0], bitmapHome);
+                    restored = bitmap_->restoreFromToken(base);
+                }
+                (*done_sp)(restored);
+            });
+        if (!ok)
+            schedule(2 * sim::kMs, *attempt);
+    };
+    (*attempt)();
+}
+
+} // namespace bmcast

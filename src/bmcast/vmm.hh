@@ -1,0 +1,162 @@
+/**
+ * @file
+ * The BMcast VMM (paper §3, §4).
+ *
+ * Life cycle (Fig. 1):
+ *  - Initialization: network-boots in seconds (only the dedicated
+ *    management NIC is initialized; every other device is left for
+ *    the guest), reserves its memory via the BIOS map, turns on VT-x
+ *    with nested paging, installs the storage device mediator, and
+ *    configures the minimal exit set (storage PIO/MMIO, CR writes,
+ *    INIT/SIPI, CPUID, preemption timer).
+ *  - Deployment: copy-on-read through the mediator + moderated
+ *    background copy fill the local disk while the guest runs with
+ *    direct hardware access.
+ *  - De-virtualization: when the disk is fully deployed and the
+ *    hardware state is consistent (mediator quiescent), nested
+ *    paging is turned off per-CPU at independent times (identity
+ *    mapping makes TLB shootdown unnecessary, §3.4), intercepts are
+ *    removed, and (optionally) VMXOFF is executed.
+ *  - Bare-metal: the VMM is gone; the guest owns the machine. The
+ *    128 MB reservation and the management NIC remain assigned, as
+ *    in the prototype (§4.3).
+ */
+
+#ifndef BMCAST_VMM_HH
+#define BMCAST_VMM_HH
+
+#include <array>
+#include <functional>
+#include <memory>
+
+#include "aoe/initiator.hh"
+#include "bmcast/background_copy.hh"
+#include "bmcast/block_bitmap.hh"
+#include "bmcast/mediator.hh"
+#include "bmcast/params.hh"
+#include "hw/e1000_driver.hh"
+#include "hw/machine.hh"
+#include "simcore/sim_object.hh"
+
+namespace bmcast {
+
+/** The VMM. */
+class Vmm : public sim::SimObject
+{
+  public:
+    enum class Phase
+    {
+        Off,
+        Initialization,
+        Deployment,
+        Devirtualization,
+        BareMetal,
+    };
+
+    /**
+     * @param imageSectors size of the OS image to deploy; blocks
+     *        beyond it (and the reserved region) are not copied.
+     * @param vmxoffSupported the prototype did not fully support
+     *        VMXOFF (§4.3); when false, VMX stays on after
+     *        de-virtualization with only (rare, negligible) CPUID
+     *        exits — exactly the configuration evaluated in §5.
+     */
+    Vmm(sim::EventQueue &eq, std::string name, hw::Machine &machine,
+        net::MacAddr serverMac, sim::Lba imageSectors,
+        VmmParams params = VmmParams{}, bool vmxoffSupported = false);
+
+    /**
+     * Network-boot the VMM (Initialization phase); @p ready fires
+     * when the machine is prepared for the guest OS (Deployment
+     * phase entered, background copy running).
+     */
+    void netboot(std::function<void()> ready);
+
+    /** Invoked when the Bare-metal phase is reached (immediately if
+     *  it already has been). */
+    void
+    onBareMetal(std::function<void()> cb)
+    {
+        if (phase_ == Phase::BareMetal)
+            cb();
+        else
+            bareMetalCb = std::move(cb);
+    }
+
+    /** Ask for de-virtualization as soon as it is safe; normally
+     *  triggered automatically when the background copy finishes. */
+    void requestDevirtualization();
+
+    /**
+     * Model an unclean shutdown during deployment: persists the
+     * bitmap and tears the VMM down; a new Vmm on the same Machine
+     * resumes from the saved state (§3.3).
+     */
+    void saveBitmapNow(std::function<void()> done);
+
+    /**
+     * Power failure: stop all VMM activity (poll loop, background
+     * copy, outstanding AoE requests) and release the hardware. The
+     * object must be kept alive until the event queue drains (its
+     * scheduled events are guarded, not cancelled).
+     */
+    void powerOff();
+
+    Phase phase() const { return phase_; }
+    sim::Tick phaseEnteredAt(Phase p) const;
+
+    BlockBitmap &bitmap() { return *bitmap_; }
+    BackgroundCopy &backgroundCopy() { return *copy; }
+    DeviceMediator &mediator() { return *mediator_; }
+    aoe::AoeInitiator &initiator() { return *aoe_; }
+    hw::Machine &machine() { return machine_; }
+    const VmmParams &params() const { return params_; }
+
+    /** Reserved-disk-region geometry (tests). */
+    sim::Lba bitmapHomeLba() const { return bitmapHome; }
+    sim::Lba dummyLba() const { return dummy; }
+
+    /** The cost profile the VMM publishes while deploying. */
+    hw::VirtProfile deployProfile() const;
+
+  private:
+    void installVmm();
+    void armPeriodicBitmapSave();
+    void pollLoop();
+    void tryDevirtualize();
+    void finishDevirtualization();
+    void persistBitmap(std::function<void()> done);
+    void tryRestoreBitmap(std::function<void(bool)> done);
+
+    hw::Machine &machine_;
+    net::MacAddr serverMac;
+    sim::Lba imageSectors;
+    VmmParams params_;
+    bool vmxoffSupported;
+
+    Phase phase_ = Phase::Off;
+    std::array<sim::Tick, 5> phaseAt{};
+
+    std::unique_ptr<hw::MemArena> arena;
+    std::unique_ptr<hw::E1000Driver> nicDriver;
+    std::unique_ptr<aoe::AoeInitiator> aoe_;
+    std::unique_ptr<BlockBitmap> bitmap_;
+    std::unique_ptr<DeviceMediator> mediator_;
+    std::unique_ptr<BackgroundCopy> copy;
+
+    sim::Lba bitmapHome = 0;
+    sim::Lba dummy = 0;
+
+    bool halted = false;
+    bool devirtRequested = false;
+    bool devirtStarted = false;
+    unsigned cpusDevirtualized = 0;
+    bool bitmapSaveInFlight = false;
+
+    std::function<void()> readyCb;
+    std::function<void()> bareMetalCb;
+};
+
+} // namespace bmcast
+
+#endif // BMCAST_VMM_HH

@@ -1,0 +1,231 @@
+#include "guest/ahci_driver.hh"
+
+#include <algorithm>
+
+#include "hw/ahci_regs.hh"
+#include "hw/dma.hh"
+#include "simcore/logging.hh"
+
+namespace guest {
+
+using namespace hw::ahci;
+using hw::IoSpace;
+
+AhciDriver::AhciDriver(sim::EventQueue &eq, std::string name,
+                       hw::BusView view_, hw::PhysMem &mem_,
+                       hw::InterruptController &intc,
+                       hw::MemArena &arena)
+    : sim::SimObject(eq, std::move(name)), view(view_), mem(mem_),
+      intc(intc)
+{
+    cmdList = arena.alloc(kSlots * kCmdHeaderSize, 1024);
+    fisBase = arena.alloc(256, 256);
+    for (unsigned s = 0; s < kSlots; ++s) {
+        cmdTable[s] = arena.alloc(
+            kPrdtOffset + 64 * kPrdtEntrySize, 128);
+        slotBuf[s] = arena.alloc(
+            sim::Bytes(kMaxSectors) * sim::kSectorSize, 4096);
+    }
+}
+
+AhciDriver::~AhciDriver()
+{
+    if (irqHandler)
+        intc.unregisterHandler(kIrqVector, irqHandler);
+}
+
+void
+AhciDriver::initialize()
+{
+    if (!irqHandler)
+        irqHandler =
+            intc.registerHandler(kIrqVector, [this]() { onIrq(); });
+    // HBA init: enable AHCI mode + interrupts, program the lists,
+    // start the port. Runs at guest boot, through the (possibly
+    // mediated) bus.
+    view.write(IoSpace::Mmio, kAbar + kGhc, kGhcAe | kGhcIe, 4);
+    view.write(IoSpace::Mmio, kAbar + kPxClb,
+               static_cast<std::uint32_t>(cmdList), 4);
+    view.write(IoSpace::Mmio, kAbar + kPxFb,
+               static_cast<std::uint32_t>(fisBase), 4);
+    view.write(IoSpace::Mmio, kAbar + kPxIe, kIsDhrs, 4);
+    view.write(IoSpace::Mmio, kAbar + kPxCmd, kCmdSt | kCmdFre, 4);
+}
+
+void
+AhciDriver::read(sim::Lba lba, std::uint32_t count, ReadDone done)
+{
+    sim::panicIfNot(count > 0, "zero-sector read");
+    auto op = std::make_shared<Op>();
+    op->lba = lba;
+    op->count = count;
+    op->readDone = std::move(done);
+    op->submitted = now();
+    op->tokens.resize(count);
+    queue.push_back(std::move(op));
+    pump();
+}
+
+void
+AhciDriver::write(sim::Lba lba, std::uint32_t count,
+                  std::uint64_t content_base, WriteDone done)
+{
+    sim::panicIfNot(count > 0, "zero-sector write");
+    auto op = std::make_shared<Op>();
+    op->isWrite = true;
+    op->lba = lba;
+    op->count = count;
+    op->contentBase = content_base;
+    op->writeDone = std::move(done);
+    op->submitted = now();
+    queue.push_back(std::move(op));
+    pump();
+}
+
+void
+AhciDriver::pump()
+{
+    while (!queue.empty() && busyCount < kSlots) {
+        auto &op = queue.front();
+        if (!issueChunk(op))
+            break; // no free slot after all
+        if (op->issuedSectors == op->count)
+            queue.pop_front();
+    }
+}
+
+bool
+AhciDriver::issueChunk(const std::shared_ptr<Op> &op)
+{
+    unsigned slot = kSlots;
+    for (unsigned s = 0; s < kSlots; ++s) {
+        if (!slots[s].busy) {
+            slot = s;
+            break;
+        }
+    }
+    if (slot == kSlots)
+        return false;
+
+    sim::Lba lba = op->lba + op->issuedSectors;
+    std::uint32_t n =
+        std::min(kMaxSectors, op->count - op->issuedSectors);
+
+    SlotState &st = slots[slot];
+    st.busy = true;
+    st.op = op;
+    st.lba = lba;
+    st.sectors = n;
+    st.opOffset = op->issuedSectors;
+    op->issuedSectors += n;
+    ++busyCount;
+
+    if (op->isWrite)
+        hw::fillTokenBuffer(mem, slotBuf[slot], lba, n,
+                            op->contentBase);
+
+    // Command table: CFIS.
+    sim::Addr table = cmdTable[slot];
+    sim::Addr cfis = table + kCfisOffset;
+    mem.fill(cfis, 0, kCfisSize);
+    mem.write8(cfis + kFisType, kFisTypeH2d);
+    mem.write8(cfis + kFisFlags, kFisFlagC);
+    mem.write8(cfis + kFisCommand, op->isWrite ? 0x35 : 0x25);
+    mem.write8(cfis + kFisLba0, lba & 0xFF);
+    mem.write8(cfis + kFisLba1, (lba >> 8) & 0xFF);
+    mem.write8(cfis + kFisLba2, (lba >> 16) & 0xFF);
+    mem.write8(cfis + kFisDevice, 0x40);
+    mem.write8(cfis + kFisLba3, (lba >> 24) & 0xFF);
+    mem.write8(cfis + kFisLba4, (lba >> 32) & 0xFF);
+    mem.write8(cfis + kFisLba5, (lba >> 40) & 0xFF);
+    mem.write8(cfis + kFisCount0, n & 0xFF);
+    mem.write8(cfis + kFisCount1, (n >> 8) & 0xFF);
+
+    // PRDT: 128 KiB elements.
+    sim::Bytes total = sim::Bytes(n) * sim::kSectorSize;
+    sim::Addr entry = table + kPrdtOffset;
+    sim::Addr buf = slotBuf[slot];
+    unsigned prdtl = 0;
+    while (total > 0) {
+        sim::Bytes chunk = std::min<sim::Bytes>(total, 128 * 1024);
+        mem.write32(entry, static_cast<std::uint32_t>(buf));
+        mem.write32(entry + 4, 0);
+        mem.write32(entry + 8, 0);
+        mem.write32(entry + 12,
+                    static_cast<std::uint32_t>(chunk - 1));
+        total -= chunk;
+        buf += chunk;
+        entry += kPrdtEntrySize;
+        ++prdtl;
+    }
+
+    // Command header.
+    sim::Addr hdr = cmdList + slot * kCmdHeaderSize;
+    std::uint32_t dw0 = 5; // CFL: 5 dwords
+    if (op->isWrite)
+        dw0 |= kHdrWrite;
+    dw0 |= prdtl << kHdrPrdtlShift;
+    mem.write32(hdr, dw0);
+    mem.write32(hdr + 4, 0);
+    mem.write32(hdr + 8, static_cast<std::uint32_t>(table));
+    mem.write32(hdr + 12, 0);
+
+    // Go.
+    view.write(IoSpace::Mmio, kAbar + kPxCi, 1u << slot, 4);
+    return true;
+}
+
+void
+AhciDriver::onIrq()
+{
+    // Standard ISR: global IS -> port IS -> W1C both, then complete
+    // every issued slot whose CI bit the device has cleared.
+    auto gis = static_cast<std::uint32_t>(
+        view.read(IoSpace::Mmio, kAbar + kIs, 4));
+    if (!(gis & 1))
+        return;
+    auto pis = static_cast<std::uint32_t>(
+        view.read(IoSpace::Mmio, kAbar + kPxIs, 4));
+    view.write(IoSpace::Mmio, kAbar + kPxIs, pis, 4);
+    view.write(IoSpace::Mmio, kAbar + kIs, gis, 4);
+
+    auto ci = static_cast<std::uint32_t>(
+        view.read(IoSpace::Mmio, kAbar + kPxCi, 4));
+    for (unsigned s = 0; s < kSlots; ++s) {
+        if (slots[s].busy && !(ci & (1u << s)))
+            completeSlot(s);
+    }
+    pump();
+}
+
+void
+AhciDriver::completeSlot(unsigned slot)
+{
+    SlotState &st = slots[slot];
+    std::shared_ptr<Op> op = st.op;
+
+    if (!op->isWrite) {
+        for (std::uint32_t i = 0; i < st.sectors; ++i)
+            op->tokens[st.opOffset + i] =
+                hw::bufferTokenAt(mem, slotBuf[slot], i);
+    }
+    op->doneSectors += st.sectors;
+
+    st.busy = false;
+    st.op.reset();
+    --busyCount;
+
+    if (op->doneSectors == op->count && !op->finished) {
+        op->finished = true;
+        latencySum += now() - op->submitted;
+        ++numOps;
+        if (op->isWrite) {
+            if (op->writeDone)
+                op->writeDone();
+        } else if (op->readDone) {
+            op->readDone(op->tokens);
+        }
+    }
+}
+
+} // namespace guest

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The guest OS's block-device driver interface. Implementations
+ * program the simulated IDE/AHCI controllers at register level —
+ * which is precisely what the BMcast device mediators interpret.
+ */
+
+#ifndef GUEST_BLOCK_DRIVER_HH
+#define GUEST_BLOCK_DRIVER_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "simcore/types.hh"
+
+namespace guest {
+
+/** Completion callback for reads: one content token per sector. */
+using ReadDone =
+    std::function<void(const std::vector<std::uint64_t> &tokens)>;
+/** Completion callback for writes. */
+using WriteDone = std::function<void()>;
+
+/** Abstract block driver. */
+class BlockDriver
+{
+  public:
+    virtual ~BlockDriver() = default;
+
+    /**
+     * Program the controller (ring/list setup, enables). Called by
+     * the guest OS during boot — i.e. after any VMM has installed
+     * its mediators, exactly as on real hardware.
+     */
+    virtual void initialize() {}
+
+    /** Read [lba, lba+count). Requests may queue internally. */
+    virtual void read(sim::Lba lba, std::uint32_t count,
+                      ReadDone done) = 0;
+
+    /**
+     * Write [lba, lba+count) with content derived from
+     * @p contentBase (see hw/disk_store.hh).
+     */
+    virtual void write(sim::Lba lba, std::uint32_t count,
+                       std::uint64_t contentBase, WriteDone done) = 0;
+
+    /** Completed operations. */
+    virtual std::uint64_t opsCompleted() const = 0;
+
+    /** Sum of per-op service latencies (queue + device). */
+    virtual sim::Tick totalLatency() const = 0;
+};
+
+} // namespace guest
+
+#endif // GUEST_BLOCK_DRIVER_HH

@@ -1,0 +1,140 @@
+#include "guest/guest_os.hh"
+
+#include <algorithm>
+
+#include "simcore/logging.hh"
+
+namespace guest {
+
+GuestOs::GuestOs(sim::EventQueue &eq, std::string name,
+                 hw::Machine &m, GuestOsParams params)
+    : sim::SimObject(eq, std::move(name)),
+      machine_(m), params_(params),
+      rng(sim::Rng::seedFrom(this->name(), params.seed)),
+      arena(params.arenaBase, params.arenaSize)
+{
+    if (params.externalDriver) {
+        external = params.externalDriver;
+        return;
+    }
+    hw::BusView view(machine_.bus(), /*guestContext=*/true);
+    if (machine_.storageKind() == hw::StorageKind::Ide) {
+        driver = std::make_unique<IdeDriver>(
+            eq, this->name() + ".ide", view, machine_.mem(),
+            machine_.intc(), arena);
+    } else {
+        driver = std::make_unique<AhciDriver>(
+            eq, this->name() + ".ahci", view, machine_.mem(),
+            machine_.intc(), arena);
+    }
+}
+
+sim::Bytes
+GuestOs::bootReadBytes() const
+{
+    const BootTrace &b = params_.boot;
+    return b.loaderBytes + b.kernelBytes +
+           sim::Bytes(b.numReads) * b.avgReadBytes;
+}
+
+void
+GuestOs::start(std::function<void()> on_ready)
+{
+    sim::panicIfNot(!ready, "guest started twice");
+    readyCb = std::move(on_ready);
+    bootStart = now();
+    blk().initialize();
+    bootSequentialPhase();
+}
+
+void
+GuestOs::bootSequentialPhase()
+{
+    // Loader + kernel: sequential 1 MiB reads from the start of the
+    // image, strictly ordered (boot loaders are synchronous).
+    sim::Bytes total_bytes =
+        params_.boot.loaderBytes + params_.boot.kernelBytes;
+    auto total =
+        static_cast<std::uint32_t>(total_bytes / sim::kSectorSize);
+
+    struct SeqState
+    {
+        std::uint32_t done = 0;
+    };
+    auto st = std::make_shared<SeqState>();
+    auto step = std::make_shared<std::function<void()>>();
+    *step = [this, st, total, step]() {
+        if (st->done >= total) {
+            lastLba = total;
+            lastCount = 0;
+            bootScatterPhase(params_.boot.numReads);
+            return;
+        }
+        std::uint32_t n = std::min<std::uint32_t>(2048, total - st->done);
+        sim::Lba lba = st->done;
+        st->done += n;
+        blk().read(lba, n,
+                     [step](const std::vector<std::uint64_t> &) {
+                         (*step)();
+                     });
+    };
+    (*step)();
+}
+
+void
+GuestOs::bootScatterPhase(unsigned remaining)
+{
+    if (remaining == 0) {
+        finishBoot();
+        return;
+    }
+
+    // CPU burst between file reads; virtualization slows it by the
+    // VMM's CPU steal plus a small nested-paging factor.
+    const BootTrace &b = params_.boot;
+    double slice =
+        static_cast<double>(b.cpuTotal) / std::max(1u, b.numReads);
+    slice *= rng.uniformReal(0.5, 1.5);
+    const hw::VirtProfile &p = machine_.profile();
+    double factor = 1.0 + p.vmmCpuSteal +
+                    (p.nestedPaging ? 0.04 : 0.0) +
+                    p.cachePollutionFactor * 0.5;
+    auto delay = static_cast<sim::Tick>(slice * factor);
+
+    schedule(delay, [this, remaining]() {
+        const BootTrace &bt = params_.boot;
+        double bytes = rng.exponential(
+            static_cast<double>(bt.avgReadBytes));
+        auto count = static_cast<std::uint32_t>(
+            std::clamp(bytes / static_cast<double>(sim::kSectorSize),
+                       1.0, 512.0));
+
+        sim::Lba lba;
+        if (lastCount != 0 && rng.chance(bt.seqFraction)) {
+            lba = lastLba + lastCount;
+        } else {
+            sim::Lba region_sectors =
+                bt.regionBytes / sim::kSectorSize;
+            lba = rng.uniformInt(0, region_sectors - count - 8) & ~7ULL;
+        }
+        lastLba = lba;
+        lastCount = count;
+
+        blk().read(lba, count,
+                     [this, remaining](
+                         const std::vector<std::uint64_t> &) {
+                         bootScatterPhase(remaining - 1);
+                     });
+    });
+}
+
+void
+GuestOs::finishBoot()
+{
+    ready = true;
+    bootEnd = now();
+    if (readyCb)
+        readyCb();
+}
+
+} // namespace guest

@@ -1,0 +1,176 @@
+#include "guest/ide_driver.hh"
+
+#include <algorithm>
+
+#include "hw/dma.hh"
+#include "hw/ide_regs.hh"
+#include "simcore/logging.hh"
+
+namespace guest {
+
+using namespace hw::ide;
+using hw::IoSpace;
+
+IdeDriver::IdeDriver(sim::EventQueue &eq, std::string name,
+                     hw::BusView view_, hw::PhysMem &mem_,
+                     hw::InterruptController &intc,
+                     hw::MemArena &arena)
+    : sim::SimObject(eq, std::move(name)), view(view_), mem(mem_),
+      intc(intc)
+{
+    prdTable = arena.alloc(64 * kPrdEntrySize, 64);
+    buffer = arena.alloc(sim::Bytes(kMaxSectors) * sim::kSectorSize,
+                         4096);
+}
+
+IdeDriver::~IdeDriver()
+{
+    if (irqHandler)
+        intc.unregisterHandler(kIrqVector, irqHandler);
+}
+
+void
+IdeDriver::initialize()
+{
+    if (!irqHandler)
+        irqHandler =
+            intc.registerHandler(kIrqVector, [this]() { onIrq(); });
+}
+
+void
+IdeDriver::read(sim::Lba lba, std::uint32_t count, ReadDone done)
+{
+    sim::panicIfNot(count > 0, "zero-sector read");
+    Op op;
+    op.lba = lba;
+    op.count = count;
+    op.readDone = std::move(done);
+    op.submitted = now();
+    op.tokens.resize(count);
+    queue.push_back(std::move(op));
+    pump();
+}
+
+void
+IdeDriver::write(sim::Lba lba, std::uint32_t count,
+                 std::uint64_t content_base, WriteDone done)
+{
+    sim::panicIfNot(count > 0, "zero-sector write");
+    Op op;
+    op.isWrite = true;
+    op.lba = lba;
+    op.count = count;
+    op.contentBase = content_base;
+    op.writeDone = std::move(done);
+    op.submitted = now();
+    queue.push_back(std::move(op));
+    pump();
+}
+
+void
+IdeDriver::pump()
+{
+    if (chunkActive || queue.empty())
+        return;
+    issueChunk();
+}
+
+void
+IdeDriver::issueChunk()
+{
+    Op &op = queue.front();
+    sim::Lba lba = op.lba + op.doneSectors;
+    std::uint32_t n = std::min(kMaxSectors, op.count - op.doneSectors);
+    chunkActive = true;
+    chunkSectors = n;
+
+    if (op.isWrite) {
+        hw::fillTokenBuffer(mem, buffer, lba, n, op.contentBase);
+    }
+
+    // Build the PRD table: 64 KiB elements, EOT on the last.
+    sim::Bytes total = sim::Bytes(n) * sim::kSectorSize;
+    sim::Addr entry = prdTable;
+    sim::Addr buf = buffer;
+    while (total > 0) {
+        sim::Bytes chunk = std::min<sim::Bytes>(total, 65536);
+        mem.write32(entry, static_cast<std::uint32_t>(buf));
+        mem.write16(entry + 4,
+                    static_cast<std::uint16_t>(chunk == 65536 ? 0
+                                                              : chunk));
+        total -= chunk;
+        buf += chunk;
+        mem.write16(entry + 6, total == 0 ? kPrdEot : 0);
+        entry += kPrdEntrySize;
+    }
+
+    // Program the bus master, then the task file, then go.
+    view.write(IoSpace::Pio, kBmBase + kBmPrdtAddr,
+               static_cast<std::uint32_t>(prdTable), 4);
+    view.write(IoSpace::Pio, kBmBase + kBmCommand,
+               op.isWrite ? 0 : kBmCmdToMemory, 1);
+
+    // LBA48 task file: high bytes first (they land in the "previous"
+    // register slots), then low bytes.
+    view.write(IoSpace::Pio, kPioBase + kSectorCount, (n >> 8) & 0xFF,
+               1);
+    view.write(IoSpace::Pio, kPioBase + kSectorCount, n & 0xFF, 1);
+    view.write(IoSpace::Pio, kPioBase + kLbaLow, (lba >> 24) & 0xFF, 1);
+    view.write(IoSpace::Pio, kPioBase + kLbaMid, (lba >> 32) & 0xFF, 1);
+    view.write(IoSpace::Pio, kPioBase + kLbaHigh, (lba >> 40) & 0xFF,
+               1);
+    view.write(IoSpace::Pio, kPioBase + kLbaLow, lba & 0xFF, 1);
+    view.write(IoSpace::Pio, kPioBase + kLbaMid, (lba >> 8) & 0xFF, 1);
+    view.write(IoSpace::Pio, kPioBase + kLbaHigh, (lba >> 16) & 0xFF,
+               1);
+    view.write(IoSpace::Pio, kPioBase + kDevice, kDeviceLbaMode, 1);
+    view.write(IoSpace::Pio, kPioBase + kCmdStatus,
+               op.isWrite ? kCmdWriteDmaExt : kCmdReadDmaExt, 1);
+
+    view.write(IoSpace::Pio, kBmBase + kBmCommand,
+               (op.isWrite ? 0 : kBmCmdToMemory) | kBmCmdStart, 1);
+}
+
+void
+IdeDriver::onIrq()
+{
+    if (!chunkActive)
+        return; // spurious (e.g. raised for someone else)
+
+    // ISR protocol: read status (acks INTRQ), check BM, stop it,
+    // clear the interrupt bit.
+    auto status = static_cast<std::uint8_t>(
+        view.read(IoSpace::Pio, kPioBase + kCmdStatus, 1));
+    if (status & kStatusBsy)
+        return; // not ours yet
+    view.read(IoSpace::Pio, kBmBase + kBmStatus, 1);
+    view.write(IoSpace::Pio, kBmBase + kBmCommand, 0, 1);
+    view.write(IoSpace::Pio, kBmBase + kBmStatus, kBmStIrq, 1);
+
+    Op &op = queue.front();
+    if (!op.isWrite) {
+        sim::Lba lba = op.lba + op.doneSectors;
+        (void)lba;
+        for (std::uint32_t i = 0; i < chunkSectors; ++i)
+            op.tokens[op.doneSectors + i] =
+                hw::bufferTokenAt(mem, buffer, i);
+    }
+    op.doneSectors += chunkSectors;
+    chunkActive = false;
+
+    if (op.doneSectors == op.count) {
+        latencySum += now() - op.submitted;
+        ++numOps;
+        Op finished = std::move(op);
+        queue.pop_front();
+        if (finished.isWrite) {
+            if (finished.writeDone)
+                finished.writeDone();
+        } else if (finished.readDone) {
+            finished.readDone(finished.tokens);
+        }
+    }
+    pump();
+}
+
+} // namespace guest

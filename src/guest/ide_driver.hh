@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Guest IDE driver: one outstanding LBA48 DMA command at a time,
+ * interrupt-driven, exactly the register protocol a real OS driver
+ * speaks (PRD table setup, task-file programming with high-byte-first
+ * LBA48 writes, bus-master start/stop, status-read interrupt ack).
+ */
+
+#ifndef GUEST_IDE_DRIVER_HH
+#define GUEST_IDE_DRIVER_HH
+
+#include <deque>
+
+#include "guest/block_driver.hh"
+#include "hw/interrupts.hh"
+#include "hw/io_bus.hh"
+#include "hw/mem_arena.hh"
+#include "hw/phys_mem.hh"
+#include "simcore/sim_object.hh"
+
+namespace guest {
+
+/** The driver. */
+class IdeDriver : public sim::SimObject, public BlockDriver
+{
+  public:
+    /** Largest single command (1 MiB); larger requests split. */
+    static constexpr std::uint32_t kMaxSectors = 2048;
+
+    IdeDriver(sim::EventQueue &eq, std::string name, hw::BusView view,
+              hw::PhysMem &mem, hw::InterruptController &intc,
+              hw::MemArena &arena);
+    ~IdeDriver() override;
+
+    void initialize() override;
+    void read(sim::Lba lba, std::uint32_t count, ReadDone done) override;
+    void write(sim::Lba lba, std::uint32_t count,
+               std::uint64_t contentBase, WriteDone done) override;
+
+    std::uint64_t opsCompleted() const override { return numOps; }
+    sim::Tick totalLatency() const override { return latencySum; }
+
+  private:
+    struct Op
+    {
+        bool isWrite = false;
+        sim::Lba lba = 0;
+        std::uint32_t count = 0;
+        std::uint64_t contentBase = 0;
+        ReadDone readDone;
+        WriteDone writeDone;
+        sim::Tick submitted = 0;
+        std::uint32_t doneSectors = 0;
+        std::vector<std::uint64_t> tokens;
+    };
+
+    void pump();
+    void issueChunk();
+    void onIrq();
+
+    hw::BusView view;
+    hw::PhysMem &mem;
+    hw::InterruptController &intc;
+    hw::InterruptController::HandlerId irqHandler = 0;
+    sim::Addr prdTable = 0;
+    sim::Addr buffer = 0;
+
+    std::deque<Op> queue;
+    bool chunkActive = false;
+    std::uint32_t chunkSectors = 0;
+
+    std::uint64_t numOps = 0;
+    sim::Tick latencySum = 0;
+};
+
+} // namespace guest
+
+#endif // GUEST_IDE_DRIVER_HH

@@ -1,0 +1,246 @@
+#include "hw/ahci_controller.hh"
+
+#include "simcore/logging.hh"
+
+namespace hw {
+
+using namespace ahci;
+
+AhciController::AhciController(sim::EventQueue &eq, std::string name,
+                               IoBus &bus_, PhysMem &mem_, Disk &disk,
+                               IrqLine irq_)
+    : sim::SimObject(eq, std::move(name)),
+      bus(bus_), mem(mem_), disk_(disk), irq(irq_)
+{
+    bus.addDevice(IoSpace::Mmio, kAbar, kAbarSize,
+                  IoDevice{this->name(),
+                           [this](sim::Addr o, unsigned s) {
+                               return mmioRead(o, s);
+                           },
+                           [this](sim::Addr o, std::uint64_t v,
+                                  unsigned s) { mmioWrite(o, v, s); }});
+}
+
+std::uint64_t
+AhciController::mmioRead(sim::Addr offset, unsigned size)
+{
+    (void)size;
+    switch (offset) {
+      case kCap:
+        // 32 command slots (bits 12:8 = 31), 1 port (bits 4:0 = 0).
+        return (31u << 8);
+      case kGhc:
+        return ghc;
+      case kIs:
+        return is;
+      case kPi:
+        return 1;
+      case kVs:
+        return 0x00010300;
+      case kPxClb:
+        return pxClb;
+      case kPxClbu:
+        return 0;
+      case kPxFb:
+        return pxFb;
+      case kPxFbu:
+        return 0;
+      case kPxIs:
+        return pxIs;
+      case kPxIe:
+        return pxIe;
+      case kPxCmd: {
+        std::uint32_t v = pxCmd;
+        if (pxCmd & kCmdSt)
+            v |= kCmdCr;
+        if (pxCmd & kCmdFre)
+            v |= kCmdFr;
+        return v;
+      }
+      case kPxTfd:
+        return pxTfd;
+      case kPxSig:
+        return 0x00000101; // SATA drive signature
+      case kPxSsts:
+        return 0x123; // device present, PHY established
+      case kPxSctl:
+        return pxSctl;
+      case kPxSerr:
+        return pxSerr;
+      case kPxSact:
+        return 0;
+      case kPxCi:
+        return ci_;
+      default:
+        return 0;
+    }
+}
+
+void
+AhciController::mmioWrite(sim::Addr offset, std::uint64_t value,
+                          unsigned size)
+{
+    (void)size;
+    auto v = static_cast<std::uint32_t>(value);
+    switch (offset) {
+      case kGhc:
+        if (v & kGhcHr) {
+            // HBA reset.
+            ghc = kGhcAe;
+            is = 0;
+            pxIs = 0;
+            pxIe = 0;
+            pxCmd = 0;
+            ci_ = 0;
+            pxTfd = 0x50;
+            return;
+        }
+        ghc = (v & (kGhcAe | kGhcIe)) | kGhcAe;
+        break;
+      case kIs:
+        is &= ~v; // W1C
+        break;
+      case kPxClb:
+        pxClb = v & ~0x3FFu; // 1 KiB aligned
+        break;
+      case kPxFb:
+        pxFb = v & ~0xFFu;
+        break;
+      case kPxIs:
+        pxIs &= ~v; // W1C
+        break;
+      case kPxIe:
+        pxIe = v;
+        break;
+      case kPxCmd:
+        pxCmd = v & (kCmdSt | kCmdFre);
+        break;
+      case kPxSctl:
+        pxSctl = v;
+        break;
+      case kPxSerr:
+        pxSerr &= ~v;
+        break;
+      case kPxCi:
+        // W1S: software sets bits; hardware clears on completion.
+        ci_ |= v;
+        if (pxCmd & kCmdSt)
+            processNext();
+        break;
+      default:
+        break;
+    }
+}
+
+AhciCommand
+AhciController::decodeSlot(unsigned slot) const
+{
+    AhciCommand cmd;
+    cmd.slot = slot;
+    sim::Addr hdr = sim::Addr(pxClb) + slot * kCmdHeaderSize;
+    std::uint32_t dw0 = mem.read32(hdr);
+    sim::Addr table = mem.read32(hdr + 8);
+
+    cmd.isWrite = (dw0 & kHdrWrite) != 0;
+    sim::Addr cfis = table + kCfisOffset;
+    cmd.lba = sim::Lba(mem.read8(cfis + kFisLba0)) |
+              (sim::Lba(mem.read8(cfis + kFisLba1)) << 8) |
+              (sim::Lba(mem.read8(cfis + kFisLba2)) << 16) |
+              (sim::Lba(mem.read8(cfis + kFisLba3)) << 24) |
+              (sim::Lba(mem.read8(cfis + kFisLba4)) << 32) |
+              (sim::Lba(mem.read8(cfis + kFisLba5)) << 40);
+    std::uint32_t count = mem.read8(cfis + kFisCount0) |
+                          (std::uint32_t(mem.read8(cfis + kFisCount1))
+                           << 8);
+    cmd.sectors = count == 0 ? 65536u : count;
+    return cmd;
+}
+
+void
+AhciController::processNext()
+{
+    if (active || ci_ == 0 || !(pxCmd & kCmdSt))
+        return;
+
+    // Round-robin slot selection starting after the last one served.
+    unsigned slot = kNumSlots;
+    for (unsigned i = 1; i <= kNumSlots; ++i) {
+        unsigned cand = (lastSlot + i) % kNumSlots;
+        if (ci_ & (1u << cand)) {
+            slot = cand;
+            break;
+        }
+    }
+    if (slot == kNumSlots)
+        return;
+
+    lastSlot = slot;
+    active = true;
+    pxTfd |= kTfdBsy;
+
+    AhciCommand cmd = decodeSlot(slot);
+    sim::Addr hdr = sim::Addr(pxClb) + slot * kCmdHeaderSize;
+    std::uint32_t dw0 = mem.read32(hdr);
+    unsigned prdtl = dw0 >> kHdrPrdtlShift;
+    sim::Addr table = mem.read32(hdr + 8);
+
+    if (cmd.isWrite) {
+        dmaFromMemory(mem, parsePrdt(table, prdtl), disk_.store(),
+                      cmd.lba, cmd.sectors);
+    }
+
+    DiskRequest req;
+    req.isWrite = cmd.isWrite;
+    req.lba = cmd.lba;
+    req.sectors = cmd.sectors;
+    req.done = [this, slot, cmd]() { finishSlot(slot, cmd); };
+    disk_.submit(std::move(req));
+}
+
+void
+AhciController::finishSlot(unsigned slot, const AhciCommand &cmd)
+{
+    sim::Addr hdr = sim::Addr(pxClb) + slot * kCmdHeaderSize;
+    std::uint32_t dw0 = mem.read32(hdr);
+    unsigned prdtl = dw0 >> kHdrPrdtlShift;
+    sim::Addr table = mem.read32(hdr + 8);
+
+    if (!cmd.isWrite) {
+        dmaToMemory(mem, parsePrdt(table, prdtl), disk_.store(),
+                    cmd.lba, cmd.sectors);
+    }
+    // PRDBC: bytes transferred.
+    mem.write32(hdr + 4,
+                static_cast<std::uint32_t>(cmd.sectors) *
+                    static_cast<std::uint32_t>(sim::kSectorSize));
+
+    ci_ &= ~(1u << slot);
+    active = false;
+    pxTfd &= ~kTfdBsy;
+    ++numCompleted;
+
+    pxIs |= kIsDhrs;
+    is |= 1u; // port 0 pending
+    if ((pxIe & kIsDhrs) && (ghc & kGhcIe))
+        irq.raise();
+
+    processNext();
+}
+
+std::vector<SgEntry>
+AhciController::parsePrdt(sim::Addr table, unsigned prdtl) const
+{
+    std::vector<SgEntry> sg;
+    sg.reserve(prdtl);
+    sim::Addr entry = table + kPrdtOffset;
+    for (unsigned i = 0; i < prdtl; ++i) {
+        std::uint32_t dba = mem.read32(entry);
+        std::uint32_t dw3 = mem.read32(entry + 12);
+        sim::Bytes bytes = (dw3 & 0x3FFFFFu) + 1;
+        sg.push_back(SgEntry{dba, bytes});
+        entry += kPrdtEntrySize;
+    }
+    return sg;
+}
+
+} // namespace hw

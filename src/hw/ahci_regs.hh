@@ -1,0 +1,104 @@
+/**
+ * @file
+ * AHCI HBA register layout and structure offsets shared by the
+ * controller model, the guest AHCI driver, and the BMcast AHCI
+ * device mediator.
+ */
+
+#ifndef HW_AHCI_REGS_HH
+#define HW_AHCI_REGS_HH
+
+#include <cstdint>
+
+#include "simcore/types.hh"
+
+namespace hw::ahci {
+
+/** MMIO base of the HBA (ABAR) and size covering port 0. */
+constexpr sim::Addr kAbar = 0xFEB00000;
+constexpr sim::Addr kAbarSize = 0x200;
+
+/** @name Generic host control registers (offsets from ABAR). */
+/// @{
+constexpr sim::Addr kCap = 0x00;
+constexpr sim::Addr kGhc = 0x04;
+constexpr sim::Addr kIs = 0x08;  //!< one bit per port, W1C
+constexpr sim::Addr kPi = 0x0C;
+constexpr sim::Addr kVs = 0x10;
+/// @}
+
+/** GHC bits. */
+constexpr std::uint32_t kGhcHr = 1u << 0;
+constexpr std::uint32_t kGhcIe = 1u << 1;
+constexpr std::uint32_t kGhcAe = 1u << 31;
+
+/** @name Port 0 registers (offsets from ABAR). */
+/// @{
+constexpr sim::Addr kPort = 0x100;
+constexpr sim::Addr kPxClb = kPort + 0x00;
+constexpr sim::Addr kPxClbu = kPort + 0x04;
+constexpr sim::Addr kPxFb = kPort + 0x08;
+constexpr sim::Addr kPxFbu = kPort + 0x0C;
+constexpr sim::Addr kPxIs = kPort + 0x10; //!< W1C
+constexpr sim::Addr kPxIe = kPort + 0x14;
+constexpr sim::Addr kPxCmd = kPort + 0x18;
+constexpr sim::Addr kPxTfd = kPort + 0x20;
+constexpr sim::Addr kPxSig = kPort + 0x24;
+constexpr sim::Addr kPxSsts = kPort + 0x28;
+constexpr sim::Addr kPxSctl = kPort + 0x2C;
+constexpr sim::Addr kPxSerr = kPort + 0x30;
+constexpr sim::Addr kPxSact = kPort + 0x34;
+constexpr sim::Addr kPxCi = kPort + 0x38; //!< W1S, device clears
+/// @}
+
+/** PxIS bits. */
+constexpr std::uint32_t kIsDhrs = 1u << 0; //!< D2H register FIS
+
+/** PxCMD bits. */
+constexpr std::uint32_t kCmdSt = 1u << 0;   //!< start processing
+constexpr std::uint32_t kCmdFre = 1u << 4;  //!< FIS receive enable
+constexpr std::uint32_t kCmdFr = 1u << 14;  //!< FIS receive running
+constexpr std::uint32_t kCmdCr = 1u << 15;  //!< command list running
+
+/** PxTFD status byte bits (mirror of ATA status). */
+constexpr std::uint32_t kTfdErr = 0x01;
+constexpr std::uint32_t kTfdDrq = 0x08;
+constexpr std::uint32_t kTfdBsy = 0x80;
+
+/** Number of command slots. */
+constexpr unsigned kNumSlots = 32;
+
+/** Command header layout (32 bytes per slot at PxCLB). */
+constexpr sim::Bytes kCmdHeaderSize = 32;
+constexpr std::uint32_t kHdrWrite = 1u << 6;       //!< DW0 W bit
+constexpr unsigned kHdrPrdtlShift = 16;            //!< DW0 PRDTL
+
+/** Command table layout. */
+constexpr sim::Bytes kCfisOffset = 0x00;
+constexpr sim::Bytes kCfisSize = 64;
+constexpr sim::Bytes kPrdtOffset = 0x80;
+constexpr sim::Bytes kPrdtEntrySize = 16;
+
+/** CFIS (register H2D FIS) byte offsets. */
+constexpr sim::Bytes kFisType = 0;    //!< 0x27
+constexpr sim::Bytes kFisFlags = 1;   //!< bit7 = C
+constexpr sim::Bytes kFisCommand = 2;
+constexpr sim::Bytes kFisLba0 = 4;
+constexpr sim::Bytes kFisLba1 = 5;
+constexpr sim::Bytes kFisLba2 = 6;
+constexpr sim::Bytes kFisDevice = 7;
+constexpr sim::Bytes kFisLba3 = 8;
+constexpr sim::Bytes kFisLba4 = 9;
+constexpr sim::Bytes kFisLba5 = 10;
+constexpr sim::Bytes kFisCount0 = 12;
+constexpr sim::Bytes kFisCount1 = 13;
+
+constexpr std::uint8_t kFisTypeH2d = 0x27;
+constexpr std::uint8_t kFisFlagC = 0x80;
+
+/** IRQ vector used by the HBA. */
+constexpr unsigned kIrqVector = 11;
+
+} // namespace hw::ahci
+
+#endif // HW_AHCI_REGS_HH

@@ -1,0 +1,129 @@
+#include "hw/disk.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "simcore/logging.hh"
+
+namespace hw {
+
+Disk::Disk(sim::EventQueue &eq, std::string name, DiskParams params,
+           std::uint64_t seed)
+    : sim::SimObject(eq, std::move(name)),
+      params_(params),
+      capSectors(params.capacityBytes / sim::kSectorSize),
+      rng(sim::Rng::seedFrom(this->name(), seed))
+{
+}
+
+void
+Disk::submit(DiskRequest req)
+{
+    sim::panicIfNot(req.sectors > 0, "zero-length disk request");
+    sim::panicIfNot(req.lba + req.sectors <= capSectors,
+                    "disk request beyond capacity: lba ", req.lba,
+                    " +", req.sectors);
+    queue.push_back(std::move(req));
+    if (!active)
+        startNext();
+}
+
+void
+Disk::startNext()
+{
+    if (queue.empty())
+        return;
+    active = true;
+    DiskRequest req = std::move(queue.front());
+    queue.pop_front();
+
+    sim::Tick svc = serviceTime(req);
+    mediaBusy += svc;
+
+    if (req.isWrite) {
+        ++numWrites;
+        writeBytes += sim::Bytes(req.sectors) * sim::kSectorSize;
+    } else {
+        ++numReads;
+        readBytes += sim::Bytes(req.sectors) * sim::kSectorSize;
+    }
+
+    cacheInsert(req);
+    headPos = req.lba + req.sectors;
+
+    schedule(svc, [this, req = std::move(req)]() {
+        if (req.done)
+            req.done();
+        active = false;
+        startNext();
+    });
+}
+
+bool
+Disk::cacheHit(const DiskRequest &req) const
+{
+    if (req.isWrite || req.sectors > params_.cacheTrackLimit)
+        return false;
+    for (const auto &[lba, sectors] : cacheLru) {
+        if (req.lba >= lba && req.lba + req.sectors <= lba + sectors)
+            return true;
+    }
+    return false;
+}
+
+void
+Disk::cacheInsert(const DiskRequest &req)
+{
+    if (req.sectors > params_.cacheTrackLimit)
+        return;
+    // Move-to-front if an existing slot covers it; else push.
+    for (auto it = cacheLru.begin(); it != cacheLru.end(); ++it) {
+        if (req.lba >= it->first &&
+            req.lba + req.sectors <= it->first + it->second) {
+            auto slot = *it;
+            cacheLru.erase(it);
+            cacheLru.push_front(slot);
+            return;
+        }
+    }
+    cacheLru.emplace_front(req.lba, req.sectors);
+    while (cacheLru.size() > params_.cacheSlots)
+        cacheLru.pop_back();
+}
+
+sim::Tick
+Disk::serviceTime(const DiskRequest &req)
+{
+    if (cacheHit(req)) {
+        ++numCacheHits;
+        return params_.cacheHitTime;
+    }
+
+    double rate_mbps =
+        req.isWrite ? params_.writeMBps : params_.readMBps;
+    double bytes = static_cast<double>(req.sectors) *
+                   static_cast<double>(sim::kSectorSize);
+    auto transfer = static_cast<sim::Tick>(
+        bytes / (rate_mbps * 1e6) * static_cast<double>(sim::kSec));
+
+    sim::Tick svc = params_.commandOverhead + transfer;
+
+    if (req.lba != headPos) {
+        ++numSeeks;
+        double dist = std::abs(static_cast<double>(req.lba) -
+                               static_cast<double>(headPos));
+        double frac = dist / static_cast<double>(capSectors);
+        // Seek time grows with the square root of distance, a standard
+        // first-order model of arm acceleration.
+        auto seek = static_cast<sim::Tick>(
+            static_cast<double>(params_.minSeek) +
+            std::sqrt(frac) *
+                static_cast<double>(params_.maxSeek - params_.minSeek));
+        sim::Tick rot = static_cast<sim::Tick>(
+            rng.uniform() * static_cast<double>(params_.revolution));
+        svc += seek + rot;
+    }
+    return svc;
+}
+
+} // namespace hw

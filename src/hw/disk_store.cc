@@ -1,0 +1,104 @@
+#include "hw/disk_store.hh"
+
+#include "simcore/logging.hh"
+
+namespace hw {
+
+void
+DiskStore::write(sim::Lba start, std::uint64_t count, std::uint64_t base)
+{
+    if (count == 0)
+        return;
+    sim::Lba end = start + count;
+
+    // Trim / split existing extents overlapping [start, end).
+    auto it = extents.upper_bound(start);
+    if (it != extents.begin()) {
+        auto prev = std::prev(it);
+        if (prev->second.end > start) {
+            // prev overlaps the front of the new range.
+            Extent old = prev->second;
+            prev->second.end = start;
+            if (prev->second.end == prev->first)
+                extents.erase(prev);
+            if (old.end > end) {
+                // The old extent also extends past us; keep the tail.
+                extents.emplace(end, Extent{old.end, old.base});
+            }
+        }
+    }
+    it = extents.lower_bound(start);
+    while (it != extents.end() && it->first < end) {
+        if (it->second.end <= end) {
+            it = extents.erase(it);
+        } else {
+            // Overlapping extent sticks out past the new range.
+            Extent tail{it->second.end, it->second.base};
+            extents.erase(it);
+            extents.emplace(end, tail);
+            break;
+        }
+    }
+
+    // Insert the new extent, merging with equal-base neighbours.
+    sim::Lba new_start = start;
+    sim::Lba new_end = end;
+    auto after = extents.lower_bound(start);
+    if (after != extents.begin()) {
+        auto prev = std::prev(after);
+        if (prev->second.end == new_start && prev->second.base == base) {
+            new_start = prev->first;
+            extents.erase(prev);
+        }
+    }
+    after = extents.lower_bound(new_end);
+    if (after != extents.end() && after->first == new_end &&
+        after->second.base == base) {
+        new_end = after->second.end;
+        extents.erase(after);
+    }
+    extents.emplace(new_start, Extent{new_end, base});
+}
+
+std::uint64_t
+DiskStore::baseAt(sim::Lba lba) const
+{
+    auto it = extents.upper_bound(lba);
+    if (it == extents.begin())
+        return 0;
+    --it;
+    if (lba < it->second.end)
+        return it->second.base;
+    return 0;
+}
+
+bool
+DiskStore::rangeHasBase(sim::Lba start, std::uint64_t count,
+                        std::uint64_t base) const
+{
+    // Walk extents; every sector must be covered with the given base.
+    sim::Lba pos = start;
+    sim::Lba end = start + count;
+    while (pos < end) {
+        auto it = extents.upper_bound(pos);
+        const Extent *cover = nullptr;
+        if (it != extents.begin()) {
+            auto prev = std::prev(it);
+            if (pos < prev->second.end)
+                cover = &prev->second;
+        }
+        if (cover) {
+            if (cover->base != base)
+                return false;
+            pos = std::min(end, cover->end);
+        } else {
+            // Gap (base 0) until the next extent start.
+            if (base != 0)
+                return false;
+            pos = (it == extents.end()) ? end : std::min(end, it->first);
+        }
+    }
+    return true;
+}
+
+} // namespace hw

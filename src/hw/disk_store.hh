@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Content-provenance store for simulated disks and disk images.
+ *
+ * Storing 32 GB of literal bytes per simulated disk is infeasible, so
+ * sector *content* is represented by a 64-bit token derived from a
+ * per-write "content base":
+ *
+ *     token(base, lba) = base ^ mixLba(lba)       (base != 0)
+ *     token == 0                                  (never written)
+ *
+ * Because the base is recoverable from any (token, lba) pair, a
+ * multi-sector write whose buffer holds tokens from a single source
+ * coalesces into one extent, and a full 32-GB OS image is a single
+ * map entry. Data buffers in simulated physical memory carry the
+ * 8-byte token at the start of each 512-byte sector slot.
+ *
+ * Tests use tokens end-to-end: a guest that reads a block deployed by
+ * copy-on-read must observe exactly the image's token for that LBA.
+ */
+
+#ifndef HW_DISK_STORE_HH
+#define HW_DISK_STORE_HH
+
+#include <cstdint>
+#include <map>
+
+#include "simcore/types.hh"
+
+namespace hw {
+
+/** Strong 64-bit mix of an LBA (splitmix64 finalizer). */
+inline std::uint64_t
+mixLba(sim::Lba lba)
+{
+    std::uint64_t z = lba + 0x9E3779B97F4A7C15ULL;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+/** Token stored in a data buffer for one sector of content. */
+inline std::uint64_t
+sectorToken(std::uint64_t base, sim::Lba lba)
+{
+    return base == 0 ? 0 : base ^ mixLba(lba);
+}
+
+/** Recover the content base from a buffer token. */
+inline std::uint64_t
+baseFromToken(std::uint64_t token, sim::Lba lba)
+{
+    return token == 0 ? 0 : token ^ mixLba(lba);
+}
+
+/**
+ * An interval map from LBA ranges to content bases. Unmapped sectors
+ * read as base 0 (token 0).
+ */
+class DiskStore
+{
+  public:
+    /** Overwrite [start, start+count) with content base @p base. */
+    void write(sim::Lba start, std::uint64_t count, std::uint64_t base);
+
+    /** Content base at one LBA (0 = never written). */
+    std::uint64_t baseAt(sim::Lba lba) const;
+
+    /** Buffer token at one LBA. */
+    std::uint64_t
+    tokenAt(sim::Lba lba) const
+    {
+        return sectorToken(baseAt(lba), lba);
+    }
+
+    /** True if every sector of the range has content base @p base. */
+    bool rangeHasBase(sim::Lba start, std::uint64_t count,
+                      std::uint64_t base) const;
+
+    /** Number of extents (compression telemetry / tests). */
+    std::size_t extentCount() const { return extents.size(); }
+
+    /** Drop all content. */
+    void clear() { extents.clear(); }
+
+  private:
+    struct Extent
+    {
+        sim::Lba end; // exclusive
+        std::uint64_t base;
+    };
+
+    /** start -> extent; non-overlapping, coalesced where possible. */
+    std::map<sim::Lba, Extent> extents;
+};
+
+} // namespace hw
+
+#endif // HW_DISK_STORE_HH

@@ -1,0 +1,60 @@
+#include "hw/firmware.hh"
+
+#include <algorithm>
+
+#include "simcore/logging.hh"
+
+namespace hw {
+
+void
+Firmware::reserve(sim::Addr base, sim::Bytes size)
+{
+    sim::fatalIf(base + size > memSize,
+                 "reservation beyond installed memory");
+    std::vector<E820Region> out;
+    for (const E820Region &r : map) {
+        if (r.type == E820Region::Type::Reserved ||
+            base + size <= r.base || r.base + r.size <= base) {
+            out.push_back(r);
+            continue;
+        }
+        // RAM region overlapping the reservation: split.
+        if (r.base < base) {
+            out.push_back(E820Region{r.base, base - r.base,
+                                     E820Region::Type::Ram});
+        }
+        sim::Addr res_end = std::min(base + size, r.base + r.size);
+        sim::Addr res_base = std::max(base, r.base);
+        out.push_back(E820Region{res_base, res_end - res_base,
+                                 E820Region::Type::Reserved});
+        if (r.base + r.size > base + size) {
+            out.push_back(E820Region{base + size,
+                                     r.base + r.size - (base + size),
+                                     E820Region::Type::Ram});
+        }
+    }
+    map = std::move(out);
+}
+
+sim::Bytes
+Firmware::usableRam() const
+{
+    sim::Bytes total = 0;
+    for (const E820Region &r : map)
+        if (r.type == E820Region::Type::Ram)
+            total += r.size;
+    return total;
+}
+
+bool
+Firmware::overlapsReserved(sim::Addr base, sim::Bytes size) const
+{
+    for (const E820Region &r : map) {
+        if (r.type == E820Region::Type::Reserved &&
+            base < r.base + r.size && r.base < base + size)
+            return true;
+    }
+    return false;
+}
+
+} // namespace hw

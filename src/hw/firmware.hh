@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Platform firmware (BIOS) model.
+ *
+ * Provides the long cold-initialization delay of server motherboards
+ * (133 s on the paper's PRIMERGY RX200 S6), the e820 memory map that
+ * the BMcast VMM manipulates to reserve its own memory from the guest
+ * (paper §3.4), and the boot-source selection.
+ */
+
+#ifndef HW_FIRMWARE_HH
+#define HW_FIRMWARE_HH
+
+#include <functional>
+#include <vector>
+
+#include "simcore/sim_object.hh"
+
+namespace hw {
+
+/** One e820 map entry. */
+struct E820Region
+{
+    enum class Type { Ram, Reserved };
+
+    sim::Addr base = 0;
+    sim::Bytes size = 0;
+    Type type = Type::Ram;
+};
+
+/** The firmware. */
+class Firmware : public sim::SimObject
+{
+  public:
+    Firmware(sim::EventQueue &eq, std::string name,
+             sim::Tick coldInitTime, sim::Bytes memSize)
+        : sim::SimObject(eq, std::move(name)),
+          coldInit(coldInitTime), memSize(memSize)
+    {
+        map.push_back(E820Region{0, memSize, E820Region::Type::Ram});
+    }
+
+    /**
+     * Power the machine on: after the cold-init delay, invoke the
+     * boot continuation (which loads a VMM, an installer, or an OS).
+     */
+    void
+    powerOn(std::function<void()> boot)
+    {
+        schedule(coldInit, std::move(boot));
+    }
+
+    /** Cold initialization duration. */
+    sim::Tick coldInitTime() const { return coldInit; }
+
+    /**
+     * Mark [base, base+size) reserved. The BMcast VMM hooks the BIOS
+     * memory-map function to hide its own region this way.
+     */
+    void reserve(sim::Addr base, sim::Bytes size);
+
+    /** The e820 map as the booting OS sees it. */
+    const std::vector<E820Region> &e820() const { return map; }
+
+    /** Total RAM visible to the OS (excludes reservations). */
+    sim::Bytes usableRam() const;
+
+    /** True if any byte of [base, base+size) is reserved. */
+    bool overlapsReserved(sim::Addr base, sim::Bytes size) const;
+
+  private:
+    sim::Tick coldInit;
+    sim::Bytes memSize;
+    std::vector<E820Region> map;
+};
+
+} // namespace hw
+
+#endif // HW_FIRMWARE_HH

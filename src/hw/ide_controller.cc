@@ -1,0 +1,321 @@
+#include "hw/ide_controller.hh"
+
+#include "simcore/logging.hh"
+
+namespace hw {
+
+using namespace ide;
+
+IdeController::IdeController(sim::EventQueue &eq, std::string name,
+                             IoBus &bus_, PhysMem &mem_, Disk &disk,
+                             IrqLine irq_)
+    : sim::SimObject(eq, std::move(name)),
+      bus(bus_), mem(mem_), disk_(disk), irq(irq_)
+{
+    bus.addDevice(IoSpace::Pio, kPioBase, kPioSize,
+                  IoDevice{this->name() + ".cmd",
+                           [this](sim::Addr o, unsigned s) {
+                               return pioRead(o, s);
+                           },
+                           [this](sim::Addr o, std::uint64_t v,
+                                  unsigned s) { pioWrite(o, v, s); }});
+    bus.addDevice(IoSpace::Pio, kCtrlPort, 1,
+                  IoDevice{this->name() + ".ctrl",
+                           [this](sim::Addr o, unsigned s) {
+                               return ctrlRead(o, s);
+                           },
+                           [this](sim::Addr o, std::uint64_t v,
+                                  unsigned s) { ctrlWrite(o, v, s); }});
+    bus.addDevice(IoSpace::Pio, kBmBase, kBmSize,
+                  IoDevice{this->name() + ".bm",
+                           [this](sim::Addr o, unsigned s) {
+                               return bmRead(o, s);
+                           },
+                           [this](sim::Addr o, std::uint64_t v,
+                                  unsigned s) { bmWrite(o, v, s); }});
+}
+
+std::uint64_t
+IdeController::pioRead(sim::Addr offset, unsigned size)
+{
+    (void)size;
+    switch (offset) {
+      case kErrorFeat:
+        return 0;
+      case kSectorCount:
+        return tf.sectorCount[0];
+      case kLbaLow:
+        return tf.lbaLow[0];
+      case kLbaMid:
+        return tf.lbaMid[0];
+      case kLbaHigh:
+        return tf.lbaHigh[0];
+      case kDevice:
+        return tf.device;
+      case kCmdStatus:
+        // Reading the status register acknowledges INTRQ.
+        irqPending = false;
+        return status;
+      default:
+        return 0;
+    }
+}
+
+void
+IdeController::pioWrite(sim::Addr offset, std::uint64_t value,
+                        unsigned size)
+{
+    (void)size;
+    auto v = static_cast<std::uint8_t>(value);
+    switch (offset) {
+      case kErrorFeat:
+        break; // features ignored
+      case kSectorCount:
+        tf.sectorCount[1] = tf.sectorCount[0];
+        tf.sectorCount[0] = v;
+        break;
+      case kLbaLow:
+        tf.lbaLow[1] = tf.lbaLow[0];
+        tf.lbaLow[0] = v;
+        break;
+      case kLbaMid:
+        tf.lbaMid[1] = tf.lbaMid[0];
+        tf.lbaMid[0] = v;
+        break;
+      case kLbaHigh:
+        tf.lbaHigh[1] = tf.lbaHigh[0];
+        tf.lbaHigh[0] = v;
+        break;
+      case kDevice:
+        tf.device = v;
+        break;
+      case kCmdStatus:
+        commandWrite(v);
+        break;
+      default:
+        break;
+    }
+}
+
+std::uint64_t
+IdeController::ctrlRead(sim::Addr offset, unsigned size)
+{
+    (void)offset;
+    (void)size;
+    // Alternate status: same value, does NOT ack INTRQ. The mediator
+    // polls this register so as not to steal the guest's interrupt.
+    return status;
+}
+
+void
+IdeController::ctrlWrite(sim::Addr offset, std::uint64_t value,
+                         unsigned size)
+{
+    (void)offset;
+    (void)size;
+    auto v = static_cast<std::uint8_t>(value);
+    bool was_srst = devCtrl & kCtrlSrst;
+    devCtrl = v;
+    if (!was_srst && (v & kCtrlSrst))
+        softReset();
+}
+
+std::uint64_t
+IdeController::bmRead(sim::Addr offset, unsigned size)
+{
+    switch (offset) {
+      case kBmCommand:
+        return bmCommand;
+      case kBmStatus:
+        return bmStatus;
+      case kBmPrdtAddr:
+        (void)size;
+        return prdtAddr;
+      default:
+        return 0;
+    }
+}
+
+void
+IdeController::bmWrite(sim::Addr offset, std::uint64_t value,
+                       unsigned size)
+{
+    (void)size;
+    switch (offset) {
+      case kBmCommand: {
+        auto v = static_cast<std::uint8_t>(value);
+        bool was_started = bmCommand & kBmCmdStart;
+        bmCommand = v;
+        if (!was_started && (v & kBmCmdStart))
+            maybeStartDma();
+        if (was_started && !(v & kBmCmdStart))
+            bmStatus &= static_cast<std::uint8_t>(~kBmStActive);
+        break;
+      }
+      case kBmStatus: {
+        // IRQ and error bits are write-1-to-clear.
+        auto v = static_cast<std::uint8_t>(value);
+        bmStatus &= static_cast<std::uint8_t>(
+            ~(v & (kBmStIrq | kBmStError)));
+        break;
+      }
+      case kBmPrdtAddr:
+        prdtAddr = static_cast<std::uint32_t>(value);
+        break;
+      default:
+        break;
+    }
+}
+
+sim::Lba
+IdeController::currentLba(bool ext) const
+{
+    if (ext) {
+        return (sim::Lba(tf.lbaHigh[1]) << 40) |
+               (sim::Lba(tf.lbaMid[1]) << 32) |
+               (sim::Lba(tf.lbaLow[1]) << 24) |
+               (sim::Lba(tf.lbaHigh[0]) << 16) |
+               (sim::Lba(tf.lbaMid[0]) << 8) | sim::Lba(tf.lbaLow[0]);
+    }
+    return (sim::Lba(tf.device & 0x0F) << 24) |
+           (sim::Lba(tf.lbaHigh[0]) << 16) |
+           (sim::Lba(tf.lbaMid[0]) << 8) | sim::Lba(tf.lbaLow[0]);
+}
+
+std::uint32_t
+IdeController::currentCount(bool ext) const
+{
+    if (ext) {
+        std::uint32_t c = (std::uint32_t(tf.sectorCount[1]) << 8) |
+                          tf.sectorCount[0];
+        return c == 0 ? 65536u : c;
+    }
+    std::uint32_t c = tf.sectorCount[0];
+    return c == 0 ? 256u : c;
+}
+
+void
+IdeController::commandWrite(std::uint8_t cmd)
+{
+    if (status & kStatusBsy) {
+        sim::warn(name(), ": command 0x", std::hex, unsigned(cmd),
+                  std::dec, " written while BSY; ignored");
+        return;
+    }
+    switch (cmd) {
+      case kCmdReadDma:
+      case kCmdWriteDma:
+      case kCmdReadDmaExt:
+      case kCmdWriteDmaExt: {
+        bool ext = isExtCommand(cmd);
+        pendingCmd = cmd;
+        activeLba = currentLba(ext);
+        activeCount = currentCount(ext);
+        activeWrite = isWriteCommand(cmd);
+        cmdPending = true;
+        status = static_cast<std::uint8_t>(kStatusDrdy | kStatusDrq);
+        maybeStartDma();
+        break;
+      }
+      case kCmdFlushCache:
+      case kCmdIdentify:
+        status = kStatusBsy;
+        schedule(100 * sim::kUs, [this]() { completeNoData(); });
+        break;
+      default:
+        // Unsupported command: report error immediately.
+        status = static_cast<std::uint8_t>(kStatusDrdy | kStatusErr);
+        raiseIrq();
+        break;
+    }
+}
+
+void
+IdeController::maybeStartDma()
+{
+    if (!cmdPending || !(bmCommand & kBmCmdStart) || cmdActive)
+        return;
+    cmdPending = false;
+    cmdActive = true;
+    status = kStatusBsy;
+    bmStatus |= kBmStActive;
+
+    DiskRequest req;
+    req.isWrite = activeWrite;
+    req.lba = activeLba;
+    req.sectors = activeCount;
+    req.done = [this]() { finishDma(); };
+
+    if (activeWrite) {
+        // Data moves from memory to media; model the copy at issue
+        // time (the store must reflect the buffer as handed over).
+        dmaFromMemory(mem, parsePrdt(), disk_.store(), activeLba,
+                      activeCount);
+    }
+    disk_.submit(std::move(req));
+}
+
+void
+IdeController::finishDma()
+{
+    if (!activeWrite)
+        dmaToMemory(mem, parsePrdt(), disk_.store(), activeLba,
+                    activeCount);
+
+    cmdActive = false;
+    ++numCompleted;
+    status = kStatusDrdy;
+    bmStatus &= static_cast<std::uint8_t>(~kBmStActive);
+    bmStatus |= kBmStIrq;
+    raiseIrq();
+}
+
+void
+IdeController::completeNoData()
+{
+    status = kStatusDrdy;
+    ++numCompleted;
+    raiseIrq();
+}
+
+void
+IdeController::raiseIrq()
+{
+    irqPending = true;
+    if (!(devCtrl & kCtrlNIen))
+        irq.raise();
+}
+
+void
+IdeController::softReset()
+{
+    tf = TaskFile{};
+    status = kStatusDrdy;
+    irqPending = false;
+    cmdPending = false;
+    // An in-flight media operation completes but its finish handler
+    // will simply report on a reset controller; acceptable for the
+    // model (guests only SRST on boot).
+    bmCommand = 0;
+    bmStatus = 0;
+}
+
+std::vector<SgEntry>
+IdeController::parsePrdt() const
+{
+    std::vector<SgEntry> sg;
+    sim::Addr entry = prdtAddr;
+    for (int i = 0; i < 512; ++i) { // safety bound
+        std::uint32_t addr = mem.read32(entry);
+        std::uint16_t count = mem.read16(entry + 4);
+        std::uint16_t flags = mem.read16(entry + 6);
+        sim::Bytes bytes = count == 0 ? 65536 : count;
+        sg.push_back(SgEntry{addr, bytes});
+        if (flags & kPrdEot)
+            return sg;
+        entry += kPrdEntrySize;
+    }
+    sim::panic("PRD table without EOT near ", prdtAddr);
+}
+
+} // namespace hw

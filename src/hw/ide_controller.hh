@@ -1,0 +1,102 @@
+/**
+ * @file
+ * IDE (parallel ATA) controller model with bus-master DMA.
+ *
+ * Implements the primary channel's command block registers, the
+ * device control register, and the BM-DMA block, faithfully enough
+ * that a register-level driver and the BMcast IDE device mediator can
+ * both operate it: two-deep LBA48 register FIFOs, nIEN interrupt
+ * gating, INTRQ acknowledged by reading the status register, PRD
+ * table parsing from physical memory.
+ */
+
+#ifndef HW_IDE_CONTROLLER_HH
+#define HW_IDE_CONTROLLER_HH
+
+#include <cstdint>
+
+#include "hw/disk.hh"
+#include "hw/dma.hh"
+#include "hw/ide_regs.hh"
+#include "hw/interrupts.hh"
+#include "hw/io_bus.hh"
+#include "hw/phys_mem.hh"
+#include "simcore/sim_object.hh"
+
+namespace hw {
+
+/** The primary-channel IDE controller with one attached drive. */
+class IdeController : public sim::SimObject
+{
+  public:
+    IdeController(sim::EventQueue &eq, std::string name, IoBus &bus,
+                  PhysMem &mem, Disk &disk, IrqLine irq);
+
+    /** @name Register interface (invoked via the IoBus). */
+    /// @{
+    std::uint64_t pioRead(sim::Addr offset, unsigned size);
+    void pioWrite(sim::Addr offset, std::uint64_t value, unsigned size);
+    std::uint64_t ctrlRead(sim::Addr offset, unsigned size);
+    void ctrlWrite(sim::Addr offset, std::uint64_t value, unsigned size);
+    std::uint64_t bmRead(sim::Addr offset, unsigned size);
+    void bmWrite(sim::Addr offset, std::uint64_t value, unsigned size);
+    /// @}
+
+    /** True while a command is executing. */
+    bool commandActive() const { return cmdActive; }
+
+    /** Commands executed (telemetry). */
+    std::uint64_t commandsCompleted() const { return numCompleted; }
+
+    /** Attached drive. */
+    Disk &disk() { return disk_; }
+
+  private:
+    struct TaskFile
+    {
+        std::uint8_t sectorCount[2] = {0, 0}; //!< [0]=current, [1]=prev
+        std::uint8_t lbaLow[2] = {0, 0};
+        std::uint8_t lbaMid[2] = {0, 0};
+        std::uint8_t lbaHigh[2] = {0, 0};
+        std::uint8_t device = 0;
+    };
+
+    void commandWrite(std::uint8_t cmd);
+    void maybeStartDma();
+    void finishDma();
+    void completeNoData();
+    void raiseIrq();
+    void softReset();
+
+    sim::Lba currentLba(bool ext) const;
+    std::uint32_t currentCount(bool ext) const;
+    std::vector<SgEntry> parsePrdt() const;
+
+    IoBus &bus;
+    PhysMem &mem;
+    Disk &disk_;
+    IrqLine irq;
+
+    TaskFile tf;
+    std::uint8_t status = ide::kStatusDrdy;
+    std::uint8_t devCtrl = 0;
+    bool irqPending = false;
+
+    std::uint8_t bmCommand = 0;
+    std::uint8_t bmStatus = 0;
+    std::uint32_t prdtAddr = 0;
+
+    // In-flight command state.
+    bool cmdPending = false; //!< command latched, awaiting BM start
+    bool cmdActive = false;  //!< media operation in progress
+    std::uint8_t pendingCmd = 0;
+    sim::Lba activeLba = 0;
+    std::uint32_t activeCount = 0;
+    bool activeWrite = false;
+
+    std::uint64_t numCompleted = 0;
+};
+
+} // namespace hw
+
+#endif // HW_IDE_CONTROLLER_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * ATA/IDE register layout and bit definitions shared by the
+ * controller model, the guest driver, and the BMcast IDE device
+ * mediator. Keeping them in one header is what lets the mediator stay
+ * small: it interprets exactly these registers and nothing else.
+ */
+
+#ifndef HW_IDE_REGS_HH
+#define HW_IDE_REGS_HH
+
+#include <cstdint>
+
+#include "simcore/types.hh"
+
+namespace hw::ide {
+
+/** Primary-channel command block base (offsets below are relative). */
+constexpr sim::Addr kPioBase = 0x1F0;
+constexpr sim::Addr kPioSize = 8;
+
+/** Command block register offsets from kPioBase. */
+enum Reg : sim::Addr
+{
+    kData = 0,      //!< not used by DMA transfers
+    kErrorFeat = 1, //!< read: error, write: features
+    kSectorCount = 2,
+    kLbaLow = 3,
+    kLbaMid = 4,
+    kLbaHigh = 5,
+    kDevice = 6,
+    kCmdStatus = 7, //!< read: status (acks INTRQ), write: command
+};
+
+/** Device control register (alternate status on read). */
+constexpr sim::Addr kCtrlPort = 0x3F6;
+
+/** Bus-master DMA block (PCI BAR4 in real hardware). */
+constexpr sim::Addr kBmBase = 0xC000;
+constexpr sim::Addr kBmSize = 16;
+
+enum BmReg : sim::Addr
+{
+    kBmCommand = 0,
+    kBmStatus = 2,
+    kBmPrdtAddr = 4, //!< 32-bit physical address of the PRD table
+};
+
+/** Status register bits. */
+constexpr std::uint8_t kStatusErr = 0x01;
+constexpr std::uint8_t kStatusDrq = 0x08;
+constexpr std::uint8_t kStatusDrdy = 0x40;
+constexpr std::uint8_t kStatusBsy = 0x80;
+
+/** Device register bits. */
+constexpr std::uint8_t kDeviceLbaMode = 0x40;
+
+/** Device control bits. */
+constexpr std::uint8_t kCtrlNIen = 0x02; //!< 1 = suppress INTRQ
+constexpr std::uint8_t kCtrlSrst = 0x04; //!< software reset
+
+/** Bus-master command bits. */
+constexpr std::uint8_t kBmCmdStart = 0x01;
+constexpr std::uint8_t kBmCmdToMemory = 0x08; //!< 1 = device->memory
+
+/** Bus-master status bits. */
+constexpr std::uint8_t kBmStActive = 0x01;
+constexpr std::uint8_t kBmStError = 0x02;
+constexpr std::uint8_t kBmStIrq = 0x04; //!< write 1 to clear
+
+/** ATA commands the model implements. */
+constexpr std::uint8_t kCmdReadDma = 0xC8;
+constexpr std::uint8_t kCmdWriteDma = 0xCA;
+constexpr std::uint8_t kCmdReadDmaExt = 0x25;
+constexpr std::uint8_t kCmdWriteDmaExt = 0x35;
+constexpr std::uint8_t kCmdFlushCache = 0xE7;
+constexpr std::uint8_t kCmdIdentify = 0xEC;
+
+/** True for the four DMA data commands. */
+constexpr bool
+isDmaCommand(std::uint8_t cmd)
+{
+    return cmd == kCmdReadDma || cmd == kCmdWriteDma ||
+           cmd == kCmdReadDmaExt || cmd == kCmdWriteDmaExt;
+}
+
+constexpr bool
+isWriteCommand(std::uint8_t cmd)
+{
+    return cmd == kCmdWriteDma || cmd == kCmdWriteDmaExt;
+}
+
+constexpr bool
+isExtCommand(std::uint8_t cmd)
+{
+    return cmd == kCmdReadDmaExt || cmd == kCmdWriteDmaExt;
+}
+
+/** One PRD (physical region descriptor) entry: 8 bytes. */
+constexpr sim::Bytes kPrdEntrySize = 8;
+constexpr std::uint16_t kPrdEot = 0x8000;
+
+/** IRQ vector of the primary channel. */
+constexpr unsigned kIrqVector = 14;
+
+} // namespace hw::ide
+
+#endif // HW_IDE_REGS_HH

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Interrupt delivery: IRQ lines feeding a simple interrupt controller.
+ *
+ * The controller is deliberately *not* virtualized by BMcast (paper
+ * §3.2: sharing interrupt controllers is complicated and hurts
+ * portability); mediators instead suppress interrupts at the device
+ * (nIEN / PxIE) and poll. The controller therefore only routes vectors
+ * to registered guest handlers, with a small delivery latency plus any
+ * profile-dependent virtualization overhead.
+ */
+
+#ifndef HW_INTERRUPTS_HH
+#define HW_INTERRUPTS_HH
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "hw/virt_profile.hh"
+#include "simcore/sim_object.hh"
+
+namespace hw {
+
+/** Routes interrupt vectors to handlers with delivery latency. */
+class InterruptController : public sim::SimObject
+{
+  public:
+    using Handler = std::function<void()>;
+
+    InterruptController(sim::EventQueue &eq, std::string name,
+                        std::function<const VirtProfile &()> profile,
+                        sim::Tick baseLatency = 2 * sim::kUs)
+        : sim::SimObject(eq, std::move(name)),
+          profileFn(std::move(profile)), baseLatency(baseLatency) {}
+
+    /** Token identifying one registered handler. */
+    using HandlerId = std::uint64_t;
+
+    /**
+     * Install a handler for a vector. Vectors may be shared: every
+     * registered handler runs on delivery and must tolerate spurious
+     * invocations (as real shared-IRQ drivers do).
+     */
+    HandlerId
+    registerHandler(unsigned vector, Handler handler)
+    {
+        HandlerId id = nextHandlerId++;
+        handlers[vector].emplace_back(id, std::move(handler));
+        return id;
+    }
+
+    /** Remove one handler (driver teardown / OS handover). */
+    void
+    unregisterHandler(unsigned vector, HandlerId id)
+    {
+        auto it = handlers.find(vector);
+        if (it == handlers.end())
+            return;
+        auto &v = it->second;
+        for (auto h = v.begin(); h != v.end(); ++h) {
+            if (h->first == id) {
+                v.erase(h);
+                return;
+            }
+        }
+    }
+
+    /** Edge-trigger a vector; delivery is scheduled, not immediate. */
+    void
+    raise(unsigned vector)
+    {
+        ++numRaised;
+        sim::Tick latency = baseLatency + profileFn().interruptExtraNs;
+        schedule(latency, [this, vector]() { deliver(vector); });
+    }
+
+    /** Total interrupts raised. */
+    std::uint64_t raised() const { return numRaised; }
+    /** Interrupts that found a handler. */
+    std::uint64_t delivered() const { return numDelivered; }
+    /** Interrupts raised with no handler registered (dropped). */
+    std::uint64_t spurious() const { return numRaised - numDelivered; }
+
+  private:
+    void
+    deliver(unsigned vector)
+    {
+        auto it = handlers.find(vector);
+        if (it == handlers.end() || it->second.empty())
+            return;
+        ++numDelivered;
+        // Copy: a handler may (un)register during delivery.
+        auto hs = it->second;
+        for (auto &[id, h] : hs)
+            h();
+    }
+
+    std::function<const VirtProfile &()> profileFn;
+    sim::Tick baseLatency;
+    std::map<unsigned, std::vector<std::pair<HandlerId, Handler>>>
+        handlers;
+    HandlerId nextHandlerId = 1;
+    std::uint64_t numRaised = 0;
+    std::uint64_t numDelivered = 0;
+};
+
+/** A device's interrupt output pin, bound to one vector. */
+class IrqLine
+{
+  public:
+    IrqLine() = default;
+
+    IrqLine(InterruptController *ctrl, unsigned vector)
+        : ctrl(ctrl), vector(vector) {}
+
+    /** Pulse the line (edge-triggered model). */
+    void
+    raise()
+    {
+        if (ctrl)
+            ctrl->raise(vector);
+    }
+
+    unsigned vectorNumber() const { return vector; }
+
+  private:
+    InterruptController *ctrl = nullptr;
+    unsigned vector = 0;
+};
+
+} // namespace hw
+
+#endif // HW_INTERRUPTS_HH

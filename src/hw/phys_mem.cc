@@ -1,0 +1,77 @@
+#include "hw/phys_mem.hh"
+
+#include <algorithm>
+
+#include "simcore/logging.hh"
+
+namespace hw {
+
+const PhysMem::Page *
+PhysMem::findPage(sim::Addr page_addr) const
+{
+    auto it = pages.find(page_addr);
+    return it == pages.end() ? nullptr : &it->second;
+}
+
+PhysMem::Page &
+PhysMem::touchPage(sim::Addr page_addr)
+{
+    auto [it, inserted] = pages.try_emplace(page_addr);
+    if (inserted)
+        it->second.fill(0);
+    return it->second;
+}
+
+void
+PhysMem::read(sim::Addr addr, void *out, sim::Bytes len) const
+{
+    sim::panicIfNot(addr + len <= size_,
+                    "phys read out of range: ", addr, "+", len);
+    auto *dst = static_cast<std::uint8_t *>(out);
+    while (len > 0) {
+        sim::Addr page_addr = addr & ~(kPageSize - 1);
+        sim::Bytes off = addr - page_addr;
+        sim::Bytes chunk = std::min<sim::Bytes>(len, kPageSize - off);
+        if (const Page *page = findPage(page_addr))
+            std::memcpy(dst, page->data() + off, chunk);
+        else
+            std::memset(dst, 0, chunk);
+        dst += chunk;
+        addr += chunk;
+        len -= chunk;
+    }
+}
+
+void
+PhysMem::write(sim::Addr addr, const void *in, sim::Bytes len)
+{
+    sim::panicIfNot(addr + len <= size_,
+                    "phys write out of range: ", addr, "+", len);
+    auto *src = static_cast<const std::uint8_t *>(in);
+    while (len > 0) {
+        sim::Addr page_addr = addr & ~(kPageSize - 1);
+        sim::Bytes off = addr - page_addr;
+        sim::Bytes chunk = std::min<sim::Bytes>(len, kPageSize - off);
+        std::memcpy(touchPage(page_addr).data() + off, src, chunk);
+        src += chunk;
+        addr += chunk;
+        len -= chunk;
+    }
+}
+
+void
+PhysMem::fill(sim::Addr addr, std::uint8_t value, sim::Bytes len)
+{
+    sim::panicIfNot(addr + len <= size_,
+                    "phys fill out of range: ", addr, "+", len);
+    while (len > 0) {
+        sim::Addr page_addr = addr & ~(kPageSize - 1);
+        sim::Bytes off = addr - page_addr;
+        sim::Bytes chunk = std::min<sim::Bytes>(len, kPageSize - off);
+        std::memset(touchPage(page_addr).data() + off, value, chunk);
+        addr += chunk;
+        len -= chunk;
+    }
+}
+
+} // namespace hw

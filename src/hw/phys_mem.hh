@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Sparse physical memory for a simulated machine.
+ *
+ * Backing pages (4 KiB) are materialized on first write, so a 96-GB
+ * machine costs only what is actually touched (DMA buffers, descriptor
+ * rings, command tables). Reads of untouched memory return zeros.
+ */
+
+#ifndef HW_PHYS_MEM_HH
+#define HW_PHYS_MEM_HH
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+#include "simcore/types.hh"
+
+namespace hw {
+
+/** Byte-addressable sparse physical memory. */
+class PhysMem
+{
+  public:
+    explicit PhysMem(sim::Bytes size) : size_(size) {}
+
+    /** Total installed memory. */
+    sim::Bytes size() const { return size_; }
+
+    /** Read @p len bytes at @p addr into @p out. */
+    void read(sim::Addr addr, void *out, sim::Bytes len) const;
+
+    /** Write @p len bytes from @p in at @p addr. */
+    void write(sim::Addr addr, const void *in, sim::Bytes len);
+
+    /** Fill a range with a byte value. */
+    void fill(sim::Addr addr, std::uint8_t value, sim::Bytes len);
+
+    /** Typed helpers (little-endian, as x86). */
+    std::uint8_t read8(sim::Addr a) const { return readT<std::uint8_t>(a); }
+    std::uint16_t read16(sim::Addr a) const { return readT<std::uint16_t>(a); }
+    std::uint32_t read32(sim::Addr a) const { return readT<std::uint32_t>(a); }
+    std::uint64_t read64(sim::Addr a) const { return readT<std::uint64_t>(a); }
+
+    void write8(sim::Addr a, std::uint8_t v) { writeT(a, v); }
+    void write16(sim::Addr a, std::uint16_t v) { writeT(a, v); }
+    void write32(sim::Addr a, std::uint32_t v) { writeT(a, v); }
+    void write64(sim::Addr a, std::uint64_t v) { writeT(a, v); }
+
+    /** Number of pages currently materialized (for tests/telemetry). */
+    std::size_t pagesAllocated() const { return pages.size(); }
+
+  private:
+    static constexpr sim::Bytes kPageSize = 4096;
+
+    using Page = std::array<std::uint8_t, kPageSize>;
+
+    template <typename T>
+    T
+    readT(sim::Addr a) const
+    {
+        T v;
+        read(a, &v, sizeof(T));
+        return v;
+    }
+
+    template <typename T>
+    void
+    writeT(sim::Addr a, T v)
+    {
+        write(a, &v, sizeof(T));
+    }
+
+    const Page *findPage(sim::Addr pageAddr) const;
+    Page &touchPage(sim::Addr pageAddr);
+
+    sim::Bytes size_;
+    std::unordered_map<sim::Addr, Page> pages;
+};
+
+} // namespace hw
+
+#endif // HW_PHYS_MEM_HH

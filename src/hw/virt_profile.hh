@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The machine-wide virtualization cost profile.
+ *
+ * The active VMM (BMcast during its phases, or the KVM baseline)
+ * publishes a VirtProfile on the Machine; workload models and the
+ * InfiniBand HCA consult it to compute virtualization-induced
+ * overheads that are below the granularity of the discrete-event
+ * device models (TLB behaviour, cache pollution, vCPU scheduling).
+ *
+ * Publishing a profile is the *mechanism* by which overhead appears;
+ * de-virtualization resets the profile to bare metal, which is how the
+ * paper's "zero overhead after de-virtualization" claim is structural
+ * in this model rather than asserted.
+ */
+
+#ifndef HW_VIRT_PROFILE_HH
+#define HW_VIRT_PROFILE_HH
+
+#include <string>
+
+#include "simcore/types.hh"
+
+namespace hw {
+
+/** Cost knobs consulted by workloads and latency-sensitive devices. */
+struct VirtProfile
+{
+    /** Human-readable profile name. */
+    std::string name = "baremetal";
+
+    /** True while a VMM interposes at all. */
+    bool virtualized = false;
+
+    /** True while nested paging (EPT/NPT) is on. */
+    bool nestedPaging = false;
+
+    /**
+     * Fraction of CPU time consumed by the VMM itself (polling
+     * threads, deployment work). BMcast derives this from its polling
+     * interval and per-poll cost; see bmcast::Vmm.
+     */
+    double vmmCpuSteal = 0.0;
+
+    /**
+     * Multiplier on the guest's TLB miss *rate* (paper §5.2: up to 5x
+     * during streaming deployment).
+     */
+    double tlbMissRateMult = 1.0;
+
+    /**
+     * Multiplier on TLB miss *latency* (two-dimensional page walks
+     * roughly double it under nested paging; paper §5.2).
+     */
+    double tlbMissLatencyMult = 1.0;
+
+    /**
+     * Extra cache miss fraction from VMM/host-OS cache pollution
+     * (significant for KVM, small for BMcast).
+     */
+    double cachePollutionFactor = 0.0;
+
+    /**
+     * Probability that a vCPU holding a lock is descheduled by the
+     * host (lock-holder preemption; zero unless vCPUs are scheduled
+     * by a host OS, i.e. KVM).
+     */
+    double lockHolderPreemptProb = 0.0;
+
+    /** Duration of one involuntary vCPU deschedule. */
+    sim::Tick vcpuDescheduleNs = 0;
+
+    /**
+     * Fractional latency overhead on RDMA operations (IOMMU + nested
+     * paging; paper §5.5.3: 23.6% for KVM/Direct, <1% for BMcast).
+     */
+    double rdmaLatencyOverhead = 0.0;
+
+    /** Extra latency per delivered device interrupt. */
+    sim::Tick interruptExtraNs = 0;
+
+    /** Extra latency per disk I/O (virtio/emulated path; zero when
+     *  the guest drives the physical controller directly). */
+    sim::Tick perIoExtraNs = 0;
+};
+
+/** The no-VMM profile. */
+inline VirtProfile
+bareMetalProfile()
+{
+    return VirtProfile{};
+}
+
+} // namespace hw
+
+#endif // HW_VIRT_PROFILE_HH

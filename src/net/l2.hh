@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The L2 send/receive surface the AoE initiator runs over. Provided
+ * by NIC drivers (the BMcast VMM's polling driver, the guest's
+ * interrupt driver) or directly by a net::Port for lightweight
+ * endpoints such as the storage server.
+ */
+
+#ifndef NET_L2_HH
+#define NET_L2_HH
+
+#include <functional>
+
+#include "net/frame.hh"
+#include "net/network.hh"
+
+namespace net {
+
+/** Minimal L2 endpoint. */
+class L2Endpoint
+{
+  public:
+    using RxHandler = std::function<void(const net::Frame &)>;
+
+    virtual ~L2Endpoint() = default;
+
+    /** Queue a frame for transmission (src MAC filled downstream). */
+    virtual void sendFrame(net::Frame frame) = 0;
+
+    /** Station address. */
+    virtual net::MacAddr localMac() const = 0;
+
+    /** Usable L2 payload size (9000 with jumbo frames). */
+    virtual sim::Bytes mtu() const = 0;
+
+    /** Install the delivery callback. */
+    virtual void setRxHandler(RxHandler handler) = 0;
+};
+
+/** An endpoint implemented directly on a switch port (no NIC model);
+ *  used by the storage server and other infrastructure nodes. */
+class PortEndpoint : public L2Endpoint
+{
+  public:
+    explicit PortEndpoint(net::Port &port) : port(port) {}
+
+    void sendFrame(net::Frame frame) override { port.send(std::move(frame)); }
+    net::MacAddr localMac() const override { return port.mac(); }
+    sim::Bytes mtu() const override { return port.config().mtu; }
+
+    void
+    setRxHandler(RxHandler handler) override
+    {
+        port.onReceive(std::move(handler));
+    }
+
+  private:
+    net::Port &port;
+};
+
+} // namespace net
+
+#endif // NET_L2_HH

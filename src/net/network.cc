@@ -1,0 +1,108 @@
+#include "net/network.hh"
+
+#include <algorithm>
+
+#include "simcore/logging.hh"
+
+namespace net {
+
+void
+Port::send(Frame frame)
+{
+    frame.src = mac_;
+    net_.transmit(*this, std::move(frame));
+}
+
+Network::Network(sim::EventQueue &eq, std::string name,
+                 sim::Tick switchLatency, std::uint64_t seed)
+    : sim::SimObject(eq, std::move(name)),
+      switchLat(switchLatency),
+      rng(sim::Rng::seedFrom(this->name(), seed))
+{
+}
+
+Port &
+Network::attach(MacAddr mac, PortConfig cfg)
+{
+    sim::fatalIf(ports.count(mac) > 0,
+                 "duplicate MAC on network ", name(), ": ", mac);
+    sim::fatalIf(mac == kBroadcastMac, "cannot attach broadcast MAC");
+    auto port = std::unique_ptr<Port>(new Port(*this, mac, cfg));
+    Port &ref = *port;
+    ports.emplace(mac, std::move(port));
+    return ref;
+}
+
+Port *
+Network::findPort(MacAddr mac)
+{
+    auto it = ports.find(mac);
+    return it == ports.end() ? nullptr : it->second.get();
+}
+
+void
+Network::transmit(Port &from, Frame frame)
+{
+    if (frame.wirePayload() > from.cfg.mtu) {
+        // Oversize frames never make it onto the wire.
+        ++from.numDropped;
+        sim::debug(name(), ": oversize frame dropped (",
+                   frame.wirePayload(), " > mtu ", from.cfg.mtu, ")");
+        return;
+    }
+
+    // Serialize on the sender's line.
+    double bits = static_cast<double>(frame.wireSize()) * 8.0;
+    auto tx_time = static_cast<sim::Tick>(
+        bits / from.cfg.bitsPerSec * static_cast<double>(sim::kSec));
+    sim::Tick start = std::max(now(), from.txFreeAt);
+    sim::Tick depart = start + tx_time;
+    from.txFreeAt = depart;
+    ++from.numSent;
+
+    if (from.cfg.lossProbability > 0.0 &&
+        rng.chance(from.cfg.lossProbability)) {
+        ++from.numDropped;
+        return;
+    }
+
+    if (frame.dst == kBroadcastMac) {
+        for (auto &[mac, port] : ports) {
+            if (mac != from.mac())
+                deliverTo(*port, frame, depart);
+        }
+        return;
+    }
+
+    Port *dst = findPort(frame.dst);
+    if (!dst) {
+        // Unknown unicast: a real switch floods; we drop and count,
+        // which is sufficient for these experiments.
+        ++from.numDropped;
+        return;
+    }
+    deliverTo(*dst, frame, depart);
+}
+
+void
+Network::deliverTo(Port &dst, const Frame &frame, sim::Tick depart)
+{
+    double bits = static_cast<double>(frame.wireSize()) * 8.0;
+    auto rx_time = static_cast<sim::Tick>(
+        bits / dst.cfg.bitsPerSec * static_cast<double>(sim::kSec));
+    sim::Tick arrive = depart + switchLat;
+    sim::Tick start = std::max(arrive, dst.rxFreeAt);
+    sim::Tick done = start + rx_time;
+    dst.rxFreeAt = done;
+    ++numForwarded;
+
+    Frame copy = frame;
+    Port *dst_p = &dst;
+    eventQueue().scheduleAt(done, [dst_p, f = std::move(copy)]() {
+        ++dst_p->numReceived;
+        if (dst_p->rx)
+            dst_p->rx(f);
+    });
+}
+
+} // namespace net

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * A switched Ethernet segment.
+ *
+ * Each attached Port has its own line rate, MTU and (for fault
+ * injection) loss probability. The model charges transmit
+ * serialization at the sender, a fixed switch latency, and receive
+ * serialization at the destination, which reproduces both sender-side
+ * and receiver-side (e.g. storage-server) saturation.
+ */
+
+#ifndef NET_NETWORK_HH
+#define NET_NETWORK_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "net/frame.hh"
+#include "simcore/random.hh"
+#include "simcore/sim_object.hh"
+#include "simcore/stats.hh"
+
+namespace net {
+
+class Network;
+
+/** Configuration of one switch port / attached station. */
+struct PortConfig
+{
+    /** Line rate in bits per second (default: gigabit Ethernet). */
+    double bitsPerSec = 1e9;
+    /** Maximum payload size; 9000 enables jumbo frames. */
+    sim::Bytes mtu = 1500;
+    /** Probability that a frame transmitted by this port is lost. */
+    double lossProbability = 0.0;
+};
+
+/**
+ * A station attached to the network. Deliveries arrive through the
+ * registered receive handler.
+ */
+class Port
+{
+  public:
+    using RxHandler = std::function<void(const Frame &)>;
+
+    MacAddr mac() const { return mac_; }
+    const PortConfig &config() const { return cfg; }
+
+    /** Install the frame delivery callback. */
+    void onReceive(RxHandler handler) { rx = std::move(handler); }
+
+    /** Transmit a frame (src is filled in automatically). */
+    void send(Frame frame);
+
+    /** Change the loss probability at run time (fault injection). */
+    void setLossProbability(double p) { cfg.lossProbability = p; }
+
+    /** Frames handed to the wire by this port. */
+    std::uint64_t framesSent() const { return numSent; }
+    /** Frames delivered to this port's handler. */
+    std::uint64_t framesReceived() const { return numReceived; }
+    /** Frames from this port dropped (loss or oversize). */
+    std::uint64_t framesDropped() const { return numDropped; }
+
+  private:
+    friend class Network;
+
+    Port(Network &net, MacAddr mac, PortConfig cfg)
+        : net_(net), mac_(mac), cfg(cfg) {}
+
+    Network &net_;
+    MacAddr mac_;
+    PortConfig cfg;
+    RxHandler rx;
+
+    sim::Tick txFreeAt = 0;
+    sim::Tick rxFreeAt = 0;
+    std::uint64_t numSent = 0;
+    std::uint64_t numReceived = 0;
+    std::uint64_t numDropped = 0;
+};
+
+/** The switch plus all attached ports. */
+class Network : public sim::SimObject
+{
+  public:
+    Network(sim::EventQueue &eq, std::string name,
+            sim::Tick switchLatency = 4 * sim::kUs,
+            std::uint64_t seed = 1);
+
+    /** Attach a new station; the network keeps ownership. */
+    Port &attach(MacAddr mac, PortConfig cfg = PortConfig{});
+
+    /** Look up a port by MAC (nullptr if absent). */
+    Port *findPort(MacAddr mac);
+
+    /** Fixed one-way switch traversal latency. */
+    sim::Tick switchLatency() const { return switchLat; }
+
+    /** Total frames forwarded. */
+    std::uint64_t framesForwarded() const { return numForwarded; }
+
+  private:
+    friend class Port;
+
+    void transmit(Port &from, Frame frame);
+    void deliverTo(Port &dst, const Frame &frame, sim::Tick depart);
+
+    sim::Tick switchLat;
+    sim::Rng rng;
+    std::map<MacAddr, std::unique_ptr<Port>> ports;
+    std::uint64_t numForwarded = 0;
+};
+
+} // namespace net
+
+#endif // NET_NETWORK_HH

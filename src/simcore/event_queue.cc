@@ -1,0 +1,67 @@
+#include "simcore/event_queue.hh"
+
+#include "simcore/logging.hh"
+
+namespace sim {
+
+EventId
+EventQueue::schedule(Tick delay, Callback cb)
+{
+    return scheduleAt(curTick + delay, std::move(cb));
+}
+
+EventId
+EventQueue::scheduleAt(Tick when, Callback cb)
+{
+    panicIfNot(static_cast<bool>(cb), "scheduling an empty callback");
+    if (when < curTick)
+        panic("scheduling into the past: ", when, " < ", curTick);
+    std::uint64_t seq = nextSeq++;
+    events.emplace(Key{when, seq}, std::move(cb));
+    return EventId(when, seq);
+}
+
+bool
+EventQueue::cancel(const EventId &id)
+{
+    if (!id.valid())
+        return false;
+    return events.erase(Key{id.when, id.seq}) > 0;
+}
+
+bool
+EventQueue::step()
+{
+    if (events.empty())
+        return false;
+    auto it = events.begin();
+    panicIfNot(it->first.first >= curTick, "event queue went backwards");
+    curTick = it->first.first;
+    Callback cb = std::move(it->second);
+    events.erase(it);
+    ++numExecuted;
+    cb();
+    return true;
+}
+
+std::uint64_t
+EventQueue::run(Tick limit)
+{
+    std::uint64_t n = 0;
+    while (!events.empty() && events.begin()->first.first <= limit) {
+        step();
+        ++n;
+    }
+    return n;
+}
+
+std::uint64_t
+EventQueue::runUntil(Tick when)
+{
+    std::uint64_t n = run(when);
+    if (when > curTick)
+        curTick = when;
+    return n;
+}
+
+} // namespace sim

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The discrete-event simulation kernel.
+ *
+ * A single EventQueue orders closures by (tick, sequence). All simulated
+ * components in one Machine (and across Machines in one experiment)
+ * share one queue so that cross-machine interactions (network packets)
+ * are globally ordered.
+ */
+
+#ifndef SIMCORE_EVENT_QUEUE_HH
+#define SIMCORE_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "simcore/types.hh"
+
+namespace sim {
+
+/**
+ * Handle for a scheduled event, usable to cancel it. Default-constructed
+ * handles are inert.
+ */
+class EventId
+{
+  public:
+    EventId() = default;
+
+    /** True if this handle ever referred to a scheduled event. */
+    bool valid() const { return seq != 0; }
+
+  private:
+    friend class EventQueue;
+
+    EventId(Tick w, std::uint64_t s) : when(w), seq(s) {}
+
+    Tick when = 0;
+    std::uint64_t seq = 0;
+};
+
+/**
+ * A priority queue of timestamped callbacks; the heart of the simulator.
+ *
+ * Events scheduled for the same tick run in scheduling order (stable).
+ * Callbacks may schedule or cancel further events freely.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return curTick; }
+
+    /**
+     * Schedule a callback @p delay ticks in the future.
+     * @return a handle usable with cancel().
+     */
+    EventId schedule(Tick delay, Callback cb);
+
+    /** Schedule a callback at an absolute tick (>= now). */
+    EventId scheduleAt(Tick when, Callback cb);
+
+    /**
+     * Cancel a previously scheduled event.
+     * @retval true the event was pending and has been removed.
+     * @retval false the event already ran, was cancelled, or is inert.
+     */
+    bool cancel(const EventId &id);
+
+    /** True if no events are pending. */
+    bool empty() const { return events.empty(); }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return events.size(); }
+
+    /**
+     * Run events until the queue is empty or @p limit is reached.
+     * Time stops at the last executed event (or at @p limit if given
+     * and reached).
+     * @return number of events executed.
+     */
+    std::uint64_t run(Tick limit = ~Tick(0));
+
+    /**
+     * Run all events with tick <= @p when, then set time to @p when.
+     * @return number of events executed.
+     */
+    std::uint64_t runUntil(Tick when);
+
+    /** Execute exactly one event if any is pending. */
+    bool step();
+
+    /** Total events executed over the queue's lifetime. */
+    std::uint64_t executed() const { return numExecuted; }
+
+  private:
+    using Key = std::pair<Tick, std::uint64_t>;
+
+    Tick curTick = 0;
+    std::uint64_t nextSeq = 1;
+    std::uint64_t numExecuted = 0;
+    std::map<Key, Callback> events;
+};
+
+} // namespace sim
+
+#endif // SIMCORE_EVENT_QUEUE_HH

@@ -1,0 +1,148 @@
+#include "simcore/interval_set.hh"
+
+#include "simcore/logging.hh"
+
+namespace sim {
+
+void
+IntervalSet::insert(Value start, Value end)
+{
+    if (start >= end)
+        return;
+
+    // Find the first interval that could interact (starts <= end).
+    auto it = ivs.upper_bound(end);
+    if (it != ivs.begin()) {
+        --it;
+        // Walk left while overlapping/adjacent.
+        while (true) {
+            if (it->second >= start) {
+                start = std::min(start, it->first);
+                end = std::max(end, it->second);
+                it = ivs.erase(it);
+                if (it == ivs.begin())
+                    break;
+                --it;
+            } else {
+                break;
+            }
+        }
+    }
+    // Absorb intervals to the right that start within [start, end].
+    auto right = ivs.lower_bound(start);
+    while (right != ivs.end() && right->first <= end) {
+        end = std::max(end, right->second);
+        right = ivs.erase(right);
+    }
+    ivs.emplace(start, end);
+}
+
+void
+IntervalSet::erase(Value start, Value end)
+{
+    if (start >= end)
+        return;
+    auto it = ivs.upper_bound(start);
+    if (it != ivs.begin()) {
+        auto prev = std::prev(it);
+        if (prev->second > start) {
+            Value old_end = prev->second;
+            prev->second = start;
+            if (prev->second == prev->first)
+                ivs.erase(prev);
+            if (old_end > end)
+                ivs.emplace(end, old_end);
+        }
+    }
+    it = ivs.lower_bound(start);
+    while (it != ivs.end() && it->first < end) {
+        if (it->second <= end) {
+            it = ivs.erase(it);
+        } else {
+            Value old_end = it->second;
+            ivs.erase(it);
+            ivs.emplace(end, old_end);
+            break;
+        }
+    }
+}
+
+bool
+IntervalSet::covers(Value start, Value end) const
+{
+    if (start >= end)
+        return true;
+    auto it = ivs.upper_bound(start);
+    if (it == ivs.begin())
+        return false;
+    --it;
+    return it->second >= end && it->first <= start;
+}
+
+bool
+IntervalSet::intersects(Value start, Value end) const
+{
+    if (start >= end)
+        return false;
+    auto it = ivs.upper_bound(start);
+    if (it != ivs.begin()) {
+        auto prev = std::prev(it);
+        if (prev->second > start)
+            return true;
+    }
+    return it != ivs.end() && it->first < end;
+}
+
+std::vector<IntervalSet::Range>
+IntervalSet::gaps(Value start, Value end) const
+{
+    std::vector<Range> out;
+    Value pos = start;
+    auto it = ivs.upper_bound(start);
+    if (it != ivs.begin()) {
+        auto prev = std::prev(it);
+        if (prev->second > pos)
+            pos = prev->second;
+    }
+    while (pos < end) {
+        if (it == ivs.end() || it->first >= end) {
+            out.emplace_back(pos, end);
+            break;
+        }
+        if (it->first > pos)
+            out.emplace_back(pos, it->first);
+        pos = std::max(pos, it->second);
+        ++it;
+    }
+    return out;
+}
+
+std::optional<IntervalSet::Value>
+IntervalSet::firstGap(Value from, Value limit) const
+{
+    auto g = gaps(from, limit);
+    if (g.empty())
+        return std::nullopt;
+    return g.front().first;
+}
+
+IntervalSet::Value
+IntervalSet::coveredCount() const
+{
+    Value total = 0;
+    for (const auto &[s, e] : ivs)
+        total += e - s;
+    return total;
+}
+
+std::vector<IntervalSet::Range>
+IntervalSet::intervals() const
+{
+    std::vector<Range> out;
+    out.reserve(ivs.size());
+    for (const auto &[s, e] : ivs)
+        out.emplace_back(s, e);
+    return out;
+}
+
+} // namespace sim

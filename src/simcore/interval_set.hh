@@ -1,0 +1,74 @@
+/**
+ * @file
+ * An ordered set of disjoint half-open integer intervals with
+ * coalescing. Backs the BMcast block bitmap (EMPTY/FILLED state per
+ * disk block): streaming deployment fills enormous contiguous ranges,
+ * so intervals are orders of magnitude more compact than a bit per
+ * sector while keeping every query O(log n).
+ */
+
+#ifndef SIMCORE_INTERVAL_SET_HH
+#define SIMCORE_INTERVAL_SET_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace sim {
+
+/** A set of disjoint [start, end) intervals over uint64. */
+class IntervalSet
+{
+  public:
+    using Value = std::uint64_t;
+    using Range = std::pair<Value, Value>; //!< [first, second)
+
+    /** Insert [start, end), merging with any overlapping/adjacent
+     *  intervals. */
+    void insert(Value start, Value end);
+
+    /** Remove [start, end) from the set. */
+    void erase(Value start, Value end);
+
+    /** True if every point of [start, end) is in the set. */
+    bool covers(Value start, Value end) const;
+
+    /** True if any point of [start, end) is in the set. */
+    bool intersects(Value start, Value end) const;
+
+    /** True if the single point is in the set. */
+    bool contains(Value point) const { return covers(point, point + 1); }
+
+    /**
+     * Sub-ranges of [start, end) NOT in the set, in ascending order.
+     */
+    std::vector<Range> gaps(Value start, Value end) const;
+
+    /**
+     * The first point >= @p from that is not in the set, bounded by
+     * @p limit; std::nullopt if [from, limit) is fully covered.
+     */
+    std::optional<Value> firstGap(Value from, Value limit) const;
+
+    /** Total points covered. */
+    Value coveredCount() const;
+
+    /** Number of stored intervals. */
+    std::size_t intervalCount() const { return ivs.size(); }
+
+    bool empty() const { return ivs.empty(); }
+    void clear() { ivs.clear(); }
+
+    /** All intervals in order (serialization / tests). */
+    std::vector<Range> intervals() const;
+
+  private:
+    /** start -> end (exclusive). */
+    std::map<Value, Value> ivs;
+};
+
+} // namespace sim
+
+#endif // SIMCORE_INTERVAL_SET_HH

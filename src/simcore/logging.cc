@@ -1,0 +1,46 @@
+#include "simcore/logging.hh"
+
+#include <iostream>
+
+namespace sim {
+
+namespace {
+
+LogLevel gLevel = LogLevel::Warn;
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return gLevel;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    gLevel = level;
+}
+
+void
+warnStr(const std::string &msg)
+{
+    if (gLevel >= LogLevel::Warn)
+        std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+informStr(const std::string &msg)
+{
+    if (gLevel >= LogLevel::Inform)
+        std::cout << "info: " << msg << std::endl;
+}
+
+void
+debugStr(const std::string &msg)
+{
+    if (gLevel >= LogLevel::Debug)
+        std::cerr << "debug: " << msg << std::endl;
+}
+
+} // namespace sim

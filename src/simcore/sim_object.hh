@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Base class for named simulated components.
+ */
+
+#ifndef SIMCORE_SIM_OBJECT_HH
+#define SIMCORE_SIM_OBJECT_HH
+
+#include <string>
+#include <utility>
+
+#include "simcore/event_queue.hh"
+#include "simcore/types.hh"
+
+namespace sim {
+
+/**
+ * A named component attached to an event queue.
+ *
+ * SimObjects are neither copyable nor movable: other components hold
+ * raw pointers/references to them and ownership lives in the enclosing
+ * Machine or experiment harness.
+ */
+class SimObject
+{
+  public:
+    SimObject(EventQueue &eq, std::string name_)
+        : eq_(eq), name_(std::move(name_)) {}
+
+    virtual ~SimObject() = default;
+
+    SimObject(const SimObject &) = delete;
+    SimObject &operator=(const SimObject &) = delete;
+
+    /** Hierarchical instance name (e.g. "node0.ahci"). */
+    const std::string &name() const { return name_; }
+
+    /** The event queue this object runs on. */
+    EventQueue &eventQueue() const { return eq_; }
+
+    /** Current simulated time. */
+    Tick now() const { return eq_.now(); }
+
+    /** Schedule a member callback @p delay ticks in the future. */
+    EventId
+    schedule(Tick delay, EventQueue::Callback cb)
+    {
+        return eq_.schedule(delay, std::move(cb));
+    }
+
+  private:
+    EventQueue &eq_;
+    std::string name_;
+};
+
+} // namespace sim
+
+#endif // SIMCORE_SIM_OBJECT_HH

@@ -1,0 +1,130 @@
+#include "simcore/stats.hh"
+
+#include <cmath>
+
+#include "simcore/logging.hh"
+
+namespace sim {
+
+void
+Distribution::add(double sample)
+{
+    samples.push_back(sample);
+    sorted = false;
+    sum += sample;
+    sumSq += sample * sample;
+}
+
+double
+Distribution::mean() const
+{
+    return samples.empty() ? 0.0
+                           : sum / static_cast<double>(samples.size());
+}
+
+double
+Distribution::min() const
+{
+    ensureSorted();
+    return samples.empty() ? 0.0 : samples.front();
+}
+
+double
+Distribution::max() const
+{
+    ensureSorted();
+    return samples.empty() ? 0.0 : samples.back();
+}
+
+double
+Distribution::stddev() const
+{
+    if (samples.size() < 2)
+        return 0.0;
+    double n = static_cast<double>(samples.size());
+    double var = (sumSq - sum * sum / n) / (n - 1.0);
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+double
+Distribution::percentile(double p) const
+{
+    if (samples.empty())
+        return 0.0;
+    panicIfNot(p >= 0.0 && p <= 100.0, "percentile out of range");
+    ensureSorted();
+    auto rank = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(samples.size())));
+    if (rank > 0)
+        --rank;
+    if (rank >= samples.size())
+        rank = samples.size() - 1;
+    return samples[rank];
+}
+
+void
+Distribution::reset()
+{
+    samples.clear();
+    sorted = true;
+    sum = 0.0;
+    sumSq = 0.0;
+}
+
+void
+Distribution::ensureSorted() const
+{
+    if (!sorted) {
+        auto &mut = const_cast<std::vector<double> &>(samples);
+        std::sort(mut.begin(), mut.end());
+        const_cast<bool &>(sorted) = true;
+    }
+}
+
+void
+RateMeter::record(Tick now, double weight)
+{
+    expire(now);
+    entries.emplace_back(now, weight);
+    windowSum += weight;
+}
+
+double
+RateMeter::ratePerSec(Tick now)
+{
+    expire(now);
+    return windowSum / toSeconds(window);
+}
+
+double
+RateMeter::inWindow(Tick now)
+{
+    expire(now);
+    return windowSum;
+}
+
+void
+RateMeter::expire(Tick now)
+{
+    Tick cutoff = now > window ? now - window : 0;
+    while (!entries.empty() && entries.front().first < cutoff) {
+        windowSum -= entries.front().second;
+        entries.pop_front();
+    }
+    if (entries.empty())
+        windowSum = 0.0;
+}
+
+void
+TimeSeries::record(Tick when, double value)
+{
+    Tick start = (when / bucket) * bucket;
+    if (!data.empty() && data.back().bucketStart == start) {
+        data.back().sum += value;
+        data.back().count += 1;
+        return;
+    }
+    data.push_back(Row{start, value, 1});
+}
+
+} // namespace sim

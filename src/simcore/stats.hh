@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Statistics primitives: counters, distributions, windowed rates and
+ * time series. These back both the in-simulation moderation logic
+ * (e.g. guest-I/O frequency measurement) and the benchmark reports.
+ */
+
+#ifndef SIMCORE_STATS_HH
+#define SIMCORE_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "simcore/types.hh"
+
+namespace sim {
+
+/** A simple monotonically increasing counter. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t by = 1) { value_ += by; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * Collects samples and reports summary statistics (mean, min, max,
+ * percentiles). Samples are kept; intended for up to a few million
+ * entries per experiment.
+ */
+class Distribution
+{
+  public:
+    void add(double sample);
+
+    std::size_t count() const { return samples.size(); }
+    double mean() const;
+    double min() const;
+    double max() const;
+    double stddev() const;
+    /** p in [0, 100]; nearest-rank percentile. */
+    double percentile(double p) const;
+    void reset();
+
+  private:
+    /** Sort samples lazily before order statistics. */
+    void ensureSorted() const;
+
+    std::vector<double> samples;
+    mutable bool sorted = true;
+    double sum = 0.0;
+    double sumSq = 0.0;
+};
+
+/**
+ * Sliding-window event-rate meter. Used by the background-copy
+ * moderator to measure guest I/O frequency (events per second over the
+ * last @p window ticks).
+ */
+class RateMeter
+{
+  public:
+    explicit RateMeter(Tick window) : window(window) {}
+
+    /** Record one event at time @p now. */
+    void record(Tick now, double weight = 1.0);
+
+    /** Events (weighted) per second over the trailing window. */
+    double ratePerSec(Tick now);
+
+    /** Total weighted events in the trailing window. */
+    double inWindow(Tick now);
+
+  private:
+    void expire(Tick now);
+
+    Tick window;
+    std::deque<std::pair<Tick, double>> entries;
+    double windowSum = 0.0;
+};
+
+/**
+ * A (time, value) series for figure reproduction. Values are bucketed:
+ * record() accumulates into the bucket containing the timestamp, and
+ * rows() reports one row per non-empty bucket.
+ */
+class TimeSeries
+{
+  public:
+    struct Row
+    {
+        Tick bucketStart;
+        double sum;
+        std::uint64_t count;
+
+        double mean() const
+        {
+            return count ? sum / static_cast<double>(count) : 0.0;
+        }
+    };
+
+    explicit TimeSeries(Tick bucket = kSec) : bucket(bucket) {}
+
+    void record(Tick when, double value);
+
+    const std::vector<Row> &rows() const { return data; }
+    Tick bucketWidth() const { return bucket; }
+
+  private:
+    Tick bucket;
+    std::vector<Row> data;
+};
+
+} // namespace sim
+
+#endif // SIMCORE_STATS_HH

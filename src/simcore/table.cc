@@ -1,0 +1,107 @@
+#include "simcore/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "simcore/logging.hh"
+
+namespace sim {
+
+Table::Table(std::vector<std::string> headers_)
+    : headers(std::move(headers_))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    panicIfNot(cells.size() == headers.size(),
+               "table row width mismatch: ", cells.size(), " vs ",
+               headers.size());
+    rows.push_back(std::move(cells));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> width(headers.size());
+    for (std::size_t c = 0; c < headers.size(); ++c)
+        width[c] = headers[c].size();
+    for (const auto &row : rows)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c)
+                os << "  ";
+            // Left-align the first column (labels), right-align rest.
+            if (c == 0)
+                os << std::left;
+            else
+                os << std::right;
+            os << std::setw(static_cast<int>(width[c])) << cells[c];
+        }
+        os << "\n";
+    };
+
+    print_row(headers);
+    std::string sep;
+    for (std::size_t c = 0; c < headers.size(); ++c) {
+        if (c)
+            sep += "  ";
+        sep += std::string(width[c], '-');
+    }
+    os << sep << "\n";
+    for (const auto &row : rows)
+        print_row(row);
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string
+Table::pct(double value, double baseline)
+{
+    if (baseline == 0.0)
+        return "n/a";
+    double rel = (value / baseline - 1.0) * 100.0;
+    std::ostringstream os;
+    os << std::showpos << std::fixed << std::setprecision(1) << rel
+       << "%";
+    return os.str();
+}
+
+void
+printBarChart(std::ostream &os, const std::string &title,
+              const std::vector<std::pair<std::string, double>> &bars,
+              const std::string &unit, int width)
+{
+    os << title << "\n";
+    double max_v = 0.0;
+    std::size_t label_w = 0;
+    for (const auto &[label, v] : bars) {
+        max_v = std::max(max_v, v);
+        label_w = std::max(label_w, label.size());
+    }
+    for (const auto &[label, v] : bars) {
+        int n = max_v > 0.0
+                    ? static_cast<int>(v / max_v *
+                                       static_cast<double>(width))
+                    : 0;
+        os << "  " << std::left
+           << std::setw(static_cast<int>(label_w)) << label << " |"
+           << std::string(static_cast<std::size_t>(n), '#')
+           << std::string(static_cast<std::size_t>(width - n), ' ')
+           << "| " << Table::num(v) << " " << unit << "\n";
+    }
+}
+
+} // namespace sim

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Plain-text table and bar-chart rendering for the benchmark harness.
+ * Every bench binary prints its figure with these helpers so that the
+ * output format is uniform across the suite.
+ */
+
+#ifndef SIMCORE_TABLE_HH
+#define SIMCORE_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sim {
+
+/**
+ * A simple fixed-column table: set headers, append rows of strings,
+ * print right-aligned numeric-looking cells and left-aligned text.
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render to the stream with aligned columns. */
+    void print(std::ostream &os) const;
+
+    /** Format a double with fixed precision. */
+    static std::string num(double v, int precision = 2);
+
+    /** Format a percentage relative to a baseline ("+8.0%"). */
+    static std::string pct(double value, double baseline);
+
+  private:
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/**
+ * Render a horizontal ASCII bar chart (one bar per label), normalized
+ * to the maximum value; used to mirror the paper's bar figures.
+ */
+void printBarChart(std::ostream &os, const std::string &title,
+                   const std::vector<std::pair<std::string, double>> &bars,
+                   const std::string &unit, int width = 50);
+
+} // namespace sim
+
+#endif // SIMCORE_TABLE_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Translation from the machine's virtualization cost profile to a
+ * per-workload slowdown. Each workload declares how sensitive it is
+ * to the profile's cost channels (TLB behaviour, cache pollution,
+ * CPU steal, lock-holder preemption); the shares are calibrated
+ * against the paper's measurements and documented in EXPERIMENTS.md.
+ */
+
+#ifndef WORKLOADS_CPU_MODEL_HH
+#define WORKLOADS_CPU_MODEL_HH
+
+#include "hw/virt_profile.hh"
+
+namespace workloads {
+
+/** Per-workload sensitivity to the profile's cost channels. */
+struct CpuSensitivity
+{
+    /** Fraction of baseline runtime attributable to TLB misses. */
+    double tlbShare = 0.004;
+    /** Sensitivity to VMM/host cache pollution. */
+    double cacheShare = 0.3;
+    /**
+     * How fully VMM CPU steal translates into slowdown: ~1 for
+     * CPU-saturated workloads, small for latency-bound ones with
+     * idle cores.
+     */
+    double stealShare = 1.0;
+    /** Mutex acquisitions per unit of work (lock-holder
+     *  preemption exposure). */
+    double locksPerOp = 0.0;
+};
+
+/**
+ * Multiplicative slowdown of CPU work under the given profile.
+ * Returns exactly 1.0 for the bare-metal profile — zero overhead
+ * after de-virtualization is a property of the formula, not of any
+ * special case.
+ */
+inline double
+cpuSlowdown(const hw::VirtProfile &p, const CpuSensitivity &s)
+{
+    double tlb = s.tlbShare *
+                 (p.tlbMissRateMult * p.tlbMissLatencyMult - 1.0);
+    double cache = s.cacheShare * p.cachePollutionFactor;
+    double steal = s.stealShare * p.vmmCpuSteal;
+    return 1.0 + tlb + cache + steal;
+}
+
+/**
+ * Expected extra time per operation from lock-holder preemption:
+ * with probability p the vCPU holding the lock is descheduled and
+ * every contender waits out the deschedule.
+ */
+inline double
+lockHolderPenaltyNs(const hw::VirtProfile &p, const CpuSensitivity &s,
+                    double contentionFactor = 1.0)
+{
+    return p.lockHolderPreemptProb * s.locksPerOp *
+           static_cast<double>(p.vcpuDescheduleNs) * contentionFactor;
+}
+
+} // namespace workloads
+
+#endif // WORKLOADS_CPU_MODEL_HH

@@ -1,0 +1,143 @@
+#include "workloads/fio.hh"
+
+#include <algorithm>
+
+#include "simcore/logging.hh"
+
+namespace workloads {
+
+Fio::Fio(sim::EventQueue &eq, std::string name,
+         guest::BlockDriver &blk_, FioParams params_)
+    : sim::SimObject(eq, std::move(name)), blk(blk_), params(params_)
+{
+}
+
+void
+Fio::run(std::function<void(FioResult)> done)
+{
+    doneCb = std::move(done);
+    if (params.layoutFirst && !params.isWrite)
+        layout(params.startLba);
+    else
+        startMeasured();
+}
+
+void
+Fio::layout(sim::Lba lba)
+{
+    // Write the test file sequentially (unmeasured), then test.
+    sim::Lba end =
+        params.startLba + params.totalBytes / sim::kSectorSize;
+    if (lba >= end) {
+        startMeasured();
+        return;
+    }
+    auto sectors = static_cast<std::uint32_t>(
+        std::min<sim::Lba>(params.blockBytes / sim::kSectorSize,
+                           end - lba));
+    blk.write(lba, sectors, 0xF10000000000001ULL,
+              [this, lba, sectors]() { layout(lba + sectors); });
+}
+
+void
+Fio::startMeasured()
+{
+    startedAt = now();
+    issued = 0;
+    finished = 0;
+    for (unsigned i = 0; i < params.queueDepth; ++i)
+        issue();
+}
+
+void
+Fio::issue()
+{
+    if (issued >= params.totalBytes)
+        return;
+    sim::Bytes remaining = params.totalBytes - issued;
+    sim::Bytes bytes = std::min(params.blockBytes, remaining);
+    sim::Lba lba = params.startLba + issued / sim::kSectorSize;
+    issued += bytes;
+    ++inflight;
+    auto sectors = static_cast<std::uint32_t>(bytes / sim::kSectorSize);
+
+    if (params.isWrite) {
+        blk.write(lba, sectors, 0xF10000000000002ULL,
+                  [this, bytes]() {
+                      finished += bytes;
+                      completed();
+                  });
+    } else {
+        blk.read(lba, sectors,
+                 [this, bytes](const std::vector<std::uint64_t> &) {
+                     finished += bytes;
+                     completed();
+                 });
+    }
+}
+
+void
+Fio::completed()
+{
+    --inflight;
+    issue();
+    if (finished >= params.totalBytes && inflight == 0) {
+        FioResult r;
+        r.elapsed = now() - startedAt;
+        r.mbPerSec = sim::toMBps(params.totalBytes, r.elapsed);
+        if (doneCb)
+            doneCb(r);
+    }
+}
+
+Ioping::Ioping(sim::EventQueue &eq, std::string name,
+               guest::BlockDriver &blk_, IopingParams params_)
+    : sim::SimObject(eq, std::move(name)),
+      blk(blk_), params(params_),
+      rng(sim::Rng::seedFrom(this->name(), params_.seed))
+{
+}
+
+void
+Ioping::run(std::function<void(IopingResult)> done)
+{
+    doneCb = std::move(done);
+    if (params.layoutFirst) {
+        auto span = static_cast<std::uint32_t>(params.spanBytes /
+                                               sim::kSectorSize);
+        blk.write(params.startLba, span, 0x10B1000000000001ULL,
+                  [this]() { probe(params.samples); });
+    } else {
+        probe(params.samples);
+    }
+}
+
+void
+Ioping::probe(unsigned remaining)
+{
+    if (remaining == 0) {
+        IopingResult r;
+        r.meanMs = dist.mean();
+        r.p99Ms = dist.percentile(99);
+        r.samples = dist;
+        if (doneCb)
+            doneCb(r);
+        return;
+    }
+    sim::Lba span_sectors = params.spanBytes / sim::kSectorSize;
+    auto block_sectors = static_cast<std::uint32_t>(
+        params.blockBytes / sim::kSectorSize);
+    sim::Lba off =
+        rng.uniformInt(0, span_sectors - block_sectors) & ~7ULL;
+    sim::Tick start = now();
+    blk.read(params.startLba + off, block_sectors,
+             [this, start,
+              remaining](const std::vector<std::uint64_t> &) {
+                 dist.add(sim::toMillis(now() - start));
+                 schedule(params.interval, [this, remaining]() {
+                     probe(remaining - 1);
+                 });
+             });
+}
+
+} // namespace workloads

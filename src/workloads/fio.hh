@@ -1,0 +1,115 @@
+/**
+ * @file
+ * fio-style storage throughput (paper §5.5.2, Fig. 10) and
+ * ioping-style latency (Fig. 11) drivers. These run genuinely
+ * through a guest block driver, so mediator multiplexing delays,
+ * background-copy interference and virtio overheads all show up in
+ * the measurements rather than being asserted.
+ */
+
+#ifndef WORKLOADS_FIO_HH
+#define WORKLOADS_FIO_HH
+
+#include <functional>
+
+#include "guest/block_driver.hh"
+#include "simcore/random.hh"
+#include "simcore/sim_object.hh"
+#include "simcore/stats.hh"
+
+namespace workloads {
+
+/** fio sequential-throughput parameters (paper: 200 MB, 1 MB
+ *  blocks, direct I/O, libaio). */
+struct FioParams
+{
+    sim::Bytes totalBytes = 200 * sim::kMiB;
+    sim::Bytes blockBytes = 1 * sim::kMiB;
+    /** Asynchronous queue depth (fio's libaio default iodepth=1). */
+    unsigned queueDepth = 1;
+    sim::Lba startLba = 4 * 2048; //!< test-file location
+    bool isWrite = false;
+    /**
+     * Lay the file out (guest writes) before a read test. Off by
+     * default: fio reads existing image data, which during the
+     * BMcast deployment phase means copy-on-read redirections —
+     * exactly the Fig. 10 "Deploy" condition.
+     */
+    bool layoutFirst = false;
+};
+
+/** fio result. */
+struct FioResult
+{
+    double mbPerSec = 0.0;
+    sim::Tick elapsed = 0;
+};
+
+/** The fio job. */
+class Fio : public sim::SimObject
+{
+  public:
+    Fio(sim::EventQueue &eq, std::string name,
+        guest::BlockDriver &blk, FioParams params = FioParams{});
+
+    void run(std::function<void(FioResult)> done);
+
+  private:
+    void layout(sim::Lba lba);
+    void startMeasured();
+    void issue();
+    void completed();
+
+    guest::BlockDriver &blk;
+    FioParams params;
+    sim::Tick startedAt = 0;
+    sim::Bytes issued = 0;
+    sim::Bytes finished = 0;
+    unsigned inflight = 0;
+    std::function<void(FioResult)> doneCb;
+};
+
+/** ioping parameters (paper: 4 KiB reads, 100 samples, within a
+ *  1 MiB span). */
+struct IopingParams
+{
+    unsigned samples = 100;
+    sim::Bytes blockBytes = 4 * sim::kKiB;
+    sim::Bytes spanBytes = 1 * sim::kMiB;
+    sim::Lba startLba = 1024 * 2048;
+    /** Pause between probes (ioping default: 1 s). */
+    sim::Tick interval = 1 * sim::kSec;
+    bool layoutFirst = false;
+    std::uint64_t seed = 17;
+};
+
+/** ioping result. */
+struct IopingResult
+{
+    double meanMs = 0.0;
+    double p99Ms = 0.0;
+    sim::Distribution samples;
+};
+
+/** The ioping probe. */
+class Ioping : public sim::SimObject
+{
+  public:
+    Ioping(sim::EventQueue &eq, std::string name,
+           guest::BlockDriver &blk, IopingParams params = IopingParams{});
+
+    void run(std::function<void(IopingResult)> done);
+
+  private:
+    void probe(unsigned remaining);
+
+    guest::BlockDriver &blk;
+    IopingParams params;
+    sim::Rng rng;
+    sim::Distribution dist;
+    std::function<void(IopingResult)> doneCb;
+};
+
+} // namespace workloads
+
+#endif // WORKLOADS_FIO_HH

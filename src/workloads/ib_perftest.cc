@@ -1,0 +1,77 @@
+#include "workloads/ib_perftest.hh"
+
+#include <memory>
+
+#include "simcore/logging.hh"
+
+namespace workloads {
+
+IbPerftest::IbPerftest(sim::EventQueue &eq, std::string name,
+                       hw::Machine &client_, hw::Machine &server_,
+                       IbPerftestParams params_)
+    : sim::SimObject(eq, std::move(name)),
+      client(client_), server(server_), params(params_)
+{
+    sim::fatalIf(client.hca() == nullptr || server.hca() == nullptr,
+                 "perftest machines need HCAs");
+}
+
+void
+IbPerftest::runBandwidth(std::function<void(IbPerftestResult)> done)
+{
+    // Post everything at once; the HCA's command queuing pipelines
+    // the transfers (paper: "the virtualization overhead was hidden
+    // by the command queuing of the RDMA hardware").
+    auto remaining = std::make_shared<unsigned>(params.iterations);
+    sim::Tick start = now();
+    auto done_sp =
+        std::make_shared<std::function<void(IbPerftestResult)>>(
+            std::move(done));
+    for (unsigned i = 0; i < params.iterations; ++i) {
+        client.hca()->rdma(
+            server.hca()->nodeId(), params.messageBytes,
+            [this, remaining, start, done_sp]() {
+                if (--*remaining == 0) {
+                    IbPerftestResult r;
+                    sim::Bytes total =
+                        sim::Bytes(params.iterations) *
+                        params.messageBytes;
+                    r.mbPerSec = sim::toMBps(total, now() - start);
+                    (*done_sp)(r);
+                }
+            });
+    }
+}
+
+void
+IbPerftest::runLatency(std::function<void(IbPerftestResult)> done)
+{
+    auto remaining = std::make_shared<unsigned>(params.iterations);
+    auto lat_sum = std::make_shared<sim::Tick>(0);
+    auto done_sp =
+        std::make_shared<std::function<void(IbPerftestResult)>>(
+            std::move(done));
+    auto step = std::make_shared<std::function<void()>>();
+    auto issued = std::make_shared<sim::Tick>(0);
+    *step = [this, remaining, lat_sum, done_sp, step, issued]() {
+        if (*remaining == 0) {
+            IbPerftestResult r;
+            r.meanLatencyUs =
+                sim::toMicros(*lat_sum) /
+                static_cast<double>(params.iterations);
+            (*done_sp)(r);
+            return;
+        }
+        --*remaining;
+        *issued = now();
+        client.hca()->rdma(server.hca()->nodeId(),
+                           params.messageBytes,
+                           [lat_sum, issued, step, this]() {
+                               *lat_sum += now() - *issued;
+                               (*step)();
+                           });
+    };
+    (*step)();
+}
+
+} // namespace workloads

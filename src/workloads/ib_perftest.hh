@@ -1,0 +1,55 @@
+/**
+ * @file
+ * ib_rdma_bw / ib_rdma_lat from the OFED perftest suite (paper
+ * §5.5.3, Figs. 12 and 13): 1000 transfers of 64 KB between two
+ * nodes; bandwidth posts back-to-back (pipelined — saturation hides
+ * latency overheads), latency posts serially.
+ */
+
+#ifndef WORKLOADS_IB_PERFTEST_HH
+#define WORKLOADS_IB_PERFTEST_HH
+
+#include <functional>
+
+#include "hw/machine.hh"
+#include "simcore/sim_object.hh"
+
+namespace workloads {
+
+/** perftest parameters. */
+struct IbPerftestParams
+{
+    sim::Bytes messageBytes = 64 * sim::kKiB;
+    unsigned iterations = 1000;
+};
+
+/** Result of one run. */
+struct IbPerftestResult
+{
+    double mbPerSec = 0.0;
+    double meanLatencyUs = 0.0;
+};
+
+/** The runner. */
+class IbPerftest : public sim::SimObject
+{
+  public:
+    IbPerftest(sim::EventQueue &eq, std::string name,
+               hw::Machine &client, hw::Machine &server,
+               IbPerftestParams params = IbPerftestParams());
+
+    /** ib_rdma_bw: pipelined posts, measures aggregate bandwidth. */
+    void runBandwidth(std::function<void(IbPerftestResult)> done);
+
+    /** ib_rdma_lat: serial ping-style posts, measures mean latency. */
+    void runLatency(std::function<void(IbPerftestResult)> done);
+
+  private:
+    hw::Machine &client;
+    hw::Machine &server;
+    IbPerftestParams params;
+};
+
+} // namespace workloads
+
+#endif // WORKLOADS_IB_PERFTEST_HH

@@ -1,0 +1,84 @@
+#include "workloads/kernbench.hh"
+
+#include "simcore/logging.hh"
+
+namespace workloads {
+
+Kernbench::Kernbench(sim::EventQueue &eq, std::string name,
+                     hw::Machine &machine, guest::BlockDriver &blk_,
+                     KernbenchParams params_)
+    : sim::SimObject(eq, std::move(name)),
+      machine_(machine), blk(blk_), params(params_),
+      rng(sim::Rng::seedFrom(this->name(), params_.seed))
+{
+}
+
+void
+Kernbench::run(std::function<void(sim::Tick)> done)
+{
+    doneCb = std::move(done);
+    startedAt = now();
+    nextFile = 0;
+    filesDone = 0;
+    for (unsigned j = 0; j < params.jobs; ++j)
+        jobLoop(j);
+}
+
+void
+Kernbench::jobLoop(unsigned job)
+{
+    if (nextFile >= params.files)
+        return;
+    unsigned file = nextFile++;
+
+    auto read_sectors = static_cast<std::uint32_t>(
+        params.readPerFile / sim::kSectorSize);
+    sim::Lba lba = params.treeLba +
+                   sim::Lba(file) * (read_sectors + 64);
+
+    blk.read(lba, read_sectors,
+             [this, job, file,
+              lba](const std::vector<std::uint64_t> &) {
+                 // CPU burst: per-file share of the total, scaled by
+                 // the machine's live profile.
+                 const hw::VirtProfile &p = machine_.profile();
+                 double slow = cpuSlowdown(p, params.sens) +
+                               lockHolderPenaltyNs(p, params.sens) /
+                                   1e9;
+                 double per_file =
+                     static_cast<double>(params.totalCpu) /
+                     params.files * rng.uniformReal(0.6, 1.4);
+                 auto burst =
+                     static_cast<sim::Tick>(per_file * slow);
+                 schedule(burst, [this, job, file]() {
+                     // Object files land in a build directory right
+                     // after the source tree.
+                     auto write_sectors =
+                         static_cast<std::uint32_t>(
+                             params.writePerFile / sim::kSectorSize);
+                     auto read_sectors =
+                         static_cast<std::uint32_t>(
+                             params.readPerFile / sim::kSectorSize);
+                     sim::Lba obj_base =
+                         params.treeLba +
+                         sim::Lba(params.files) * (read_sectors + 64);
+                     sim::Lba obj = obj_base + sim::Lba(file) *
+                                                   (write_sectors + 16);
+                     blk.write(obj, write_sectors,
+                               0xCC0000000000001ULL,
+                               [this, job]() {
+                                   fileDone();
+                                   jobLoop(job);
+                               });
+                 });
+             });
+}
+
+void
+Kernbench::fileDone()
+{
+    if (++filesDone == params.files && doneCb)
+        doneCb(now() - startedAt);
+}
+
+} // namespace workloads

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * kernbench: parallel Linux kernel compilation (paper §5.4, Fig. 7 —
+ * allnoconfig, make -j12, ~16 s on bare metal).
+ *
+ * Modelled as J parallel compile jobs, each alternating a source
+ * read (through the real block driver — so mediator multiplexing
+ * delays count), a CPU burst scaled by the live virtualization
+ * profile, and an object write.
+ */
+
+#ifndef WORKLOADS_KERNBENCH_HH
+#define WORKLOADS_KERNBENCH_HH
+
+#include <functional>
+
+#include "guest/block_driver.hh"
+#include "hw/machine.hh"
+#include "simcore/random.hh"
+#include "simcore/sim_object.hh"
+#include "workloads/cpu_model.hh"
+
+namespace workloads {
+
+/** Compilation parameters. */
+struct KernbenchParams
+{
+    unsigned jobs = 12;
+    /** Translation units compiled. */
+    unsigned files = 280;
+    /** Aggregate CPU work at bare metal (~16 s x 12 cores). */
+    sim::Tick totalCpu = 186 * sim::kSec;
+    sim::Bytes readPerFile = 48 * sim::kKiB;
+    sim::Bytes writePerFile = 16 * sim::kKiB;
+    /** Source tree location on disk. */
+    sim::Lba treeLba = 2048 * 2048;
+    CpuSensitivity sens{/*tlbShare=*/0.002, /*cacheShare=*/0.04,
+                        /*stealShare=*/0.7, /*locksPerOp=*/0.3};
+    std::uint64_t seed = 23;
+};
+
+/** The benchmark. */
+class Kernbench : public sim::SimObject
+{
+  public:
+    Kernbench(sim::EventQueue &eq, std::string name,
+              hw::Machine &machine, guest::BlockDriver &blk,
+              KernbenchParams params = KernbenchParams{});
+
+    /** Compile; reports elapsed wall-clock ticks. */
+    void run(std::function<void(sim::Tick elapsed)> done);
+
+  private:
+    void jobLoop(unsigned job);
+    void fileDone();
+
+    hw::Machine &machine_;
+    guest::BlockDriver &blk;
+    KernbenchParams params;
+    sim::Rng rng;
+
+    sim::Tick startedAt = 0;
+    unsigned nextFile = 0;
+    unsigned filesDone = 0;
+    std::function<void(sim::Tick)> doneCb;
+};
+
+} // namespace workloads
+
+#endif // WORKLOADS_KERNBENCH_HH

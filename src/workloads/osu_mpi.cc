@@ -1,0 +1,186 @@
+#include "workloads/osu_mpi.hh"
+
+#include <algorithm>
+
+#include "simcore/logging.hh"
+
+namespace workloads {
+
+const char *
+collectiveName(Collective c)
+{
+    switch (c) {
+      case Collective::Allgather:
+        return "Allgather";
+      case Collective::Allreduce:
+        return "Allreduce";
+      case Collective::Alltoall:
+        return "Alltoall";
+      case Collective::Barrier:
+        return "Barrier";
+      case Collective::Bcast:
+        return "Bcast";
+      case Collective::Reduce:
+        return "Reduce";
+    }
+    return "?";
+}
+
+OsuMpi::OsuMpi(sim::EventQueue &eq, std::string name,
+               std::vector<hw::Machine *> cluster_, Params params_)
+    : sim::SimObject(eq, std::move(name)),
+      cluster(std::move(cluster_)), params(params_),
+      rng(sim::Rng::seedFrom(this->name(), params_.seed))
+{
+    sim::fatalIf(cluster.size() < 2, "MPI needs >= 2 nodes");
+    for (hw::Machine *m : cluster)
+        sim::fatalIf(m->hca() == nullptr, "MPI node without an HCA");
+}
+
+std::vector<std::vector<std::pair<unsigned, unsigned>>>
+OsuMpi::schedule_for(Collective c) const
+{
+    auto n = static_cast<unsigned>(cluster.size());
+    std::vector<std::vector<std::pair<unsigned, unsigned>>> steps;
+
+    switch (c) {
+      case Collective::Allgather: {
+        // Ring: n-1 steps; in each, every node sends to its right
+        // neighbour.
+        for (unsigned s = 0; s + 1 < n; ++s) {
+            std::vector<std::pair<unsigned, unsigned>> step;
+            for (unsigned i = 0; i < n; ++i)
+                step.emplace_back(i, (i + 1) % n);
+            steps.push_back(std::move(step));
+        }
+        break;
+      }
+      case Collective::Allreduce:
+      case Collective::Barrier: {
+        // Recursive doubling: log2(n) rounds of pairwise exchange
+        // (non-power-of-two ranks fold into the nearest round).
+        for (unsigned dist = 1; dist < n; dist <<= 1) {
+            std::vector<std::pair<unsigned, unsigned>> step;
+            for (unsigned i = 0; i < n; ++i) {
+                unsigned peer = i ^ dist;
+                if (peer < n)
+                    step.emplace_back(i, peer);
+            }
+            steps.push_back(std::move(step));
+        }
+        // Allreduce = reduce-scatter + allgather: double the rounds.
+        if (c == Collective::Allreduce) {
+            auto copy = steps;
+            steps.insert(steps.end(), copy.begin(), copy.end());
+        }
+        break;
+      }
+      case Collective::Alltoall: {
+        // Pairwise exchange: n-1 steps, step s pairs i with i^s or
+        // (i+s)%n.
+        for (unsigned s = 1; s < n; ++s) {
+            std::vector<std::pair<unsigned, unsigned>> step;
+            for (unsigned i = 0; i < n; ++i)
+                step.emplace_back(i, (i + s) % n);
+            steps.push_back(std::move(step));
+        }
+        break;
+      }
+      case Collective::Bcast:
+      case Collective::Reduce: {
+        // Binomial tree from/to rank 0.
+        std::vector<std::vector<std::pair<unsigned, unsigned>>> tree;
+        for (unsigned dist = 1; dist < n; dist <<= 1) {
+            std::vector<std::pair<unsigned, unsigned>> step;
+            for (unsigned i = 0; i < n; ++i) {
+                if (i < dist && i + dist < n)
+                    step.emplace_back(i, i + dist);
+            }
+            tree.push_back(std::move(step));
+        }
+        if (c == Collective::Reduce) {
+            // Reverse direction and order for the reduction.
+            std::reverse(tree.begin(), tree.end());
+            for (auto &step : tree)
+                for (auto &[a, b] : step)
+                    std::swap(a, b);
+        }
+        steps = std::move(tree);
+        break;
+      }
+    }
+    return steps;
+}
+
+sim::Tick
+OsuMpi::nodeOverhead(unsigned node)
+{
+    const hw::VirtProfile &p = cluster[node]->profile();
+    double jitter =
+        rng.exponential(static_cast<double>(p.interruptExtraNs) *
+                        params.jitterScale);
+    return params.swPerMessage + p.interruptExtraNs +
+           static_cast<sim::Tick>(jitter);
+}
+
+void
+OsuMpi::run(Collective c, std::function<void(sim::Tick)> done)
+{
+    doneCb = std::move(done);
+    accum = 0;
+    iteration(c, params.iterations);
+}
+
+void
+OsuMpi::iteration(Collective c, unsigned remaining)
+{
+    if (remaining == 0) {
+        if (doneCb)
+            doneCb(accum / params.iterations);
+        return;
+    }
+    iterStart = now();
+    auto steps = std::make_shared<
+        std::vector<std::vector<std::pair<unsigned, unsigned>>>>(
+        schedule_for(c));
+    sim::Bytes bytes =
+        c == Collective::Barrier ? 0 : params.messageBytes;
+    runSteps(steps, bytes, 0, [this, c, remaining]() {
+        accum += now() - iterStart;
+        iteration(c, remaining - 1);
+    });
+}
+
+void
+OsuMpi::runSteps(
+    std::shared_ptr<
+        std::vector<std::vector<std::pair<unsigned, unsigned>>>>
+        steps,
+    sim::Bytes bytes, std::size_t idx, std::function<void()> done)
+{
+    if (idx >= steps->size()) {
+        done();
+        return;
+    }
+    const auto &step = (*steps)[idx];
+    auto pending = std::make_shared<std::size_t>(step.size());
+    auto cont = [this, steps, bytes, idx, done,
+                 pending]() mutable {
+        if (--*pending == 0)
+            runSteps(steps, bytes, idx + 1, done);
+    };
+    // All transfers of the step proceed in parallel; the step ends
+    // when the slowest finishes (the synchronization point where
+    // per-node jitter amplifies).
+    for (auto [src, dst] : step) {
+        sim::Tick sw = nodeOverhead(src) + nodeOverhead(dst);
+        unsigned dst_id = cluster[dst]->hca()->nodeId();
+        schedule(sw, [this, src, dst_id, bytes, cont]() mutable {
+            cluster[src]->hca()->rdma(dst_id, std::max<sim::Bytes>(
+                                                  bytes, 8),
+                                      cont);
+        });
+    }
+}
+
+} // namespace workloads

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * OSU micro-benchmarks: MPI collective latency over InfiniBand
+ * (paper §5.3, Fig. 6; MPICH2 on a 10-node cluster).
+ *
+ * Collectives are implemented with their standard algorithms over
+ * the RDMA fabric model: ring Allgather, recursive-doubling
+ * Allreduce/Barrier, binomial Bcast/Reduce, pairwise Alltoall. Each
+ * message carries per-node software overhead from that node's live
+ * virtualization profile, and each algorithm step synchronizes on
+ * the slowest participant — which is how modest per-node jitter
+ * amplifies into KVM's large collective latencies.
+ */
+
+#ifndef WORKLOADS_OSU_MPI_HH
+#define WORKLOADS_OSU_MPI_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "hw/machine.hh"
+#include "simcore/random.hh"
+#include "simcore/sim_object.hh"
+
+namespace workloads {
+
+/** Collectives measured in Fig. 6. */
+enum class Collective
+{
+    Allgather,
+    Allreduce,
+    Alltoall,
+    Barrier,
+    Bcast,
+    Reduce,
+};
+
+const char *collectiveName(Collective c);
+
+/** The benchmark runner over a cluster of machines. */
+struct OsuMpiParams
+{
+    sim::Bytes messageBytes = 1024;
+    unsigned iterations = 200;
+    /** Fixed software cost to post/complete one MPI message. */
+    sim::Tick swPerMessage = 650; // ns
+    /** Host-noise jitter: exponential mean added per node per step,
+     *  scaled by the node's interruptExtraNs profile. */
+    double jitterScale = 1.0;
+    std::uint64_t seed = 41;
+};
+
+/** The benchmark runner over a cluster of machines. */
+class OsuMpi : public sim::SimObject
+{
+  public:
+    using Params = OsuMpiParams;
+
+    OsuMpi(sim::EventQueue &eq, std::string name,
+           std::vector<hw::Machine *> cluster,
+           Params params = Params());
+
+    /** Mean latency of one collective invocation, in ticks. */
+    void run(Collective c, std::function<void(sim::Tick mean)> done);
+
+  private:
+    void iteration(Collective c, unsigned remaining);
+    void runSteps(
+        std::shared_ptr<std::vector<
+            std::vector<std::pair<unsigned, unsigned>>>> steps,
+        sim::Bytes bytes, std::size_t idx,
+        std::function<void()> done);
+
+    /** Build the message schedule (list of steps; each step a list
+     *  of (src, dst) transfers that proceed in parallel). */
+    std::vector<std::vector<std::pair<unsigned, unsigned>>>
+    schedule_for(Collective c) const;
+
+    sim::Tick nodeOverhead(unsigned node);
+
+    std::vector<hw::Machine *> cluster;
+    Params params;
+    sim::Rng rng;
+
+    sim::Tick accum = 0;
+    sim::Tick iterStart = 0;
+    std::function<void(sim::Tick)> doneCb;
+};
+
+} // namespace workloads
+
+#endif // WORKLOADS_OSU_MPI_HH

@@ -1,0 +1,158 @@
+#include "workloads/sysbench.hh"
+
+#include <algorithm>
+
+#include "simcore/logging.hh"
+
+namespace workloads {
+
+SysbenchThreads::SysbenchThreads(sim::EventQueue &eq, std::string name,
+                                 hw::Machine &machine,
+                                 SysbenchThreadsParams params_)
+    : sim::SimObject(eq, std::move(name)),
+      machine_(machine), params(params_),
+      rng(sim::Rng::seedFrom(this->name(), params_.seed))
+{
+}
+
+void
+SysbenchThreads::run(unsigned threads,
+                     std::function<void(sim::Tick)> done)
+{
+    sim::panicIfNot(threads > 0, "no threads");
+    doneCb = std::move(done);
+    mutexes.assign(params.mutexes, MutexState{});
+    remaining.assign(threads, params.iterations);
+    wanted.assign(threads, 0);
+    live = threads;
+    runnable = threads;
+    startedAt = now();
+    for (unsigned id = 0; id < threads; ++id)
+        threadStep(id);
+}
+
+namespace {
+
+/** Elapsed-time scale: profile slowdown plus time-sharing when
+ *  threads oversubscribe the cores. */
+double
+timeScale(const hw::VirtProfile &p, const CpuSensitivity &s,
+          unsigned threads, unsigned cores)
+{
+    double oversub =
+        std::max(1.0, static_cast<double>(threads) /
+                          static_cast<double>(cores));
+    return cpuSlowdown(p, s) * oversub;
+}
+
+} // namespace
+
+void
+SysbenchThreads::threadStep(unsigned id)
+{
+    if (remaining[id] == 0) {
+        if (--live == 0 && doneCb)
+            doneCb(now() - startedAt);
+        return;
+    }
+    --remaining[id];
+    acquire(id);
+}
+
+void
+SysbenchThreads::acquire(unsigned id)
+{
+    unsigned mtx = static_cast<unsigned>(
+        rng.uniformInt(0, params.mutexes - 1));
+    wanted[id] = mtx;
+    MutexState &m = mutexes[mtx];
+    if (m.held) {
+        m.waiters.push_back(id);
+        return;
+    }
+    m.held = true;
+
+    const hw::VirtProfile &p = machine_.profile();
+    double scale = timeScale(p, params.sens, unsigned(remaining.size()),
+                             machine_.cores());
+    auto hold = static_cast<sim::Tick>(
+        static_cast<double>(params.sectionCost) * scale);
+    schedule(hold, [this, id, mtx]() { release(id, mtx); });
+}
+
+void
+SysbenchThreads::release(unsigned id, unsigned mtx)
+{
+    MutexState &m = mutexes[mtx];
+    m.held = false;
+    if (!m.waiters.empty()) {
+        unsigned next = m.waiters.front();
+        m.waiters.erase(m.waiters.begin());
+        // Grant directly: the waiter proceeds into its section.
+        m.held = true;
+        const hw::VirtProfile &p = machine_.profile();
+        double scale = timeScale(p, params.sens,
+                                 unsigned(remaining.size()),
+                                 machine_.cores());
+        auto hold = static_cast<sim::Tick>(
+            static_cast<double>(params.sectionCost) * scale);
+        // Lock-holder preemption hurts exactly here: a *contended*
+        // hand-off stalls when the previous holder's vCPU was
+        // descheduled mid-section — the waiter eats the deschedule
+        // (paper §5.5.1, [47]). Uncontended acquisitions never see
+        // it, which is why the overhead grows with the thread count.
+        if (p.lockHolderPreemptProb > 0.0 &&
+            rng.chance(p.lockHolderPreemptProb))
+            hold += p.vcpuDescheduleNs;
+        schedule(hold, [this, next, mtx]() { release(next, mtx); });
+    }
+
+    // The releasing thread yields, then starts its next iteration.
+    const hw::VirtProfile &p = machine_.profile();
+    double scale = timeScale(p, params.sens, unsigned(remaining.size()),
+                             machine_.cores());
+    auto yield = static_cast<sim::Tick>(
+        static_cast<double>(params.yieldCost) * scale);
+    schedule(yield, [this, id]() { threadStep(id); });
+}
+
+sim::Tick
+SysbenchMemory::elapsed(sim::Bytes block_bytes) const
+{
+    const hw::VirtProfile &p = machine_.profile();
+
+    // Sensitivity grows with the block size: bigger blocks span more
+    // pages (TLB) and displace more cache.
+    double size_frac =
+        std::min(1.0, static_cast<double>(block_bytes) /
+                          static_cast<double>(16 * sim::kKiB));
+    double tlb_share = params.tlbShareMax * size_frac;
+    double cache_share = params.cacheShareMax * size_frac;
+
+    double slowdown =
+        1.0 + tlb_share * (p.tlbMissRateMult * p.tlbMissLatencyMult -
+                           1.0) +
+        cache_share * p.cachePollutionFactor +
+        0.3 * p.vmmCpuSteal; // single-threaded: idle cores absorb
+
+    std::uint64_t blocks =
+        (params.totalBytes + block_bytes - 1) / block_bytes;
+    double per_block =
+        static_cast<double>(params.allocCost) +
+        static_cast<double>(block_bytes) /
+            (params.gbPerSec * 1e9) * 1e9;
+    return static_cast<sim::Tick>(static_cast<double>(blocks) *
+                                  per_block * slowdown);
+}
+
+double
+SysbenchMemory::throughputMiBps(sim::Bytes block_bytes) const
+{
+    sim::Tick t = elapsed(block_bytes);
+    if (t == 0)
+        return 0.0;
+    return static_cast<double>(params.totalBytes) /
+           static_cast<double>(sim::kMiB) / sim::toSeconds(t);
+}
+
+} // namespace workloads

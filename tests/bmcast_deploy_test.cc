@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Integration tests of the full BMcast deployment pipeline: VMM
+ * netboot, guest boot under copy-on-read, background copy,
+ * de-virtualization, and data correctness end to end.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bmcast/deployer.hh"
+#include "hw/disk_store.hh"
+#include "tests/test_util.hh"
+
+using namespace testutil;
+
+namespace {
+
+class DeployTest : public ::testing::TestWithParam<hw::StorageKind>
+{
+};
+
+TEST_P(DeployTest, FullDeploymentReachesBareMetal)
+{
+    RigOptions opt;
+    opt.storage = GetParam();
+    Rig rig(opt);
+
+    bmcast::BmcastDeployer dep(rig.eq, "dep", *rig.machine,
+                               *rig.guest, kServerMac,
+                               opt.imageSectors, rig.fastVmmParams(),
+                               /*coldFirmware=*/false);
+
+    bool guest_ready = false;
+    dep.run([&]() { guest_ready = true; });
+
+    ASSERT_TRUE(runUntil(rig.eq, 4000 * sim::kSec,
+                         [&]() { return dep.bareMetalReached(); }))
+        << "deployment never reached bare metal";
+    EXPECT_TRUE(guest_ready);
+    EXPECT_TRUE(rig.guest->isReady());
+
+    // Timeline ordering.
+    const auto &tl = dep.timeline();
+    EXPECT_LT(tl.vmmReady, tl.guestBootDone);
+    EXPECT_LE(tl.copyComplete, tl.bareMetal);
+
+    // Every image sector is on the local disk with image content
+    // (modulo guest-written blocks — the guest only read here).
+    EXPECT_TRUE(rig.machine->disk().store().rangeHasBase(
+        0, opt.imageSectors, kImageBase));
+
+    // De-virtualization is structural: no intercepts remain, profile
+    // is bare metal, nested paging off everywhere.
+    EXPECT_FALSE(rig.machine->bus().anyInterceptActive());
+    EXPECT_FALSE(rig.machine->profile().virtualized);
+    EXPECT_FALSE(rig.machine->vmx().anyNestedPaging());
+}
+
+TEST_P(DeployTest, GuestReadsSeeImageContentDuringDeployment)
+{
+    RigOptions opt;
+    opt.storage = GetParam();
+    Rig rig(opt);
+
+    bmcast::BmcastDeployer dep(rig.eq, "dep", *rig.machine,
+                               *rig.guest, kServerMac,
+                               opt.imageSectors, rig.fastVmmParams(),
+                               false);
+
+    bool guest_ready = false;
+    dep.run([&]() { guest_ready = true; });
+    ASSERT_TRUE(runUntil(rig.eq, 400 * sim::kSec,
+                         [&]() { return guest_ready; }));
+
+    // Read a block that has certainly not been background-copied
+    // yet... or has been; either way content must equal the image.
+    sim::Lba lba = opt.imageSectors - 64;
+    std::vector<std::uint64_t> got;
+    rig.guest->blk().read(lba, 16,
+                          [&](const std::vector<std::uint64_t> &t) {
+                              got = t;
+                          });
+    ASSERT_TRUE(runUntil(rig.eq, 4000 * sim::kSec,
+                         [&]() { return !got.empty(); }));
+    ASSERT_EQ(got.size(), 16u);
+    for (std::uint32_t i = 0; i < 16; ++i)
+        EXPECT_EQ(got[i], hw::sectorToken(kImageBase, lba + i))
+            << "sector " << i;
+}
+
+TEST_P(DeployTest, GuestWriteSurvivesBackgroundCopy)
+{
+    RigOptions opt;
+    opt.storage = GetParam();
+    Rig rig(opt);
+
+    bmcast::BmcastDeployer dep(rig.eq, "dep", *rig.machine,
+                               *rig.guest, kServerMac,
+                               opt.imageSectors, rig.fastVmmParams(),
+                               false);
+
+    bool guest_ready = false;
+    dep.run([&]() { guest_ready = true; });
+    ASSERT_TRUE(runUntil(rig.eq, 400 * sim::kSec,
+                         [&]() { return guest_ready; }));
+
+    // Overwrite a not-yet-deployed block, then let deployment finish.
+    const std::uint64_t my_base = 0x1111000000000001ULL;
+    sim::Lba lba = opt.imageSectors / 2;
+    bool wrote = false;
+    rig.guest->blk().write(lba, 64, my_base, [&]() { wrote = true; });
+    ASSERT_TRUE(
+        runUntil(rig.eq, 4000 * sim::kSec, [&]() { return wrote; }));
+
+    ASSERT_TRUE(runUntil(rig.eq, 8000 * sim::kSec,
+                         [&]() { return dep.bareMetalReached(); }));
+
+    // The guest's data must have survived the background copy.
+    EXPECT_TRUE(rig.machine->disk().store().rangeHasBase(lba, 64,
+                                                         my_base));
+    // And a read after de-virtualization returns it.
+    std::vector<std::uint64_t> got;
+    rig.guest->blk().read(lba, 64,
+                          [&](const std::vector<std::uint64_t> &t) {
+                              got = t;
+                          });
+    ASSERT_TRUE(runUntil(rig.eq, 100 * sim::kSec,
+                         [&]() { return !got.empty(); }));
+    for (std::uint32_t i = 0; i < 64; ++i)
+        EXPECT_EQ(got[i], hw::sectorToken(my_base, lba + i));
+}
+
+INSTANTIATE_TEST_SUITE_P(BothControllers, DeployTest,
+                         ::testing::Values(hw::StorageKind::Ide,
+                                           hw::StorageKind::Ahci),
+                         [](const auto &info) {
+                             return info.param ==
+                                            hw::StorageKind::Ide
+                                        ? "Ide"
+                                        : "Ahci";
+                         });
+
+} // namespace

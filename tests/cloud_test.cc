@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests of the provider-side Cloud facade: multi-image provisioning,
+ * pool exhaustion, per-instance lifecycle, and data integrity of
+ * instances deployed from different golden images concurrently.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bmcast/cloud.hh"
+#include "hw/disk_store.hh"
+
+namespace {
+
+constexpr std::uint64_t kUbuntu = 0xAAAA000000000001ULL;
+constexpr std::uint64_t kCentos = 0xBBBB000000000001ULL;
+
+bmcast::CloudConfig
+testConfig(unsigned machines)
+{
+    bmcast::CloudConfig cfg;
+    cfg.machines = machines;
+    cfg.machineTemplate.disk.capacityBytes = 2 * sim::kGiB;
+    cfg.vmm.bootTime = 5 * sim::kSec;
+    cfg.vmm.moderation.vmmWriteInterval = 2 * sim::kMs;
+    cfg.vmm.moderation.guestIoFreqThreshold = 1e9;
+    cfg.guestTemplate.boot.loaderBytes = 1 * sim::kMiB;
+    cfg.guestTemplate.boot.kernelBytes = 4 * sim::kMiB;
+    cfg.guestTemplate.boot.numReads = 40;
+    cfg.guestTemplate.boot.cpuTotal = 500 * sim::kMs;
+    cfg.guestTemplate.boot.regionBytes = 16 * sim::kMiB;
+    return cfg;
+}
+
+TEST(Cloud, ProvisionTwoImagesConcurrently)
+{
+    sim::EventQueue eq;
+    bmcast::Cloud cloud(eq, "region", testConfig(2));
+    cloud.addImage("ubuntu-14.04", 48 * sim::kMiB, kUbuntu);
+    cloud.addImage("centos-6.3", 48 * sim::kMiB, kCentos);
+
+    unsigned serving = 0;
+    bmcast::Instance *a = cloud.provision(
+        "ubuntu-14.04", [&](bmcast::Instance &) { ++serving; });
+    bmcast::Instance *b = cloud.provision(
+        "centos-6.3", [&](bmcast::Instance &) { ++serving; });
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(cloud.freeMachines(), 0u);
+
+    while ((a->state() != bmcast::Instance::State::BareMetal ||
+            b->state() != bmcast::Instance::State::BareMetal) &&
+           !eq.empty() && eq.now() < 40000 * sim::kSec)
+        eq.step();
+
+    EXPECT_EQ(serving, 2u);
+    EXPECT_EQ(a->state(), bmcast::Instance::State::BareMetal);
+    EXPECT_EQ(b->state(), bmcast::Instance::State::BareMetal);
+    EXPECT_GT(a->timeToServingSec(), 0.0);
+
+    // Each machine holds ITS image (no cross-contamination through
+    // the shared server).
+    sim::Lba img_sectors = (48 * sim::kMiB) / sim::kSectorSize;
+    EXPECT_TRUE(a->machine().disk().store().rangeHasBase(
+        0, img_sectors, kUbuntu));
+    EXPECT_TRUE(b->machine().disk().store().rangeHasBase(
+        0, img_sectors, kCentos));
+}
+
+TEST(Cloud, PoolExhaustionReturnsNull)
+{
+    sim::EventQueue eq;
+    bmcast::Cloud cloud(eq, "region", testConfig(1));
+    cloud.addImage("img", 16 * sim::kMiB, kUbuntu);
+    EXPECT_NE(cloud.provision("img", nullptr), nullptr);
+    EXPECT_EQ(cloud.provision("img", nullptr), nullptr);
+    EXPECT_EQ(cloud.freeMachines(), 0u);
+}
+
+TEST(Cloud, UnknownImageIsFatal)
+{
+    sim::EventQueue eq;
+    bmcast::Cloud cloud(eq, "region", testConfig(1));
+    EXPECT_THROW(cloud.provision("nope", nullptr), sim::FatalError);
+}
+
+TEST(Cloud, DuplicateImageIsFatal)
+{
+    sim::EventQueue eq;
+    bmcast::Cloud cloud(eq, "region", testConfig(1));
+    cloud.addImage("img", 16 * sim::kMiB, kUbuntu);
+    EXPECT_THROW(cloud.addImage("img", 16 * sim::kMiB, kCentos),
+                 sim::FatalError);
+}
+
+} // namespace

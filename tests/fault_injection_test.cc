@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Fault-injection and edge-case tests: full deployments over lossy
+ * links, AoE parser fuzzing, mediator behaviour at region
+ * boundaries, multi-slot AHCI traffic under deployment, moderation
+ * edge settings, de-virtualization under continuous load, and the
+ * VMM memory reservation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "aoe/protocol.hh"
+#include "bmcast/deployer.hh"
+#include "tests/test_util.hh"
+
+using namespace testutil;
+
+namespace {
+
+// --- Deployment completes despite packet loss ---
+
+class LossyDeploy : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(LossyDeploy, CompletesAndStaysConsistent)
+{
+    RigOptions o;
+    o.imageSectors = (32 * sim::kMiB) / sim::kSectorSize;
+    o.lossProbability = GetParam();
+    Rig rig(o);
+    // Loss on the server side too: responses are the bulk.
+    rig.serverPort.setLossProbability(GetParam());
+
+    bmcast::BmcastDeployer dep(rig.eq, "dep", *rig.machine,
+                               *rig.guest, kServerMac, o.imageSectors,
+                               rig.fastVmmParams(), false);
+    bool up = false;
+    dep.run([&]() { up = true; });
+    ASSERT_TRUE(runUntil(rig.eq, 40000 * sim::kSec,
+                         [&]() { return dep.bareMetalReached(); }));
+    EXPECT_TRUE(up);
+    EXPECT_TRUE(rig.machine->disk().store().rangeHasBase(
+        0, o.imageSectors, kImageBase));
+    if (GetParam() > 0.0) {
+        EXPECT_GT(dep.vmm().initiator().retransmissions(), 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(LossRates, LossyDeploy,
+                         ::testing::Values(0.0, 0.02, 0.10));
+
+// --- AoE parser fuzz: random bytes must never crash ---
+
+class AoeFuzz : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(AoeFuzz, RandomFramesParseSafely)
+{
+    sim::Rng rng(GetParam() * 977);
+    for (int i = 0; i < 2000; ++i) {
+        net::Frame f;
+        f.etherType = rng.chance(0.5)
+                          ? aoe::kEtherType
+                          : static_cast<std::uint16_t>(rng.next());
+        f.payload.resize(rng.uniformInt(0, 200));
+        for (auto &b : f.payload)
+            b = static_cast<std::uint8_t>(rng.next());
+        auto parsed = aoe::parse(f); // must not throw or crash
+        if (parsed) {
+            // Whatever parsed must re-serialize without issue.
+            (void)aoe::toFrame(*parsed, 0x1);
+        }
+    }
+    SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AoeFuzz, ::testing::Range(1, 5));
+
+// --- Region-boundary behaviour ---
+
+class BoundaryTest : public ::testing::TestWithParam<hw::StorageKind>
+{
+  protected:
+    struct World
+    {
+        explicit World(hw::StorageKind kind)
+        {
+            RigOptions o;
+            o.storage = kind;
+            o.imageSectors = (16 * sim::kMiB) / sim::kSectorSize;
+            rig = std::make_unique<Rig>(o);
+            vmm = std::make_unique<bmcast::Vmm>(
+                rig->eq, "vmm", *rig->machine, kServerMac,
+                o.imageSectors, rig->fastVmmParams());
+            bool ready = false;
+            vmm->netboot([&]() { ready = true; });
+            runUntil(rig->eq, 60 * sim::kSec,
+                     [&]() { return ready; });
+            bool booted = false;
+            rig->guest->start([&]() { booted = true; });
+            runUntil(rig->eq, 1000 * sim::kSec,
+                     [&]() { return booted; });
+        }
+        std::unique_ptr<Rig> rig;
+        std::unique_ptr<bmcast::Vmm> vmm;
+    };
+};
+
+TEST_P(BoundaryTest, ReadStraddlingImageEndIsServed)
+{
+    World w(GetParam());
+    sim::Lba img = w.rig->opts.imageSectors;
+    // [img-8, img+8): half image (EMPTY -> fetch), half beyond-image
+    // (pre-marked FILLED, local zeros).
+    std::vector<std::uint64_t> got;
+    w.rig->guest->blk().read(img - 8, 16,
+                             [&](const auto &t) { got = t; });
+    ASSERT_TRUE(runUntil(w.rig->eq, 100 * sim::kSec,
+                         [&]() { return !got.empty(); }));
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(got[i], hw::sectorToken(kImageBase, img - 8 + i));
+    for (int i = 8; i < 16; ++i)
+        EXPECT_EQ(got[i], 0u) << "beyond-image sector must be local";
+}
+
+TEST_P(BoundaryTest, SingleSectorOps)
+{
+    World w(GetParam());
+    std::vector<std::uint64_t> got;
+    w.rig->guest->blk().read(5, 1, [&](const auto &t) { got = t; });
+    ASSERT_TRUE(runUntil(w.rig->eq, 100 * sim::kSec,
+                         [&]() { return !got.empty(); }));
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0], hw::sectorToken(kImageBase, 5));
+
+    bool wrote = false;
+    w.rig->guest->blk().write(5, 1, 0xF00ULL << 8 | 1,
+                              [&]() { wrote = true; });
+    ASSERT_TRUE(runUntil(w.rig->eq, 100 * sim::kSec,
+                         [&]() { return wrote; }));
+    EXPECT_EQ(w.rig->machine->disk().store().baseAt(5),
+              0xF00ULL << 8 | 1);
+}
+
+TEST_P(BoundaryTest, BackToBackRedirectsSerialize)
+{
+    World w(GetParam());
+    // Two immediately consecutive cold reads: the second must queue
+    // behind the first's redirection and still return image data.
+    std::vector<std::uint64_t> a, b;
+    w.rig->guest->blk().read(4096, 32, [&](const auto &t) { a = t; });
+    w.rig->guest->blk().read(8192, 32, [&](const auto &t) { b = t; });
+    ASSERT_TRUE(runUntil(w.rig->eq, 100 * sim::kSec, [&]() {
+        return !a.empty() && !b.empty();
+    }));
+    EXPECT_EQ(a[0], hw::sectorToken(kImageBase, 4096));
+    EXPECT_EQ(b[0], hw::sectorToken(kImageBase, 8192));
+    EXPECT_GE(w.vmm->mediator().stats().redirectedReads, 2u);
+}
+
+TEST_P(BoundaryTest, DevirtUnderContinuousLoad)
+{
+    World w(GetParam());
+    // Guest hammers the disk while the copy finishes; the devirt
+    // point must still be found and be seamless (no lost ops).
+    std::uint64_t completed = 0;
+    bool stop = false;
+    std::function<void(int)> pump = [&](int i) {
+        if (stop)
+            return;
+        sim::Lba lba = (sim::Lba(i) * 911) %
+                       (w.rig->opts.imageSectors - 64);
+        w.rig->guest->blk().read(lba, 16, [&, i](const auto &) {
+            ++completed;
+            pump(i + 1);
+        });
+    };
+    pump(0);
+
+    bool bare = false;
+    w.vmm->onBareMetal([&]() { bare = true; });
+    ASSERT_TRUE(runUntil(w.rig->eq, 40000 * sim::kSec,
+                         [&]() { return bare; }));
+    std::uint64_t at_devirt = completed;
+    // Keep going after devirt: I/O must continue uninterrupted.
+    ASSERT_TRUE(runUntil(w.rig->eq,
+                         w.rig->eq.now() + 10 * sim::kSec, [&]() {
+                             return completed > at_devirt + 20;
+                         }));
+    stop = true;
+    EXPECT_FALSE(w.rig->machine->bus().anyInterceptActive());
+}
+
+INSTANTIATE_TEST_SUITE_P(BothControllers, BoundaryTest,
+                         ::testing::Values(hw::StorageKind::Ide,
+                                           hw::StorageKind::Ahci),
+                         [](const auto &info) {
+                             return info.param ==
+                                            hw::StorageKind::Ide
+                                        ? "Ide"
+                                        : "Ahci";
+                         });
+
+// --- VMM memory reservation ---
+
+TEST(VmmMemory, ReservedViaE820)
+{
+    RigOptions o;
+    o.imageSectors = (16 * sim::kMiB) / sim::kSectorSize;
+    Rig rig(o);
+    bmcast::VmmParams p = rig.fastVmmParams();
+    bmcast::Vmm vmm(rig.eq, "vmm", *rig.machine, kServerMac,
+                    o.imageSectors, p);
+    bool ready = false;
+    vmm.netboot([&]() { ready = true; });
+    ASSERT_TRUE(
+        runUntil(rig.eq, 60 * sim::kSec, [&]() { return ready; }));
+
+    // The BIOS map hides the VMM region from the guest (§3.4)...
+    EXPECT_TRUE(rig.machine->firmware().overlapsReserved(
+        p.reservedBase, p.reservedBytes));
+    // ...and, as in the prototype (§4.3), it is NOT released after
+    // de-virtualization.
+    bool bare = false;
+    vmm.onBareMetal([&]() { bare = true; });
+    rig.guest->start([]() {});
+    ASSERT_TRUE(runUntil(rig.eq, 40000 * sim::kSec,
+                         [&]() { return bare; }));
+    EXPECT_TRUE(rig.machine->firmware().overlapsReserved(
+        p.reservedBase, p.reservedBytes));
+}
+
+// --- Moderation edge settings ---
+
+TEST(ModerationEdge, ZeroIntervalIsFullSpeed)
+{
+    RigOptions o;
+    o.imageSectors = (32 * sim::kMiB) / sim::kSectorSize;
+    Rig rig(o);
+    bmcast::VmmParams p = rig.fastVmmParams();
+    p.moderation.vmmWriteInterval = 1; // effectively no idle gap
+    bmcast::BmcastDeployer dep(rig.eq, "dep", *rig.machine,
+                               *rig.guest, kServerMac, o.imageSectors,
+                               p, false);
+    dep.run([]() {});
+    ASSERT_TRUE(runUntil(rig.eq, 4000 * sim::kSec,
+                         [&]() { return dep.bareMetalReached(); }));
+    // 32 MiB at full speed finishes well inside the boot+copy span.
+    EXPECT_LT(sim::toSeconds(dep.timeline().bareMetal), 120.0);
+}
+
+TEST(ModerationEdge, HugeSuspendStillCompletes)
+{
+    RigOptions o;
+    o.imageSectors = (16 * sim::kMiB) / sim::kSectorSize;
+    Rig rig(o);
+    bmcast::VmmParams p = rig.fastVmmParams();
+    p.moderation.guestIoFreqThreshold = 0.5; // trigger on any I/O
+    p.moderation.vmmWriteSuspendInterval = 2 * sim::kSec;
+    p.moderation.vmmWriteInterval = 2 * sim::kMs;
+    bmcast::BmcastDeployer dep(rig.eq, "dep", *rig.machine,
+                               *rig.guest, kServerMac, o.imageSectors,
+                               p, false);
+    dep.run([]() {});
+    ASSERT_TRUE(runUntil(rig.eq, 40000 * sim::kSec,
+                         [&]() { return dep.bareMetalReached(); }));
+    EXPECT_GT(dep.vmm().backgroundCopy().suspensions(), 0u);
+}
+
+} // namespace
