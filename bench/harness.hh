@@ -12,6 +12,7 @@
 #ifndef BENCH_HARNESS_HH
 #define BENCH_HARNESS_HH
 
+#include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <vector>
@@ -28,6 +29,25 @@
 #include "simcore/table.hh"
 
 namespace bench {
+
+/** Dump a queue's kernel counters (see simcore/stats.hh). */
+inline void
+printKernelCounters(const sim::EventQueue &eq,
+                    std::ostream &os = std::cout)
+{
+    const sim::KernelCounters &k = eq.counters();
+    sim::Table t({"Kernel counter", "Value"});
+    t.addRow({"events scheduled", std::to_string(k.scheduled)});
+    t.addRow({"events executed", std::to_string(k.executed)});
+    t.addRow({"events cancelled", std::to_string(k.cancelled)});
+    t.addRow({"tombstones popped", std::to_string(k.tombstonesPopped)});
+    t.addRow({"callbacks spilled to heap",
+              std::to_string(k.spilledCallbacks)});
+    t.addRow({"peak pending", std::to_string(k.peakPending)});
+    t.addRow({"wall ns / M executed",
+              sim::Table::num(k.wallNsPerMillionExecuted(), 0)});
+    t.print(os);
+}
 
 constexpr net::MacAddr kServerMac = 0x525400000001ULL;
 constexpr std::uint64_t kImageBase = 0xABCD000000000001ULL;
@@ -75,6 +95,15 @@ struct Testbed
 
         for (unsigned i = 0; i < numMachines; ++i)
             addMachine(storage);
+    }
+
+    ~Testbed()
+    {
+        // Opt-in kernel-profiling report for any bench binary.
+        if (std::getenv("BMCAST_KERNEL_STATS")) {
+            std::cout << "\nSimulation-kernel counters:\n";
+            printKernelCounters(eq);
+        }
     }
 
     hw::Machine &

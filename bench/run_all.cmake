@@ -1,0 +1,49 @@
+# Runs every bench binary in BENCH_DIR, captures stdout to
+# <name>.log, then merges all BENCH_*.json artifacts emitted by the
+# binaries into BENCH_all.json. Invoked by the bench_all target:
+#
+#   cmake --build build --target bench_all
+#
+# A bench failure stops the run (the figures double as regression
+# checks); per-bench logs survive for inspection.
+
+if(NOT BENCH_DIR OR NOT BENCHES)
+    message(FATAL_ERROR "run_all.cmake needs -DBENCH_DIR=... and "
+                        "-DBENCHES=a;b;c")
+endif()
+
+foreach(bench IN LISTS BENCHES)
+    message(STATUS "running ${bench}")
+    execute_process(
+        COMMAND ${BENCH_DIR}/${bench}
+        WORKING_DIRECTORY ${BENCH_DIR}
+        OUTPUT_FILE ${BENCH_DIR}/${bench}.log
+        ERROR_FILE ${BENCH_DIR}/${bench}.log
+        RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+            "${bench} exited with ${rc}; see ${BENCH_DIR}/${bench}.log")
+    endif()
+endforeach()
+
+file(GLOB json_files ${BENCH_DIR}/BENCH_*.json)
+list(REMOVE_ITEM json_files ${BENCH_DIR}/BENCH_all.json)
+list(SORT json_files)
+
+set(merged "{\n  \"benches\": [\n")
+set(first TRUE)
+foreach(jf IN LISTS json_files)
+    file(READ ${jf} content)
+    string(STRIP "${content}" content)
+    if(NOT first)
+        string(APPEND merged ",\n")
+    endif()
+    string(APPEND merged "${content}")
+    set(first FALSE)
+endforeach()
+string(APPEND merged "\n  ]\n}\n")
+file(WRITE ${BENCH_DIR}/BENCH_all.json "${merged}")
+
+list(LENGTH json_files njson)
+message(STATUS "bench_all: merged ${njson} JSON artifact(s) into "
+               "${BENCH_DIR}/BENCH_all.json")

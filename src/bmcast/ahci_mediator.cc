@@ -336,39 +336,46 @@ AhciMediator::maybeBeginRedirect()
     }
 
     r.tokens.assign(r.count, 0);
-    auto empty = svc.bitmap->emptyRanges(r.lba, r.count);
+    // First allocation-free pass over the EMPTY sub-ranges: derive
+    // the FILLED complement (served from the local disk) and the
+    // fetch count, which must be final before any fetch completes.
+    std::size_t numFetches = 0;
     sim::Lba pos = r.lba;
-    for (const auto &[s, e] : empty) {
-        if (s > pos)
-            r.localRanges.emplace_back(pos, s);
-        pos = e;
-    }
+    svc.bitmap->forEachEmpty(r.lba, r.count,
+                             [&](sim::Lba s, sim::Lba e) {
+                                 if (s > pos)
+                                     r.localRanges.emplace_back(pos, s);
+                                 pos = e;
+                                 ++numFetches;
+                             });
     if (pos < r.lba + r.count)
         r.localRanges.emplace_back(pos, r.lba + r.count);
     if (!r.localRanges.empty())
         ++stats_.mixedRedirects;
 
-    r.fetchesPending = empty.size();
-    for (const auto &[s, e] : empty) {
-        auto n = static_cast<std::uint32_t>(e - s);
-        stats_.redirectedSectors += n;
-        sim::Lba seg = s;
-        svc.fetchRemote(
-            seg, n,
-            [this, seg,
-             n](const std::vector<std::uint64_t> &tokens) {
-                if (redirects.empty() ||
-                    state != State::RedirectData)
-                    return;
-                Redirect &cur = redirects.front();
-                std::copy(tokens.begin(), tokens.end(),
-                          cur.tokens.begin() + (seg - cur.lba));
-                if (svc.stashFetched)
-                    svc.stashFetched(seg, n, tokens);
-                --cur.fetchesPending;
-                advanceRedirect();
-            });
-    }
+    r.fetchesPending = numFetches;
+    // Second pass issues the remote fetches.
+    svc.bitmap->forEachEmpty(
+        r.lba, r.count, [&](sim::Lba s, sim::Lba e) {
+            auto n = static_cast<std::uint32_t>(e - s);
+            stats_.redirectedSectors += n;
+            sim::Lba seg = s;
+            svc.fetchRemote(
+                seg, n,
+                [this, seg,
+                 n](const std::vector<std::uint64_t> &tokens) {
+                    if (redirects.empty() ||
+                        state != State::RedirectData)
+                        return;
+                    Redirect &cur = redirects.front();
+                    std::copy(tokens.begin(), tokens.end(),
+                              cur.tokens.begin() + (seg - cur.lba));
+                    if (svc.stashFetched)
+                        svc.stashFetched(seg, n, tokens);
+                    --cur.fetchesPending;
+                    advanceRedirect();
+                });
+        });
     advanceRedirect();
 }
 

@@ -27,16 +27,31 @@ BackgroundCopy::start()
     sim::panicIfNot(!running, "background copy started twice");
     running = true;
     retrieverLoop();
-    if (!writerArmed) {
-        writerArmed = true;
-        schedule(mod.vmmWriteInterval, [this]() { writerWake(); });
-    }
+    if (!writerArmed)
+        armWriter(mod.vmmWriteInterval);
 }
 
 void
 BackgroundCopy::stop()
 {
     running = false;
+    stopSuspendPoll();
+}
+
+void
+BackgroundCopy::armWriter(sim::Tick delay)
+{
+    writerArmed = true;
+    schedule(delay, [this]() { writerWake(); });
+}
+
+void
+BackgroundCopy::stopSuspendPoll()
+{
+    if (suspendPollActive) {
+        eventQueue().cancel(suspendPoll);
+        suspendPollActive = false;
+    }
 }
 
 void
@@ -95,13 +110,14 @@ BackgroundCopy::retrieverLoop()
         return;
     }
     sim::Lba lba = *next;
-    auto empty = bitmap.emptyRanges(
+    auto block = bitmap.firstEmptyRange(
         lba, std::min<std::uint64_t>(params.copyBlockSectors,
                                      imageSectors - lba));
-    sim::panicIfNot(!empty.empty(), "firstEmpty disagrees with gaps");
-    auto count = static_cast<std::uint32_t>(empty.front().second -
-                                            empty.front().first);
-    lba = empty.front().first;
+    sim::panicIfNot(block.has_value(),
+                    "firstEmpty disagrees with gaps");
+    auto count =
+        static_cast<std::uint32_t>(block->second - block->first);
+    lba = block->first;
     cursor = lba + count;
 
     retrieverBusy = true;
@@ -122,17 +138,26 @@ void
 BackgroundCopy::writerWake()
 {
     writerArmed = false;
-    if (!running || done)
-        return;
-
-    // Moderation (§3.3): suspend while the guest is I/O-active.
-    if (guestIoRate.ratePerSec(now()) > mod.guestIoFreqThreshold) {
-        ++numSuspends;
-        writerArmed = true;
-        schedule(mod.vmmWriteSuspendInterval,
-                 [this]() { writerWake(); });
+    if (!running || done) {
+        stopSuspendPoll();
         return;
     }
+
+    // Moderation (§3.3): suspend while the guest is I/O-active. The
+    // re-check runs on a periodic timer, so a long suspension costs
+    // no per-poll scheduling work.
+    if (guestIoRate.ratePerSec(now()) > mod.guestIoFreqThreshold) {
+        ++numSuspends;
+        writerArmed = true; // the poll below is the pending wake-up
+        if (!suspendPollActive) {
+            suspendPollActive = true;
+            suspendPoll =
+                schedulePeriodic(mod.vmmWriteSuspendInterval,
+                                 [this]() { writerWake(); });
+        }
+        return;
+    }
+    stopSuspendPoll();
 
     // One copy block's worth of sectors per interval; small
     // copy-on-read stash entries chain until the budget is used.
@@ -187,8 +212,7 @@ BackgroundCopy::tryWriteHead()
 
     if (fifo.empty()) {
         retrieverLoop();
-        writerArmed = true;
-        schedule(mod.vmmWriteInterval, [this]() { writerWake(); });
+        armWriter(mod.vmmWriteInterval);
         return;
     }
 
@@ -219,13 +243,10 @@ BackgroundCopy::tryWriteHead()
                 return;
             }
             if (!writerArmed) {
-                writerArmed = true;
                 sim::Tick elapsed = now() - roundStart;
-                sim::Tick wait =
-                    mod.vmmWriteInterval > elapsed
-                        ? mod.vmmWriteInterval - elapsed
-                        : 0;
-                schedule(wait, [this]() { writerWake(); });
+                armWriter(mod.vmmWriteInterval > elapsed
+                              ? mod.vmmWriteInterval - elapsed
+                              : 0);
             }
         });
 
@@ -235,10 +256,8 @@ BackgroundCopy::tryWriteHead()
     } else {
         // Device busy with guest I/O: retry shortly (the mediator
         // queues nothing for us; we poll).
-        writerArmed = true;
-        schedule(std::min<sim::Tick>(mod.vmmWriteInterval,
-                                     2 * sim::kMs),
-                 [this]() { writerWake(); });
+        armWriter(std::min<sim::Tick>(mod.vmmWriteInterval,
+                                      2 * sim::kMs));
     }
 }
 

@@ -84,6 +84,9 @@ class BackgroundCopy : public sim::SimObject
     void writerWake();
     void tryWriteHead();
     void checkComplete();
+    /** One-shot writer wake-up @p delay ticks out. */
+    void armWriter(sim::Tick delay);
+    void stopSuspendPoll();
 
     const VmmParams &params;
     ModerationParams mod;
@@ -102,6 +105,12 @@ class BackgroundCopy : public sim::SimObject
     bool writeInFlight = false;
     bool running = false;
     bool done = false;
+
+    /** While the guest is I/O-active the writer suspends and polls
+     *  the rate on this periodic timer instead of re-scheduling
+     *  one-shot wake-ups (§3.3 moderation). */
+    sim::EventId suspendPoll;
+    bool suspendPollActive = false;
 
     sim::Lba cursor = 0;
     /** Sectors still to write in the current interval round (one

@@ -53,6 +53,25 @@ class BlockBitmap
     emptyRanges(sim::Lba lba, std::uint64_t count) const;
 
     /**
+     * Visit the EMPTY sub-ranges of [lba, lba+count) in ascending
+     * order without allocating (see IntervalSet::forEachGap). This
+     * is the form the hot copy-on-read redirection path uses.
+     */
+    template <typename Visitor>
+    void
+    forEachEmpty(sim::Lba lba, std::uint64_t count,
+                 Visitor &&visit) const
+    {
+        filled.forEachGap(lba, lba + count,
+                          std::forward<Visitor>(visit));
+    }
+
+    /** First EMPTY sub-range of [lba, lba+count), if any;
+     *  allocation-free. */
+    std::optional<sim::IntervalSet::Range>
+    firstEmptyRange(sim::Lba lba, std::uint64_t count) const;
+
+    /**
      * Atomic check for the background writer: true (and the caller
      * may write) only if the whole block is still EMPTY. Does NOT
      * mark; the writer marks FILLED at write completion.

@@ -324,40 +324,47 @@ IdeMediator::startRedirect(sim::Lba lba, std::uint32_t count)
         return;
     }
 
-    auto empty = svc.bitmap->emptyRanges(lba, count);
     // FILLED sub-ranges must come from the local disk (the server's
-    // copy may be stale if the guest overwrote them).
+    // copy may be stale if the guest overwrote them). First
+    // allocation-free pass: derive them as the complement of the
+    // EMPTY ranges and fix the fetch count before any fetch can
+    // complete.
+    std::size_t numFetches = 0;
     sim::Lba pos = lba;
-    for (const auto &[s, e] : empty) {
-        if (s > pos)
-            redirect->localRanges.emplace_back(pos, s);
-        pos = e;
-    }
+    svc.bitmap->forEachEmpty(
+        lba, count, [&](sim::Lba s, sim::Lba e) {
+            if (s > pos)
+                redirect->localRanges.emplace_back(pos, s);
+            pos = e;
+            ++numFetches;
+        });
     if (pos < lba + count)
         redirect->localRanges.emplace_back(pos, lba + count);
     if (!redirect->localRanges.empty())
         ++stats_.mixedRedirects;
 
-    redirect->fetchesPending = empty.size();
-    for (const auto &[s, e] : empty) {
-        auto n = static_cast<std::uint32_t>(e - s);
-        stats_.redirectedSectors += n;
-        sim::Lba seg = s;
-        svc.fetchRemote(
-            seg, n,
-            [this, seg,
-             n](const std::vector<std::uint64_t> &tokens) {
-                if (!redirect || state != State::Redirecting)
-                    return; // stale (cannot normally happen)
-                std::copy(tokens.begin(), tokens.end(),
-                          redirect->tokens.begin() +
-                              (seg - redirect->lba));
-                if (svc.stashFetched)
-                    svc.stashFetched(seg, n, tokens);
-                --redirect->fetchesPending;
-                advanceRedirect();
-            });
-    }
+    redirect->fetchesPending = numFetches;
+    // Second pass issues the remote fetches.
+    svc.bitmap->forEachEmpty(
+        lba, count, [&](sim::Lba s, sim::Lba e) {
+            auto n = static_cast<std::uint32_t>(e - s);
+            stats_.redirectedSectors += n;
+            sim::Lba seg = s;
+            svc.fetchRemote(
+                seg, n,
+                [this, seg,
+                 n](const std::vector<std::uint64_t> &tokens) {
+                    if (!redirect || state != State::Redirecting)
+                        return; // stale (cannot normally happen)
+                    std::copy(tokens.begin(), tokens.end(),
+                              redirect->tokens.begin() +
+                                  (seg - redirect->lba));
+                    if (svc.stashFetched)
+                        svc.stashFetched(seg, n, tokens);
+                    --redirect->fetchesPending;
+                    advanceRedirect();
+                });
+        });
     advanceRedirect();
 }
 

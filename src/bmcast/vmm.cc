@@ -285,31 +285,37 @@ Vmm::persistBitmap(std::function<void()> done)
     }
     bitmapSaveInFlight = true;
     std::uint64_t token = bitmap_->serializeToken();
-    auto attempt = std::make_shared<std::function<void()>>();
-    *attempt = [this, token, done = std::move(done), attempt]() {
-        if (halted)
-            return;
-        bool ok = mediator_->vmmWrite(bitmapHome, 1, token,
-                                      [this, done]() {
-                                          bitmapSaveInFlight = false;
-                                          done();
-                                      });
-        if (!ok)
-            schedule(2 * sim::kMs, *attempt);
-    };
-    (*attempt)();
+    persistBitmapAttempt(token, std::move(done));
+}
+
+void
+Vmm::persistBitmapAttempt(std::uint64_t token, std::function<void()> done)
+{
+    if (halted)
+        return;
+    bool ok = mediator_->vmmWrite(bitmapHome, 1, token,
+                                  [this, done]() {
+                                      bitmapSaveInFlight = false;
+                                      done();
+                                  });
+    if (!ok)
+        schedule(2 * sim::kMs, [this, token, done = std::move(done)]() {
+            persistBitmapAttempt(token, done);
+        });
 }
 
 void
 Vmm::armPeriodicBitmapSave()
 {
     // Periodic save during the deployment phase (§3.3: the VMM
-    // saves the bitmap on the local disk for shutdown/reboot).
-    schedule(10 * sim::kSec, [this]() {
-        if (halted || phase_ != Phase::Deployment)
+    // saves the bitmap on the local disk for shutdown/reboot). The
+    // timer cancels itself once the deployment phase is over.
+    bitmapSaveTimer = schedulePeriodic(10 * sim::kSec, [this]() {
+        if (halted || phase_ != Phase::Deployment) {
+            eventQueue().cancel(bitmapSaveTimer);
             return;
+        }
         persistBitmap([] {});
-        armPeriodicBitmapSave();
     });
 }
 
@@ -322,25 +328,27 @@ Vmm::saveBitmapNow(std::function<void()> done)
 void
 Vmm::tryRestoreBitmap(std::function<void(bool)> done)
 {
-    auto attempt = std::make_shared<std::function<void()>>();
-    auto done_sp =
-        std::make_shared<std::function<void(bool)>>(std::move(done));
-    *attempt = [this, attempt, done_sp]() {
-        bool ok = mediator_->vmmRead(
-            bitmapHome, 1,
-            [this, done_sp](const std::vector<std::uint64_t> &tokens) {
-                bool restored = false;
-                if (!tokens.empty() && tokens[0] != 0) {
-                    std::uint64_t base =
-                        hw::baseFromToken(tokens[0], bitmapHome);
-                    restored = bitmap_->restoreFromToken(base);
-                }
-                (*done_sp)(restored);
-            });
-        if (!ok)
-            schedule(2 * sim::kMs, *attempt);
-    };
-    (*attempt)();
+    tryRestoreBitmapAttempt(std::move(done));
+}
+
+void
+Vmm::tryRestoreBitmapAttempt(std::function<void(bool)> done)
+{
+    bool ok = mediator_->vmmRead(
+        bitmapHome, 1,
+        [this, done](const std::vector<std::uint64_t> &tokens) {
+            bool restored = false;
+            if (!tokens.empty() && tokens[0] != 0) {
+                std::uint64_t base =
+                    hw::baseFromToken(tokens[0], bitmapHome);
+                restored = bitmap_->restoreFromToken(base);
+            }
+            done(restored);
+        });
+    if (!ok)
+        schedule(2 * sim::kMs, [this, done = std::move(done)]() {
+            tryRestoreBitmapAttempt(done);
+        });
 }
 
 } // namespace bmcast

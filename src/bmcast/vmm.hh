@@ -126,7 +126,10 @@ class Vmm : public sim::SimObject
     void tryDevirtualize();
     void finishDevirtualization();
     void persistBitmap(std::function<void()> done);
+    void persistBitmapAttempt(std::uint64_t token,
+                              std::function<void()> done);
     void tryRestoreBitmap(std::function<void(bool)> done);
+    void tryRestoreBitmapAttempt(std::function<void(bool)> done);
 
     hw::Machine &machine_;
     net::MacAddr serverMac;
@@ -152,6 +155,8 @@ class Vmm : public sim::SimObject
     bool devirtStarted = false;
     unsigned cpusDevirtualized = 0;
     bool bitmapSaveInFlight = false;
+    /** Periodic deployment-phase bitmap-save timer (§3.3). */
+    sim::EventId bitmapSaveTimer;
 
     std::function<void()> readyCb;
     std::function<void()> bareMetalCb;

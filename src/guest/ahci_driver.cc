@@ -30,6 +30,7 @@ AhciDriver::AhciDriver(sim::EventQueue &eq, std::string name,
 
 AhciDriver::~AhciDriver()
 {
+    *alive = false;
     if (irqHandler)
         intc.unregisterHandler(kIrqVector, irqHandler);
 }
@@ -191,9 +192,13 @@ AhciDriver::onIrq()
 
     auto ci = static_cast<std::uint32_t>(
         view.read(IoSpace::Mmio, kAbar + kPxCi, 4));
+    auto guard = alive;
     for (unsigned s = 0; s < kSlots; ++s) {
-        if (slots[s].busy && !(ci & (1u << s)))
+        if (slots[s].busy && !(ci & (1u << s))) {
             completeSlot(s);
+            if (!*guard)
+                return;
+        }
     }
     pump();
 }

@@ -89,6 +89,10 @@ class AhciDriver : public sim::SimObject, public BlockDriver
     std::array<sim::Addr, kSlots> slotBuf{};   //!< per-slot buffers
 
     std::array<SlotState, kSlots> slots{};
+    //! Completion callbacks may destroy the driver (e.g. a deployer
+    //! tearing down the installer OS); onIrq checks this sentinel
+    //! after each one before touching members again.
+    std::shared_ptr<bool> alive = std::make_shared<bool>(true);
     unsigned busyCount = 0;
     std::deque<std::shared_ptr<Op>> queue;
 

@@ -57,28 +57,24 @@ GuestOs::bootSequentialPhase()
     auto total =
         static_cast<std::uint32_t>(total_bytes / sim::kSectorSize);
 
-    struct SeqState
-    {
-        std::uint32_t done = 0;
-    };
-    auto st = std::make_shared<SeqState>();
-    auto step = std::make_shared<std::function<void()>>();
-    *step = [this, st, total, step]() {
-        if (st->done >= total) {
-            lastLba = total;
-            lastCount = 0;
-            bootScatterPhase(params_.boot.numReads);
-            return;
-        }
-        std::uint32_t n = std::min<std::uint32_t>(2048, total - st->done);
-        sim::Lba lba = st->done;
-        st->done += n;
-        blk().read(lba, n,
-                     [step](const std::vector<std::uint64_t> &) {
-                         (*step)();
-                     });
-    };
-    (*step)();
+    bootSeqStep(0, total);
+}
+
+void
+GuestOs::bootSeqStep(std::uint32_t done, std::uint32_t total)
+{
+    if (done >= total) {
+        lastLba = total;
+        lastCount = 0;
+        bootScatterPhase(params_.boot.numReads);
+        return;
+    }
+    std::uint32_t n = std::min<std::uint32_t>(2048, total - done);
+    sim::Lba lba = done;
+    blk().read(lba, n,
+               [this, done, n, total](const std::vector<std::uint64_t> &) {
+                   bootSeqStep(done + n, total);
+               });
 }
 
 void

@@ -92,6 +92,7 @@ class GuestOs : public sim::SimObject
 
   private:
     void bootSequentialPhase();
+    void bootSeqStep(std::uint32_t done, std::uint32_t total);
     void bootScatterPhase(unsigned remaining);
     void finishBoot();
 

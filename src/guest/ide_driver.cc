@@ -25,6 +25,7 @@ IdeDriver::IdeDriver(sim::EventQueue &eq, std::string name,
 
 IdeDriver::~IdeDriver()
 {
+    *alive = false;
     if (irqHandler)
         intc.unregisterHandler(kIrqVector, irqHandler);
 }
@@ -163,12 +164,15 @@ IdeDriver::onIrq()
         ++numOps;
         Op finished = std::move(op);
         queue.pop_front();
+        auto guard = alive;
         if (finished.isWrite) {
             if (finished.writeDone)
                 finished.writeDone();
         } else if (finished.readDone) {
             finished.readDone(finished.tokens);
         }
+        if (!*guard)
+            return;
     }
     pump();
 }

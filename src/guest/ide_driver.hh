@@ -66,6 +66,9 @@ class IdeDriver : public sim::SimObject, public BlockDriver
     sim::Addr buffer = 0;
 
     std::deque<Op> queue;
+    //! Completion callbacks may destroy the driver; onIrq checks
+    //! this sentinel after invoking one before touching members.
+    std::shared_ptr<bool> alive = std::make_shared<bool>(true);
     bool chunkActive = false;
     std::uint32_t chunkSectors = 0;
 

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "hw/io_bus.hh"
@@ -126,17 +127,21 @@ class VmxEngine : public sim::SimObject, public ExitSink
     /**
      * Run @p fn every @p interval ticks via the VT-x preemption timer
      * until it returns false. Each firing charges a timer-exit cost.
+     * Backed by the kernel's periodic-event facility: the poll
+     * closure is stored once and re-armed allocation-free per fire.
      */
     void
     startPreemptionTimer(sim::Tick interval,
                          std::function<bool()> fn)
     {
-        schedule(interval, [this, interval, fn = std::move(fn)]() {
-            recordExit(ExitReason::PreemptionTimer,
-                       params_.timerExitCost);
-            if (fn())
-                startPreemptionTimer(interval, fn);
-        });
+        auto handle = std::make_shared<sim::EventId>();
+        *handle = schedulePeriodic(
+            interval, [this, handle, fn = std::move(fn)]() {
+                recordExit(ExitReason::PreemptionTimer,
+                           params_.timerExitCost);
+                if (!fn())
+                    eventQueue().cancel(*handle);
+            });
     }
 
     std::uint64_t

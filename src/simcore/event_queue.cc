@@ -1,8 +1,13 @@
 #include "simcore/event_queue.hh"
 
+#include <algorithm>
+#include <chrono>
+
 #include "simcore/logging.hh"
 
 namespace sim {
+
+EventQueue::~EventQueue() = default;
 
 EventId
 EventQueue::schedule(Tick delay, Callback cb)
@@ -13,45 +18,537 @@ EventQueue::schedule(Tick delay, Callback cb)
 EventId
 EventQueue::scheduleAt(Tick when, Callback cb)
 {
+    return post(when, 0, std::move(cb));
+}
+
+EventId
+EventQueue::schedulePeriodic(Tick interval, Callback cb)
+{
+    panicIfNot(interval > 0, "periodic event with zero interval");
+    return post(curTick + interval, interval, std::move(cb));
+}
+
+EventId
+EventQueue::post(Tick when, Tick period, Callback cb)
+{
     panicIfNot(static_cast<bool>(cb), "scheduling an empty callback");
+    std::uint32_t idx = beginPost(when, period);
+    slotRef(idx).cb = std::move(cb);
+    return finishPost(when, idx);
+}
+
+std::uint32_t
+EventQueue::beginPost(Tick when, Tick period)
+{
     if (when < curTick)
         panic("scheduling into the past: ", when, " < ", curTick);
-    std::uint64_t seq = nextSeq++;
-    events.emplace(Key{when, seq}, std::move(cb));
-    return EventId(when, seq);
+    std::uint32_t idx = allocSlot();
+    Slot &s = slotRef(idx);
+    s.state = SlotState::Pending;
+    s.period = period;
+    return idx;
+}
+
+std::uint32_t
+EventQueue::beginPeriodicPost(Tick interval)
+{
+    panicIfNot(interval > 0, "periodic event with zero interval");
+    return beginPost(curTick + interval, interval);
+}
+
+EventId
+EventQueue::finishPost(Tick when, std::uint32_t idx)
+{
+    Slot &s = slotRef(idx);
+    if (s.cb.spilled())
+        ++counters_.spilledCallbacks;
+    postEntry(when, idx);
+    ++counters_.scheduled;
+    ++livePending;
+    counters_.peakPending =
+        std::max<std::uint64_t>(counters_.peakPending, livePending);
+    return EventId(idx, s.gen);
 }
 
 bool
 EventQueue::cancel(const EventId &id)
 {
-    if (!id.valid())
+    if (!id.valid() || id.slot >= slotCount)
         return false;
-    return events.erase(Key{id.when, id.seq}) > 0;
+    Slot &s = slotRef(id.slot);
+    // The generation stamp makes cancel-after-run and double-cancel
+    // return false even after the slot was recycled for a new event.
+    if (s.gen != id.gen || s.state != SlotState::Pending)
+        return false;
+    s.state = SlotState::Cancelled;
+    --livePending;
+    ++counters_.cancelled;
+    if (s.executing) {
+        // A periodic cancelling itself from inside its own callback:
+        // the closure is running right now, so dispatch() finishes
+        // the teardown after the invocation returns. No heap entry
+        // exists for it at this moment (it was popped to fire).
+        return true;
+    }
+    // Drop the closure now (it may own resources); the entry stays
+    // behind as a tombstone and is reclaimed when its tick is
+    // drained (wheel: within kWheelSize ticks) or compacted away.
+    s.cb.reset();
+    if (!s.inWheel) {
+        ++deadInHeap;
+        // Amortized-O(1) pressure valve: once tombstones outnumber
+        // live entries, one sweep reclaims them all. Without this,
+        // cancelled far-future timers (the retransmission-timer
+        // pattern) would pile up until their deadlines pass.
+        if (deadInHeap > 64 && deadInHeap * 2 > heap.size())
+            compactHeap();
+    }
+    return true;
+}
+
+std::uint32_t
+EventQueue::allocSlot()
+{
+    if (freeHead != kNoSlot) {
+        std::uint32_t idx = freeHead;
+        Slot &s = slotRef(idx);
+        freeHead = s.nextFree;
+        s.nextFree = kNoSlot;
+        return idx;
+    }
+    panicIfNot(slotCount < kNoSlot, "event slot pool exhausted");
+    if (slotCount == chunks.size() * kChunkSize)
+        chunks.push_back(std::make_unique<Slot[]>(kChunkSize));
+    return slotCount++;
+}
+
+void
+EventQueue::freeSlot(std::uint32_t idx)
+{
+    Slot &s = slotRef(idx);
+    s.cb.reset();
+    s.state = SlotState::Free;
+    s.period = 0;
+    if (++s.gen == 0) // skip 0: it marks inert handles
+        s.gen = 1;
+    s.nextFree = freeHead;
+    freeHead = idx;
+}
+
+void
+EventQueue::postEntry(Tick when, std::uint32_t slot)
+{
+    // when >= curTick was validated in beginPost, so the unsigned
+    // difference is the true distance from now.
+    if (when - curTick < kWheelSize) {
+        wheelAppend(when, slot);
+    } else {
+        slotRef(slot).inWheel = false;
+        push(when, slot);
+    }
+}
+
+void
+EventQueue::wheelAppend(Tick when, std::uint32_t slot)
+{
+    Slot &s = slotRef(slot);
+    s.inWheel = true;
+    s.nextEvent = kNoSlot;
+    const std::size_t b = when & kWheelMask;
+    if (bucketHead[b] == kNoSlot)
+        bucketHead[b] = slot;
+    else
+        slotRef(bucketTail[b]).nextEvent = slot;
+    bucketTail[b] = slot;
+    wheelOcc[b >> 6] |= std::uint64_t(1) << (b & 63);
+}
+
+bool
+EventQueue::wheelNextTick(Tick &out) const
+{
+    // Circular find-first-set from the cursor: every pending wheel
+    // entry lies in [curTick, curTick + kWheelSize), so the first
+    // occupied bucket in circular order is the earliest tick.
+    const std::size_t cursor = curTick & kWheelMask;
+    std::size_t word = cursor >> 6;
+    std::uint64_t w =
+        wheelOcc[word] & (~std::uint64_t(0) << (cursor & 63));
+    for (std::size_t i = 0; i <= kWheelWords; ++i) {
+        if (w) {
+            const std::size_t b =
+                (word << 6) + static_cast<std::size_t>(
+                                  __builtin_ctzll(w));
+            out = curTick + ((b - cursor) & kWheelMask);
+            return true;
+        }
+        word = (word + 1) & (kWheelWords - 1);
+        w = wheelOcc[word];
+        if (i + 1 == kWheelWords) // wrapped back to the cursor word
+            w &= ~(~std::uint64_t(0) << (cursor & 63));
+    }
+    return false;
+}
+
+std::uint32_t
+EventQueue::wheelPopFront(Tick t)
+{
+    const std::size_t b = t & kWheelMask;
+    const std::uint32_t idx = bucketHead[b];
+    if (idx == kNoSlot)
+        return kNoSlot;
+    Slot &s = slotRef(idx);
+    bucketHead[b] = s.nextEvent;
+    if (bucketHead[b] == kNoSlot) {
+        bucketTail[b] = kNoSlot;
+        wheelOcc[b >> 6] &= ~(std::uint64_t(1) << (b & 63));
+    }
+    s.nextEvent = kNoSlot;
+    return idx;
+}
+
+void
+EventQueue::reclaimWheelTombstone(std::uint32_t slot)
+{
+    panicIfNot(slotRef(slot).state == SlotState::Cancelled,
+               "wheel tombstone points at a live slot");
+    ++counters_.tombstonesPopped;
+    freeSlot(slot);
+}
+
+void
+EventQueue::push(Tick when, std::uint32_t slot)
+{
+    if (nextSeq == ~std::uint32_t(0))
+        renumberSeqs();
+    heap.push_back(HeapEntry{when, nextSeq++, slot});
+    siftUp(heap.size() - 1);
+}
+
+void
+EventQueue::renumberSeqs()
+{
+    // Dense re-assignment in (when, seq) order keeps the relative
+    // FIFO order of every pending event; a sorted array is a valid
+    // heap, so no re-heapify is needed. Runs at most once per 2^32
+    // schedules — amortized free.
+    std::sort(heap.begin(), heap.end(),
+              [](const HeapEntry &a, const HeapEntry &b) {
+                  return before(a, b);
+              });
+    std::uint32_t s = 0;
+    for (HeapEntry &e : heap)
+        e.seq = ++s;
+    nextSeq = s + 1;
+}
+
+EventQueue::HeapEntry
+EventQueue::popTop()
+{
+    HeapEntry top = heap.front();
+    const std::size_t n = heap.size() - 1;
+    if (n > 0) {
+        const HeapEntry tail = heap[n];
+        heap.pop_back();
+        // Bottom-up pop: descend the min-child path to the bottom
+        // without comparing against the displaced tail, then bubble
+        // the tail up from the hole. The tail came from the deepest
+        // layer, so the bubble-up almost always stops immediately —
+        // this saves a comparison (and a mispredicting early-exit
+        // branch) per level versus the classic sift-down.
+        std::size_t hole = 0;
+        for (;;) {
+            std::size_t child = 4 * hole + 1;
+            if (child >= n)
+                break;
+            const std::size_t end = std::min(child + 4, n);
+            std::size_t best = child;
+            // Ternary, not if: selects with cmov — see before().
+            for (std::size_t c = child + 1; c < end; ++c)
+                best = before(heap[c], heap[best]) ? c : best;
+            heap[hole] = heap[best];
+            hole = best;
+        }
+        while (hole > 0) {
+            const std::size_t parent = (hole - 1) >> 2;
+            if (!before(tail, heap[parent]))
+                break;
+            heap[hole] = heap[parent];
+            hole = parent;
+        }
+        heap[hole] = tail;
+    } else {
+        heap.pop_back();
+    }
+    return top;
+}
+
+void
+EventQueue::siftUp(std::size_t i)
+{
+    HeapEntry e = heap[i];
+    while (i > 0) {
+        std::size_t parent = (i - 1) >> 2;
+        if (!before(e, heap[parent]))
+            break;
+        heap[i] = heap[parent];
+        i = parent;
+    }
+    heap[i] = e;
+}
+
+void
+EventQueue::siftDown(std::size_t i)
+{
+    const std::size_t n = heap.size();
+    HeapEntry e = heap[i];
+    for (;;) {
+        std::size_t child = 4 * i + 1;
+        if (child >= n)
+            break;
+        const std::size_t end = std::min(child + 4, n);
+        std::size_t best = child;
+        for (std::size_t c = child + 1; c < end; ++c)
+            best = before(heap[c], heap[best]) ? c : best;
+        if (!before(heap[best], e))
+            break;
+        heap[i] = heap[best];
+        i = best;
+    }
+    heap[i] = e;
+}
+
+void
+EventQueue::reclaimTombstone(const HeapEntry &dead)
+{
+    // An entry can only go stale through cancel(): a slot is freed
+    // exactly when its single heap entry is reclaimed, so the slot
+    // still belongs to the cancelled event.
+    panicIfNot(slotRef(dead.slot).state == SlotState::Cancelled,
+               "tombstone points at a live slot");
+    ++counters_.tombstonesPopped;
+    if (deadInHeap > 0)
+        --deadInHeap;
+    freeSlot(dead.slot);
+}
+
+bool
+EventQueue::settleTop()
+{
+    while (!heap.empty()) {
+        if (slotRef(heap.front().slot).state == SlotState::Pending)
+            return true;
+        reclaimTombstone(popTop());
+    }
+    return false;
+}
+
+void
+EventQueue::compactHeap()
+{
+    std::size_t kept = 0;
+    for (const HeapEntry &e : heap) {
+        if (slotRef(e.slot).state == SlotState::Pending) {
+            heap[kept++] = e;
+        } else {
+            panicIfNot(slotRef(e.slot).state == SlotState::Cancelled,
+                       "tombstone points at a live slot");
+            ++counters_.tombstonesPopped;
+            freeSlot(e.slot);
+        }
+    }
+    heap.resize(kept);
+    deadInHeap = 0;
+    if (kept > 1) {
+        for (std::size_t i = (kept - 2) / 4 + 1; i-- > 0;)
+            siftDown(i);
+    }
+}
+
+void
+EventQueue::extractTick(Tick t, std::vector<HeapEntry> &out)
+{
+    std::size_t kept = 0;
+    for (const HeapEntry &e : heap) {
+        if (e.when != t) {
+            heap[kept++] = e;
+            continue;
+        }
+        if (slotRef(e.slot).state == SlotState::Pending)
+            out.push_back(e);
+        else
+            reclaimTombstone(e);
+    }
+    heap.resize(kept);
+    if (kept > 1) {
+        for (std::size_t i = (kept - 2) / 4 + 1; i-- > 0;)
+            siftDown(i);
+    }
+}
+
+void
+EventQueue::dispatch(const HeapEntry &e)
+{
+    // Slots never move (chunked pool), so the closure runs in place:
+    // it may schedule events — growing the pool — without its own
+    // storage shifting underneath it.
+    Slot &s = slotRef(e.slot);
+    ++counters_.executed;
+    if (s.period == 0) {
+        // One-shot: kill the handle *before* invoking, so cancel()
+        // from within the callback (or any time later, even after
+        // slot reuse) reports "already ran". The slot is not on the
+        // free list yet, so nothing can recycle it mid-invocation.
+        if (++s.gen == 0)
+            s.gen = 1;
+        s.state = SlotState::Free;
+        --livePending;
+        s.cb.consume();
+        s.nextFree = freeHead;
+        freeHead = e.slot;
+    } else {
+        s.executing = true;
+        s.cb();
+        s.executing = false;
+        if (s.state == SlotState::Pending) {
+            // Still armed: re-post for a drift-free cadence. Short
+            // intervals (the poll-loop case) re-enter the wheel —
+            // a periodic firing then costs two list splices and no
+            // comparisons at all.
+            postEntry(e.when + s.period, e.slot);
+        } else {
+            // The callback cancelled its own cycle.
+            freeSlot(e.slot);
+        }
+    }
 }
 
 bool
 EventQueue::step()
 {
-    if (events.empty())
-        return false;
-    auto it = events.begin();
-    panicIfNot(it->first.first >= curTick, "event queue went backwards");
-    curTick = it->first.first;
-    Callback cb = std::move(it->second);
-    events.erase(it);
-    ++numExecuted;
-    cb();
-    return true;
+    for (;;) {
+        Tick tw = 0;
+        const bool haveWheel = wheelNextTick(tw);
+        if (settleTop() &&
+            (!haveWheel || heap.front().when <= tw)) {
+            HeapEntry e = popTop();
+            panicIfNot(e.when >= curTick,
+                       "event queue went backwards");
+            curTick = e.when;
+            dispatch(e);
+            return true;
+        }
+        if (!haveWheel)
+            return false;
+        const std::uint32_t u = wheelPopFront(tw);
+        if (slotRef(u).state != SlotState::Pending) {
+            // Tombstone-only stretch of the bucket; keep scanning.
+            reclaimWheelTombstone(u);
+            continue;
+        }
+        curTick = tw;
+        dispatch(HeapEntry{tw, 0, u});
+        return true;
+    }
 }
 
 std::uint64_t
 EventQueue::run(Tick limit)
 {
+    const auto wallStart = std::chrono::steady_clock::now();
     std::uint64_t n = 0;
-    while (!events.empty() && events.begin()->first.first <= limit) {
-        step();
-        ++n;
+
+    // Take the scratch buffer (returned below) so the common case
+    // reuses its capacity while reentrant run() calls stay safe.
+    std::vector<HeapEntry> ready;
+    std::swap(ready, batch);
+
+    for (;;) {
+        Tick tw = 0;
+        const bool haveWheel = wheelNextTick(tw);
+        const bool haveHeap = settleTop();
+        Tick t;
+        if (haveHeap && (!haveWheel || heap.front().when <= tw))
+            t = heap.front().when;
+        else if (haveWheel)
+            t = tw;
+        else
+            break;
+        if (t > limit)
+            break;
+
+        // Far band first: a heap entry for tick t predates every
+        // wheel entry for t (posting it to the heap required
+        // t - now >= kWheelSize, i.e. an earlier now), so the heap
+        // cohort is FIFO-older than the bucket. A callback here can
+        // only add tick-t events via the wheel (distance 0), which
+        // the bucket drain below picks up.
+        if (haveHeap && heap.front().when == t) {
+            HeapEntry e = popTop();
+            curTick = t;
+            if (heap.empty() || heap.front().when != t) {
+                // Singleton cohort — the common case.
+                dispatch(e);
+                ++n;
+            } else {
+                // Drain the same-tick cohort into contiguous
+                // scratch. Small cohorts pop one by one (seq order
+                // falls out of the heap); once a cohort proves
+                // large, one linear sweep + O(n) rebuild is cheaper
+                // than sifting the heap per entry.
+                ready.clear();
+                ready.push_back(e);
+                while (!heap.empty() && heap.front().when == t &&
+                       ready.size() < 4) {
+                    HeapEntry f = popTop();
+                    if (slotRef(f.slot).state !=
+                        SlotState::Pending) {
+                        reclaimTombstone(f);
+                        continue;
+                    }
+                    ready.push_back(f);
+                }
+                if (!heap.empty() && heap.front().when == t) {
+                    extractTick(t, ready);
+                    std::sort(
+                        ready.begin(), ready.end(),
+                        [](const HeapEntry &a, const HeapEntry &b) {
+                            return a.seq < b.seq;
+                        });
+                }
+                for (const HeapEntry &f : ready) {
+                    if (slotRef(f.slot).state !=
+                        SlotState::Pending) {
+                        // Cancelled by an earlier cohort callback.
+                        reclaimTombstone(f);
+                        continue;
+                    }
+                    dispatch(f);
+                    ++n;
+                }
+            }
+        }
+
+        // Near band: tick t's bucket holds exactly tick t's wheel
+        // events in append (= FIFO) order; callbacks scheduling for
+        // the current tick append behind the cursor and run in this
+        // same drain.
+        std::uint32_t u;
+        while ((u = wheelPopFront(t)) != kNoSlot) {
+            if (slotRef(u).state != SlotState::Pending) {
+                reclaimWheelTombstone(u);
+                continue;
+            }
+            curTick = t;
+            dispatch(HeapEntry{t, 0, u});
+            ++n;
+        }
     }
+
+    std::swap(ready, batch);
+    counters_.wallNs += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - wallStart)
+            .count());
     return n;
 }
 

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * A small-buffer-optimized, move-only replacement for
+ * std::function<void()> used by the event queue.
+ *
+ * Every closure whose captures fit kInlineBytes is stored inline in
+ * the callback object itself — scheduling such an event performs no
+ * heap allocation at all. Larger closures spill to the heap (counted
+ * via spillCount() so benchmarks and tests can assert the hot paths
+ * stay allocation-free).
+ */
+
+#ifndef SIMCORE_INLINE_CALLBACK_HH
+#define SIMCORE_INLINE_CALLBACK_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace sim {
+
+/** Move-only void() callable with inline storage for small closures. */
+class InlineCallback
+{
+  public:
+    /**
+     * Inline capture budget. Sized so that every callback the
+     * simulator schedules on its hot paths — including closures
+     * that capture a std::function completion handler plus an LBA,
+     * a count and a timestamp — stays allocation-free.
+     */
+    static constexpr std::size_t kInlineBytes = 88;
+
+    InlineCallback() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineCallback> &&
+                  std::is_invocable_r_v<void, std::decay_t<F> &>>>
+    InlineCallback(F &&f) // NOLINT: implicit by design
+    {
+        emplace(std::forward<F>(f));
+    }
+
+    InlineCallback(InlineCallback &&other) noexcept { moveFrom(other); }
+
+    InlineCallback &
+    operator=(InlineCallback &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    InlineCallback(const InlineCallback &) = delete;
+    InlineCallback &operator=(const InlineCallback &) = delete;
+
+    ~InlineCallback() { reset(); }
+
+    /** Invoke the stored closure (must be non-empty). */
+    void operator()() { ops->invoke(buf); }
+
+    /**
+     * Invoke the stored closure, then destroy it, leaving the object
+     * empty — one indirect call instead of invoke + reset. The
+     * storage must stay valid for the whole invocation (the event
+     * queue guarantees this: a dispatching slot is never recycled
+     * until its callback returns).
+     */
+    void
+    consume()
+    {
+        const Ops *o = ops;
+        ops = nullptr;
+        o->invokeDestroy(buf);
+    }
+
+    explicit operator bool() const { return ops != nullptr; }
+
+    /**
+     * Construct a closure directly in this object's storage (no
+     * intermediate InlineCallback, no moves). Any previously stored
+     * closure is destroyed first.
+     */
+    template <typename F>
+    void
+    emplace(F &&f)
+    {
+        static_assert(
+            std::is_invocable_r_v<void, std::decay_t<F> &>,
+            "InlineCallback requires a void() callable");
+        reset();
+        using Fn = std::decay_t<F>;
+        if constexpr (kFitsInline<Fn>) {
+            ::new (static_cast<void *>(buf)) Fn(std::forward<F>(f));
+            ops = &inlineOps<Fn>;
+        } else {
+            *reinterpret_cast<Fn **>(buf) =
+                new Fn(std::forward<F>(f));
+            ops = &heapOps<Fn>;
+            ++spillCounter();
+        }
+    }
+
+    /** Destroy the stored closure (no-op when empty). */
+    void
+    reset()
+    {
+        if (ops) {
+            ops->destroy(buf);
+            ops = nullptr;
+        }
+    }
+
+    /** True if this closure required a heap allocation. */
+    bool spilled() const { return ops && ops->heap; }
+
+    /** Closures that spilled to the heap since process start. */
+    static std::uint64_t spillCount() { return spillCounter(); }
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(void *);
+        void (*invokeDestroy)(void *);
+        void (*moveTo)(void *dst, void *src);
+        void (*destroy)(void *);
+        bool heap;
+    };
+
+    template <typename F>
+    static constexpr bool kFitsInline =
+        sizeof(F) <= kInlineBytes &&
+        alignof(F) <= alignof(std::max_align_t);
+
+    void
+    moveFrom(InlineCallback &other) noexcept
+    {
+        ops = other.ops;
+        if (ops)
+            ops->moveTo(buf, other.buf);
+        other.ops = nullptr;
+    }
+
+    template <typename Fn>
+    static constexpr Ops inlineOps = {
+        [](void *p) { (*std::launder(reinterpret_cast<Fn *>(p)))(); },
+        [](void *p) {
+            Fn *f = std::launder(reinterpret_cast<Fn *>(p));
+            (*f)();
+            f->~Fn();
+        },
+        [](void *dst, void *src) {
+            Fn *s = std::launder(reinterpret_cast<Fn *>(src));
+            ::new (dst) Fn(std::move(*s));
+            s->~Fn();
+        },
+        [](void *p) { std::launder(reinterpret_cast<Fn *>(p))->~Fn(); },
+        false,
+    };
+
+    template <typename Fn>
+    static constexpr Ops heapOps = {
+        [](void *p) { (**reinterpret_cast<Fn **>(p))(); },
+        [](void *p) {
+            Fn *f = *reinterpret_cast<Fn **>(p);
+            (*f)();
+            delete f;
+        },
+        [](void *dst, void *src) {
+            *reinterpret_cast<Fn **>(dst) =
+                *reinterpret_cast<Fn **>(src);
+        },
+        [](void *p) { delete *reinterpret_cast<Fn **>(p); },
+        true,
+    };
+
+    static std::uint64_t &
+    spillCounter()
+    {
+        static std::uint64_t count = 0;
+        return count;
+    }
+
+    alignas(std::max_align_t) unsigned char buf[kInlineBytes];
+    const Ops *ops = nullptr;
+};
+
+} // namespace sim
+
+#endif // SIMCORE_INLINE_CALLBACK_HH

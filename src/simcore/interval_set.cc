@@ -97,33 +97,20 @@ std::vector<IntervalSet::Range>
 IntervalSet::gaps(Value start, Value end) const
 {
     std::vector<Range> out;
-    Value pos = start;
-    auto it = ivs.upper_bound(start);
-    if (it != ivs.begin()) {
-        auto prev = std::prev(it);
-        if (prev->second > pos)
-            pos = prev->second;
-    }
-    while (pos < end) {
-        if (it == ivs.end() || it->first >= end) {
-            out.emplace_back(pos, end);
-            break;
-        }
-        if (it->first > pos)
-            out.emplace_back(pos, it->first);
-        pos = std::max(pos, it->second);
-        ++it;
-    }
+    forEachGap(start, end,
+               [&out](Value s, Value e) { out.emplace_back(s, e); });
     return out;
 }
 
 std::optional<IntervalSet::Value>
 IntervalSet::firstGap(Value from, Value limit) const
 {
-    auto g = gaps(from, limit);
-    if (g.empty())
-        return std::nullopt;
-    return g.front().first;
+    std::optional<Value> found;
+    forEachGap(from, limit, [&found](Value s, Value) {
+        found = s;
+        return false; // first gap is enough
+    });
+    return found;
 }
 
 IntervalSet::Value

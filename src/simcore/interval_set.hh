@@ -10,9 +10,12 @@
 #ifndef SIMCORE_INTERVAL_SET_HH
 #define SIMCORE_INTERVAL_SET_HH
 
+#include <algorithm>
 #include <cstdint>
+#include <iterator>
 #include <map>
 #include <optional>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -47,6 +50,39 @@ class IntervalSet
     std::vector<Range> gaps(Value start, Value end) const;
 
     /**
+     * Visit every sub-range of [start, end) NOT in the set, in
+     * ascending order, without materializing a vector. @p visit is
+     * called as visit(gapStart, gapEnd); if it returns bool, a false
+     * return stops the walk early. Used on hot paths (copy-on-read
+     * redirection, background-copy block picking) where gaps() would
+     * allocate per query.
+     */
+    template <typename Visitor>
+    void
+    forEachGap(Value start, Value end, Visitor &&visit) const
+    {
+        if (start >= end)
+            return;
+        Value pos = start;
+        auto it = ivs.upper_bound(start);
+        if (it != ivs.begin()) {
+            auto prev = std::prev(it);
+            if (prev->second > pos)
+                pos = prev->second;
+        }
+        while (pos < end) {
+            if (it == ivs.end() || it->first >= end) {
+                emitGap(visit, pos, end);
+                return;
+            }
+            if (it->first > pos && !emitGap(visit, pos, it->first))
+                return;
+            pos = std::max(pos, it->second);
+            ++it;
+        }
+    }
+
+    /**
      * The first point >= @p from that is not in the set, bounded by
      * @p limit; std::nullopt if [from, limit) is fully covered.
      */
@@ -65,6 +101,20 @@ class IntervalSet
     std::vector<Range> intervals() const;
 
   private:
+    /** Invoke the gap visitor; true means "continue walking". */
+    template <typename Visitor>
+    static bool
+    emitGap(Visitor &&visit, Value s, Value e)
+    {
+        if constexpr (std::is_convertible_v<
+                          decltype(visit(s, e)), bool>) {
+            return static_cast<bool>(visit(s, e));
+        } else {
+            visit(s, e);
+            return true;
+        }
+    }
+
     /** start -> end (exclusive). */
     std::map<Value, Value> ivs;
 };

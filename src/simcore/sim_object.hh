@@ -41,11 +41,22 @@ class SimObject
     /** Current simulated time. */
     Tick now() const { return eq_.now(); }
 
-    /** Schedule a member callback @p delay ticks in the future. */
+    /** Schedule a member callback @p delay ticks in the future
+     *  (forwards to the queue's zero-copy overloads). */
+    template <typename F>
     EventId
-    schedule(Tick delay, EventQueue::Callback cb)
+    schedule(Tick delay, F &&f)
     {
-        return eq_.schedule(delay, std::move(cb));
+        return eq_.schedule(delay, std::forward<F>(f));
+    }
+
+    /** Schedule a drift-free periodic member callback; cancel the
+     *  returned handle to stop the cycle. */
+    template <typename F>
+    EventId
+    schedulePeriodic(Tick interval, F &&f)
+    {
+        return eq_.schedulePeriodic(interval, std::forward<F>(f));
     }
 
   private:

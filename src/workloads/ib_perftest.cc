@@ -46,32 +46,29 @@ IbPerftest::runBandwidth(std::function<void(IbPerftestResult)> done)
 void
 IbPerftest::runLatency(std::function<void(IbPerftestResult)> done)
 {
-    auto remaining = std::make_shared<unsigned>(params.iterations);
-    auto lat_sum = std::make_shared<sim::Tick>(0);
-    auto done_sp =
-        std::make_shared<std::function<void(IbPerftestResult)>>(
-            std::move(done));
-    auto step = std::make_shared<std::function<void()>>();
-    auto issued = std::make_shared<sim::Tick>(0);
-    *step = [this, remaining, lat_sum, done_sp, step, issued]() {
-        if (*remaining == 0) {
-            IbPerftestResult r;
-            r.meanLatencyUs =
-                sim::toMicros(*lat_sum) /
-                static_cast<double>(params.iterations);
-            (*done_sp)(r);
-            return;
-        }
-        --*remaining;
-        *issued = now();
-        client.hca()->rdma(server.hca()->nodeId(),
-                           params.messageBytes,
-                           [lat_sum, issued, step, this]() {
-                               *lat_sum += now() - *issued;
-                               (*step)();
-                           });
-    };
-    (*step)();
+    latencyStep(params.iterations, 0, std::move(done));
+}
+
+void
+IbPerftest::latencyStep(unsigned remaining, sim::Tick latSum,
+                        std::function<void(IbPerftestResult)> done)
+{
+    if (remaining == 0) {
+        IbPerftestResult r;
+        r.meanLatencyUs =
+            sim::toMicros(latSum) /
+            static_cast<double>(params.iterations);
+        done(r);
+        return;
+    }
+    sim::Tick issued = now();
+    client.hca()->rdma(server.hca()->nodeId(), params.messageBytes,
+                       [this, remaining, latSum, issued,
+                        done = std::move(done)]() mutable {
+                           latencyStep(remaining - 1,
+                                       latSum + (now() - issued),
+                                       std::move(done));
+                       });
 }
 
 } // namespace workloads

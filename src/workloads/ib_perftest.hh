@@ -45,6 +45,9 @@ class IbPerftest : public sim::SimObject
     void runLatency(std::function<void(IbPerftestResult)> done);
 
   private:
+    void latencyStep(unsigned remaining, sim::Tick latSum,
+                     std::function<void(IbPerftestResult)> done);
+
     hw::Machine &client;
     hw::Machine &server;
     IbPerftestParams params;

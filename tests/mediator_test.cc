@@ -259,19 +259,16 @@ TEST_P(MediatorTest, MultiplexedWriteWhileGuestBusy)
 
     // Inject VMM writes; they must complete despite guest traffic.
     unsigned vmm_done = 0;
-    for (int i = 0; i < 4; ++i) {
-        sim::Lba lba = 40960 + sim::Lba(i) * 128;
-        auto attempt =
-            std::make_shared<std::function<void()>>();
-        *attempt = [&, lba, attempt]() {
-            bool ok = d.vmm->mediator().vmmWrite(
-                lba, 128, 0xABAB000000000001ULL,
-                [&vmm_done]() { ++vmm_done; });
-            if (!ok)
-                d.rig.eq.schedule(1 * sim::kMs, *attempt);
-        };
-        (*attempt)();
-    }
+    std::function<void(sim::Lba)> post = [&](sim::Lba lba) {
+        bool ok = d.vmm->mediator().vmmWrite(
+            lba, 128, 0xABAB000000000001ULL,
+            [&vmm_done]() { ++vmm_done; });
+        if (!ok)
+            d.rig.eq.schedule(1 * sim::kMs,
+                              [&post, lba]() { post(lba); });
+    };
+    for (int i = 0; i < 4; ++i)
+        post(40960 + sim::Lba(i) * 128);
     ASSERT_TRUE(
         d.run(200 * sim::kSec, [&]() { return vmm_done == 4; }));
     EXPECT_TRUE(d.rig.machine->disk().store().rangeHasBase(
