@@ -51,18 +51,20 @@ runBaremetal()
 }
 
 Row
-runBmcast()
+runBmcast(hw::StorageKind kind = hw::StorageKind::Ahci,
+          const std::string &label = "BMcast")
 {
-    Testbed tb;
+    Testbed tb(1, kind);
     bmcast::BmcastDeployer dep(tb.eq, "dep", tb.machine(), tb.guest(),
                                kServerMac, tb.imageSectors,
                                paperVmmParams(), true);
     bool ready = false;
     dep.run([&]() { ready = true; });
     tb.runUntil(4000 * sim::kSec, [&]() { return ready; });
+    tb.noteMediator(label, dep.vmm().mediator());
 
     const auto &tl = dep.timeline();
-    Row row{"BMcast"};
+    Row row{label};
     row.firmware = sim::toSeconds(tl.firmwareDone - tl.powerOn);
     row.setup = sim::toSeconds(tl.vmmReady - tl.firmwareDone);
     row.osBoot = sim::toSeconds(tl.guestBootDone - tl.vmmReady);
@@ -199,5 +201,20 @@ main()
     sim::printBarChart(std::cout,
                   "\nStartup time excluding first firmware init:",
                   bars, "s");
+
+    // The same mediation core drives the NVMe backend; its BMcast
+    // startup row should track the AHCI one.
+    std::cout << "\nNVMe backend (same mediation core):\n";
+    Row nv = runBmcast(hw::StorageKind::Nvme, "BMcast/NVMe");
+    sim::Table nt({"Strategy", "Firmware", "VMM/Installer",
+                   "Transfer+Reboot", "OS boot", "Total(no FW)",
+                   "Total"});
+    nt.addRow({nv.name, sim::Table::num(nv.firmware, 1),
+               sim::Table::num(nv.setup, 1),
+               sim::Table::num(nv.transfer, 1),
+               sim::Table::num(nv.osBoot, 1),
+               sim::Table::num(nv.totalNoFw(), 1),
+               sim::Table::num(nv.firmware + nv.totalNoFw(), 1)});
+    nt.print(std::cout);
     return 0;
 }

@@ -142,5 +142,46 @@ main()
     std::cout << "\nPaper: bare 116.6/111.9; Deploy read -4.1%; "
                  "Devirt read -1.7%; KVM/Local -10.5%/-13.6%; "
                  "KVM/NFS -12.3%/-15.3%.\n";
+
+    // The NVMe backend rides the same mediation core: its deploy-time
+    // and post-devirt throughput should track the AHCI rows.
+    std::vector<std::pair<std::string, Pair>> nvme;
+    {
+        Testbed tb(1, hw::StorageKind::Nvme);
+        bmcast::BmcastDeployer dep(tb.eq, "dep", tb.machine(),
+                                   tb.guest(), kServerMac,
+                                   tb.imageSectors, paperVmmParams(),
+                                   false);
+        bool up = false;
+        dep.run([&]() { up = true; });
+        tb.runUntil(1000 * sim::kSec, [&]() { return up; });
+        sim::Lba cold = (16ULL * sim::kGiB) / sim::kSectorSize;
+        nvme.emplace_back("Deploy/NVMe",
+                          runFio(tb, tb.guest().blk(), cold));
+        tb.noteMediator("Deploy/NVMe", dep.vmm().mediator());
+    }
+    {
+        sim::Lba small = (2 * sim::kGiB) / sim::kSectorSize;
+        Testbed tb(1, hw::StorageKind::Nvme, small);
+        bmcast::VmmParams fast = paperVmmParams();
+        fast.moderation.vmmWriteInterval = 2 * sim::kMs;
+        bmcast::BmcastDeployer dep(tb.eq, "dep", tb.machine(),
+                                   tb.guest(), kServerMac, small,
+                                   fast, false);
+        dep.run([]() {});
+        tb.runUntil(4000 * sim::kSec,
+                    [&]() { return dep.bareMetalReached(); });
+        nvme.emplace_back("Devirt/NVMe",
+                          runFio(tb, tb.guest().blk()));
+    }
+    std::cout << "\nNVMe backend (same mediation core):\n";
+    sim::Table nt({"System", "Read MB/s", "vs bare", "Write MB/s",
+                   "vs bare"});
+    for (auto &[name, p] : nvme)
+        nt.addRow({name, sim::Table::num(p.read, 1),
+                   sim::Table::pct(p.read, base.read),
+                   sim::Table::num(p.write, 1),
+                   sim::Table::pct(p.write, base.write)});
+    nt.print(std::cout);
     return 0;
 }

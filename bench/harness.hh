@@ -49,6 +49,29 @@ printKernelCounters(const sim::EventQueue &eq,
     t.print(os);
 }
 
+/** Dump mediator statistics snapshots (one row per mediator). */
+inline void
+printMediatorStats(
+    const std::vector<std::pair<std::string, bmcast::MediatorStats>>
+        &snaps,
+    std::ostream &os = std::cout)
+{
+    sim::Table t({"Mediator", "pt reads", "pt writes", "redirects",
+                  "fetched", "mixed", "vmm ops", "queued wr",
+                  "reserved", "dummies"});
+    for (const auto &[label, s] : snaps)
+        t.addRow({label, std::to_string(s.passthroughReads),
+                  std::to_string(s.passthroughWrites),
+                  std::to_string(s.redirectedReads),
+                  std::to_string(s.redirectedSectors),
+                  std::to_string(s.mixedRedirects),
+                  std::to_string(s.vmmOps),
+                  std::to_string(s.queuedGuestWrites),
+                  std::to_string(s.reservedConversions),
+                  std::to_string(s.dummyRestarts)});
+    t.print(os);
+}
+
 constexpr net::MacAddr kServerMac = 0x525400000001ULL;
 constexpr std::uint64_t kImageBase = 0xABCD000000000001ULL;
 
@@ -103,6 +126,10 @@ struct Testbed
         if (std::getenv("BMCAST_KERNEL_STATS")) {
             std::cout << "\nSimulation-kernel counters:\n";
             printKernelCounters(eq);
+            if (!mediatorSnaps.empty()) {
+                std::cout << "\nMediator statistics:\n";
+                printMediatorStats(mediatorSnaps);
+            }
         }
     }
 
@@ -130,6 +157,15 @@ struct Testbed
 
     hw::Machine &machine(unsigned i = 0) { return *machines.at(i); }
     guest::GuestOs &guest(unsigned i = 0) { return *guests.at(i); }
+
+    /** Snapshot a mediator's counters for the env-gated end-of-run
+     *  report (mediators usually die before the Testbed does). */
+    void
+    noteMediator(const std::string &label,
+                 const bmcast::DeviceMediator &m)
+    {
+        mediatorSnaps.emplace_back(label, m.stats());
+    }
 
     /** Advance simulated time by @p duration (events or not). */
     void
@@ -159,6 +195,8 @@ struct Testbed
     std::unique_ptr<aoe::AoeServer> server;
     std::vector<std::unique_ptr<hw::Machine>> machines;
     std::vector<std::unique_ptr<guest::GuestOs>> guests;
+    std::vector<std::pair<std::string, bmcast::MediatorStats>>
+        mediatorSnaps;
 };
 
 /** Default VMM parameters used by the benches (calibrated;

@@ -17,6 +17,7 @@
 
 #include "aoe/server.hh"
 #include "baselines/image_copy.hh"
+#include "bmcast/cloud.hh"
 #include "bmcast/deployer.hh"
 #include "guest/guest_os.hh"
 #include "hw/machine.hh"
@@ -126,5 +127,54 @@ main()
                                      ready_bmcast.back(),
                                  1)
               << "x)\n";
+
+    // Elasticity is lease AND reclaim: run a small region through a
+    // full provision -> release -> re-lease cycle on the provider
+    // facade. Released machines are scrubbed and go straight back
+    // into the pool, so the second tenant's wave deploys onto the
+    // same hardware.
+    {
+        sim::EventQueue eq;
+        bmcast::CloudConfig cfg;
+        cfg.machines = 4;
+        cfg.vmm.bootTime = 5 * sim::kSec;
+        bmcast::Cloud region(eq, "region", cfg);
+        region.addImage("tenant-a", 512 * sim::kMiB, kImage);
+        region.addImage("tenant-b", 512 * sim::kMiB,
+                        0xBEEF000000000001ULL);
+
+        std::vector<bmcast::Instance *> wave1;
+        for (unsigned i = 0; i < 4; ++i)
+            wave1.push_back(region.provision("tenant-a", nullptr));
+        auto all_serving = [](const auto &wave) {
+            for (auto *inst : wave)
+                if (inst->state() ==
+                    bmcast::Instance::State::Provisioning)
+                    return false;
+            return true;
+        };
+        while (!all_serving(wave1) && !eq.empty())
+            eq.step();
+        std::cout << "\nRegion: 4/4 machines leased to tenant A at t="
+                  << sim::Table::num(sim::toSeconds(eq.now()), 1)
+                  << " s (free: " << region.freeMachines() << ")\n";
+
+        // Tenant A scales in by half; the freed machines are
+        // re-leased to tenant B while A's remaining pair keeps
+        // deploying in the background.
+        region.release(*wave1[0]);
+        region.release(*wave1[1]);
+        std::cout << "Region: tenant A released 2 machines (free: "
+                  << region.freeMachines() << ")\n";
+
+        std::vector<bmcast::Instance *> wave2;
+        wave2.push_back(region.provision("tenant-b", nullptr));
+        wave2.push_back(region.provision("tenant-b", nullptr));
+        while (!all_serving(wave2) && !eq.empty())
+            eq.step();
+        std::cout << "Region: 2 machines re-leased to tenant B at t="
+                  << sim::Table::num(sim::toSeconds(eq.now()), 1)
+                  << " s (free: " << region.freeMachines() << ")\n";
+    }
     return 0;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "hw/dma.hh"
 #include "simcore/logging.hh"
 
 namespace bmcast {
@@ -15,16 +16,17 @@ AhciMediator::AhciMediator(sim::EventQueue &eq, std::string name,
                            MediatorServices services)
     : sim::SimObject(eq, std::move(name)),
       bus(bus_), vmmView(bus_, /*guestContext=*/false), mem(mem_),
-      svc(std::move(services))
+      medCmdList(vmm_arena.alloc(kNumSlots * kCmdHeaderSize, 1024)),
+      medTable(vmm_arena.alloc(kPrdtOffset + 64 * kPrdtEntrySize, 128)),
+      medDummyTable(
+          vmm_arena.alloc(kPrdtOffset + kPrdtEntrySize, 128)),
+      medBuffer(vmm_arena.alloc(
+          sim::Bytes(kMedBufferSectors) * sim::kSectorSize, 4096)),
+      dummyBuffer(vmm_arena.alloc(sim::kSectorSize, 512)),
+      core(this->name(), mem_, *this, std::move(services), medBuffer,
+           kMedBufferSectors)
 {
-    sim::panicIfNot(svc.bitmap != nullptr, "mediator needs a bitmap");
-    medCmdList = vmm_arena.alloc(kNumSlots * kCmdHeaderSize, 1024);
-    medTable = vmm_arena.alloc(kPrdtOffset + 64 * kPrdtEntrySize, 128);
-    medDummyTable =
-        vmm_arena.alloc(kPrdtOffset + kPrdtEntrySize, 128);
-    medBuffer = vmm_arena.alloc(
-        sim::Bytes(medBufferSectors) * sim::kSectorSize, 4096);
-    dummyBuffer = vmm_arena.alloc(sim::kSectorSize, 512);
+    core.setQuiesceHook([this]() { notifyQuiescent(); });
 }
 
 void
@@ -50,6 +52,18 @@ AhciMediator::uninstall()
     installed = false;
 }
 
+void
+AhciMediator::powerOff()
+{
+    if (!installed)
+        return;
+    bus.removeIntercept(IoSpace::Mmio, kAbar, kAbarSize);
+    installed = false;
+    core.reset();
+    redirectBits = 0;
+    guestIssued = 0;
+}
+
 std::uint32_t
 AhciMediator::deviceCi()
 {
@@ -61,29 +75,28 @@ std::uint32_t
 AhciMediator::guestVisibleCi()
 {
     std::uint32_t queued_ci = 0;
-    for (const auto &[addr, value] : queuedWrites)
+    for (const auto &[addr, value] : core.queuedGuestWrites())
         if (addr == kAbar + kPxCi)
-            queued_ci |= value;
+            queued_ci |= static_cast<std::uint32_t>(value);
 
-    std::uint32_t d_ci = deviceCi();
     std::uint32_t visible;
-    switch (state) {
-      case State::Passthrough:
-      case State::DrainForRedirect:
-        visible = d_ci | redirectBits | queued_ci;
+    switch (core.state()) {
+      case MediationCore::State::Passthrough:
+      case MediationCore::State::Draining:
+        visible = deviceCi() | redirectBits | queued_ci;
         break;
-      case State::RedirectData:
+      case MediationCore::State::Redirecting:
         // Any device activity is the mediator's; hide it.
         visible = redirectBits | queued_ci;
         break;
-      case State::RestartActive:
+      case MediationCore::State::Restarting:
         // The dummy command runs on the redirected slot number, so
         // the device's own CI bit stands in for the guest command;
         // other withheld slots still read busy.
-        visible = d_ci |
+        visible = deviceCi() |
                   (redirectBits & ~(1u << restartSlot)) | queued_ci;
         break;
-      case State::VmmActive:
+      case MediationCore::State::VmmActive:
       default:
         visible = redirectBits | queued_ci;
         break;
@@ -94,33 +107,9 @@ AhciMediator::guestVisibleCi()
     if (before != 0 && guestIssued == 0) {
         // The guest acknowledged its last outstanding command:
         // inject a waiting VMM command in the gap.
-        maybeStartPending();
+        core.maybeStartPending();
     }
     return visible;
-}
-
-bool
-AhciMediator::canStartVmmOp()
-{
-    return state == State::Passthrough && !medOp &&
-           redirects.empty() && guestIssued == 0 &&
-           queuedWrites.empty() && deviceCi() == 0;
-}
-
-void
-AhciMediator::maybeStartPending()
-{
-    if (!canStartVmmOp())
-        return;
-    if (pendingOp) {
-        MedOp op = std::move(*pendingOp);
-        pendingOp.reset();
-        state = State::VmmActive;
-        startMedOp(std::move(op));
-        return;
-    }
-    if (quiescent())
-        notifyQuiescent();
 }
 
 bool
@@ -139,15 +128,15 @@ AhciMediator::interceptRead(sim::Addr addr, unsigned size,
         value = guestVisibleCi();
         return true;
       case kPxTfd:
-        if (state == State::RedirectData ||
-            state == State::VmmActive) {
+        if (core.state() == MediationCore::State::Redirecting ||
+            core.state() == MediationCore::State::VmmActive) {
             value = 0x50; // DRDY: emulate an idle device (§3.2)
             return true;
         }
         return false;
       case kIs:
       case kPxIs:
-        if (state == State::VmmActive) {
+        if (core.state() == MediationCore::State::VmmActive) {
             value = 0; // hide the VMM command's completion status
             return true;
         }
@@ -164,35 +153,31 @@ AhciMediator::interceptWrite(sim::Addr addr, std::uint64_t value,
     (void)size;
     auto v = static_cast<std::uint32_t>(value);
     sim::Addr off = addr - kAbar;
+    auto st = core.state();
 
-    if (state == State::VmmActive) {
+    if (st == MediationCore::State::VmmActive) {
         // Exclusive VMM window: everything is queued (§3.2).
-        queuedWrites.emplace_back(addr, v);
-        ++stats_.queuedGuestWrites;
+        core.queueGuestWrite(addr, v);
         return true;
     }
 
+    bool guest_owns_port = st == MediationCore::State::Passthrough ||
+                           st == MediationCore::State::Draining;
     switch (off) {
       case kPxClb:
         shClb = v & ~0x3FFu;
         // Only reaches the device while it holds the guest's list.
-        if (state == State::Passthrough ||
-            state == State::DrainForRedirect)
-            return false;
-        return true;
+        return !guest_owns_port;
       case kPxIe:
         shIe = v;
-        if (state == State::Passthrough ||
-            state == State::DrainForRedirect)
-            return false;
-        return true; // applied when the mediator restores the port
+        // Applied when the mediator restores the port.
+        return !guest_owns_port;
       case kPxCi:
-        if (state == State::Passthrough) {
+        if (st == MediationCore::State::Passthrough) {
             onGuestCiWrite(v);
             return true; // forwarding decided per slot
         }
-        queuedWrites.emplace_back(addr, v);
-        ++stats_.queuedGuestWrites;
+        core.queueGuestWrite(addr, v);
         return true;
       default:
         return false;
@@ -253,213 +238,74 @@ AhciMediator::onGuestCiWrite(std::uint32_t bits)
         sim::Lba lba;
         std::uint32_t count;
         decodeGuestSlot(slot, is_write, lba, count);
-        bool reserved =
-            lba < svc.reservedEnd && svc.reservedBase < lba + count;
 
+        bool fwd;
         if (is_write) {
-            if (reserved) {
-                ++stats_.reservedConversions;
-                sim::warn(name(),
-                          ": guest write into reserved region "
-                          "dropped");
-                queueRedirect(slot, lba, count, true, true);
-                continue;
-            }
-            svc.bitmap->markFilled(lba, count);
-            ++stats_.passthroughWrites;
-            if (svc.onGuestIo)
-                svc.onGuestIo(true, count);
+            fwd = core.onGuestWrite(slot, lba, count);
+        } else {
+            fwd = core.onGuestRead(slot, lba, count, [this, slot]() {
+                return parseGuestSg(slot);
+            });
+        }
+        if (fwd)
             forward |= 1u << slot;
-            continue;
-        }
-
-        if (svc.onGuestIo)
-            svc.onGuestIo(false, count);
-        if (reserved) {
-            ++stats_.reservedConversions;
-            queueRedirect(slot, lba, count, true, false);
-            continue;
-        }
-        if (svc.bitmap->isFilled(lba, count)) {
-            ++stats_.passthroughReads;
-            forward |= 1u << slot;
-            continue;
-        }
-        queueRedirect(slot, lba, count, false, false);
+        else
+            redirectBits |= 1u << slot;
     }
 
     if (forward) {
         guestIssued |= forward;
         vmmView.write(IoSpace::Mmio, kAbar + kPxCi, forward, 4);
     }
-    if (!redirects.empty() && state == State::Passthrough)
-        maybeBeginRedirect();
+    if (core.hasPendingRedirects() &&
+        core.state() == MediationCore::State::Passthrough)
+        core.beginRedirects();
 }
 
 void
-AhciMediator::queueRedirect(unsigned slot, sim::Lba lba,
-                            std::uint32_t count, bool zero_fill,
-                            bool dropped_write)
+AhciMediator::takeDevice()
 {
-    ++stats_.redirectedReads;
-    Redirect r;
-    r.slot = slot;
-    r.lba = lba;
-    r.count = count;
-    r.zeroFill = zero_fill;
-    r.droppedWrite = dropped_write;
-    if (!dropped_write)
-        r.guestSg = parseGuestSg(slot);
-    redirectBits |= 1u << slot;
-    redirects.push_back(std::move(r));
-}
-
-void
-AhciMediator::maybeBeginRedirect()
-{
-    if (redirects.empty())
-        return;
-    if (deviceCi() != 0) {
-        state = State::DrainForRedirect;
-        return;
-    }
-    state = State::RedirectData;
     // Take the device: swap in the mediator's command list.
     vmmView.write(IoSpace::Mmio, kAbar + kPxClb,
                   static_cast<std::uint32_t>(medCmdList), 4);
-
-    Redirect &r = redirects.front();
-    if (r.droppedWrite || r.zeroFill) {
-        r.tokens.assign(r.count, 0);
-        finishRedirectDataPhase();
-        return;
-    }
-
-    r.tokens.assign(r.count, 0);
-    // First allocation-free pass over the EMPTY sub-ranges: derive
-    // the FILLED complement (served from the local disk) and the
-    // fetch count, which must be final before any fetch completes.
-    std::size_t numFetches = 0;
-    sim::Lba pos = r.lba;
-    svc.bitmap->forEachEmpty(r.lba, r.count,
-                             [&](sim::Lba s, sim::Lba e) {
-                                 if (s > pos)
-                                     r.localRanges.emplace_back(pos, s);
-                                 pos = e;
-                                 ++numFetches;
-                             });
-    if (pos < r.lba + r.count)
-        r.localRanges.emplace_back(pos, r.lba + r.count);
-    if (!r.localRanges.empty())
-        ++stats_.mixedRedirects;
-
-    r.fetchesPending = numFetches;
-    // Second pass issues the remote fetches.
-    svc.bitmap->forEachEmpty(
-        r.lba, r.count, [&](sim::Lba s, sim::Lba e) {
-            auto n = static_cast<std::uint32_t>(e - s);
-            stats_.redirectedSectors += n;
-            sim::Lba seg = s;
-            svc.fetchRemote(
-                seg, n,
-                [this, seg,
-                 n](const std::vector<std::uint64_t> &tokens) {
-                    if (redirects.empty() ||
-                        state != State::RedirectData)
-                        return;
-                    Redirect &cur = redirects.front();
-                    std::copy(tokens.begin(), tokens.end(),
-                              cur.tokens.begin() + (seg - cur.lba));
-                    if (svc.stashFetched)
-                        svc.stashFetched(seg, n, tokens);
-                    --cur.fetchesPending;
-                    advanceRedirect();
-                });
-        });
-    advanceRedirect();
 }
 
 void
-AhciMediator::advanceRedirect()
+AhciMediator::restoreDevice()
 {
-    if (redirects.empty() || state != State::RedirectData)
-        return;
-    Redirect &r = redirects.front();
-
-    if (!r.localInFlight && r.nextLocal < r.localRanges.size()) {
-        auto [s, e] = r.localRanges[r.nextLocal];
-        r.localInFlight = true;
-        MedOp op;
-        op.isWrite = false;
-        op.lba = s;
-        op.count = static_cast<std::uint32_t>(e - s);
-        op.internal = true;
-        op.readDone = [this,
-                       s](const std::vector<std::uint64_t> &tokens) {
-            if (redirects.empty())
-                return;
-            Redirect &cur = redirects.front();
-            std::copy(tokens.begin(), tokens.end(),
-                      cur.tokens.begin() + (s - cur.lba));
-            cur.localInFlight = false;
-            ++cur.nextLocal;
-            advanceRedirect();
-        };
-        startMedOp(std::move(op));
-        return;
-    }
-
-    if (r.fetchesPending == 0 && !r.localInFlight &&
-        r.nextLocal == r.localRanges.size() && !r.dataPhaseStarted) {
-        finishRedirectDataPhase();
-    }
+    // Hand the port back to the guest.
+    vmmView.write(IoSpace::Mmio, kAbar + kPxClb, shClb, 4);
 }
 
 void
-AhciMediator::finishRedirectDataPhase()
+AhciMediator::programCfis(sim::Addr table, bool is_write,
+                          sim::Lba lba, std::uint32_t count)
 {
-    Redirect &r = redirects.front();
-    r.dataPhaseStarted = true;
-
-    if (!r.droppedWrite) {
-        // Virtual DMA: place the tokens where the guest's PRDT
-        // points (§3.2 step 3).
-        std::uint32_t i = 0;
-        for (const hw::SgEntry &e : r.guestSg) {
-            for (sim::Bytes off = 0; off < e.bytes && i < r.count;
-                 off += sim::kSectorSize, ++i)
-                mem.write64(e.addr + off, r.tokens[i]);
-            if (i >= r.count)
-                break;
-        }
-    }
-    issueDummyRestart();
-}
-
-void
-AhciMediator::issueDummyRestart()
-{
-    Redirect &r = redirects.front();
-    ++stats_.dummyRestarts;
-    restartSlot = r.slot;
-
-    // Dummy command table: one-sector read of the dummy sector into
-    // the VMM's dummy buffer (§3.2 step 4).
-    sim::Addr cfis = medDummyTable + kCfisOffset;
+    sim::Addr cfis = table + kCfisOffset;
     mem.fill(cfis, 0, kCfisSize);
     mem.write8(cfis + kFisType, kFisTypeH2d);
     mem.write8(cfis + kFisFlags, kFisFlagC);
-    mem.write8(cfis + kFisCommand, 0x25);
-    sim::Lba d = svc.dummyLba;
-    mem.write8(cfis + kFisLba0, d & 0xFF);
-    mem.write8(cfis + kFisLba1, (d >> 8) & 0xFF);
-    mem.write8(cfis + kFisLba2, (d >> 16) & 0xFF);
+    mem.write8(cfis + kFisCommand,
+               is_write ? kFisCmdWriteDmaExt : kFisCmdReadDmaExt);
+    mem.write8(cfis + kFisLba0, lba & 0xFF);
+    mem.write8(cfis + kFisLba1, (lba >> 8) & 0xFF);
+    mem.write8(cfis + kFisLba2, (lba >> 16) & 0xFF);
     mem.write8(cfis + kFisDevice, 0x40);
-    mem.write8(cfis + kFisLba3, (d >> 24) & 0xFF);
-    mem.write8(cfis + kFisLba4, (d >> 32) & 0xFF);
-    mem.write8(cfis + kFisLba5, (d >> 40) & 0xFF);
-    mem.write8(cfis + kFisCount0, 1);
-    mem.write8(cfis + kFisCount1, 0);
+    mem.write8(cfis + kFisLba3, (lba >> 24) & 0xFF);
+    mem.write8(cfis + kFisLba4, (lba >> 32) & 0xFF);
+    mem.write8(cfis + kFisLba5, (lba >> 40) & 0xFF);
+    mem.write8(cfis + kFisCount0, count & 0xFF);
+    mem.write8(cfis + kFisCount1, (count >> 8) & 0xFF);
+}
+
+RestartMode
+AhciMediator::issueDummyRestart(std::uint32_t key)
+{
+    restartSlot = key;
+
+    // Dummy command table: one-sector read of the dummy sector into
+    // the VMM's dummy buffer (§3.2 step 4).
+    programCfis(medDummyTable, false, core.services().dummyLba, 1);
     sim::Addr prd = medDummyTable + kPrdtOffset;
     mem.write32(prd, static_cast<std::uint32_t>(dummyBuffer));
     mem.write32(prd + 4, 0);
@@ -480,86 +326,14 @@ AhciMediator::issueDummyRestart()
     vmmView.write(IoSpace::Mmio, kAbar + kIs, ~0u, 4);
     vmmView.write(IoSpace::Mmio, kAbar + kPxIe, shIe, 4);
 
-    state = State::RestartActive;
     vmmView.write(IoSpace::Mmio, kAbar + kPxCi, 1u << restartSlot, 4);
+    return RestartMode::Polled;
 }
 
 void
-AhciMediator::onRestartComplete()
+AhciMediator::issueVmmCommand(bool is_write, sim::Lba lba,
+                              std::uint32_t count)
 {
-    redirectBits &= ~(1u << restartSlot);
-    redirects.pop_front();
-
-    if (!redirects.empty()) {
-        // Device is idle (the dummy just completed): serve the next
-        // withheld command immediately.
-        state = State::Passthrough;
-        maybeBeginRedirect();
-        return;
-    }
-
-    // Hand the port back to the guest.
-    vmmView.write(IoSpace::Mmio, kAbar + kPxClb, shClb, 4);
-    state = State::Passthrough;
-    replayQueuedWrites();
-}
-
-void
-AhciMediator::programMediatorSlot(unsigned slot, bool is_write,
-                                  sim::Lba lba, std::uint32_t count,
-                                  sim::Addr buffer)
-{
-    sim::Addr cfis = medTable + kCfisOffset;
-    mem.fill(cfis, 0, kCfisSize);
-    mem.write8(cfis + kFisType, kFisTypeH2d);
-    mem.write8(cfis + kFisFlags, kFisFlagC);
-    mem.write8(cfis + kFisCommand, is_write ? 0x35 : 0x25);
-    mem.write8(cfis + kFisLba0, lba & 0xFF);
-    mem.write8(cfis + kFisLba1, (lba >> 8) & 0xFF);
-    mem.write8(cfis + kFisLba2, (lba >> 16) & 0xFF);
-    mem.write8(cfis + kFisDevice, 0x40);
-    mem.write8(cfis + kFisLba3, (lba >> 24) & 0xFF);
-    mem.write8(cfis + kFisLba4, (lba >> 32) & 0xFF);
-    mem.write8(cfis + kFisLba5, (lba >> 40) & 0xFF);
-    mem.write8(cfis + kFisCount0, count & 0xFF);
-    mem.write8(cfis + kFisCount1, (count >> 8) & 0xFF);
-
-    sim::Bytes total = sim::Bytes(count) * sim::kSectorSize;
-    sim::Addr entry = medTable + kPrdtOffset;
-    sim::Addr buf = buffer;
-    unsigned prdtl = 0;
-    while (total > 0) {
-        sim::Bytes chunk = std::min<sim::Bytes>(total, 128 * 1024);
-        mem.write32(entry, static_cast<std::uint32_t>(buf));
-        mem.write32(entry + 4, 0);
-        mem.write32(entry + 8, 0);
-        mem.write32(entry + 12,
-                    static_cast<std::uint32_t>(chunk - 1));
-        total -= chunk;
-        buf += chunk;
-        entry += kPrdtEntrySize;
-        ++prdtl;
-    }
-
-    sim::Addr hdr = medCmdList + sim::Addr(slot) * kCmdHeaderSize;
-    std::uint32_t dw0 = 5u | (prdtl << kHdrPrdtlShift);
-    if (is_write)
-        dw0 |= kHdrWrite;
-    mem.write32(hdr, dw0);
-    mem.write32(hdr + 4, 0);
-    mem.write32(hdr + 8, static_cast<std::uint32_t>(medTable));
-    mem.write32(hdr + 12, 0);
-}
-
-void
-AhciMediator::startMedOp(MedOp op)
-{
-    sim::panicIfNot(!medOp, "overlapping mediator ops on AHCI");
-    sim::panicIfNot(op.count <= medBufferSectors,
-                    "mediator op exceeds bounce buffer");
-    medOp = std::make_unique<MedOp>(std::move(op));
-    medOpOnDevice = true;
-
     // Interrupts for VMM commands are suppressed; completion is
     // polled (§3.2). The command list is the mediator's.
     vmmView.write(IoSpace::Mmio, kAbar + kPxIe, 0, 4);
@@ -578,161 +352,61 @@ AhciMediator::startMedOp(MedOp op)
                       kCmdSt | kCmdFre, 4);
     }
 
-    if (medOp->isWrite)
-        hw::fillTokenBuffer(mem, medBuffer, medOp->lba, medOp->count,
-                            medOp->contentBase);
-    programMediatorSlot(0, medOp->isWrite, medOp->lba, medOp->count,
-                        medBuffer);
+    // Program slot 0 of the mediator's command list over the core's
+    // bounce buffer.
+    programCfis(medTable, is_write, lba, count);
+    sim::Bytes total = sim::Bytes(count) * sim::kSectorSize;
+    sim::Addr entry = medTable + kPrdtOffset;
+    sim::Addr buf = medBuffer;
+    unsigned prdtl = 0;
+    while (total > 0) {
+        sim::Bytes chunk = std::min<sim::Bytes>(total, 128 * 1024);
+        mem.write32(entry, static_cast<std::uint32_t>(buf));
+        mem.write32(entry + 4, 0);
+        mem.write32(entry + 8, 0);
+        mem.write32(entry + 12,
+                    static_cast<std::uint32_t>(chunk - 1));
+        total -= chunk;
+        buf += chunk;
+        entry += kPrdtEntrySize;
+        ++prdtl;
+    }
+
+    std::uint32_t dw0 = 5u | (prdtl << kHdrPrdtlShift);
+    if (is_write)
+        dw0 |= kHdrWrite;
+    mem.write32(medCmdList, dw0);
+    mem.write32(medCmdList + 4, 0);
+    mem.write32(medCmdList + 8, static_cast<std::uint32_t>(medTable));
+    mem.write32(medCmdList + 12, 0);
     vmmView.write(IoSpace::Mmio, kAbar + kPxCi, 1u, 4);
 }
 
-void
-AhciMediator::checkMedOpCompletion()
+bool
+AhciMediator::vmmCommandDone()
 {
-    if (!medOpOnDevice)
-        return;
     if (deviceCi() != 0)
-        return;
+        return false;
 
     // Clear the VMM command's completion status so it never leaks to
     // the guest, then restore the interrupt enable.
     vmmView.write(IoSpace::Mmio, kAbar + kPxIs, ~0u, 4);
     vmmView.write(IoSpace::Mmio, kAbar + kIs, ~0u, 4);
     vmmView.write(IoSpace::Mmio, kAbar + kPxIe, shIe, 4);
+    return true;
+}
 
-    std::unique_ptr<MedOp> op = std::move(medOp);
-    medOpOnDevice = false;
-
-    std::vector<std::uint64_t> tokens;
-    if (!op->isWrite) {
-        tokens.resize(op->count);
-        for (std::uint32_t i = 0; i < op->count; ++i)
-            tokens[i] = hw::bufferTokenAt(mem, medBuffer, i);
-    }
-
-    if (op->internal) {
-        if (op->readDone)
-            op->readDone(tokens);
-        return;
-    }
-
-    ++stats_.vmmOps;
+void
+AhciMediator::releaseAfterVmmOp()
+{
     vmmView.write(IoSpace::Mmio, kAbar + kPxClb, shClb, 4);
-    state = State::Passthrough;
-    replayQueuedWrites();
-    if (op->isWrite) {
-        if (op->writeDone)
-            op->writeDone();
-    } else if (op->readDone) {
-        op->readDone(tokens);
-    }
-    maybeStartPending();
 }
 
 void
-AhciMediator::replayQueuedWrites()
+AhciMediator::replayGuestWrite(sim::Addr addr, std::uint64_t value)
 {
-    while (!queuedWrites.empty() && state == State::Passthrough) {
-        auto [addr, value] = queuedWrites.front();
-        queuedWrites.pop_front();
-        if (!interceptWrite(addr, value, 4))
-            vmmView.write(IoSpace::Mmio, addr, value, 4);
-    }
-}
-
-void
-AhciMediator::powerOff()
-{
-    if (!installed)
-        return;
-    bus.removeIntercept(IoSpace::Mmio, kAbar, kAbarSize);
-    installed = false;
-    // Drop all in-flight mediation state; the machine is going down.
-    queuedWrites.clear();
-    redirects.clear();
-    medOp.reset();
-    pendingOp.reset();
-    medOpOnDevice = false;
-    redirectBits = 0;
-    guestIssued = 0;
-    state = State::Passthrough;
-}
-
-void
-AhciMediator::poll()
-{
-    checkMedOpCompletion();
-
-    if (state == State::DrainForRedirect && deviceCi() == 0) {
-        state = State::Passthrough;
-        maybeBeginRedirect();
-        return;
-    }
-    if (state == State::RestartActive && deviceCi() == 0) {
-        onRestartComplete();
-        return;
-    }
-    maybeStartPending();
-}
-
-bool
-AhciMediator::vmmWrite(sim::Lba lba, std::uint32_t count,
-                       std::uint64_t content_base,
-                       std::function<void()> done)
-{
-    MedOp op;
-    op.isWrite = true;
-    op.lba = lba;
-    op.count = count;
-    op.contentBase = content_base;
-    op.writeDone = std::move(done);
-    if (canStartVmmOp()) {
-        state = State::VmmActive;
-        startMedOp(std::move(op));
-        return true;
-    }
-    if (!pendingOp) {
-        pendingOp = std::make_unique<MedOp>(std::move(op));
-        return true;
-    }
-    return false;
-}
-
-bool
-AhciMediator::vmmRead(
-    sim::Lba lba, std::uint32_t count,
-    std::function<void(const std::vector<std::uint64_t> &)> done)
-{
-    MedOp op;
-    op.isWrite = false;
-    op.lba = lba;
-    op.count = count;
-    op.readDone = std::move(done);
-    if (canStartVmmOp()) {
-        state = State::VmmActive;
-        startMedOp(std::move(op));
-        return true;
-    }
-    if (!pendingOp) {
-        pendingOp = std::make_unique<MedOp>(std::move(op));
-        return true;
-    }
-    return false;
-}
-
-bool
-AhciMediator::vmmOpActive() const
-{
-    return medOp != nullptr || pendingOp != nullptr;
-}
-
-bool
-AhciMediator::quiescent() const
-{
-    return state == State::Passthrough && !medOp && !pendingOp &&
-           redirects.empty() && guestIssued == 0 &&
-           queuedWrites.empty() &&
-           const_cast<AhciMediator *>(this)->deviceCi() == 0;
+    if (!interceptWrite(addr, value, 4))
+        vmmView.write(IoSpace::Mmio, addr, value, 4);
 }
 
 } // namespace bmcast

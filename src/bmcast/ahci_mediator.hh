@@ -2,37 +2,29 @@
  * @file
  * The AHCI device mediator (paper §3.2, §4.3: 2,285 LOC in the
  * prototype — the larger of the two because AHCI has 32 command
- * slots and in-memory command lists).
+ * slots and in-memory command lists). A thin interpretation
+ * front-end over bmcast::MediationCore.
  *
  * Interpretation: PxCI writes are decoded by reading the guest's
- * command list/tables from physical memory, exactly as the HBA does.
+ * command list/tables from physical memory, exactly as the HBA does;
+ * a guest-visible PxCI is synthesized from device state, withheld
+ * slots and queued writes.
  *
- * Redirection: a read touching EMPTY blocks is withheld (its CI bit
- * never reaches the device); after the device drains, the data is
- * fetched (server via AoE, local disk for FILLED sub-ranges) into
- * the guest's PRDT buffers, and the command is restarted as a
- * one-sector dummy read issued *on the same slot number* from the
- * mediator's own command list (PxCLB temporarily swapped), so the
- * device clears the right CI bit and raises the guest's completion
- * interrupt itself.
- *
- * Multiplexing: VMM commands run from the mediator's command list in
- * slot 0 while PxIE is gated and completion is detected by polling
- * PxCI; guest CI writes issued meanwhile are queued and replayed.
+ * Redirection and multiplexing live in the core; this front-end
+ * implements the ControllerPort surface: PxCLB swapping, slot
+ * programming from the mediator's own command list, the dummy
+ * restart issued *on the same slot number* so the device clears the
+ * right CI bit, and PxIE gating for multiplexed VMM commands.
  */
 
 #ifndef BMCAST_AHCI_MEDIATOR_HH
 #define BMCAST_AHCI_MEDIATOR_HH
 
-#include <deque>
-#include <memory>
-
+#include "bmcast/mediation_core.hh"
 #include "bmcast/mediator.hh"
 #include "hw/ahci_regs.hh"
-#include "hw/dma.hh"
 #include "hw/io_bus.hh"
 #include "hw/mem_arena.hh"
-#include "hw/phys_mem.hh"
 #include "simcore/sim_object.hh"
 
 namespace bmcast {
@@ -40,7 +32,8 @@ namespace bmcast {
 /** The mediator. */
 class AhciMediator : public sim::SimObject,
                      public DeviceMediator,
-                     public hw::IoInterceptor
+                     public hw::IoInterceptor,
+                     private ControllerPort
 {
   public:
     AhciMediator(sim::EventQueue &eq, std::string name, hw::IoBus &bus,
@@ -52,15 +45,23 @@ class AhciMediator : public sim::SimObject,
     void install() override;
     void uninstall() override;
     void powerOff() override;
-    void poll() override;
+    void poll() override { core.poll(); }
     bool vmmWrite(sim::Lba lba, std::uint32_t count,
                   std::uint64_t contentBase,
-                  std::function<void()> done) override;
+                  std::function<void()> done) override
+    {
+        return core.vmmWrite(lba, count, contentBase,
+                             std::move(done));
+    }
     bool vmmRead(sim::Lba lba, std::uint32_t count,
                  std::function<void(const std::vector<std::uint64_t> &)>
-                     done) override;
-    bool vmmOpActive() const override;
-    bool quiescent() const override;
+                     done) override
+    {
+        return core.vmmRead(lba, count, std::move(done));
+    }
+    bool vmmOpActive() const override { return core.vmmOpActive(); }
+    bool quiescent() const override { return core.quiescent(); }
+    const MediatorStats &stats() const override { return core.stats(); }
     /// @}
 
     /** @name hw::IoInterceptor */
@@ -72,74 +73,43 @@ class AhciMediator : public sim::SimObject,
     /// @}
 
   private:
-    enum class State
+    /** @name ControllerPort */
+    /// @{
+    bool guestBusy() const override
     {
-        Passthrough,
-        DrainForRedirect, //!< waiting for guest slots to complete
-        RedirectData,     //!< fetching / local reads
-        RestartActive,    //!< dummy command completing a redirect
-        VmmActive,        //!< multiplexed VMM command on the device
-    };
-
-    /** A withheld guest read awaiting redirection. */
-    struct Redirect
+        return guestIssued != 0 ||
+               const_cast<AhciMediator *>(this)->deviceCi() != 0;
+    }
+    bool deviceBusy() override { return deviceCi() != 0; }
+    void takeDevice() override;
+    void restoreDevice() override;
+    void issueVmmCommand(bool isWrite, sim::Lba lba,
+                         std::uint32_t count) override;
+    bool vmmCommandDone() override;
+    void releaseAfterVmmOp() override;
+    RestartMode issueDummyRestart(std::uint32_t key) override;
+    bool restartDone() override { return deviceCi() == 0; }
+    void onRestartRetired(std::uint32_t key) override
     {
-        unsigned slot = 0;
-        sim::Lba lba = 0;
-        std::uint32_t count = 0;
-        std::vector<hw::SgEntry> guestSg;
-        std::vector<std::uint64_t> tokens;
-        std::size_t fetchesPending = 0;
-        std::vector<sim::IntervalSet::Range> localRanges;
-        std::size_t nextLocal = 0;
-        bool localInFlight = false;
-        bool zeroFill = false;
-        bool droppedWrite = false;
-        bool dataPhaseStarted = false;
-    };
-
-    /** A mediator-issued command (slot 0 of the mediator's list). */
-    struct MedOp
-    {
-        bool isWrite = false;
-        sim::Lba lba = 0;
-        std::uint32_t count = 0;
-        std::uint64_t contentBase = 0;
-        bool internal = false; //!< redirection local-segment read
-        std::function<void()> writeDone;
-        std::function<void(const std::vector<std::uint64_t> &)>
-            readDone;
-    };
+        redirectBits &= ~(1u << key);
+    }
+    void replayGuestWrite(sim::Addr addr,
+                          std::uint64_t value) override;
+    /// @}
 
     void onGuestCiWrite(std::uint32_t bits);
-    void queueRedirect(unsigned slot, sim::Lba lba,
-                       std::uint32_t count, bool zeroFill,
-                       bool droppedWrite);
-    void maybeBeginRedirect();
-    void advanceRedirect();
-    void finishRedirectDataPhase();
-    void issueDummyRestart();
-    void onRestartComplete();
-    void startMedOp(MedOp op);
-    bool canStartVmmOp();
-    void maybeStartPending();
-    void checkMedOpCompletion();
-    void replayQueuedWrites();
-
     std::uint32_t deviceCi();
     std::vector<hw::SgEntry> parseGuestSg(unsigned slot) const;
     void decodeGuestSlot(unsigned slot, bool &isWrite, sim::Lba &lba,
                          std::uint32_t &count) const;
-    void programMediatorSlot(unsigned slot, bool isWrite, sim::Lba lba,
-                             std::uint32_t count, sim::Addr buffer);
+    void programCfis(sim::Addr table, bool isWrite, sim::Lba lba,
+                     std::uint32_t count);
     std::uint32_t guestVisibleCi();
 
     hw::IoBus &bus;
     hw::BusView vmmView;
     hw::PhysMem &mem;
-    MediatorServices svc;
 
-    State state = State::Passthrough;
     bool installed = false;
 
     /** Shadows (I/O interpretation). */
@@ -150,24 +120,17 @@ class AhciMediator : public sim::SimObject,
     std::uint32_t guestIssued = 0;
     /** Slots withheld for redirection (guest sees them busy). */
     std::uint32_t redirectBits = 0;
-
-    std::deque<Redirect> redirects;
-    std::unique_ptr<MedOp> medOp;
-    bool medOpOnDevice = false;
-    /** Accepted but deferred VMM command: injected at the first
-     *  moment the guest quiesces ("find proper timing", §3.2). */
-    std::unique_ptr<MedOp> pendingOp;
     unsigned restartSlot = 0;
-
-    std::deque<std::pair<sim::Addr, std::uint32_t>> queuedWrites;
 
     /** Mediator-owned structures in VMM memory. */
     sim::Addr medCmdList = 0;
-    sim::Addr medTable = 0;      //!< command table for med ops
+    sim::Addr medTable = 0;      //!< command table for VMM ops
     sim::Addr medDummyTable = 0; //!< command table for dummy restarts
     sim::Addr medBuffer = 0;     //!< bounce buffer
     sim::Addr dummyBuffer = 0;
-    std::uint32_t medBufferSectors = 2048;
+    static constexpr std::uint32_t kMedBufferSectors = 2048;
+
+    MediationCore core;
 };
 
 } // namespace bmcast

@@ -106,4 +106,39 @@ Cloud::provision(const std::string &img_name,
     return ref;
 }
 
+void
+Cloud::release(Instance &inst)
+{
+    sim::fatalIf(inst.state_ == Instance::State::Released,
+                 "instance released twice");
+    unsigned slot = cfg.machines;
+    for (unsigned i = 0; i < cfg.machines; ++i) {
+        if (pool[i].get() == inst.machine_) {
+            slot = i;
+            break;
+        }
+    }
+    sim::fatalIf(slot == cfg.machines || !inUse[slot],
+                 "releasing an instance this region does not lease");
+
+    // Power off whatever is still running: the VMM tears down its
+    // intercepts, copy engine and AoE session; the guest stops its
+    // workload and unhooks its driver's interrupt handlers. Both
+    // objects stay parked in the instance handle so events still in
+    // the queue retire harmlessly.
+    inst.deployer_->vmm().powerOff();
+    inst.guest_->halt();
+
+    // Scrub the local disk: tenant data must not leak to the next
+    // lease, and a stale saved bitmap would make the next deployment
+    // "resume" the wrong image.
+    inst.machine_->disk().store().clear();
+    inst.machine_->clearProfile();
+
+    inst.machine_ = nullptr;
+    inst.state_ = Instance::State::Released;
+    inUse[slot] = false;
+    sim::inform(name(), ": node ", slot, " released back to the pool");
+}
+
 } // namespace bmcast

@@ -45,7 +45,7 @@ struct CloudConfig
 class Instance
 {
   public:
-    enum class State { Provisioning, Serving, BareMetal };
+    enum class State { Provisioning, Serving, BareMetal, Released };
 
     State state() const { return state_; }
     hw::Machine &machine() { return *machine_; }
@@ -90,6 +90,16 @@ class Cloud : public sim::SimObject
      */
     Instance *provision(const std::string &image,
                         std::function<void(Instance &)> onServing);
+
+    /**
+     * Return a leased instance's machine to the pool (rapid
+     * elasticity needs reclaim as much as provisioning). Powers the
+     * machine off — stopping any still-running deployment — scrubs
+     * the local disk (tenant data and any saved deployment bitmap)
+     * and discards the guest. The handle stays valid in Released
+     * state, but its machine/guest/deployer accessors do not.
+     */
+    void release(Instance &inst);
 
     /** Machines not yet leased. */
     unsigned freeMachines() const;

@@ -16,19 +16,20 @@ IdeMediator::IdeMediator(sim::EventQueue &eq, std::string name,
                          MediatorServices services)
     : sim::SimObject(eq, std::move(name)),
       bus(bus_), vmmView(bus_, /*guestContext=*/false), mem(mem_),
-      svc(std::move(services))
+      vmmPrd(vmm_arena.alloc(64 * kPrdEntrySize, 64)),
+      vmmBuffer(vmm_arena.alloc(
+          sim::Bytes(kVmmBufferSectors) * sim::kSectorSize, 4096)),
+      dummyPrd(vmm_arena.alloc(kPrdEntrySize, 64)),
+      dummyBuffer(vmm_arena.alloc(sim::kSectorSize, 512)),
+      core(this->name(), mem_, *this, std::move(services), vmmBuffer,
+           kVmmBufferSectors)
 {
-    sim::panicIfNot(svc.bitmap != nullptr, "mediator needs a bitmap");
-    vmmPrd = vmm_arena.alloc(64 * kPrdEntrySize, 64);
-    vmmBuffer = vmm_arena.alloc(
-        sim::Bytes(vmmBufferSectors) * sim::kSectorSize, 4096);
-    dummyPrd = vmm_arena.alloc(kPrdEntrySize, 64);
-    dummyBuffer = vmm_arena.alloc(sim::kSectorSize, 512);
-
     // The dummy PRD never changes: one sector into the dummy buffer.
     mem.write32(dummyPrd, static_cast<std::uint32_t>(dummyBuffer));
     mem.write16(dummyPrd + 4, sim::kSectorSize);
     mem.write16(dummyPrd + 6, kPrdEot);
+
+    core.setQuiesceHook([this]() { notifyQuiescent(); });
 }
 
 void
@@ -39,7 +40,7 @@ IdeMediator::install()
     bus.intercept(IoSpace::Pio, kCtrlPort, 1, this);
     bus.intercept(IoSpace::Pio, kBmBase, kBmSize, this);
     installed = true;
-    warmDummySector();
+    core.warmDummy();
 }
 
 void
@@ -54,27 +55,16 @@ IdeMediator::uninstall()
 }
 
 void
-IdeMediator::warmDummySector()
+IdeMediator::powerOff()
 {
-    // Pull the dummy sector into the drive cache so redirection
-    // restarts are cheap from the first use.
-    VmmOp op;
-    op.isWrite = false;
-    op.lba = svc.dummyLba;
-    op.count = 1;
-    op.internal = false;
-    op.readDone = [](const std::vector<std::uint64_t> &) {};
-    startVmmOp(std::move(op));
-    state = State::VmmActive;
-}
-
-bool
-IdeMediator::deviceIdle() const
-{
-    auto st = static_cast<std::uint8_t>(
-        const_cast<IdeMediator *>(this)->vmmView.read(
-            IoSpace::Pio, kCtrlPort, 1));
-    return !(st & kStatusBsy);
+    if (!installed)
+        return;
+    bus.removeIntercept(IoSpace::Pio, kPioBase, kPioSize);
+    bus.removeIntercept(IoSpace::Pio, kCtrlPort, 1);
+    bus.removeIntercept(IoSpace::Pio, kBmBase, kBmSize);
+    installed = false;
+    core.reset();
+    guestCmdActive = false;
 }
 
 sim::Lba
@@ -110,12 +100,11 @@ IdeMediator::interceptWrite(sim::Addr addr, std::uint64_t value,
 {
     (void)size;
 
-    if (state != State::Passthrough) {
+    if (core.state() != MediationCore::State::Passthrough) {
         // The device is owned by a redirection or a VMM command:
         // queue the guest's register writes for later replay (§3.2
         // I/O multiplexing).
-        queuedWrites.emplace_back(addr, value);
-        ++stats_.queuedGuestWrites;
+        core.queueGuestWrite(addr, value);
         return true;
     }
 
@@ -178,7 +167,7 @@ IdeMediator::interceptRead(sim::Addr addr, unsigned size,
     bool is_alt = addr == kCtrlPort;
     bool is_bm_status = addr == kBmBase + kBmStatus;
 
-    if (state == State::Redirecting) {
+    if (core.state() == MediationCore::State::Redirecting) {
         // Emulate "busy" while we serve the read (§3.2: "device
         // mediators emulate the status information so that the guest
         // OS can determine that the device is busy").
@@ -193,7 +182,7 @@ IdeMediator::interceptRead(sim::Addr addr, unsigned size,
         return false;
     }
 
-    if (state == State::VmmActive) {
+    if (core.state() == MediationCore::State::VmmActive) {
         // Emulate "idle" so the guest proceeds to issue its request,
         // which we queue (§3.2: "emulate the status of the device as
         // if the device is not busy").
@@ -217,34 +206,11 @@ IdeMediator::interceptRead(sim::Addr addr, unsigned size,
             guestCmdActive = false;
             // The device just quiesced: inject a waiting VMM
             // command before the guest issues its next one.
-            maybeStartPending();
+            core.maybeStartPending();
         }
         return true;
     }
     return false;
-}
-
-bool
-IdeMediator::canStartVmmOp() const
-{
-    return state == State::Passthrough && !guestCmdActive && !vmmOp &&
-           queuedWrites.empty();
-}
-
-void
-IdeMediator::maybeStartPending()
-{
-    if (!canStartVmmOp())
-        return;
-    if (pendingOp) {
-        VmmOp op = std::move(*pendingOp);
-        pendingOp.reset();
-        state = State::VmmActive;
-        startVmmOp(std::move(op));
-        return;
-    }
-    if (quiescent())
-        notifyQuiescent();
 }
 
 bool
@@ -259,230 +225,77 @@ IdeMediator::onGuestCommand(std::uint8_t cmd)
     bool ext = isExtCommand(cmd);
     sim::Lba lba = shadowLba(ext);
     std::uint32_t count = shadowCount(ext);
-    bool overlaps_reserved =
-        lba < svc.reservedEnd && svc.reservedBase < lba + count;
 
+    bool forward;
     if (isWriteCommand(cmd)) {
-        if (overlaps_reserved) {
-            // Protect the bitmap home: convert the write to a dummy
-            // read (§3.3); the data is dropped.
-            ++stats_.reservedConversions;
-            sim::warn(name(),
-                      ": guest write into reserved region dropped");
-            state = State::Redirecting;
-            redirect = std::make_unique<Redirect>();
-            redirect->lba = lba;
-            redirect->count = count;
-            redirect->zeroFill = true;
-            issueDummyRestart();
-            return false;
-        }
-        // Guest data is the freshest: mark at issue time so the
-        // background writer can never claim these blocks (§3.3).
-        svc.bitmap->markFilled(lba, count);
-        ++stats_.passthroughWrites;
-        if (svc.onGuestIo)
-            svc.onGuestIo(true, count);
+        forward = core.onGuestWrite(0, lba, count);
+    } else {
+        forward = core.onGuestRead(0, lba, count, [this]() {
+            return parseGuestPrdt(sh.bmPrdt);
+        });
+    }
+    if (forward) {
         guestCmdActive = true;
         return true;
     }
-
-    // Read.
-    if (svc.onGuestIo)
-        svc.onGuestIo(false, count);
-    if (overlaps_reserved) {
-        ++stats_.reservedConversions;
-        startRedirect(lba, count);
-        return false;
-    }
-    if (svc.bitmap->isFilled(lba, count)) {
-        ++stats_.passthroughReads;
-        guestCmdActive = true;
-        return true;
-    }
-    startRedirect(lba, count);
+    core.beginRedirects();
     return false;
 }
 
 void
-IdeMediator::startRedirect(sim::Lba lba, std::uint32_t count)
+IdeMediator::programTaskFile(sim::Lba lba, std::uint32_t count,
+                             std::uint8_t cmd, sim::Addr prd,
+                             std::uint8_t bm_dir)
 {
-    ++stats_.redirectedReads;
-    state = State::Redirecting;
-    redirect = std::make_unique<Redirect>();
-    redirect->lba = lba;
-    redirect->count = count;
-    redirect->tokens.assign(count, 0);
-    redirect->guestPrdt = sh.bmPrdt;
-
-    bool overlaps_reserved =
-        lba < svc.reservedEnd && svc.reservedBase < lba + count;
-    if (overlaps_reserved) {
-        // Reserved-region reads return zeros; nothing to fetch.
-        redirect->zeroFill = true;
-        finishRedirectDataPhase();
-        return;
-    }
-
-    // FILLED sub-ranges must come from the local disk (the server's
-    // copy may be stale if the guest overwrote them). First
-    // allocation-free pass: derive them as the complement of the
-    // EMPTY ranges and fix the fetch count before any fetch can
-    // complete.
-    std::size_t numFetches = 0;
-    sim::Lba pos = lba;
-    svc.bitmap->forEachEmpty(
-        lba, count, [&](sim::Lba s, sim::Lba e) {
-            if (s > pos)
-                redirect->localRanges.emplace_back(pos, s);
-            pos = e;
-            ++numFetches;
-        });
-    if (pos < lba + count)
-        redirect->localRanges.emplace_back(pos, lba + count);
-    if (!redirect->localRanges.empty())
-        ++stats_.mixedRedirects;
-
-    redirect->fetchesPending = numFetches;
-    // Second pass issues the remote fetches.
-    svc.bitmap->forEachEmpty(
-        lba, count, [&](sim::Lba s, sim::Lba e) {
-            auto n = static_cast<std::uint32_t>(e - s);
-            stats_.redirectedSectors += n;
-            sim::Lba seg = s;
-            svc.fetchRemote(
-                seg, n,
-                [this, seg,
-                 n](const std::vector<std::uint64_t> &tokens) {
-                    if (!redirect || state != State::Redirecting)
-                        return; // stale (cannot normally happen)
-                    std::copy(tokens.begin(), tokens.end(),
-                              redirect->tokens.begin() +
-                                  (seg - redirect->lba));
-                    if (svc.stashFetched)
-                        svc.stashFetched(seg, n, tokens);
-                    --redirect->fetchesPending;
-                    advanceRedirect();
-                });
-        });
-    advanceRedirect();
-}
-
-void
-IdeMediator::advanceRedirect()
-{
-    if (!redirect)
-        return;
-
-    if (!redirect->localInFlight &&
-        redirect->nextLocal < redirect->localRanges.size()) {
-        auto [s, e] = redirect->localRanges[redirect->nextLocal];
-        redirect->localInFlight = true;
-        VmmOp op;
-        op.isWrite = false;
-        op.lba = s;
-        op.count = static_cast<std::uint32_t>(e - s);
-        op.internal = true;
-        op.readDone = [this,
-                       s](const std::vector<std::uint64_t> &tokens) {
-            if (!redirect)
-                return;
-            std::copy(tokens.begin(), tokens.end(),
-                      redirect->tokens.begin() + (s - redirect->lba));
-            redirect->localInFlight = false;
-            ++redirect->nextLocal;
-            advanceRedirect();
-        };
-        startVmmOp(std::move(op));
-        return;
-    }
-
-    if (redirect->fetchesPending == 0 && !redirect->localInFlight &&
-        redirect->nextLocal == redirect->localRanges.size()) {
-        finishRedirectDataPhase();
-    }
-}
-
-void
-IdeMediator::finishRedirectDataPhase()
-{
-    // Act as a virtual DMA controller: place the data in the guest's
-    // buffers exactly where its PRD table points (§3.2 step 3).
-    if (!redirect->zeroFill || !redirect->tokens.empty()) {
-        auto sg = parseGuestPrdt(redirect->guestPrdt);
-        std::uint32_t i = 0;
-        for (const hw::SgEntry &e : sg) {
-            for (sim::Bytes off = 0;
-                 off < e.bytes && i < redirect->count;
-                 off += sim::kSectorSize, ++i) {
-                mem.write64(e.addr + off, redirect->tokens[i]);
-            }
-            if (i >= redirect->count)
-                break;
-        }
-    }
-    issueDummyRestart();
-}
-
-void
-IdeMediator::issueDummyRestart()
-{
-    // Restart the blocked access as a one-sector read of the dummy
-    // sector into the VMM's dummy buffer so the *device* raises the
-    // completion interrupt (§3.2 step 4).
-    ++stats_.dummyRestarts;
-
-    vmmView.write(IoSpace::Pio, kCtrlPort, sh.devCtrl, 1);
     vmmView.write(IoSpace::Pio, kBmBase + kBmPrdtAddr,
-                  static_cast<std::uint32_t>(dummyPrd), 4);
-    vmmView.write(IoSpace::Pio, kBmBase + kBmCommand, kBmCmdToMemory,
-                  1);
-    sim::Lba d = svc.dummyLba;
-    vmmView.write(IoSpace::Pio, kPioBase + kSectorCount, 0, 1);
-    vmmView.write(IoSpace::Pio, kPioBase + kSectorCount, 1, 1);
-    vmmView.write(IoSpace::Pio, kPioBase + kLbaLow, (d >> 24) & 0xFF,
-                  1);
-    vmmView.write(IoSpace::Pio, kPioBase + kLbaMid, (d >> 32) & 0xFF,
-                  1);
-    vmmView.write(IoSpace::Pio, kPioBase + kLbaHigh, (d >> 40) & 0xFF,
-                  1);
-    vmmView.write(IoSpace::Pio, kPioBase + kLbaLow, d & 0xFF, 1);
-    vmmView.write(IoSpace::Pio, kPioBase + kLbaMid, (d >> 8) & 0xFF,
-                  1);
-    vmmView.write(IoSpace::Pio, kPioBase + kLbaHigh, (d >> 16) & 0xFF,
-                  1);
-    vmmView.write(IoSpace::Pio, kPioBase + kDevice, kDeviceLbaMode, 1);
-    vmmView.write(IoSpace::Pio, kPioBase + kCmdStatus, kCmdReadDmaExt,
-                  1);
-    vmmView.write(IoSpace::Pio, kBmBase + kBmCommand,
-                  kBmCmdToMemory | kBmCmdStart, 1);
+                  static_cast<std::uint32_t>(prd), 4);
+    vmmView.write(IoSpace::Pio, kBmBase + kBmCommand, bm_dir, 1);
 
-    redirect.reset();
-    state = State::Passthrough;
+    // LBA48 task file: high bytes first (they land in the "previous"
+    // register slots), then low bytes.
+    vmmView.write(IoSpace::Pio, kPioBase + kSectorCount,
+                  (count >> 8) & 0xFF, 1);
+    vmmView.write(IoSpace::Pio, kPioBase + kSectorCount, count & 0xFF,
+                  1);
+    vmmView.write(IoSpace::Pio, kPioBase + kLbaLow, (lba >> 24) & 0xFF,
+                  1);
+    vmmView.write(IoSpace::Pio, kPioBase + kLbaMid, (lba >> 32) & 0xFF,
+                  1);
+    vmmView.write(IoSpace::Pio, kPioBase + kLbaHigh,
+                  (lba >> 40) & 0xFF, 1);
+    vmmView.write(IoSpace::Pio, kPioBase + kLbaLow, lba & 0xFF, 1);
+    vmmView.write(IoSpace::Pio, kPioBase + kLbaMid, (lba >> 8) & 0xFF,
+                  1);
+    vmmView.write(IoSpace::Pio, kPioBase + kLbaHigh,
+                  (lba >> 16) & 0xFF, 1);
+    vmmView.write(IoSpace::Pio, kPioBase + kDevice, kDeviceLbaMode, 1);
+    vmmView.write(IoSpace::Pio, kPioBase + kCmdStatus, cmd, 1);
+    vmmView.write(IoSpace::Pio, kBmBase + kBmCommand,
+                  bm_dir | kBmCmdStart, 1);
+}
+
+RestartMode
+IdeMediator::issueDummyRestart(std::uint32_t key)
+{
+    (void)key;
+    vmmView.write(IoSpace::Pio, kCtrlPort, sh.devCtrl, 1);
+    programTaskFile(core.services().dummyLba, 1, kCmdReadDmaExt,
+                    dummyPrd, kBmCmdToMemory);
     guestCmdActive = true; // until the guest acks the interrupt
-    replayQueuedWrites();
+    return RestartMode::FireAndForget;
 }
 
 void
-IdeMediator::startVmmOp(VmmOp op)
+IdeMediator::issueVmmCommand(bool is_write, sim::Lba lba,
+                             std::uint32_t count)
 {
-    sim::panicIfNot(!vmmOp, "overlapping VMM ops on IDE mediator");
-    vmmOp = std::make_unique<VmmOp>(std::move(op));
-    vmmOpOnDevice = true;
-
     // Suppress the device interrupt: completion is detected by
     // polling (§3.2: "device mediators temporarily disable
     // interrupts and detect completion of requests by polling").
     vmmView.write(IoSpace::Pio, kCtrlPort, sh.devCtrl | kCtrlNIen, 1);
 
-    sim::panicIfNot(vmmOp->count <= vmmBufferSectors,
-                    "VMM op exceeds bounce buffer");
-    if (vmmOp->isWrite)
-        hw::fillTokenBuffer(mem, vmmBuffer, vmmOp->lba, vmmOp->count,
-                            vmmOp->contentBase);
-
     // Build the VMM PRD list (64 KiB elements).
-    sim::Bytes total = sim::Bytes(vmmOp->count) * sim::kSectorSize;
+    sim::Bytes total = sim::Bytes(count) * sim::kSectorSize;
     sim::Addr entry = vmmPrd;
     sim::Addr buf = vmmBuffer;
     while (total > 0) {
@@ -497,48 +310,22 @@ IdeMediator::startVmmOp(VmmOp op)
         entry += kPrdEntrySize;
     }
 
-    std::uint8_t dir = vmmOp->isWrite ? 0 : kBmCmdToMemory;
-    vmmView.write(IoSpace::Pio, kBmBase + kBmPrdtAddr,
-                  static_cast<std::uint32_t>(vmmPrd), 4);
-    vmmView.write(IoSpace::Pio, kBmBase + kBmCommand, dir, 1);
-
-    sim::Lba lba = vmmOp->lba;
-    std::uint32_t n = vmmOp->count;
-    vmmView.write(IoSpace::Pio, kPioBase + kSectorCount, (n >> 8) & 0xFF,
-                  1);
-    vmmView.write(IoSpace::Pio, kPioBase + kSectorCount, n & 0xFF, 1);
-    vmmView.write(IoSpace::Pio, kPioBase + kLbaLow, (lba >> 24) & 0xFF,
-                  1);
-    vmmView.write(IoSpace::Pio, kPioBase + kLbaMid, (lba >> 32) & 0xFF,
-                  1);
-    vmmView.write(IoSpace::Pio, kPioBase + kLbaHigh,
-                  (lba >> 40) & 0xFF, 1);
-    vmmView.write(IoSpace::Pio, kPioBase + kLbaLow, lba & 0xFF, 1);
-    vmmView.write(IoSpace::Pio, kPioBase + kLbaMid, (lba >> 8) & 0xFF,
-                  1);
-    vmmView.write(IoSpace::Pio, kPioBase + kLbaHigh,
-                  (lba >> 16) & 0xFF, 1);
-    vmmView.write(IoSpace::Pio, kPioBase + kDevice, kDeviceLbaMode, 1);
-    vmmView.write(IoSpace::Pio, kPioBase + kCmdStatus,
-                  vmmOp->isWrite ? kCmdWriteDmaExt : kCmdReadDmaExt,
-                  1);
-    vmmView.write(IoSpace::Pio, kBmBase + kBmCommand,
-                  dir | kBmCmdStart, 1);
+    programTaskFile(lba, count,
+                    is_write ? kCmdWriteDmaExt : kCmdReadDmaExt,
+                    vmmPrd, is_write ? 0 : kBmCmdToMemory);
 }
 
-void
-IdeMediator::checkVmmOpCompletion()
+bool
+IdeMediator::vmmCommandDone()
 {
-    if (!vmmOpOnDevice)
-        return;
     auto st = static_cast<std::uint8_t>(
         vmmView.read(IoSpace::Pio, kCtrlPort, 1));
     if (st & kStatusBsy)
-        return;
+        return false;
     auto bm = static_cast<std::uint8_t>(
         vmmView.read(IoSpace::Pio, kBmBase + kBmStatus, 1));
     if (!(bm & kBmStIrq))
-        return;
+        return false;
 
     // Stop the engine, clear the interrupt, restore the guest's
     // interrupt-enable intent.
@@ -546,49 +333,14 @@ IdeMediator::checkVmmOpCompletion()
     vmmView.write(IoSpace::Pio, kBmBase + kBmStatus,
                   kBmStIrq | kBmStError, 1);
     vmmView.write(IoSpace::Pio, kCtrlPort, sh.devCtrl, 1);
-
-    std::unique_ptr<VmmOp> op = std::move(vmmOp);
-    vmmOpOnDevice = false;
-
-    std::vector<std::uint64_t> tokens;
-    if (!op->isWrite) {
-        tokens.resize(op->count);
-        for (std::uint32_t i = 0; i < op->count; ++i)
-            tokens[i] = hw::bufferTokenAt(mem, vmmBuffer, i);
-    }
-
-    if (op->internal) {
-        // Redirection's local segment: remain in Redirecting.
-        if (op->readDone)
-            op->readDone(tokens);
-        return;
-    }
-
-    ++stats_.vmmOps;
-    state = State::Passthrough;
-    replayQueuedWrites();
-    if (op->isWrite) {
-        if (op->writeDone)
-            op->writeDone();
-    } else if (op->readDone) {
-        op->readDone(tokens);
-    }
-    maybeStartPending();
+    return true;
 }
 
 void
-IdeMediator::replayQueuedWrites()
+IdeMediator::replayGuestWrite(sim::Addr addr, std::uint64_t value)
 {
-    // Send queued requests to the device in order (§3.2). Replaying
-    // through the normal intercept path means a queued command can
-    // itself start a redirection, in which case the remainder stays
-    // queued.
-    while (!queuedWrites.empty() && state == State::Passthrough) {
-        auto [addr, value] = queuedWrites.front();
-        queuedWrites.pop_front();
-        if (!interceptWrite(addr, value, 1))
-            vmmView.write(IoSpace::Pio, addr, value, 1);
-    }
+    if (!interceptWrite(addr, value, 1))
+        vmmView.write(IoSpace::Pio, addr, value, 1);
 }
 
 std::vector<hw::SgEntry>
@@ -606,90 +358,6 @@ IdeMediator::parseGuestPrdt(std::uint32_t addr) const
         entry += kPrdEntrySize;
     }
     sim::panic("guest PRD table without EOT at ", addr);
-}
-
-void
-IdeMediator::powerOff()
-{
-    if (!installed)
-        return;
-    bus.removeIntercept(IoSpace::Pio, kPioBase, kPioSize);
-    bus.removeIntercept(IoSpace::Pio, kCtrlPort, 1);
-    bus.removeIntercept(IoSpace::Pio, kBmBase, kBmSize);
-    installed = false;
-    // Drop all in-flight mediation state; the machine is going down.
-    queuedWrites.clear();
-    redirect.reset();
-    vmmOp.reset();
-    pendingOp.reset();
-    vmmOpOnDevice = false;
-    state = State::Passthrough;
-    guestCmdActive = false;
-}
-
-void
-IdeMediator::poll()
-{
-    checkVmmOpCompletion();
-    maybeStartPending();
-}
-
-bool
-IdeMediator::vmmWrite(sim::Lba lba, std::uint32_t count,
-                      std::uint64_t content_base,
-                      std::function<void()> done)
-{
-    VmmOp op;
-    op.isWrite = true;
-    op.lba = lba;
-    op.count = count;
-    op.contentBase = content_base;
-    op.writeDone = std::move(done);
-    if (canStartVmmOp()) {
-        state = State::VmmActive;
-        startVmmOp(std::move(op));
-        return true;
-    }
-    if (!pendingOp) {
-        pendingOp = std::make_unique<VmmOp>(std::move(op));
-        return true;
-    }
-    return false;
-}
-
-bool
-IdeMediator::vmmRead(
-    sim::Lba lba, std::uint32_t count,
-    std::function<void(const std::vector<std::uint64_t> &)> done)
-{
-    VmmOp op;
-    op.isWrite = false;
-    op.lba = lba;
-    op.count = count;
-    op.readDone = std::move(done);
-    if (canStartVmmOp()) {
-        state = State::VmmActive;
-        startVmmOp(std::move(op));
-        return true;
-    }
-    if (!pendingOp) {
-        pendingOp = std::make_unique<VmmOp>(std::move(op));
-        return true;
-    }
-    return false;
-}
-
-bool
-IdeMediator::vmmOpActive() const
-{
-    return vmmOp != nullptr || pendingOp != nullptr;
-}
-
-bool
-IdeMediator::quiescent() const
-{
-    return state == State::Passthrough && !guestCmdActive && !vmmOp &&
-           !pendingOp && queuedWrites.empty() && !redirect;
 }
 
 } // namespace bmcast

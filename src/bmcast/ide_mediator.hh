@@ -1,23 +1,21 @@
 /**
  * @file
  * The IDE device mediator (paper §3.2, §4.3: 1,472 LOC in the
- * prototype). Interprets ATA task-file and bus-master DMA register
- * traffic; redirects reads of EMPTY blocks to the storage server;
- * multiplexes VMM background-copy commands onto the shared channel.
+ * prototype). A thin interpretation front-end over
+ * bmcast::MediationCore: it shadows the ATA task file and bus-master
+ * DMA registers, decodes guest commands, and implements the
+ * ControllerPort surface (nIEN gating, PRD programming, dummy-sector
+ * restart) through which the core drives the channel.
  */
 
 #ifndef BMCAST_IDE_MEDIATOR_HH
 #define BMCAST_IDE_MEDIATOR_HH
 
-#include <deque>
-#include <memory>
-
+#include "bmcast/mediation_core.hh"
 #include "bmcast/mediator.hh"
-#include "hw/dma.hh"
 #include "hw/ide_regs.hh"
 #include "hw/io_bus.hh"
 #include "hw/mem_arena.hh"
-#include "hw/phys_mem.hh"
 #include "simcore/sim_object.hh"
 
 namespace bmcast {
@@ -25,7 +23,8 @@ namespace bmcast {
 /** The mediator. */
 class IdeMediator : public sim::SimObject,
                     public DeviceMediator,
-                    public hw::IoInterceptor
+                    public hw::IoInterceptor,
+                    private ControllerPort
 {
   public:
     IdeMediator(sim::EventQueue &eq, std::string name, hw::IoBus &bus,
@@ -37,15 +36,23 @@ class IdeMediator : public sim::SimObject,
     void install() override;
     void uninstall() override;
     void powerOff() override;
-    void poll() override;
+    void poll() override { core.poll(); }
     bool vmmWrite(sim::Lba lba, std::uint32_t count,
                   std::uint64_t contentBase,
-                  std::function<void()> done) override;
+                  std::function<void()> done) override
+    {
+        return core.vmmWrite(lba, count, contentBase,
+                             std::move(done));
+    }
     bool vmmRead(sim::Lba lba, std::uint32_t count,
                  std::function<void(const std::vector<std::uint64_t> &)>
-                     done) override;
-    bool vmmOpActive() const override;
-    bool quiescent() const override;
+                     done) override
+    {
+        return core.vmmRead(lba, count, std::move(done));
+    }
+    bool vmmOpActive() const override { return core.vmmOpActive(); }
+    bool quiescent() const override { return core.quiescent(); }
+    const MediatorStats &stats() const override { return core.stats(); }
     /// @}
 
     /** @name hw::IoInterceptor (guest accesses) */
@@ -57,13 +64,6 @@ class IdeMediator : public sim::SimObject,
     /// @}
 
   private:
-    enum class State
-    {
-        Passthrough, //!< forwarding (guest command may be in flight)
-        Redirecting, //!< serving a guest read remotely/locally
-        VmmActive,   //!< a VMM command owns the device
-    };
-
     /** Shadow of the guest-visible task file (I/O interpretation). */
     struct Shadow
     {
@@ -72,84 +72,53 @@ class IdeMediator : public sim::SimObject,
         std::uint8_t lbaMid[2] = {0, 0};
         std::uint8_t lbaHigh[2] = {0, 0};
         std::uint8_t device = 0;
-        std::uint8_t devCtrl = 0;   //!< guest's nIEN intent
+        std::uint8_t devCtrl = 0; //!< guest's nIEN intent
         std::uint8_t bmCommand = 0;
         std::uint32_t bmPrdt = 0;
     };
 
-    /** An in-progress redirection. */
-    struct Redirect
-    {
-        sim::Lba lba = 0;
-        std::uint32_t count = 0;
-        std::vector<std::uint64_t> tokens;
-        std::size_t fetchesPending = 0;
-        std::vector<sim::IntervalSet::Range> localRanges;
-        std::size_t nextLocal = 0;
-        bool localInFlight = false;
-        std::uint32_t guestPrdt = 0;
-        bool zeroFill = false; //!< reserved-region conversion
-    };
-
-    /** A multiplexed VMM command. */
-    struct VmmOp
-    {
-        bool isWrite = false;
-        sim::Lba lba = 0;
-        std::uint32_t count = 0;
-        std::uint64_t contentBase = 0;
-        std::function<void()> writeDone;
-        std::function<void(const std::vector<std::uint64_t> &)>
-            readDone;
-        /** Internal: redirection's local segment read. */
-        bool internal = false;
-    };
+    /** @name ControllerPort */
+    /// @{
+    bool guestBusy() const override { return guestCmdActive; }
+    bool deviceBusy() override { return false; }
+    void takeDevice() override {}
+    void restoreDevice() override {}
+    void issueVmmCommand(bool isWrite, sim::Lba lba,
+                         std::uint32_t count) override;
+    bool vmmCommandDone() override;
+    void releaseAfterVmmOp() override {}
+    RestartMode issueDummyRestart(std::uint32_t key) override;
+    bool restartDone() override { return true; }
+    void onRestartRetired(std::uint32_t key) override { (void)key; }
+    void replayGuestWrite(sim::Addr addr,
+                          std::uint64_t value) override;
+    /// @}
 
     sim::Lba shadowLba(bool ext) const;
     std::uint32_t shadowCount(bool ext) const;
-
     /** @return true if the command write should reach the device. */
     bool onGuestCommand(std::uint8_t cmd);
-    void startRedirect(sim::Lba lba, std::uint32_t count);
-    void advanceRedirect();
-    void finishRedirectDataPhase();
-    void issueDummyRestart();
-    void startVmmOp(VmmOp op);
-    bool canStartVmmOp() const;
-    void maybeStartPending();
-    void checkVmmOpCompletion();
-    void replayQueuedWrites();
+    void programTaskFile(sim::Lba lba, std::uint32_t count,
+                         std::uint8_t cmd, sim::Addr prd,
+                         std::uint8_t bmDir);
     std::vector<hw::SgEntry> parseGuestPrdt(std::uint32_t addr) const;
-    bool deviceIdle() const;
-    void warmDummySector();
 
     hw::IoBus &bus;
     hw::BusView vmmView;
     hw::PhysMem &mem;
-    MediatorServices svc;
 
     Shadow sh;
-    State state = State::Passthrough;
     bool installed = false;
     bool guestCmdActive = false;
-
-    std::unique_ptr<Redirect> redirect;
-    bool restartInFlight = false;
-
-    std::unique_ptr<VmmOp> vmmOp; //!< active VMM command
-    bool vmmOpOnDevice = false;
-    /** Accepted but deferred VMM command: injected at the first
-     *  moment the guest quiesces ("find proper timing", §3.2). */
-    std::unique_ptr<VmmOp> pendingOp;
-
-    std::deque<std::pair<sim::Addr, std::uint64_t>> queuedWrites;
 
     /** VMM bounce buffer + PRD + dummy buffer (in reserved memory). */
     sim::Addr vmmPrd = 0;
     sim::Addr vmmBuffer = 0;
     sim::Addr dummyPrd = 0;
     sim::Addr dummyBuffer = 0;
-    std::uint32_t vmmBufferSectors = 2048;
+    static constexpr std::uint32_t kVmmBufferSectors = 2048;
+
+    MediationCore core;
 };
 
 } // namespace bmcast

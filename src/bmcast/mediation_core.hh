@@ -1,0 +1,267 @@
+/**
+ * @file
+ * The controller-agnostic mediation engine (paper §3.2).
+ *
+ * Everything a device mediator does that is *not* register parsing
+ * lives here, once: the redirect state machine (partial-fill / mixed
+ * segments, virtual DMA into the guest's scatter list, dummy-sector
+ * restart sequencing), the VMM-command multiplexer (one-deep pending
+ * queue, completion polling, bounce-buffer token plumbing), the
+ * guest-register-write queue and its replay, reserved-region-to-dummy
+ * conversion, quiescence tracking and `MediatorStats`.
+ *
+ * A concrete mediator (IDE, AHCI, NVMe, ...) is an interpretation
+ * front-end: it decodes the controller's architected interface into
+ * `onGuestRead`/`onGuestWrite`/`queueGuestWrite` calls and implements
+ * the small `ControllerPort` surface through which the core drives
+ * the hardware.
+ */
+
+#ifndef BMCAST_MEDIATION_CORE_HH
+#define BMCAST_MEDIATION_CORE_HH
+
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "bmcast/mediator.hh"
+#include "hw/dma.hh"
+#include "hw/phys_mem.hh"
+#include "simcore/interval_set.hh"
+
+namespace bmcast {
+
+/** How a dummy restart completes (see ControllerPort). */
+enum class RestartMode
+{
+    /** The restart owns no further mediator state: the device raises
+     *  the guest's interrupt and the guest's own acknowledgement is
+     *  the only remaining bookkeeping (IDE). */
+    FireAndForget,
+    /** The core must poll ControllerPort::restartDone() and retire
+     *  the redirect when it reports completion (AHCI, NVMe). */
+    Polled,
+};
+
+/**
+ * The hardware-facing surface of a mediation front-end. All methods
+ * are called synchronously from MediationCore; implementations talk
+ * to the controller through the VMM's (non-exiting) bus view.
+ */
+class ControllerPort
+{
+  public:
+    virtual ~ControllerPort() = default;
+
+    /** True while the guest has a command outstanding or an
+     *  unacknowledged completion (interpretation state). */
+    virtual bool guestBusy() const = 0;
+
+    /** True while guest commands occupy the device, i.e. the core
+     *  must drain before taking it for a redirect. */
+    virtual bool deviceBusy() = 0;
+
+    /** Swap mediator-owned command structures into the device
+     *  (e.g. AHCI PxCLB); may be a no-op. */
+    virtual void takeDevice() = 0;
+
+    /** Hand the device back to the guest after the last queued
+     *  redirect retires; may be a no-op. */
+    virtual void restoreDevice() = 0;
+
+    /** Program and start a VMM command against the core's bounce
+     *  buffer, suppressing its completion interrupt (§3.2). */
+    virtual void issueVmmCommand(bool isWrite, sim::Lba lba,
+                                 std::uint32_t count) = 0;
+
+    /** Poll the in-flight VMM command. Returning true means the
+     *  command completed AND the port has cleared its completion
+     *  status and restored the guest's interrupt-enable intent. */
+    virtual bool vmmCommandDone() = 0;
+
+    /** Release device structures after a non-internal VMM op (e.g.
+     *  AHCI restores the guest's PxCLB); may be a no-op. */
+    virtual void releaseAfterVmmOp() = 0;
+
+    /** Restart the withheld guest command @p key as a one-sector
+     *  dummy read so the device raises the completion interrupt
+     *  (§3.2 step 4). */
+    virtual RestartMode issueDummyRestart(std::uint32_t key) = 0;
+
+    /** Poll a RestartMode::Polled dummy restart for completion. */
+    virtual bool restartDone() = 0;
+
+    /** The dummy restart for @p key retired (clear per-key
+     *  interpretation state, e.g. AHCI redirect CI bits). */
+    virtual void onRestartRetired(std::uint32_t key) = 0;
+
+    /** Replay one queued guest register write through the front-end's
+     *  own intercept path (so a queued command can itself start a new
+     *  redirection), falling through to the device otherwise. */
+    virtual void replayGuestWrite(sim::Addr addr,
+                                  std::uint64_t value) = 0;
+};
+
+/** The shared engine. */
+class MediationCore
+{
+  public:
+    enum class State
+    {
+        Passthrough, //!< forwarding (guest command may be in flight)
+        Draining,    //!< waiting for guest commands to leave the device
+        Redirecting, //!< serving a withheld guest read
+        Restarting,  //!< dummy command completing a redirect (polled)
+        VmmActive,   //!< a multiplexed VMM command owns the device
+    };
+
+    /** Produces the guest's scatter list for a withheld read; only
+     *  invoked if the command is actually withheld. */
+    using SgProvider = std::function<std::vector<hw::SgEntry>()>;
+
+    MediationCore(std::string name, hw::PhysMem &mem,
+                  ControllerPort &port, MediatorServices services,
+                  sim::Addr bounceBuffer,
+                  std::uint32_t bounceSectors);
+
+    /** @name Interpretation entry points (front-end → core) */
+    /// @{
+
+    /**
+     * The guest issued a read of [lba, lba+count). Applies the
+     * reserved-region and consistency-bitmap policy.
+     * @retval true  forward the command to the device.
+     * @retval false withheld; a redirect was queued — the front-end
+     *               calls beginRedirects() once its batch is decoded.
+     */
+    bool onGuestRead(std::uint32_t key, sim::Lba lba,
+                     std::uint32_t count, const SgProvider &sg);
+
+    /** The guest issued a write. @retval false dropped (reserved
+     *  region): a dummy-restart redirect was queued instead. */
+    bool onGuestWrite(std::uint32_t key, sim::Lba lba,
+                      std::uint32_t count);
+
+    /** Queue a guest register write for replay after the current
+     *  redirect/VMM op releases the device (§3.2 multiplexing). */
+    void queueGuestWrite(sim::Addr addr, std::uint64_t value);
+
+    /** Start serving queued redirects (drains the device first if
+     *  the port reports it busy). No-op when none are queued. */
+    void beginRedirects();
+
+    /** Inject a deferred VMM command / fire the quiescence callback
+     *  if the device just became available (call when interpretation
+     *  observes the guest acknowledging its last completion). */
+    void maybeStartPending();
+    /// @}
+
+    /** @name DeviceMediator delegation */
+    /// @{
+    void poll();
+    bool vmmWrite(sim::Lba lba, std::uint32_t count,
+                  std::uint64_t contentBase,
+                  std::function<void()> done);
+    bool vmmRead(sim::Lba lba, std::uint32_t count,
+                 std::function<void(const std::vector<std::uint64_t> &)>
+                     done);
+    bool vmmOpActive() const;
+    bool quiescent() const;
+    /** Drop all in-flight mediation state (power-off model). */
+    void reset();
+    /// @}
+
+    /** Pull the dummy sector into the drive cache with an initial
+     *  VMM read so restarts are cheap from the first use. */
+    void warmDummy();
+
+    State state() const { return state_; }
+    bool hasPendingRedirects() const { return !redirects.empty(); }
+    const std::deque<std::pair<sim::Addr, std::uint64_t>> &
+    queuedGuestWrites() const
+    {
+        return queuedWrites;
+    }
+
+    MediatorStats &stats() { return stats_; }
+    const MediatorStats &stats() const { return stats_; }
+    const MediatorServices &services() const { return svc; }
+
+    /** One-shot hook fired whenever full quiescence is observed
+     *  (wired to DeviceMediator::notifyQuiescent by front-ends). */
+    void setQuiesceHook(std::function<void()> hook)
+    {
+        quiesceHook = std::move(hook);
+    }
+
+  private:
+    /** A withheld guest command awaiting redirection. */
+    struct Redirect
+    {
+        std::uint32_t key = 0; //!< front-end cookie (slot, SQ index)
+        sim::Lba lba = 0;
+        std::uint32_t count = 0;
+        std::vector<hw::SgEntry> guestSg;
+        std::vector<std::uint64_t> tokens;
+        std::size_t fetchesPending = 0;
+        std::vector<sim::IntervalSet::Range> localRanges;
+        std::size_t nextLocal = 0;
+        bool localInFlight = false;
+        bool zeroFill = false;     //!< reserved region: data is zeros
+        bool droppedWrite = false; //!< no data phase at all
+        bool dataPhaseStarted = false;
+    };
+
+    /** A multiplexed VMM command. */
+    struct VmmOp
+    {
+        bool isWrite = false;
+        sim::Lba lba = 0;
+        std::uint32_t count = 0;
+        std::uint64_t contentBase = 0;
+        bool internal = false; //!< redirection local-segment read
+        std::function<void()> writeDone;
+        std::function<void(const std::vector<std::uint64_t> &)>
+            readDone;
+    };
+
+    void queueRedirect(std::uint32_t key, sim::Lba lba,
+                       std::uint32_t count, bool zeroFill,
+                       bool droppedWrite, const SgProvider &sg);
+    void advanceRedirect();
+    void finishRedirectDataPhase();
+    void issueDummyRestart();
+    void onRestartComplete();
+    void startVmmOp(VmmOp op);
+    bool canStartVmmOp() const;
+    void checkVmmOpCompletion();
+    void replayQueuedWrites();
+
+    std::string name;
+    hw::PhysMem &mem;
+    ControllerPort &port;
+    MediatorServices svc;
+
+    State state_ = State::Passthrough;
+
+    std::deque<Redirect> redirects;
+    std::unique_ptr<VmmOp> vmmOp;
+    bool vmmOpOnDevice = false;
+    /** Accepted but deferred VMM command: injected at the first
+     *  moment the guest quiesces ("find proper timing", §3.2). */
+    std::unique_ptr<VmmOp> pendingOp;
+
+    std::deque<std::pair<sim::Addr, std::uint64_t>> queuedWrites;
+
+    /** Core-managed bounce buffer in VMM memory (front-end owns the
+     *  allocation; the port programs the device with it). */
+    sim::Addr bounceBuffer = 0;
+    std::uint32_t bounceSectors = 0;
+
+    std::function<void()> quiesceHook;
+    MediatorStats stats_;
+};
+
+} // namespace bmcast
+
+#endif // BMCAST_MEDIATION_CORE_HH

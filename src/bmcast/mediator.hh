@@ -142,7 +142,7 @@ class DeviceMediator
         quiesceCb = std::move(cb);
     }
 
-    const MediatorStats &stats() const { return stats_; }
+    virtual const MediatorStats &stats() const { return stats_; }
 
   protected:
     /** Called by implementations whenever quiescence is observed. */

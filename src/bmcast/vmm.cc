@@ -2,6 +2,7 @@
 
 #include "bmcast/ahci_mediator.hh"
 #include "bmcast/ide_mediator.hh"
+#include "bmcast/nvme_mediator.hh"
 #include "hw/disk_store.hh"
 #include "simcore/logging.hh"
 
@@ -50,6 +51,8 @@ Vmm::deployProfile() const
 void
 Vmm::netboot(std::function<void()> ready)
 {
+    if (halted)
+        return; // powered off while the firmware was still booting
     sim::panicIfNot(phase_ == Phase::Off, "VMM booted twice");
     readyCb = std::move(ready);
     phase_ = Phase::Initialization;
@@ -62,6 +65,8 @@ Vmm::netboot(std::function<void()> ready)
 void
 Vmm::installVmm()
 {
+    if (halted)
+        return; // powered off during the netboot delay
     // Reserve our memory by manipulating the BIOS map (§3.4).
     machine_.firmware().reserve(params_.reservedBase,
                                 params_.reservedBytes);
@@ -117,8 +122,12 @@ Vmm::installVmm()
         mediator_ = std::make_unique<IdeMediator>(
             eventQueue(), name() + ".medi", machine_.bus(),
             machine_.mem(), *arena, svc);
-    } else {
+    } else if (machine_.storageKind() == hw::StorageKind::Ahci) {
         mediator_ = std::make_unique<AhciMediator>(
+            eventQueue(), name() + ".medi", machine_.bus(),
+            machine_.mem(), *arena, svc);
+    } else {
+        mediator_ = std::make_unique<NvmeMediator>(
             eventQueue(), name() + ".medi", machine_.bus(),
             machine_.mem(), *arena, svc);
     }
@@ -174,9 +183,11 @@ Vmm::pollLoop()
 void
 Vmm::powerOff()
 {
-    if (halted || phase_ == Phase::Off)
+    if (halted)
         return;
     halted = true;
+    if (phase_ == Phase::Off)
+        return; // nothing installed yet; netboot checks halted
     if (copy)
         copy->stop();
     if (aoe_)

@@ -131,7 +131,8 @@ AhciDriver::issueChunk(const std::shared_ptr<Op> &op)
     mem.fill(cfis, 0, kCfisSize);
     mem.write8(cfis + kFisType, kFisTypeH2d);
     mem.write8(cfis + kFisFlags, kFisFlagC);
-    mem.write8(cfis + kFisCommand, op->isWrite ? 0x35 : 0x25);
+    mem.write8(cfis + kFisCommand, op->isWrite ? kFisCmdWriteDmaExt
+                                               : kFisCmdReadDmaExt);
     mem.write8(cfis + kFisLba0, lba & 0xFF);
     mem.write8(cfis + kFisLba1, (lba >> 8) & 0xFF);
     mem.write8(cfis + kFisLba2, (lba >> 16) & 0xFF);

@@ -22,9 +22,13 @@ GuestOs::GuestOs(sim::EventQueue &eq, std::string name,
         driver = std::make_unique<IdeDriver>(
             eq, this->name() + ".ide", view, machine_.mem(),
             machine_.intc(), arena);
-    } else {
+    } else if (machine_.storageKind() == hw::StorageKind::Ahci) {
         driver = std::make_unique<AhciDriver>(
             eq, this->name() + ".ahci", view, machine_.mem(),
+            machine_.intc(), arena);
+    } else {
+        driver = std::make_unique<NvmeDriver>(
+            eq, this->name() + ".nvme", view, machine_.mem(),
             machine_.intc(), arena);
     }
 }
@@ -61,8 +65,20 @@ GuestOs::bootSequentialPhase()
 }
 
 void
+GuestOs::halt()
+{
+    halted = true;
+    // Destroying the driver unregisters its interrupt handlers and
+    // frees the completion callbacks of anything still in flight.
+    driver.reset();
+    external = nullptr;
+}
+
+void
 GuestOs::bootSeqStep(std::uint32_t done, std::uint32_t total)
 {
+    if (halted)
+        return;
     if (done >= total) {
         lastLba = total;
         lastCount = 0;
@@ -80,6 +96,8 @@ GuestOs::bootSeqStep(std::uint32_t done, std::uint32_t total)
 void
 GuestOs::bootScatterPhase(unsigned remaining)
 {
+    if (halted)
+        return;
     if (remaining == 0) {
         finishBoot();
         return;
@@ -98,6 +116,8 @@ GuestOs::bootScatterPhase(unsigned remaining)
     auto delay = static_cast<sim::Tick>(slice * factor);
 
     schedule(delay, [this, remaining]() {
+        if (halted)
+            return;
         const BootTrace &bt = params_.boot;
         double bytes = rng.exponential(
             static_cast<double>(bt.avgReadBytes));

@@ -24,6 +24,7 @@
 #include "guest/ahci_driver.hh"
 #include "guest/block_driver.hh"
 #include "guest/ide_driver.hh"
+#include "guest/nvme_driver.hh"
 #include "hw/machine.hh"
 #include "simcore/random.hh"
 #include "simcore/sim_object.hh"
@@ -78,6 +79,15 @@ class GuestOs : public sim::SimObject
      */
     void start(std::function<void()> onReady);
 
+    /**
+     * Stop the guest: cease all boot/workload activity and tear down
+     * the register-level driver (unhooking its interrupt handlers).
+     * The object must outlive any in-flight events, which retire
+     * harmlessly; no I/O may be issued after halt.
+     */
+    void halt();
+    bool isHalted() const { return halted; }
+
     /** The block driver (workloads issue I/O through it). */
     BlockDriver &blk() { return external ? *external : *driver; }
 
@@ -105,6 +115,7 @@ class GuestOs : public sim::SimObject
 
     std::function<void()> readyCb;
     bool ready = false;
+    bool halted = false;
     sim::Tick bootStart = 0;
     sim::Tick bootEnd = 0;
     sim::Lba lastLba = 0;

@@ -1,0 +1,199 @@
+#include "guest/nvme_driver.hh"
+
+#include <algorithm>
+
+#include "hw/dma.hh"
+#include "hw/nvme_regs.hh"
+#include "simcore/logging.hh"
+
+namespace guest {
+
+using namespace hw::nvme;
+using hw::IoSpace;
+
+NvmeDriver::NvmeDriver(sim::EventQueue &eq, std::string name,
+                       hw::BusView view_, hw::PhysMem &mem_,
+                       hw::InterruptController &intc,
+                       hw::MemArena &arena)
+    : sim::SimObject(eq, std::move(name)), view(view_), mem(mem_),
+      intc(intc)
+{
+    sq = arena.alloc(sim::Bytes(kQueueDepth) * kSqEntrySize, 4096);
+    cq = arena.alloc(sim::Bytes(kQueueDepth) * kCqEntrySize, 4096);
+    for (unsigned s = 0; s < kSlots; ++s)
+        slotBuf[s] = arena.alloc(
+            sim::Bytes(kMaxSectors) * sim::kSectorSize, 4096);
+}
+
+NvmeDriver::~NvmeDriver()
+{
+    *alive = false;
+    if (irqHandler)
+        intc.unregisterHandler(kIrqVectorQ1, irqHandler);
+}
+
+void
+NvmeDriver::initialize()
+{
+    if (!irqHandler)
+        irqHandler =
+            intc.registerHandler(kIrqVectorQ1, [this]() { onIrq(); });
+    // Program queue pair 1 and enable the controller. The enable is
+    // written without a disable cycle: the VMM's mediator may already
+    // be running commands on queue pair 0 and a controller reset
+    // would destroy its queue state.
+    mem.fill(cq, 0, sim::Bytes(kQueueDepth) * kCqEntrySize);
+    sqTail = cqHead = 0;
+    cqPhase = 1;
+    view.write(IoSpace::Mmio, kBase + sqBaseReg(1),
+               static_cast<std::uint32_t>(sq), 4);
+    view.write(IoSpace::Mmio, kBase + cqBaseReg(1),
+               static_cast<std::uint32_t>(cq), 4);
+    view.write(IoSpace::Mmio, kBase + qDepthReg(1), kQueueDepth, 4);
+    view.write(IoSpace::Mmio, kBase + kCc, kCcEn, 4);
+}
+
+void
+NvmeDriver::read(sim::Lba lba, std::uint32_t count, ReadDone done)
+{
+    sim::panicIfNot(count > 0, "zero-sector read");
+    auto op = std::make_shared<Op>();
+    op->lba = lba;
+    op->count = count;
+    op->readDone = std::move(done);
+    op->submitted = now();
+    op->tokens.resize(count);
+    queue.push_back(std::move(op));
+    pump();
+}
+
+void
+NvmeDriver::write(sim::Lba lba, std::uint32_t count,
+                  std::uint64_t content_base, WriteDone done)
+{
+    sim::panicIfNot(count > 0, "zero-sector write");
+    auto op = std::make_shared<Op>();
+    op->isWrite = true;
+    op->lba = lba;
+    op->count = count;
+    op->contentBase = content_base;
+    op->writeDone = std::move(done);
+    op->submitted = now();
+    queue.push_back(std::move(op));
+    pump();
+}
+
+void
+NvmeDriver::pump()
+{
+    while (!queue.empty() && busyCount < kSlots) {
+        auto &op = queue.front();
+        if (!issueChunk(op))
+            break;
+        if (op->issuedSectors == op->count)
+            queue.pop_front();
+    }
+}
+
+bool
+NvmeDriver::issueChunk(const std::shared_ptr<Op> &op)
+{
+    unsigned cid = kSlots;
+    for (unsigned s = 0; s < kSlots; ++s) {
+        if (!slots[s].busy) {
+            cid = s;
+            break;
+        }
+    }
+    if (cid == kSlots)
+        return false;
+
+    sim::Lba lba = op->lba + op->issuedSectors;
+    std::uint32_t n =
+        std::min(kMaxSectors, op->count - op->issuedSectors);
+
+    SlotState &st = slots[cid];
+    st.busy = true;
+    st.op = op;
+    st.sectors = n;
+    st.opOffset = op->issuedSectors;
+    op->issuedSectors += n;
+    ++busyCount;
+
+    if (op->isWrite)
+        hw::fillTokenBuffer(mem, slotBuf[cid], lba, n,
+                            op->contentBase);
+
+    // Build the submission-queue entry in place.
+    sim::Addr sqe = sq + sim::Addr(sqTail) * kSqEntrySize;
+    mem.fill(sqe, 0, kSqEntrySize);
+    mem.write8(sqe + kSqeOpcode, op->isWrite ? kOpWrite : kOpRead);
+    mem.write16(sqe + kSqeCid, static_cast<std::uint16_t>(cid));
+    mem.write64(sqe + kSqePrp1, slotBuf[cid]);
+    mem.write64(sqe + kSqeSlba, lba);
+    mem.write16(sqe + kSqeNlb, static_cast<std::uint16_t>(n - 1));
+
+    // Ring the doorbell.
+    sqTail = (sqTail + 1) % kQueueDepth;
+    view.write(IoSpace::Mmio, kBase + sqTailDb(1), sqTail, 4);
+    return true;
+}
+
+void
+NvmeDriver::onIrq()
+{
+    // Standard ISR: consume completion entries carrying the expected
+    // phase tag, then publish the new head.
+    auto guard = alive;
+    bool any = false;
+    while (true) {
+        sim::Addr cqe = cq + sim::Addr(cqHead) * kCqEntrySize;
+        std::uint16_t status = mem.read16(cqe + kCqeStatus);
+        if ((status & 1) != cqPhase)
+            break;
+        std::uint16_t cid = mem.read16(cqe + kCqeCid);
+        cqHead = (cqHead + 1) % kQueueDepth;
+        if (cqHead == 0)
+            cqPhase ^= 1;
+        any = true;
+        completeSlot(cid);
+        if (!*guard)
+            return;
+    }
+    if (any) {
+        view.write(IoSpace::Mmio, kBase + cqHeadDb(1), cqHead, 4);
+        pump();
+    }
+}
+
+void
+NvmeDriver::completeSlot(unsigned cid)
+{
+    SlotState &st = slots[cid];
+    std::shared_ptr<Op> op = st.op;
+
+    if (!op->isWrite) {
+        for (std::uint32_t i = 0; i < st.sectors; ++i)
+            op->tokens[st.opOffset + i] =
+                hw::bufferTokenAt(mem, slotBuf[cid], i);
+    }
+    op->doneSectors += st.sectors;
+
+    st.busy = false;
+    st.op.reset();
+    --busyCount;
+
+    if (op->doneSectors == op->count && !op->finished) {
+        op->finished = true;
+        latencySum += now() - op->submitted;
+        ++numOps;
+        if (op->isWrite) {
+            if (op->writeDone)
+                op->writeDone();
+        } else if (op->readDone) {
+            op->readDone(op->tokens);
+        }
+    }
+}
+
+} // namespace guest

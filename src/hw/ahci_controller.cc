@@ -184,6 +184,22 @@ AhciController::processNext()
     unsigned prdtl = dw0 >> kHdrPrdtlShift;
     sim::Addr table = mem.read32(hdr + 8);
 
+    std::uint8_t op = mem.read8(table + kCfisOffset + kFisCommand);
+    if (op != kFisCmdReadDmaExt && op != kFisCmdWriteDmaExt) {
+        // Unsupported ATA command: retire the slot with a task-file
+        // error, no media access.
+        ci_ &= ~(1u << slot);
+        active = false;
+        pxTfd &= ~kTfdBsy;
+        pxTfd |= kTfdErr;
+        pxIs |= kIsDhrs;
+        is |= 1u;
+        if ((pxIe & kIsDhrs) && (ghc & kGhcIe))
+            irq.raise();
+        processNext();
+        return;
+    }
+
     if (cmd.isWrite) {
         dmaFromMemory(mem, parsePrdt(table, prdtl), disk_.store(),
                       cmd.lba, cmd.sectors);

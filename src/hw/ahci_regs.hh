@@ -83,6 +83,10 @@ constexpr sim::Bytes kPrdtEntrySize = 16;
 constexpr sim::Bytes kFisType = 0;    //!< 0x27
 constexpr sim::Bytes kFisFlags = 1;   //!< bit7 = C
 constexpr sim::Bytes kFisCommand = 2;
+
+/** ATA command opcodes carried in the CFIS. */
+constexpr std::uint8_t kFisCmdReadDmaExt = 0x25;
+constexpr std::uint8_t kFisCmdWriteDmaExt = 0x35;
 constexpr sim::Bytes kFisLba0 = 4;
 constexpr sim::Bytes kFisLba1 = 5;
 constexpr sim::Bytes kFisLba2 = 6;

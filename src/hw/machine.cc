@@ -22,10 +22,15 @@ Machine::Machine(sim::EventQueue &eq, MachineConfig config,
         ide_ = std::make_unique<IdeController>(
             eq, name() + ".ide", bus_, mem_, disk_,
             IrqLine(&intc_, ide::kIrqVector));
-    } else {
+    } else if (cfg.storage == StorageKind::Ahci) {
         ahci_ = std::make_unique<AhciController>(
             eq, name() + ".ahci", bus_, mem_, disk_,
             IrqLine(&intc_, ahci::kIrqVector));
+    } else {
+        nvme_ = std::make_unique<NvmeController>(
+            eq, name() + ".nvme", bus_, mem_, disk_,
+            IrqLine(&intc_, nvme::kIrqVectorQ0),
+            IrqLine(&intc_, nvme::kIrqVectorQ1));
     }
 
     net::PortConfig guest_port;

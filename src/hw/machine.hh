@@ -20,6 +20,7 @@
 #include "hw/interrupts.hh"
 #include "hw/io_bus.hh"
 #include "hw/nic.hh"
+#include "hw/nvme_controller.hh"
 #include "hw/phys_mem.hh"
 #include "hw/virt_profile.hh"
 #include "hw/vmx.hh"
@@ -29,7 +30,7 @@
 namespace hw {
 
 /** Which storage host controller the machine is built with. */
-enum class StorageKind { Ide, Ahci };
+enum class StorageKind { Ide, Ahci, Nvme };
 
 /** Machine configuration. */
 struct MachineConfig
@@ -85,6 +86,8 @@ class Machine : public sim::SimObject
     IdeController *ide() { return ide_.get(); }
     /** Non-null when storageKind() == Ahci. */
     AhciController *ahci() { return ahci_.get(); }
+    /** Non-null when storageKind() == Nvme. */
+    NvmeController *nvme() { return nvme_.get(); }
 
     E1000Nic &guestNic() { return *guestNic_; }
     E1000Nic &mgmtNic() { return *mgmtNic_; }
@@ -111,6 +114,7 @@ class Machine : public sim::SimObject
     Disk disk_;
     std::unique_ptr<IdeController> ide_;
     std::unique_ptr<AhciController> ahci_;
+    std::unique_ptr<NvmeController> nvme_;
     std::unique_ptr<E1000Nic> guestNic_;
     std::unique_ptr<E1000Nic> mgmtNic_;
     std::unique_ptr<IbHca> hca_;

@@ -1,0 +1,232 @@
+#include "hw/nvme_controller.hh"
+
+#include "hw/dma.hh"
+#include "simcore/logging.hh"
+
+namespace hw {
+
+using namespace nvme;
+
+NvmeController::NvmeController(sim::EventQueue &eq, std::string name,
+                               IoBus &bus_, PhysMem &mem_, Disk &disk,
+                               IrqLine irq_q0, IrqLine irq_q1)
+    : sim::SimObject(eq, std::move(name)),
+      bus(bus_), mem(mem_), disk_(disk), irq{irq_q0, irq_q1}
+{
+    bus.addDevice(IoSpace::Mmio, kBase, kSize,
+                  IoDevice{this->name(),
+                           [this](sim::Addr o, unsigned s) {
+                               return mmioRead(o, s);
+                           },
+                           [this](sim::Addr o, std::uint64_t v,
+                                  unsigned s) { mmioWrite(o, v, s); }});
+}
+
+std::uint64_t
+NvmeController::mmioRead(sim::Addr offset, unsigned size)
+{
+    (void)size;
+    switch (offset) {
+      case kCap:
+        // MQES (0-based max queue entries) in bits 15:0.
+        return 1023;
+      case kVs:
+        return 0x00010400; // 1.4
+      case kIntms:
+      case kIntmc:
+        return intMask;
+      case kCc:
+        return cc;
+      case kCsts:
+        return (cc & kCcEn) ? kCstsRdy : 0;
+      default:
+        for (unsigned qp = 0; qp < kNumQueuePairs; ++qp) {
+            if (offset == sqBaseReg(qp))
+                return q[qp].sqBase;
+            if (offset == cqBaseReg(qp))
+                return q[qp].cqBase;
+            if (offset == qDepthReg(qp))
+                return q[qp].depth;
+            // Model-specific queue-state readback (real NVMe exposes
+            // this through admin commands): the SQ tail as submitted,
+            // and the CQ tail with the current phase tag in bit 31 —
+            // what a re-installed mediator needs to resynchronize its
+            // interpretation of a live queue.
+            if (offset == sqTailDb(qp))
+                return q[qp].sqTail;
+            if (offset == cqHeadDb(qp))
+                return q[qp].cqTail |
+                       (std::uint32_t(q[qp].phase) << 31);
+        }
+        return 0;
+    }
+}
+
+void
+NvmeController::mmioWrite(sim::Addr offset, std::uint64_t value,
+                          unsigned size)
+{
+    (void)size;
+    auto v = static_cast<std::uint32_t>(value);
+    switch (offset) {
+      case kIntms:
+        intMask |= v; // W1S
+        return;
+      case kIntmc:
+        intMask &= ~v; // W1C
+        return;
+      case kCc:
+        if ((cc & kCcEn) && !(v & kCcEn)) {
+            // Controller disable: reset queue state.
+            for (auto &qp : q) {
+                qp.sqHead = qp.sqTail = qp.cqTail = 0;
+                qp.phase = 1;
+                qp.outstanding = 0;
+            }
+        }
+        cc = v & kCcEn;
+        return;
+      default:
+        break;
+    }
+
+    for (unsigned qp = 0; qp < kNumQueuePairs; ++qp) {
+        if (offset == sqBaseReg(qp)) {
+            q[qp].sqBase = v;
+            return;
+        }
+        if (offset == cqBaseReg(qp)) {
+            q[qp].cqBase = v;
+            return;
+        }
+        if (offset == qDepthReg(qp)) {
+            // Programming the depth (re)creates the queue pair: all
+            // pointers reset, as admin queue deletion/creation would.
+            q[qp].depth = v;
+            q[qp].sqHead = q[qp].sqTail = q[qp].cqTail = 0;
+            q[qp].phase = 1;
+            q[qp].outstanding = 0;
+            return;
+        }
+        if (offset == sqTailDb(qp)) {
+            sim::panicIfNot(q[qp].depth != 0,
+                            "NVMe doorbell on unconfigured queue");
+            q[qp].sqTail = v % q[qp].depth;
+            if (cc & kCcEn)
+                processNext();
+            return;
+        }
+        if (offset == cqHeadDb(qp)) {
+            // The model never throttles on CQ fullness; the head
+            // doorbell is accepted for protocol fidelity only.
+            return;
+        }
+    }
+}
+
+NvmeCommand
+NvmeController::decodeEntry(unsigned qp, std::uint32_t index) const
+{
+    const QueuePair &queue = q[qp];
+    sim::Addr sqe = queue.sqBase + sim::Addr(index) * kSqEntrySize;
+
+    NvmeCommand cmd;
+    cmd.qp = qp;
+    cmd.cid = mem.read16(sqe + kSqeCid);
+    std::uint8_t op = mem.read8(sqe + kSqeOpcode);
+    cmd.isWrite = op == kOpWrite;
+    if (op != kOpWrite && op != kOpRead)
+        cmd.status = kScInvalidOpcode;
+    cmd.prp1 = mem.read64(sqe + kSqePrp1);
+    cmd.lba = mem.read64(sqe + kSqeSlba);
+    cmd.sectors = std::uint32_t(mem.read16(sqe + kSqeNlb)) + 1;
+    return cmd;
+}
+
+void
+NvmeController::processNext()
+{
+    if (active || !(cc & kCcEn))
+        return;
+
+    // Round-robin queue arbitration starting after the last served.
+    unsigned qp = kNumQueuePairs;
+    for (unsigned i = 1; i <= kNumQueuePairs; ++i) {
+        unsigned cand = (lastQp + i) % kNumQueuePairs;
+        if (q[cand].depth != 0 && q[cand].sqHead != q[cand].sqTail) {
+            qp = cand;
+            break;
+        }
+    }
+    if (qp == kNumQueuePairs)
+        return;
+
+    lastQp = qp;
+    active = true;
+
+    NvmeCommand cmd = decodeEntry(qp, q[qp].sqHead);
+    q[qp].sqHead = (q[qp].sqHead + 1) % q[qp].depth;
+    ++q[qp].outstanding;
+
+    if (cmd.status != 0) {
+        // Unknown opcode: complete immediately with an error status,
+        // no media access.
+        finishCommand(cmd);
+        return;
+    }
+
+    std::vector<SgEntry> sg{
+        {cmd.prp1, sim::Bytes(cmd.sectors) * sim::kSectorSize}};
+    if (cmd.isWrite)
+        dmaFromMemory(mem, sg, disk_.store(), cmd.lba, cmd.sectors);
+
+    DiskRequest req;
+    req.isWrite = cmd.isWrite;
+    req.lba = cmd.lba;
+    req.sectors = cmd.sectors;
+    req.done = [this, cmd]() { finishCommand(cmd); };
+    disk_.submit(std::move(req));
+}
+
+void
+NvmeController::finishCommand(const NvmeCommand &cmd)
+{
+    if (!cmd.isWrite && cmd.status == 0) {
+        std::vector<SgEntry> sg{
+            {cmd.prp1, sim::Bytes(cmd.sectors) * sim::kSectorSize}};
+        dmaToMemory(mem, sg, disk_.store(), cmd.lba, cmd.sectors);
+    }
+
+    postCompletion(cmd);
+    --q[cmd.qp].outstanding;
+    active = false;
+    ++numCompleted;
+
+    if (!(intMask & (1u << cmd.qp)))
+        irq[cmd.qp].raise();
+
+    processNext();
+}
+
+void
+NvmeController::postCompletion(const NvmeCommand &cmd)
+{
+    QueuePair &queue = q[cmd.qp];
+    sim::Addr cqe =
+        queue.cqBase + sim::Addr(queue.cqTail) * kCqEntrySize;
+
+    mem.write32(cqe, 0);
+    mem.write16(cqe + kCqeSqHead,
+                static_cast<std::uint16_t>(queue.sqHead));
+    mem.write16(cqe + kCqeSqId, static_cast<std::uint16_t>(cmd.qp));
+    mem.write16(cqe + kCqeCid, cmd.cid);
+    // Status code in bits 15:1 with the current phase tag.
+    mem.write16(cqe + kCqeStatus,
+                std::uint16_t(cmd.status << 1) | queue.phase);
+
+    queue.cqTail = (queue.cqTail + 1) % queue.depth;
+    if (queue.cqTail == 0)
+        queue.phase ^= 1;
+}
+
+} // namespace hw

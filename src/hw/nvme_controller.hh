@@ -1,0 +1,101 @@
+/**
+ * @file
+ * NVMe controller model (two queue pairs, one namespace).
+ *
+ * The controller fetches submission-queue entries from physical
+ * memory, DMAs through the PRP1 buffer and posts completion-queue
+ * entries with phase tags exactly as real hardware does — which is
+ * what allows the BMcast NVMe mediator to interpret, withhold,
+ * rewrite and inject commands purely through the architected
+ * interface: doorbell writes and queue memory. See hw/nvme_regs.hh
+ * for the documented simplifications.
+ */
+
+#ifndef HW_NVME_CONTROLLER_HH
+#define HW_NVME_CONTROLLER_HH
+
+#include <array>
+#include <cstdint>
+
+#include "hw/disk.hh"
+#include "hw/interrupts.hh"
+#include "hw/io_bus.hh"
+#include "hw/nvme_regs.hh"
+#include "hw/phys_mem.hh"
+#include "simcore/sim_object.hh"
+
+namespace hw {
+
+/** Decoded view of one submission-queue entry (exposed for tests). */
+struct NvmeCommand
+{
+    unsigned qp = 0;
+    std::uint16_t cid = 0;
+    bool isWrite = false;
+    sim::Lba lba = 0;
+    std::uint32_t sectors = 0;
+    sim::Addr prp1 = 0;
+    std::uint16_t status = 0; //!< CQE status code, 0 = success
+};
+
+/** The controller with one attached drive. */
+class NvmeController : public sim::SimObject
+{
+  public:
+    NvmeController(sim::EventQueue &eq, std::string name, IoBus &bus,
+                   PhysMem &mem, Disk &disk, IrqLine irqQ0,
+                   IrqLine irqQ1);
+
+    /** @name Register interface (invoked via the IoBus). */
+    /// @{
+    std::uint64_t mmioRead(sim::Addr offset, unsigned size);
+    void mmioWrite(sim::Addr offset, std::uint64_t value, unsigned size);
+    /// @}
+
+    /** Commands submitted via a doorbell but not yet completed. */
+    std::uint32_t outstanding(unsigned qp) const
+    {
+        return q[qp].outstanding;
+    }
+    /** True while a command is being executed on the media. */
+    bool commandActive() const { return active; }
+
+    std::uint64_t commandsCompleted() const { return numCompleted; }
+
+    Disk &disk() { return disk_; }
+
+  private:
+    struct QueuePair
+    {
+        sim::Addr sqBase = 0;
+        sim::Addr cqBase = 0;
+        std::uint32_t depth = 0;
+        std::uint32_t sqHead = 0; //!< next entry to fetch
+        std::uint32_t sqTail = 0; //!< from the doorbell
+        std::uint32_t cqTail = 0; //!< next completion slot
+        std::uint8_t phase = 1;   //!< current phase tag
+        std::uint32_t outstanding = 0;
+    };
+
+    NvmeCommand decodeEntry(unsigned qp, std::uint32_t index) const;
+    void processNext();
+    void finishCommand(const NvmeCommand &cmd);
+    void postCompletion(const NvmeCommand &cmd);
+
+    IoBus &bus;
+    PhysMem &mem;
+    Disk &disk_;
+    std::array<IrqLine, nvme::kNumQueuePairs> irq;
+
+    std::uint32_t cc = 0;
+    std::uint32_t intMask = 0;
+    std::array<QueuePair, nvme::kNumQueuePairs> q{};
+
+    bool active = false;
+    unsigned lastQp = nvme::kNumQueuePairs - 1;
+    std::uint64_t numCompleted = 0;
+};
+
+} // namespace hw
+
+#endif // HW_NVME_CONTROLLER_HH

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * NVMe controller register layout and queue-entry offsets shared by
+ * the controller model, the guest NVMe driver, and the BMcast NVMe
+ * device mediator.
+ *
+ * Two queue pairs are modelled: QP0 is reserved for the VMM's
+ * mediator (its interrupt vector stays masked via INTMS and the
+ * mediator polls its completion queue), QP1 carries guest I/O.
+ *
+ * Documented simplifications relative to NVMe 1.4:
+ *  - I/O queues are programmed through model-specific base/depth
+ *    registers instead of admin Create-I/O-Queue commands; the
+ *    admin queue machinery adds nothing to the mediation protocol,
+ *    which operates purely on doorbells and queue memory.
+ *  - PRP1 names one physically contiguous data buffer (no PRP2 or
+ *    PRP lists); drivers allocate contiguous per-slot buffers.
+ */
+
+#ifndef HW_NVME_REGS_HH
+#define HW_NVME_REGS_HH
+
+#include <cstdint>
+
+#include "simcore/types.hh"
+
+namespace hw::nvme {
+
+/** MMIO base and size (doorbells start at 0x1000). */
+constexpr sim::Addr kBase = 0xFEB40000;
+constexpr sim::Addr kSize = 0x1100;
+
+/** @name Controller registers (offsets from kBase). */
+/// @{
+constexpr sim::Addr kCap = 0x00;   //!< RO
+constexpr sim::Addr kVs = 0x08;    //!< RO, 1.4
+constexpr sim::Addr kIntms = 0x0C; //!< W1S vector mask
+constexpr sim::Addr kIntmc = 0x10; //!< W1C vector mask
+constexpr sim::Addr kCc = 0x14;
+constexpr sim::Addr kCsts = 0x1C;
+/// @}
+
+/** CC / CSTS bits. */
+constexpr std::uint32_t kCcEn = 1u << 0;
+constexpr std::uint32_t kCstsRdy = 1u << 0;
+
+/** Number of queue pairs (QP0 = VMM/mediator, QP1 = guest). */
+constexpr unsigned kNumQueuePairs = 2;
+
+/** @name Queue-configuration registers (model-specific; see @file).
+ *  One block of three 32-bit registers per queue pair. */
+/// @{
+constexpr sim::Addr
+sqBaseReg(unsigned qp)
+{
+    return 0x40 + sim::Addr(qp) * 0x10;
+}
+constexpr sim::Addr
+cqBaseReg(unsigned qp)
+{
+    return 0x44 + sim::Addr(qp) * 0x10;
+}
+constexpr sim::Addr
+qDepthReg(unsigned qp)
+{
+    return 0x48 + sim::Addr(qp) * 0x10;
+}
+/// @}
+
+/** @name Doorbells (stride 4, as CAP.DSTRD = 0). */
+/// @{
+constexpr sim::Addr
+sqTailDb(unsigned qp)
+{
+    return 0x1000 + sim::Addr(2 * qp) * 4;
+}
+constexpr sim::Addr
+cqHeadDb(unsigned qp)
+{
+    return 0x1000 + sim::Addr(2 * qp + 1) * 4;
+}
+/// @}
+
+/** Submission-queue entry layout (64 bytes). */
+constexpr sim::Bytes kSqEntrySize = 64;
+constexpr sim::Bytes kSqeOpcode = 0;  //!< u8
+constexpr sim::Bytes kSqeCid = 2;     //!< u16
+constexpr sim::Bytes kSqePrp1 = 24;   //!< u64
+constexpr sim::Bytes kSqeSlba = 40;   //!< u64
+constexpr sim::Bytes kSqeNlb = 48;    //!< u16, 0-based
+
+/** NVM command set opcodes. */
+constexpr std::uint8_t kOpWrite = 0x01;
+constexpr std::uint8_t kOpRead = 0x02;
+
+/** Completion-queue entry layout (16 bytes). */
+constexpr sim::Bytes kCqEntrySize = 16;
+constexpr sim::Bytes kCqeSqHead = 8;  //!< u16
+constexpr sim::Bytes kCqeSqId = 10;   //!< u16
+constexpr sim::Bytes kCqeCid = 12;    //!< u16
+constexpr sim::Bytes kCqeStatus = 14; //!< u16, bit 0 = phase tag
+
+/** Status codes carried in CQE status bits 15:1. */
+constexpr std::uint16_t kScInvalidOpcode = 0x01;
+
+/** Interrupt vectors (per queue pair). */
+constexpr unsigned kIrqVectorQ0 = 12;
+constexpr unsigned kIrqVectorQ1 = 13;
+
+constexpr unsigned
+irqVector(unsigned qp)
+{
+    return qp == 0 ? kIrqVectorQ0 : kIrqVectorQ1;
+}
+
+} // namespace hw::nvme
+
+#endif // HW_NVME_REGS_HH

@@ -130,14 +130,12 @@ TEST_P(DeployTest, GuestWriteSurvivesBackgroundCopy)
         EXPECT_EQ(got[i], hw::sectorToken(my_base, lba + i));
 }
 
-INSTANTIATE_TEST_SUITE_P(BothControllers, DeployTest,
+INSTANTIATE_TEST_SUITE_P(AllControllers, DeployTest,
                          ::testing::Values(hw::StorageKind::Ide,
-                                           hw::StorageKind::Ahci),
+                                           hw::StorageKind::Ahci,
+                                           hw::StorageKind::Nvme),
                          [](const auto &info) {
-                             return info.param ==
-                                            hw::StorageKind::Ide
-                                        ? "Ide"
-                                        : "Ahci";
+                             return storageName(info.param);
                          });
 
 } // namespace

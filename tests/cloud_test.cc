@@ -77,6 +77,86 @@ TEST(Cloud, PoolExhaustionReturnsNull)
     EXPECT_EQ(cloud.freeMachines(), 0u);
 }
 
+TEST(Cloud, ReleaseReturnsMachineToPoolAndScrubs)
+{
+    sim::EventQueue eq;
+    bmcast::Cloud cloud(eq, "region", testConfig(1));
+    cloud.addImage("ubuntu-14.04", 32 * sim::kMiB, kUbuntu);
+    cloud.addImage("centos-6.3", 32 * sim::kMiB, kCentos);
+
+    bmcast::Instance *a = cloud.provision("ubuntu-14.04", nullptr);
+    ASSERT_NE(a, nullptr);
+    while (a->state() != bmcast::Instance::State::BareMetal &&
+           !eq.empty() && eq.now() < 40000 * sim::kSec)
+        eq.step();
+    ASSERT_EQ(a->state(), bmcast::Instance::State::BareMetal);
+    hw::Machine &node = a->machine();
+
+    cloud.release(*a);
+    EXPECT_EQ(a->state(), bmcast::Instance::State::Released);
+    EXPECT_EQ(cloud.freeMachines(), 1u);
+    // Tenant data scrubbed, nothing left running on the node.
+    sim::Lba img_sectors = (32 * sim::kMiB) / sim::kSectorSize;
+    EXPECT_FALSE(node.disk().store().rangeHasBase(0, 8, kUbuntu));
+    EXPECT_FALSE(node.bus().anyInterceptActive());
+    EXPECT_FALSE(node.profile().virtualized);
+
+    // The same machine takes a new lease with a different image and
+    // sees none of the previous tenant's blocks.
+    bmcast::Instance *b = cloud.provision("centos-6.3", nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(&b->machine(), &node);
+    while (b->state() != bmcast::Instance::State::BareMetal &&
+           !eq.empty() && eq.now() < 40000 * sim::kSec)
+        eq.step();
+    ASSERT_EQ(b->state(), bmcast::Instance::State::BareMetal);
+    EXPECT_TRUE(
+        node.disk().store().rangeHasBase(0, img_sectors, kCentos));
+}
+
+TEST(Cloud, ReleaseMidDeploymentIsSafe)
+{
+    sim::EventQueue eq;
+    bmcast::Cloud cloud(eq, "region", testConfig(1));
+    // Images large enough that the background copy is still running
+    // when the guest comes up, so release happens under mediation.
+    cloud.addImage("img", 512 * sim::kMiB, kUbuntu);
+    cloud.addImage("img2", 512 * sim::kMiB, kCentos);
+    bmcast::Instance *a = cloud.provision("img", nullptr);
+    ASSERT_NE(a, nullptr);
+    while (a->state() == bmcast::Instance::State::Provisioning &&
+           !eq.empty() && eq.now() < 4000 * sim::kSec)
+        eq.step();
+    ASSERT_EQ(a->state(), bmcast::Instance::State::Serving);
+    hw::Machine &node = a->machine();
+    cloud.release(*a);
+    EXPECT_EQ(cloud.freeMachines(), 1u);
+    EXPECT_FALSE(node.bus().anyInterceptActive());
+
+    // Draining the queue must not crash (parked objects ignore their
+    // remaining events), and the node must still be re-leasable.
+    bmcast::Instance *b = cloud.provision("img2", nullptr);
+    ASSERT_NE(b, nullptr);
+    while (b->state() != bmcast::Instance::State::BareMetal &&
+           !eq.empty() && eq.now() < 40000 * sim::kSec)
+        eq.step();
+    EXPECT_EQ(b->state(), bmcast::Instance::State::BareMetal);
+    sim::Lba img_sectors = (512 * sim::kMiB) / sim::kSectorSize;
+    EXPECT_TRUE(
+        node.disk().store().rangeHasBase(0, img_sectors, kCentos));
+}
+
+TEST(Cloud, DoubleReleaseIsFatal)
+{
+    sim::EventQueue eq;
+    bmcast::Cloud cloud(eq, "region", testConfig(1));
+    cloud.addImage("img", 16 * sim::kMiB, kUbuntu);
+    bmcast::Instance *a = cloud.provision("img", nullptr);
+    ASSERT_NE(a, nullptr);
+    cloud.release(*a);
+    EXPECT_THROW(cloud.release(*a), sim::FatalError);
+}
+
 TEST(Cloud, UnknownImageIsFatal)
 {
     sim::EventQueue eq;

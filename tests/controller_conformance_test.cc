@@ -2,11 +2,15 @@
  * @file
  * Register-level conformance tests: the storage controllers are
  * programmed directly through raw bus accesses (no driver layer),
- * checking the architected behaviours the mediators rely on — ATA
- * LBA28 and LBA48 task-file semantics, INTRQ ack on status read,
- * alternate status without ack, nIEN gating, bus-master bits, SRST,
- * unsupported-command errors; AHCI W1S/W1C semantics, round-robin
- * slot processing, HBA reset, and the e1000 ring protocol.
+ * checking the architected behaviours the mediators rely on.
+ *
+ * The scenarios every controller must satisfy — read delivers
+ * data+IRQ, interrupt suppression gates the IRQ but not the
+ * completion, reset clears state, unsupported commands are flagged —
+ * run as one TEST_P matrix over hw::StorageKind, so a new controller
+ * inherits the whole suite. Register idiosyncrasies (ATA task-file
+ * semantics, AHCI W1S/W1C bits, NVMe phase tags) keep dedicated
+ * per-controller tests below.
  */
 
 #include <gtest/gtest.h>
@@ -14,24 +18,61 @@
 #include "hw/ahci_regs.hh"
 #include "hw/ide_regs.hh"
 #include "hw/machine.hh"
+#include "hw/nvme_regs.hh"
 #include "net/network.hh"
 
 namespace {
 
 using hw::IoSpace;
 
-struct IdeWorld
+/** One machine with the controller under test, plus the register
+ *  programming needed to drive the shared scenarios. */
+struct ConformanceRig
 {
-    explicit IdeWorld(sim::Bytes disk_bytes = 1 * sim::kGiB)
+    explicit ConformanceRig(hw::StorageKind kind, unsigned irq_vector,
+                            sim::Bytes disk_bytes = 1 * sim::kGiB)
         : lan(eq, "lan")
     {
         hw::MachineConfig mc;
         mc.name = "m";
-        mc.storage = hw::StorageKind::Ide;
+        mc.storage = kind;
         mc.disk.capacityBytes = disk_bytes;
         m = std::make_unique<hw::Machine>(eq, mc, lan, 1, lan, 2);
-        m->intc().registerHandler(hw::ide::kIrqVector,
-                                  [this]() { ++irqs; });
+        m->intc().registerHandler(irq_vector, [this]() { ++irqs; });
+    }
+    virtual ~ConformanceRig() = default;
+
+    /** Program and start a one-sector read of @p lba. */
+    virtual void startRead(sim::Lba lba) = 0;
+    /** Where startRead puts the data. */
+    virtual sim::Addr readBuf() const = 0;
+    /** Arm interrupt suppression (call before startRead). */
+    virtual void suppressIrq() = 0;
+    /** Device-visible completion, independent of the IRQ. */
+    virtual bool opCompleted() = 0;
+    /** Issue a command with an opcode the device does not implement. */
+    virtual void issueUnsupported() = 0;
+    /** The device flagged the unsupported command as an error. */
+    virtual bool errorFlagged() = 0;
+    /** Touch device state, then reset the controller. */
+    virtual void dirtyThenReset() = 0;
+    /** The reset returned the device to its clean state. */
+    virtual bool resetClean() = 0;
+
+    sim::EventQueue eq;
+    net::Network lan;
+    std::unique_ptr<hw::Machine> m;
+    int irqs = 0;
+};
+
+// --- IDE ---
+
+struct IdeRig : ConformanceRig
+{
+    explicit IdeRig(sim::Bytes disk_bytes = 1 * sim::kGiB)
+        : ConformanceRig(hw::StorageKind::Ide, hw::ide::kIrqVector,
+                         disk_bytes)
+    {
     }
 
     std::uint8_t
@@ -49,7 +90,7 @@ struct IdeWorld
     /** Program a full LBA48 read of one sector into buffer 0x5000
      *  with a PRD at 0x4000. */
     void
-    programRead48(sim::Lba lba)
+    startRead(sim::Lba lba) override
     {
         using namespace hw::ide;
         m->mem().write32(0x4000, 0x5000);
@@ -70,35 +111,347 @@ struct IdeWorld
         wr(kPioBase + kCmdStatus, kCmdReadDmaExt);
         wr(kBmBase + kBmCommand, kBmCmdToMemory | kBmCmdStart);
     }
-
-    sim::EventQueue eq;
-    net::Network lan;
-    std::unique_ptr<hw::Machine> m;
-    int irqs = 0;
+    sim::Addr readBuf() const override { return 0x5000; }
+    void
+    suppressIrq() override
+    {
+        wr(hw::ide::kCtrlPort, hw::ide::kCtrlNIen);
+    }
+    bool
+    opCompleted() override
+    {
+        using namespace hw::ide;
+        return rd(kBmBase + kBmStatus) & kBmStIrq;
+    }
+    void
+    issueUnsupported() override
+    {
+        // IDENTIFY PACKET DEVICE: not implemented by a plain drive.
+        wr(hw::ide::kPioBase + hw::ide::kCmdStatus, 0xA1);
+    }
+    bool
+    errorFlagged() override
+    {
+        using namespace hw::ide;
+        return rd(kPioBase + kCmdStatus) & kStatusErr;
+    }
+    void
+    dirtyThenReset() override
+    {
+        using namespace hw::ide;
+        wr(kPioBase + kSectorCount, 42);
+        wr(kCtrlPort, kCtrlSrst);
+        wr(kCtrlPort, 0);
+    }
+    bool
+    resetClean() override
+    {
+        using namespace hw::ide;
+        return rd(kPioBase + kSectorCount) == 0 &&
+               rd(kPioBase + kCmdStatus) == kStatusDrdy;
+    }
 };
 
-TEST(IdeConformance, Lba48ReadDeliversDataAndIrq)
+// --- AHCI ---
+
+struct AhciRig : ConformanceRig
 {
-    using namespace hw::ide;
-    IdeWorld w;
+    AhciRig() : ConformanceRig(hw::StorageKind::Ahci,
+                               hw::ahci::kIrqVector)
+    {
+    }
+
+    std::uint32_t
+    rd(sim::Addr off)
+    {
+        return static_cast<std::uint32_t>(m->bus().guestRead(
+            IoSpace::Mmio, hw::ahci::kAbar + off, 4));
+    }
+    void
+    wr(sim::Addr off, std::uint32_t v)
+    {
+        m->bus().guestWrite(IoSpace::Mmio, hw::ahci::kAbar + off, v,
+                            4);
+    }
+
+    void
+    startPort()
+    {
+        using namespace hw::ahci;
+        wr(kGhc, kGhcAe | kGhcIe);
+        wr(kPxClb, 0x10000);
+        wr(kPxIe, suppressed ? 0 : kIsDhrs);
+        wr(kPxCmd, kCmdSt | kCmdFre);
+    }
+
+    /** Build a one-sector command in @p slot. */
+    void
+    buildSlot(unsigned slot, sim::Lba lba,
+              std::uint8_t op = hw::ahci::kFisCmdReadDmaExt)
+    {
+        using namespace hw::ahci;
+        sim::Addr table = 0x20000 + slot * 0x1000;
+        sim::Addr cfis = table + kCfisOffset;
+        m->mem().fill(cfis, 0, kCfisSize);
+        m->mem().write8(cfis + kFisType, kFisTypeH2d);
+        m->mem().write8(cfis + kFisFlags, kFisFlagC);
+        m->mem().write8(cfis + kFisCommand, op);
+        m->mem().write8(cfis + kFisLba0, lba & 0xFF);
+        m->mem().write8(cfis + kFisLba1, (lba >> 8) & 0xFF);
+        m->mem().write8(cfis + kFisLba2, (lba >> 16) & 0xFF);
+        m->mem().write8(cfis + kFisCount0, 1);
+        sim::Addr prd = table + kPrdtOffset;
+        m->mem().write32(prd, 0x30000 + slot * 0x1000);
+        m->mem().write32(prd + 12, sim::kSectorSize - 1);
+        sim::Addr hdr = 0x10000 + slot * kCmdHeaderSize;
+        m->mem().write32(hdr, 5u | (1u << kHdrPrdtlShift));
+        m->mem().write32(hdr + 8,
+                         static_cast<std::uint32_t>(table));
+    }
+
+    void
+    startRead(sim::Lba lba) override
+    {
+        using namespace hw::ahci;
+        startPort();
+        buildSlot(3, lba);
+        wr(kPxCi, 1u << 3);
+    }
+    sim::Addr readBuf() const override { return 0x30000 + 3 * 0x1000; }
+    void suppressIrq() override { suppressed = true; }
+    bool
+    opCompleted() override
+    {
+        using namespace hw::ahci;
+        return rd(kPxCi) == 0 && (rd(kPxIs) & kIsDhrs);
+    }
+    void
+    issueUnsupported() override
+    {
+        using namespace hw::ahci;
+        startPort();
+        buildSlot(0, 0, /*op=*/0xA1);
+        wr(kPxCi, 1u);
+    }
+    bool
+    errorFlagged() override
+    {
+        using namespace hw::ahci;
+        return rd(kPxTfd) & kTfdErr;
+    }
+    void
+    dirtyThenReset() override
+    {
+        using namespace hw::ahci;
+        wr(kPxIe, kIsDhrs);
+        wr(kGhc, kGhcHr);
+    }
+    bool
+    resetClean() override
+    {
+        using namespace hw::ahci;
+        return rd(kPxIe) == 0 && rd(kPxCi) == 0 &&
+               (rd(kGhc) & kGhcAe);
+    }
+
+    bool suppressed = false;
+};
+
+// --- NVMe ---
+
+struct NvmeRig : ConformanceRig
+{
+    NvmeRig() : ConformanceRig(hw::StorageKind::Nvme,
+                               hw::nvme::kIrqVectorQ1)
+    {
+    }
+
+    std::uint32_t
+    rd(sim::Addr off)
+    {
+        return static_cast<std::uint32_t>(m->bus().guestRead(
+            IoSpace::Mmio, hw::nvme::kBase + off, 4));
+    }
+    void
+    wr(sim::Addr off, std::uint32_t v)
+    {
+        m->bus().guestWrite(IoSpace::Mmio, hw::nvme::kBase + off, v,
+                            4);
+    }
+
+    /** Configure queue pair 1 (SQ 0x10000, CQ 0x11000, depth 16) and
+     *  enable the controller. */
+    void
+    enable()
+    {
+        using namespace hw::nvme;
+        m->mem().fill(0x11000, 0, 16 * kCqEntrySize);
+        wr(sqBaseReg(1), 0x10000);
+        wr(cqBaseReg(1), 0x11000);
+        wr(qDepthReg(1), 16);
+        wr(kCc, kCcEn);
+    }
+
+    /** Build a one-sector submission entry at @p idx. */
+    void
+    buildEntry(std::uint32_t idx, sim::Lba lba, std::uint8_t op)
+    {
+        using namespace hw::nvme;
+        sim::Addr sqe = 0x10000 + sim::Addr(idx) * kSqEntrySize;
+        m->mem().fill(sqe, 0, kSqEntrySize);
+        m->mem().write8(sqe + kSqeOpcode, op);
+        m->mem().write16(sqe + kSqeCid, 7);
+        m->mem().write64(sqe + kSqePrp1, 0x30000);
+        m->mem().write64(sqe + kSqeSlba, lba);
+        m->mem().write16(sqe + kSqeNlb, 0);
+    }
+
+    std::uint16_t
+    cqeStatus(std::uint32_t idx)
+    {
+        using namespace hw::nvme;
+        return m->mem().read16(0x11000 +
+                               sim::Addr(idx) * kCqEntrySize +
+                               kCqeStatus);
+    }
+
+    void
+    startRead(sim::Lba lba) override
+    {
+        using namespace hw::nvme;
+        enable();
+        buildEntry(0, lba, kOpRead);
+        wr(sqTailDb(1), 1);
+    }
+    sim::Addr readBuf() const override { return 0x30000; }
+    void
+    suppressIrq() override
+    {
+        wr(hw::nvme::kIntms, 1u << 1);
+    }
+    bool
+    opCompleted() override
+    {
+        // First completion carries phase tag 1.
+        return cqeStatus(0) & 1;
+    }
+    void
+    issueUnsupported() override
+    {
+        using namespace hw::nvme;
+        enable();
+        buildEntry(0, 0, /*op=*/0xAA);
+        wr(sqTailDb(1), 1);
+    }
+    bool
+    errorFlagged() override
+    {
+        using namespace hw::nvme;
+        std::uint16_t st = cqeStatus(0);
+        return (st & 1) && (st >> 1) == kScInvalidOpcode;
+    }
+    void
+    dirtyThenReset() override
+    {
+        using namespace hw::nvme;
+        startRead(5);
+        eq.run();
+        wr(kCc, 0);
+    }
+    bool
+    resetClean() override
+    {
+        using namespace hw::nvme;
+        return !(rd(kCsts) & kCstsRdy) && rd(sqTailDb(1)) == 0;
+    }
+};
+
+std::unique_ptr<ConformanceRig>
+makeRig(hw::StorageKind kind)
+{
+    switch (kind) {
+      case hw::StorageKind::Ide:
+        return std::make_unique<IdeRig>();
+      case hw::StorageKind::Ahci:
+        return std::make_unique<AhciRig>();
+      case hw::StorageKind::Nvme:
+        return std::make_unique<NvmeRig>();
+    }
+    return nullptr;
+}
+
+// --- Shared conformance matrix ---
+
+class StorageConformance
+    : public ::testing::TestWithParam<hw::StorageKind>
+{
+  protected:
+    std::unique_ptr<ConformanceRig> rig = makeRig(GetParam());
+};
+
+TEST_P(StorageConformance, ReadDeliversDataAndIrq)
+{
+    auto &w = *rig;
     w.m->disk().store().write(4242, 1, 0x77ULL << 8 | 1);
-    w.programRead48(4242);
+    w.startRead(4242);
     w.eq.run();
     EXPECT_EQ(w.irqs, 1);
-    EXPECT_EQ(w.m->mem().read64(0x5000),
+    EXPECT_TRUE(w.opCompleted());
+    EXPECT_EQ(w.m->mem().read64(w.readBuf()),
               hw::sectorToken(0x77ULL << 8 | 1, 4242));
-    // BM status: interrupt bit set, active cleared.
-    EXPECT_TRUE(w.rd(kBmBase + kBmStatus) & kBmStIrq);
-    EXPECT_FALSE(w.rd(kBmBase + kBmStatus) & kBmStActive);
-    // Status: DRDY, not BSY.
-    EXPECT_EQ(w.rd(kPioBase + kCmdStatus), kStatusDrdy);
 }
+
+TEST_P(StorageConformance, SuppressionGatesIrqNotCompletion)
+{
+    auto &w = *rig;
+    w.m->disk().store().write(100, 1, 0x88ULL << 8 | 1);
+    w.suppressIrq();
+    w.startRead(100);
+    w.eq.run();
+    EXPECT_EQ(w.irqs, 0) << "masked interrupts must not fire";
+    EXPECT_TRUE(w.opCompleted())
+        << "the operation itself must still complete";
+    EXPECT_EQ(w.m->mem().read64(w.readBuf()),
+              hw::sectorToken(0x88ULL << 8 | 1, 100));
+}
+
+TEST_P(StorageConformance, UnsupportedCommandFlagsError)
+{
+    auto &w = *rig;
+    w.issueUnsupported();
+    w.eq.run();
+    EXPECT_TRUE(w.errorFlagged());
+}
+
+TEST_P(StorageConformance, ResetClearsState)
+{
+    auto &w = *rig;
+    w.dirtyThenReset();
+    EXPECT_TRUE(w.resetClean());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllControllers, StorageConformance,
+                         ::testing::Values(hw::StorageKind::Ide,
+                                           hw::StorageKind::Ahci,
+                                           hw::StorageKind::Nvme),
+                         [](const auto &info) {
+                             switch (info.param) {
+                               case hw::StorageKind::Ide:
+                                 return "Ide";
+                               case hw::StorageKind::Ahci:
+                                 return "Ahci";
+                               default:
+                                 return "Nvme";
+                             }
+                         });
+
+// --- IDE-specific register semantics ---
 
 TEST(IdeConformance, Lba28CommandDecodesDeviceBits)
 {
     using namespace hw::ide;
     // A disk big enough that LBA28 bits 27:24 are exercised.
-    IdeWorld w(16 * sim::kGiB);
+    IdeRig w(16 * sim::kGiB);
     // LBA 0x1234567 needs device-register bits (LBA28 >> 24 = 0x1).
     sim::Lba lba = 0x1234567;
     w.m->disk().store().write(lba, 1, 0x88ULL << 8 | 1);
@@ -124,8 +477,8 @@ TEST(IdeConformance, Lba28CommandDecodesDeviceBits)
 TEST(IdeConformance, AltStatusDoesNotAckIntrq)
 {
     using namespace hw::ide;
-    IdeWorld w;
-    w.programRead48(100);
+    IdeRig w;
+    w.startRead(100);
     w.eq.run();
     ASSERT_EQ(w.irqs, 1);
     // Reading the ALT status must not disturb anything; reading the
@@ -134,112 +487,19 @@ TEST(IdeConformance, AltStatusDoesNotAckIntrq)
     EXPECT_EQ(w.rd(kPioBase + kCmdStatus), kStatusDrdy);
 }
 
-TEST(IdeConformance, NienSuppressesInterrupt)
-{
-    using namespace hw::ide;
-    IdeWorld w;
-    w.wr(kCtrlPort, kCtrlNIen);
-    w.programRead48(100);
-    w.eq.run();
-    EXPECT_EQ(w.irqs, 0) << "nIEN must gate INTRQ";
-    // The operation still completed (data + BM irq bit).
-    EXPECT_TRUE(w.rd(kBmBase + kBmStatus) & kBmStIrq);
-}
-
-TEST(IdeConformance, UnsupportedCommandSetsError)
-{
-    using namespace hw::ide;
-    IdeWorld w;
-    w.wr(kPioBase + kCmdStatus, 0xA1); // IDENTIFY PACKET: unsupported
-    w.eq.run();
-    EXPECT_TRUE(w.rd(kPioBase + kCmdStatus) & kStatusErr);
-}
-
-TEST(IdeConformance, SoftResetClearsState)
-{
-    using namespace hw::ide;
-    IdeWorld w;
-    w.wr(kPioBase + kSectorCount, 42);
-    w.wr(kCtrlPort, kCtrlSrst);
-    w.wr(kCtrlPort, 0);
-    EXPECT_EQ(w.rd(kPioBase + kSectorCount), 0);
-    EXPECT_EQ(w.rd(kPioBase + kCmdStatus), kStatusDrdy);
-}
-
-// --- AHCI ---
-
-struct AhciWorld
-{
-    AhciWorld() : lan(eq, "lan")
-    {
-        hw::MachineConfig mc;
-        mc.name = "m";
-        mc.storage = hw::StorageKind::Ahci;
-        mc.disk.capacityBytes = 1 * sim::kGiB;
-        m = std::make_unique<hw::Machine>(eq, mc, lan, 1, lan, 2);
-        m->intc().registerHandler(hw::ahci::kIrqVector,
-                                  [this]() { ++irqs; });
-    }
-
-    std::uint32_t
-    rd(sim::Addr off)
-    {
-        return static_cast<std::uint32_t>(m->bus().guestRead(
-            IoSpace::Mmio, hw::ahci::kAbar + off, 4));
-    }
-    void
-    wr(sim::Addr off, std::uint32_t v)
-    {
-        m->bus().guestWrite(IoSpace::Mmio, hw::ahci::kAbar + off, v,
-                            4);
-    }
-
-    /** Build a one-sector read command in @p slot. */
-    void
-    buildSlot(unsigned slot, sim::Lba lba)
-    {
-        using namespace hw::ahci;
-        sim::Addr table = 0x20000 + slot * 0x1000;
-        sim::Addr cfis = table + kCfisOffset;
-        m->mem().fill(cfis, 0, kCfisSize);
-        m->mem().write8(cfis + kFisType, kFisTypeH2d);
-        m->mem().write8(cfis + kFisFlags, kFisFlagC);
-        m->mem().write8(cfis + kFisCommand, 0x25);
-        m->mem().write8(cfis + kFisLba0, lba & 0xFF);
-        m->mem().write8(cfis + kFisLba1, (lba >> 8) & 0xFF);
-        m->mem().write8(cfis + kFisLba2, (lba >> 16) & 0xFF);
-        m->mem().write8(cfis + kFisCount0, 1);
-        sim::Addr prd = table + kPrdtOffset;
-        m->mem().write32(prd, 0x30000 + slot * 0x1000);
-        m->mem().write32(prd + 12, sim::kSectorSize - 1);
-        sim::Addr hdr = 0x10000 + slot * kCmdHeaderSize;
-        m->mem().write32(hdr, 5u | (1u << kHdrPrdtlShift));
-        m->mem().write32(hdr + 8,
-                         static_cast<std::uint32_t>(table));
-    }
-
-    sim::EventQueue eq;
-    net::Network lan;
-    std::unique_ptr<hw::Machine> m;
-    int irqs = 0;
-};
+// --- AHCI-specific register semantics ---
 
 TEST(AhciConformance, CiIsW1SAndClearsOnCompletion)
 {
     using namespace hw::ahci;
-    AhciWorld w;
+    AhciRig w;
     w.m->disk().store().write(7, 1, 0x99ULL << 8 | 1);
-    w.wr(kGhc, kGhcAe | kGhcIe);
-    w.wr(kPxClb, 0x10000);
-    w.wr(kPxIe, kIsDhrs);
-    w.wr(kPxCmd, kCmdSt | kCmdFre);
-    w.buildSlot(3, 7);
-    w.wr(kPxCi, 1u << 3);
+    w.startRead(7);
     w.eq.run();
     EXPECT_EQ(w.rd(kPxCi), 0u)
         << "device clears CI on completion";
     EXPECT_EQ(w.irqs, 1);
-    EXPECT_EQ(w.m->mem().read64(0x30000 + 3 * 0x1000),
+    EXPECT_EQ(w.m->mem().read64(w.readBuf()),
               hw::sectorToken(0x99ULL << 8 | 1, 7));
     // PxIS DHRS is W1C.
     EXPECT_TRUE(w.rd(kPxIs) & kIsDhrs);
@@ -250,11 +510,8 @@ TEST(AhciConformance, CiIsW1SAndClearsOnCompletion)
 TEST(AhciConformance, MultipleSlotsRoundRobin)
 {
     using namespace hw::ahci;
-    AhciWorld w;
-    w.wr(kGhc, kGhcAe | kGhcIe);
-    w.wr(kPxClb, 0x10000);
-    w.wr(kPxIe, kIsDhrs);
-    w.wr(kPxCmd, kCmdSt | kCmdFre);
+    AhciRig w;
+    w.startPort();
     for (unsigned s : {0u, 5u, 17u, 31u}) {
         w.m->disk().store().write(100 + s, 1,
                                   (0x100ULL + s) << 8 | 1);
@@ -268,22 +525,10 @@ TEST(AhciConformance, MultipleSlotsRoundRobin)
                   hw::sectorToken((0x100ULL + s) << 8 | 1, 100 + s));
 }
 
-TEST(AhciConformance, HbaResetClearsEverything)
-{
-    using namespace hw::ahci;
-    AhciWorld w;
-    w.wr(kPxIe, kIsDhrs);
-    w.wr(kGhc, kGhcHr);
-    EXPECT_EQ(w.rd(kPxIe), 0u);
-    EXPECT_EQ(w.rd(kPxCi), 0u);
-    // AE stays asserted after reset.
-    EXPECT_TRUE(w.rd(kGhc) & kGhcAe);
-}
-
 TEST(AhciConformance, NoProcessingWithoutStartBit)
 {
     using namespace hw::ahci;
-    AhciWorld w;
+    AhciRig w;
     w.wr(kGhc, kGhcAe | kGhcIe);
     w.wr(kPxClb, 0x10000);
     w.buildSlot(0, 50);
@@ -297,6 +542,89 @@ TEST(AhciConformance, NoProcessingWithoutStartBit)
     w.wr(kPxCi, 1);
     w.eq.run();
     EXPECT_EQ(w.rd(kPxCi), 0u);
+}
+
+// --- NVMe-specific register semantics ---
+
+TEST(NvmeConformance, PhaseTagTogglesOnQueueWrap)
+{
+    using namespace hw::nvme;
+    NvmeRig w;
+    w.enable();
+    // Depth-16 queue: drive 20 one-sector reads through it one at a
+    // time and watch the phase tag flip after the wrap.
+    std::uint32_t tail = 0;
+    for (unsigned i = 0; i < 20; ++i) {
+        w.m->disk().store().write(200 + i, 1, (0x200ULL + i) << 8 | 1);
+        w.buildEntry(tail, 200 + i, kOpRead);
+        tail = (tail + 1) % 16;
+        w.wr(sqTailDb(1), tail);
+        w.eq.run();
+    }
+    // Entries 0..15 carried phase 1; after the wrap, 16..19 land in
+    // slots 0..3 with phase 0.
+    EXPECT_EQ(w.cqeStatus(4) & 1, 1);
+    EXPECT_EQ(w.cqeStatus(15) & 1, 1);
+    EXPECT_EQ(w.cqeStatus(0) & 1, 0);
+    EXPECT_EQ(w.cqeStatus(3) & 1, 0);
+    EXPECT_EQ(w.irqs, 20);
+}
+
+TEST(NvmeConformance, QueueStateReadbackTracksPointers)
+{
+    using namespace hw::nvme;
+    NvmeRig w;
+    w.enable();
+    EXPECT_EQ(w.rd(sqTailDb(1)), 0u);
+    w.m->disk().store().write(9, 1, 0x9ULL << 8 | 1);
+    w.buildEntry(0, 9, kOpRead);
+    w.wr(sqTailDb(1), 1);
+    w.eq.run();
+    EXPECT_EQ(w.rd(sqTailDb(1)), 1u);
+    // CQ readback: tail advanced to 1, phase still 1 (bit 31).
+    std::uint32_t cqState = w.rd(cqHeadDb(1));
+    EXPECT_EQ(cqState & 0xFFFF, 1u);
+    EXPECT_EQ(cqState >> 31, 1u);
+}
+
+TEST(NvmeConformance, RoundRobinAcrossQueuePairs)
+{
+    using namespace hw::nvme;
+    NvmeRig w;
+    w.enable();
+    // Configure queue pair 0 alongside the default pair 1.
+    w.m->mem().fill(0x13000, 0, 8 * kCqEntrySize);
+    w.wr(sqBaseReg(0), 0x12000);
+    w.wr(cqBaseReg(0), 0x13000);
+    w.wr(qDepthReg(0), 8);
+
+    int q0_irqs = 0;
+    w.m->intc().registerHandler(kIrqVectorQ0,
+                                [&q0_irqs]() { ++q0_irqs; });
+
+    for (unsigned i = 0; i < 4; ++i) {
+        w.m->disk().store().write(300 + i, 1, (0x300ULL + i) << 8 | 1);
+        sim::Addr sqe = (i % 2 ? 0x10000 : 0x12000) +
+                        sim::Addr(i / 2) * kSqEntrySize;
+        w.m->mem().fill(sqe, 0, kSqEntrySize);
+        w.m->mem().write8(sqe + kSqeOpcode, kOpRead);
+        w.m->mem().write16(sqe + kSqeCid,
+                           static_cast<std::uint16_t>(i));
+        w.m->mem().write64(sqe + kSqePrp1, 0x30000 + i * 0x1000);
+        w.m->mem().write64(sqe + kSqeSlba, 300 + i);
+        w.m->mem().write16(sqe + kSqeNlb, 0);
+    }
+    w.wr(sqTailDb(0), 2);
+    w.wr(sqTailDb(1), 2);
+    w.eq.run();
+
+    EXPECT_EQ(w.m->nvme()->outstanding(0), 0u);
+    EXPECT_EQ(w.m->nvme()->outstanding(1), 0u);
+    for (unsigned i = 0; i < 4; ++i)
+        EXPECT_EQ(w.m->mem().read64(0x30000 + i * 0x1000),
+                  hw::sectorToken((0x300ULL + i) << 8 | 1, 300 + i));
+    EXPECT_EQ(q0_irqs, 2);
+    EXPECT_EQ(w.irqs, 2);
 }
 
 } // namespace

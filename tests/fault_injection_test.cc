@@ -193,14 +193,12 @@ TEST_P(BoundaryTest, DevirtUnderContinuousLoad)
     EXPECT_FALSE(w.rig->machine->bus().anyInterceptActive());
 }
 
-INSTANTIATE_TEST_SUITE_P(BothControllers, BoundaryTest,
+INSTANTIATE_TEST_SUITE_P(AllControllers, BoundaryTest,
                          ::testing::Values(hw::StorageKind::Ide,
-                                           hw::StorageKind::Ahci),
+                                           hw::StorageKind::Ahci,
+                                           hw::StorageKind::Nvme),
                          [](const auto &info) {
-                             return info.param ==
-                                            hw::StorageKind::Ide
-                                        ? "Ide"
-                                        : "Ahci";
+                             return storageName(info.param);
                          });
 
 // --- VMM memory reservation ---

@@ -13,6 +13,7 @@
 
 #include "guest/ahci_driver.hh"
 #include "guest/ide_driver.hh"
+#include "guest/nvme_driver.hh"
 #include "hw/disk.hh"
 #include "hw/disk_store.hh"
 #include "hw/dma.hh"
@@ -395,8 +396,12 @@ struct MachineWorld
             drv = std::make_unique<guest::IdeDriver>(
                 eq, "drv", view, machine->mem(), machine->intc(),
                 *arena);
-        } else {
+        } else if (kind == hw::StorageKind::Ahci) {
             drv = std::make_unique<guest::AhciDriver>(
+                eq, "drv", view, machine->mem(), machine->intc(),
+                *arena);
+        } else {
+            drv = std::make_unique<guest::NvmeDriver>(
                 eq, "drv", view, machine->mem(), machine->intc(),
                 *arena);
         }
@@ -468,12 +473,17 @@ TEST_P(ControllerTest, ManyInterleavedOpsComplete)
 
 INSTANTIATE_TEST_SUITE_P(Kinds, ControllerTest,
                          ::testing::Values(hw::StorageKind::Ide,
-                                           hw::StorageKind::Ahci),
+                                           hw::StorageKind::Ahci,
+                                           hw::StorageKind::Nvme),
                          [](const auto &info) {
-                             return info.param ==
-                                            hw::StorageKind::Ide
-                                        ? "Ide"
-                                        : "Ahci";
+                             switch (info.param) {
+                               case hw::StorageKind::Ide:
+                                 return "Ide";
+                               case hw::StorageKind::Ahci:
+                                 return "Ahci";
+                               default:
+                                 return "Nvme";
+                             }
                          });
 
 // --- NIC datapath ---

@@ -364,14 +364,12 @@ TEST_P(MediatorTest, BitmapSurvivesRebootAndResumes)
         0, d.opts.imageSectors, kImageBase));
 }
 
-INSTANTIATE_TEST_SUITE_P(BothControllers, MediatorTest,
+INSTANTIATE_TEST_SUITE_P(AllControllers, MediatorTest,
                          ::testing::Values(hw::StorageKind::Ide,
-                                           hw::StorageKind::Ahci),
+                                           hw::StorageKind::Ahci,
+                                           hw::StorageKind::Nvme),
                          [](const auto &info) {
-                             return info.param ==
-                                            hw::StorageKind::Ide
-                                        ? "Ide"
-                                        : "Ahci";
+                             return storageName(info.param);
                          });
 
 // --- Moderation ---

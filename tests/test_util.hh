@@ -27,6 +27,21 @@ constexpr net::MacAddr kMgmtMac = 0x525400000011ULL;
 /** Content base of the golden image exported by the server. */
 constexpr std::uint64_t kImageBase = 0xABCD000000000001ULL;
 
+/** Parameterized-test name for a storage kind. */
+inline const char *
+storageName(hw::StorageKind kind)
+{
+    switch (kind) {
+      case hw::StorageKind::Ide:
+        return "Ide";
+      case hw::StorageKind::Ahci:
+        return "Ahci";
+      case hw::StorageKind::Nvme:
+        return "Nvme";
+    }
+    return "Unknown";
+}
+
 /** Rig options. */
 struct RigOptions
 {
