@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Ablation: deployment robustness under injected faults.
+ *
+ * Runs one full BMcast deployment per scenario through the central
+ * sim::FaultInjector and reports instance-up / bare-metal times plus
+ * the recovery telemetry (retransmissions, terminal fetch errors,
+ * failovers). Scenarios:
+ *
+ *  - no_injector:   plain deployment, no injector attached.
+ *  - inactive:      injector attached but nothing armed. Must finish
+ *                   at the exact same tick as no_injector — the
+ *                   determinism contract says an unarmed injector
+ *                   draws no randomness and adds no events.
+ *  - loss_2 / loss_10: Bernoulli frame drops at the switch; the AoE
+ *                   retransmission machinery absorbs them.
+ *  - disk_faults:   media errors (drive-internal retries) + latency
+ *                   spikes on the local disk.
+ *  - failover_50:   a secondary vblade server; the primary crashes
+ *                   for good at 50% deployed and the stream must
+ *                   finish from the secondary via the block bitmap.
+ *
+ * Every scenario must end with a byte-identical deployed image.
+ * Emits machine-readable BENCH_faults.json; EXPERIMENTS.md records
+ * the baseline numbers. `--smoke` shrinks the image for the
+ * bench-smoke ctest label.
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/harness.hh"
+#include "simcore/fault_injector.hh"
+#include "simcore/table.hh"
+
+namespace {
+
+constexpr net::MacAddr kServer2Mac = 0x525400000002ULL;
+
+enum class Mode {
+    NoInjector,
+    Inactive,
+    Loss2,
+    Loss10,
+    DiskFaults,
+    Failover50,
+};
+
+struct Result
+{
+    std::string name;
+    bool ok = false;
+    sim::Tick bareTick = 0;
+    double upSec = 0.0;
+    double bareSec = 0.0;
+    std::uint64_t retx = 0;
+    std::uint64_t fetchErrors = 0;
+    std::uint64_t failovers = 0;
+    std::string faults;
+};
+
+Result
+runScenario(const char *name, Mode mode, sim::Lba imageSectors)
+{
+    Result r;
+    r.name = name;
+
+    bench::Testbed tb(1, hw::StorageKind::Ahci, imageSectors);
+
+    std::unique_ptr<aoe::AoeServer> server2;
+    std::vector<net::MacAddr> chain{bench::kServerMac};
+    if (mode == Mode::Failover50) {
+        net::Port &p2 = tb.lan.attach(
+            kServer2Mac, net::PortConfig{1e9, 9000, 0.0});
+        aoe::ServerParams sp;
+        sp.workers = 8;
+        server2 = std::make_unique<aoe::AoeServer>(tb.eq, "server2",
+                                                   p2, sp);
+        server2->addTarget(0, 0, imageSectors, bench::kImageBase);
+        chain.push_back(kServer2Mac);
+    }
+
+    sim::FaultInjector fi(2026);
+    switch (mode) {
+      case Mode::Loss2: {
+          sim::SitePlan p;
+          p.probability = 0.02;
+          fi.arm(sim::FaultSite::NetDrop, p);
+          break;
+      }
+      case Mode::Loss10: {
+          sim::SitePlan p;
+          p.probability = 0.10;
+          fi.arm(sim::FaultSite::NetDrop, p);
+          break;
+      }
+      case Mode::DiskFaults: {
+          sim::SitePlan err;
+          err.probability = 0.002;
+          fi.arm(sim::FaultSite::DiskReadError, err);
+          fi.arm(sim::FaultSite::DiskWriteError, err);
+          sim::SitePlan spike;
+          spike.probability = 0.001;
+          spike.magnitude = 20 * sim::kMs;
+          fi.arm(sim::FaultSite::DiskLatencySpike, spike);
+          break;
+      }
+      default:
+        break;
+    }
+    if (mode != Mode::NoInjector) {
+        tb.lan.setFaultInjector(&fi);
+        tb.server->setFaultInjector(&fi);
+        if (server2)
+            server2->setFaultInjector(&fi);
+        tb.machine().setFaultInjector(&fi);
+    }
+
+    bmcast::BmcastDeployer dep(tb.eq, "dep", tb.machine(), tb.guest(),
+                               chain, imageSectors,
+                               bench::paperVmmParams(), false);
+
+    bool observing = false;
+    bool killed = false;
+    sim::Lba baseFilled = 0;
+    dep.run([]() {});
+    bool done = tb.runUntil(500000 * sim::kSec, [&]() {
+        if (mode == Mode::Failover50) {
+            bmcast::Vmm &vmm = dep.vmm();
+            if (!observing &&
+                vmm.phase() == bmcast::Vmm::Phase::Deployment) {
+                observing = true;
+                baseFilled = vmm.bitmap().filledCount();
+            }
+            if (observing && !killed &&
+                vmm.bitmap().filledCount() - baseFilled >=
+                    imageSectors / 2) {
+                killed = true;
+                tb.server->crash(); // stays down for good
+            }
+        }
+        return dep.bareMetalReached();
+    });
+
+    r.ok = done &&
+           tb.machine().disk().store().rangeHasBase(
+               0, imageSectors, bench::kImageBase);
+    if (mode == Mode::Failover50)
+        r.ok = r.ok && killed && dep.vmm().failovers() == 1;
+    r.bareTick = dep.timeline().bareMetal;
+    r.upSec = sim::toSeconds(dep.timeline().guestBootDone);
+    r.bareSec = sim::toSeconds(dep.timeline().bareMetal);
+    r.retx = dep.vmm().initiator().retransmissions();
+    r.fetchErrors = dep.vmm().fetchErrors();
+    r.failovers = dep.vmm().failovers();
+    r.faults = fi.summary();
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+    const sim::Lba image_sectors =
+        (smoke ? 128 * sim::kMiB : 2 * sim::kGiB) / sim::kSectorSize;
+
+    bench::figureHeader(
+        "Ablation: deployment robustness under injected faults");
+    std::cout << "image: "
+              << (image_sectors * sim::kSectorSize) / sim::kMiB
+              << " MiB" << (smoke ? " (smoke)" : "") << "\n";
+
+    std::vector<Result> rows;
+    rows.push_back(
+        runScenario("no_injector", Mode::NoInjector, image_sectors));
+    rows.push_back(
+        runScenario("inactive", Mode::Inactive, image_sectors));
+    rows.push_back(runScenario("loss_2", Mode::Loss2, image_sectors));
+    rows.push_back(
+        runScenario("loss_10", Mode::Loss10, image_sectors));
+    rows.push_back(
+        runScenario("disk_faults", Mode::DiskFaults, image_sectors));
+    rows.push_back(
+        runScenario("failover_50", Mode::Failover50, image_sectors));
+
+    sim::Table t({"Scenario", "OK", "Instance up (s)",
+                  "Bare metal (s)", "Retx", "Errors", "Failovers"});
+    for (const auto &r : rows)
+        t.addRow({r.name, r.ok ? "yes" : "NO",
+                  sim::Table::num(r.upSec, 2),
+                  sim::Table::num(r.bareSec, 2),
+                  std::to_string(r.retx),
+                  std::to_string(r.fetchErrors),
+                  std::to_string(r.failovers)});
+    t.print(std::cout);
+    for (const auto &r : rows) {
+        if (!r.faults.empty())
+            std::cout << r.name << " faults: " << r.faults << "\n";
+    }
+
+    // Determinism contract: an attached-but-unarmed injector changes
+    // nothing, down to the exact bare-metal tick.
+    bool identical = rows[0].bareTick == rows[1].bareTick;
+    std::cout << "\nunarmed-injector timing identical to baseline: "
+              << (identical ? "yes" : "NO") << "\n";
+
+    std::ofstream json("BENCH_faults.json");
+    json << "{\n  \"bench\": \"abl_faults\",\n"
+         << "  \"image_mib\": "
+         << (image_sectors * sim::kSectorSize) / sim::kMiB << ",\n"
+         << "  \"unarmed_identical\": "
+         << (identical ? "true" : "false") << ",\n"
+         << "  \"scenarios\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const auto &r = rows[i];
+        json << "    {\"name\": \"" << r.name << "\", "
+             << "\"ok\": " << (r.ok ? "true" : "false") << ", "
+             << "\"instance_up_sec\": " << r.upSec << ", "
+             << "\"bare_metal_sec\": " << r.bareSec << ", "
+             << "\"retransmissions\": " << r.retx << ", "
+             << "\"fetch_errors\": " << r.fetchErrors << ", "
+             << "\"failovers\": " << r.failovers << "}"
+             << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    json << "  ]\n}\n";
+    json.close();
+    std::cout << "wrote BENCH_faults.json\n";
+
+    bool ok = identical;
+    for (const auto &r : rows)
+        ok = ok && r.ok;
+    return ok ? 0 : 1;
+}

@@ -11,7 +11,8 @@ AoeInitiator::AoeInitiator(sim::EventQueue &eq, std::string name,
                            net::L2Endpoint &nic_, net::MacAddr server_mac,
                            InitiatorParams params_)
     : sim::SimObject(eq, std::move(name)),
-      nic(nic_), server(server_mac), params(params_)
+      nic(nic_), server(server_mac), params(params_),
+      rng(sim::Rng::seedFrom(this->name() + ".backoff", params_.seed))
 {
     nic.setRxHandler([this](const net::Frame &f) { onFrame(f); });
 }
@@ -165,12 +166,18 @@ AoeInitiator::sendRequest(std::uint32_t tag, Pending &p)
 }
 
 sim::Tick
-AoeInitiator::timeout(const Pending &p) const
+AoeInitiator::timeout(Pending &p)
 {
     sim::Tick base = std::max(params.minTimeout, 4 * rttEma);
     // Exponential backoff, capped.
     int shift = std::min(p.retries, 6);
-    return base << shift;
+    sim::Tick t = base << shift;
+    // Decorrelation jitter (up to +25%) so parallel requests doomed
+    // by the same outage do not retransmit in lockstep.  Drawn only
+    // on retransmissions: fault-free runs consume no randomness here.
+    if (p.retries > 0)
+        t += rng.uniformInt(0, t / 4);
+    return t;
 }
 
 void
@@ -181,12 +188,57 @@ AoeInitiator::armTimer(std::uint32_t tag, Pending &p)
 }
 
 void
+AoeInitiator::retarget(net::MacAddr new_server)
+{
+    server = new_server;
+    // Everything in flight was addressed to the dead server; resend
+    // it all to the new one with a fresh budget.
+    for (auto &[tag, p] : pending) {
+        p.retries = 0;
+        p.acked = false;
+        ++numRetx;
+        sendRequest(tag, p);
+    }
+}
+
+void
 AoeInitiator::onTimeout(std::uint32_t tag)
 {
     auto it = pending.find(tag);
     if (it == pending.end())
         return;
     Pending &p = it->second;
+
+    if (params.maxRetries >= 0 && p.retries >= params.maxRetries) {
+        // Budget exhausted: this is a terminal error unless the
+        // handler rescues the request (typically by retargeting to a
+        // secondary server first).
+        ++numErrors;
+        DeployError err{p.isWrite, p.lba, p.count, p.retries, server};
+        ErrorAction action = errorHandler ? errorHandler(err)
+                                          : ErrorAction::Drop;
+        // The handler may have retargeted (resending all pending,
+        // this request included) or shut us down: re-look-up.
+        it = pending.find(tag);
+        if (it == pending.end())
+            return;
+        Pending &q = it->second;
+        if (action == ErrorAction::Drop) {
+            sim::warn(name(), ": request lba ", q.lba, " +", q.count,
+                      " dropped after ", q.retries,
+                      " retries (terminal)");
+            eventQueue().cancel(q.timer);
+            pending.erase(it);
+            return;
+        }
+        q.retries = 0;
+        // retarget() already retransmitted this tick; avoid a
+        // duplicate send and just keep the fresh timer.
+        if (q.lastSent != now())
+            sendRequest(tag, q);
+        return;
+    }
+
     ++p.retries;
     ++numRetx;
     if (p.retries % params.warnEveryRetries == 0) {

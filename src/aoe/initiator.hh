@@ -20,6 +20,7 @@
 
 #include "net/l2.hh"
 #include "aoe/protocol.hh"
+#include "simcore/random.hh"
 #include "simcore/sim_object.hh"
 
 namespace aoe {
@@ -35,8 +36,36 @@ struct InitiatorParams
      *  server's worst-case service time; retransmission is for
      *  loss, not for pacing). */
     sim::Tick minTimeout = 80 * sim::kMs;
-    /** Retries before each loud warning (retrying never stops). */
+    /** Retries before each loud warning. */
     int warnEveryRetries = 10;
+    /**
+     * Retry budget per request: once exhausted the error handler
+     * decides (default: drop the request and surface a terminal
+     * DeployError).  At the backoff cap one full budget spans
+     * minutes, so this only trips when the server is really gone —
+     * not under heavy random loss.  Negative = retry forever (the
+     * pre-budget behaviour).
+     */
+    int maxRetries = 24;
+    /** Seed for the retransmission-jitter stream. */
+    std::uint64_t seed = 1;
+};
+
+/** A request that exhausted its retry budget. */
+struct DeployError
+{
+    bool isWrite = false;
+    sim::Lba lba = 0;
+    std::uint32_t count = 0;
+    int retries = 0;
+    /** The server that stopped answering. */
+    net::MacAddr server = 0;
+};
+
+/** What the error handler wants done with the doomed request. */
+enum class ErrorAction {
+    Drop,  ///< Abandon it; its completion callback never fires.
+    Retry, ///< Reset the budget and keep trying (e.g. after failover).
 };
 
 /** The initiator. */
@@ -75,10 +104,31 @@ class AoeInitiator : public sim::SimObject
      */
     void shutdown();
 
+    /**
+     * Handler invoked when a request exhausts its retry budget; its
+     * return value decides the request's fate.  The handler may call
+     * retarget() first (multi-server failover) and then return Retry.
+     * Without a handler, doomed requests are dropped.
+     */
+    using ErrorHandler = std::function<ErrorAction(const DeployError &)>;
+    void setErrorHandler(ErrorHandler h) { errorHandler = std::move(h); }
+
+    /**
+     * Switch to a different server and immediately retransmit every
+     * outstanding request to it with a fresh retry budget (deployment
+     * failover: the old server's in-flight responses are stale).
+     */
+    void retarget(net::MacAddr newServer);
+
+    /** The server currently targeted. */
+    net::MacAddr serverMac() const { return server; }
+
     /** @name Telemetry */
     /// @{
     std::uint64_t requestsIssued() const { return numRequests; }
     std::uint64_t retransmissions() const { return numRetx; }
+    /** Requests that exhausted their retry budget. */
+    std::uint64_t terminalErrors() const { return numErrors; }
     sim::Bytes dataBytesRead() const { return bytesRead; }
     sim::Bytes dataBytesWritten() const { return bytesWritten; }
     std::size_t inflight() const { return pending.size(); }
@@ -119,11 +169,13 @@ class AoeInitiator : public sim::SimObject
     void onTimeout(std::uint32_t tag);
     void onFrame(const net::Frame &frame);
     void completeRequest(std::uint32_t tag, Pending &p);
-    sim::Tick timeout(const Pending &p) const;
+    sim::Tick timeout(Pending &p);
 
     net::L2Endpoint &nic;
     net::MacAddr server;
     InitiatorParams params;
+    sim::Rng rng;
+    ErrorHandler errorHandler;
 
     std::uint32_t nextTag = 1;
     std::map<std::uint32_t, Pending> pending;
@@ -132,6 +184,7 @@ class AoeInitiator : public sim::SimObject
     sim::Tick rttEma = 0;
     std::uint64_t numRequests = 0;
     std::uint64_t numRetx = 0;
+    std::uint64_t numErrors = 0;
     sim::Bytes bytesRead = 0;
     sim::Bytes bytesWritten = 0;
 };

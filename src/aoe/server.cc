@@ -40,8 +40,71 @@ AoeServer::findTarget(std::uint16_t major, std::uint8_t minor)
 }
 
 void
+AoeServer::crash()
+{
+    if (!online_)
+        return;
+    online_ = false;
+    ++epoch_; // orphan every scheduled response / write-back commit
+    ++numCrashes;
+    queue.clear();
+    assemblies.clear();
+    sim::debug(name(), ": crashed at ", now());
+}
+
+void
+AoeServer::restart()
+{
+    if (online_)
+        return;
+    online_ = true;
+    ++numRestarts;
+    // Cold state: idle workers, empty page cache position, no stall.
+    std::fill(workerFreeAt.begin(), workerFreeAt.end(), sim::Tick(0));
+    diskFreeAt = 0;
+    diskHead = 0;
+    stallUntil_ = 0;
+    sim::debug(name(), ": restarted at ", now());
+}
+
+void
+AoeServer::stallFor(sim::Tick d)
+{
+    stallUntil_ = std::max(stallUntil_, now() + d);
+}
+
+void
 AoeServer::onFrame(const net::Frame &frame)
 {
+    if (!online_) {
+        ++offlineDrops;
+        return;
+    }
+    if (faults && faults->anyActive()) {
+        if (faults->shouldFire(sim::FaultSite::ServerCrash)) {
+            crash();
+            ++offlineDrops; // the triggering frame dies with us
+            // A plan magnitude requests an automatic supervised
+            // restart (systemd-style) after that long offline.
+            sim::Tick down =
+                faults->magnitude(sim::FaultSite::ServerCrash, 0);
+            if (down) {
+                schedule(down, [this, e = epoch_]() {
+                    if (!online_ && epoch_ == e) {
+                        restart();
+                        faults->noteFired(
+                            sim::FaultSite::ServerRestart);
+                    }
+                });
+            }
+            return;
+        }
+        if (faults->shouldFire(sim::FaultSite::ServerStall)) {
+            stallFor(faults->magnitude(sim::FaultSite::ServerStall,
+                                       100 * sim::kMs));
+        }
+    }
+
     auto parsed = parse(frame);
     if (!parsed || parsed->response)
         return;
@@ -143,12 +206,15 @@ void
 AoeServer::serve(unsigned worker, Job job)
 {
     const Message &req = job.request;
-    sim::Tick start = std::max(now(), workerFreeAt[worker]);
+    sim::Tick start =
+        std::max({now(), workerFreeAt[worker], stallUntil_});
 
     auto send_at = [this](sim::Tick when, Message resp,
                           net::MacAddr dst) {
         eventQueue().scheduleAt(
-            when, [this, resp = std::move(resp), dst]() {
+            when, [this, e = epoch_, resp = std::move(resp), dst]() {
+                if (epoch_ != e)
+                    return; // crashed since; response lost
                 port.send(toFrame(resp, dst));
             });
     };
@@ -198,8 +264,12 @@ AoeServer::serve(unsigned worker, Job job)
             static_cast<sim::Tick>(
                 static_cast<double>(disk_done - cpu_done) *
                 params_.writeAckMediaFraction);
-        // Commit content at ack time (read-your-writes).
-        eventQueue().scheduleAt(ack_at, [this, target, req]() {
+        // Commit content at ack time (read-your-writes).  Epoch
+        // guard: a crash before the ack loses the dirty data.
+        eventQueue().scheduleAt(ack_at, [this, e = epoch_, target,
+                                         req]() {
+            if (epoch_ != e)
+                return;
             // Coalesce token runs exactly as a DMA write would.
             std::uint64_t run_base = 0;
             sim::Lba run_start = 0;

@@ -20,6 +20,7 @@
 #include "aoe/protocol.hh"
 #include "hw/disk_store.hh"
 #include "net/network.hh"
+#include "simcore/fault_injector.hh"
 #include "simcore/random.hh"
 #include "simcore/sim_object.hh"
 
@@ -90,6 +91,36 @@ class AoeServer : public sim::SimObject
     /** Aggregate worker busy time (utilization across the pool). */
     sim::Tick workerBusyTime() const { return busyTime; }
     const ServerParams &params() const { return params_; }
+    std::uint64_t crashes() const { return numCrashes; }
+    std::uint64_t restarts() const { return numRestarts; }
+    /** Frames that arrived while the server was offline. */
+    std::uint64_t framesDroppedOffline() const { return offlineDrops; }
+    /// @}
+
+    /** @name Failure model */
+    /// @{
+    bool online() const { return online_; }
+
+    /**
+     * Take the server down hard: the request queue, in-progress
+     * responses, write reassembly state and not-yet-committed
+     * write-back data are all lost.  Frames arriving while offline
+     * are dropped (and counted).
+     */
+    void crash();
+
+    /** Bring a crashed server back with cold worker/cache state. */
+    void restart();
+
+    /** Freeze request processing for @p d (GC pause, overload). */
+    void stallFor(sim::Tick d);
+
+    /**
+     * Attach a fault injector (nullptr detaches).  Consulted per
+     * arriving request frame for ServerCrash (with an optional
+     * auto-restart after the plan magnitude) and ServerStall.
+     */
+    void setFaultInjector(sim::FaultInjector *fi) { faults = fi; }
     /// @}
 
   private:
@@ -121,6 +152,7 @@ class AoeServer : public sim::SimObject
     net::Port &port;
     ServerParams params_;
     sim::Rng rng;
+    sim::FaultInjector *faults = nullptr;
     std::map<std::pair<std::uint16_t, std::uint8_t>, AoeTarget> targets;
 
     std::deque<Job> queue;
@@ -129,10 +161,23 @@ class AoeServer : public sim::SimObject
     sim::Lba diskHead = 0;
     std::map<RxKey, WriteAssembly> assemblies;
 
+    /**
+     * Liveness epoch: bumped on every crash.  Response and write-back
+     * commit events capture the epoch they were scheduled under and
+     * become no-ops if the server crashed in between — a crash loses
+     * everything in flight.
+     */
+    std::uint64_t epoch_ = 0;
+    bool online_ = true;
+    sim::Tick stallUntil_ = 0;
+
     std::uint64_t numServed = 0;
     sim::Bytes bytesOut = 0;
     std::size_t maxQueue = 0;
     sim::Tick busyTime = 0;
+    std::uint64_t numCrashes = 0;
+    std::uint64_t numRestarts = 0;
+    std::uint64_t offlineDrops = 0;
 };
 
 } // namespace aoe

@@ -28,7 +28,18 @@ BackgroundCopy::start()
     running = true;
     retrieverLoop();
     if (!writerArmed)
-        armWriter(mod.vmmWriteInterval);
+        armWriter(pacedInterval());
+}
+
+void
+BackgroundCopy::noteFetchTrouble()
+{
+    if (degradeShift < 6) {
+        ++degradeShift;
+        ++numDegrades;
+        sim::inform(name(), ": fetch trouble; pacing backed off to ",
+                    sim::toMillis(pacedInterval()), " ms");
+    }
 }
 
 void
@@ -70,6 +81,8 @@ BackgroundCopy::stashFetched(sim::Lba lba, std::uint32_t count,
 {
     if (done || tokens.empty())
         return;
+    // Copy-on-read data arriving means the fetch path works.
+    degradeShift = 0;
     // Copy-on-read data (Fig. 1b: the VMM "also writes the data to
     // the local disk for future use"): queued for the writer thread,
     // which drains this queue with priority but under the same
@@ -124,6 +137,8 @@ BackgroundCopy::retrieverLoop()
     fetch(lba, count,
           [this, lba, count](const std::vector<std::uint64_t> &tokens) {
               retrieverBusy = false;
+              // The fetch path answered: back to full-speed pacing.
+              degradeShift = 0;
               if (!running || done)
                   return;
               std::uint64_t base =
@@ -212,7 +227,7 @@ BackgroundCopy::tryWriteHead()
 
     if (fifo.empty()) {
         retrieverLoop();
-        armWriter(mod.vmmWriteInterval);
+        armWriter(pacedInterval());
         return;
     }
 
@@ -225,6 +240,8 @@ BackgroundCopy::tryWriteHead()
     bool accepted = mediator.vmmWrite(
         b.lba, b.count, b.contentBase, [this, b]() {
             writeInFlight = false;
+            if (observer)
+                observer(b.lba, b.count);
             // FILLED only at completion: until the data is on disk,
             // reads must keep going to the server.
             bitmap.markFilled(b.lba, b.count);
@@ -244,9 +261,9 @@ BackgroundCopy::tryWriteHead()
             }
             if (!writerArmed) {
                 sim::Tick elapsed = now() - roundStart;
-                armWriter(mod.vmmWriteInterval > elapsed
-                              ? mod.vmmWriteInterval - elapsed
-                              : 0);
+                sim::Tick interval = pacedInterval();
+                armWriter(interval > elapsed ? interval - elapsed
+                                             : 0);
             }
         });
 
@@ -255,9 +272,10 @@ BackgroundCopy::tryWriteHead()
         fifo.pop_front();
     } else {
         // Device busy with guest I/O: retry shortly (the mediator
-        // queues nothing for us; we poll).
-        armWriter(std::min<sim::Tick>(mod.vmmWriteInterval,
-                                      2 * sim::kMs));
+        // queues nothing for us; we poll).  The retry poll backs
+        // off with the same degradation exponent.
+        armWriter(std::min<sim::Tick>(pacedInterval(),
+                                      2 * sim::kMs << degradeShift));
     }
 }
 

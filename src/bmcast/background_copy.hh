@@ -66,11 +66,32 @@ class BackgroundCopy : public sim::SimObject
     /** Disable the guest-I/O-frequency suspension (Fig. 14). */
     void disableFreqThreshold() { mod.guestIoFreqThreshold = 1e18; }
 
+    /**
+     * Graceful degradation: the VMM reports sustained fetch trouble
+     * (AoE retry budgets exhausting) and the writer doubles its
+     * pacing interval, up to 64x, instead of spinning on a dead
+     * fetch path.  Any successfully completed fetch resets the
+     * backoff to full speed.
+     */
+    void noteFetchTrouble();
+
+    /**
+     * Observer invoked at every completed VMM background write
+     * (before the bitmap marks it FILLED).  Tests use it to check
+     * the no-duplicate-write invariant across failovers.
+     */
+    using WriteObserver = std::function<void(sim::Lba, std::uint32_t)>;
+    void setWriteObserver(WriteObserver o) { observer = std::move(o); }
+
     bool complete() const { return done; }
     sim::Bytes bytesWritten() const { return written; }
     std::uint64_t blocksSkipped() const { return skipped; }
     std::uint64_t suspensions() const { return numSuspends; }
     std::size_t fifoDepth() const { return fifo.size(); }
+    /** Times the pacing was slowed by fetch trouble. */
+    std::uint64_t degradeEvents() const { return numDegrades; }
+    /** Current pacing backoff exponent (0 = full speed). */
+    unsigned backoffShift() const { return degradeShift; }
 
   private:
     struct Block
@@ -87,6 +108,11 @@ class BackgroundCopy : public sim::SimObject
     /** One-shot writer wake-up @p delay ticks out. */
     void armWriter(sim::Tick delay);
     void stopSuspendPoll();
+    /** The write interval scaled by the degradation backoff. */
+    sim::Tick pacedInterval() const
+    {
+        return mod.vmmWriteInterval << degradeShift;
+    }
 
     const VmmParams &params;
     ModerationParams mod;
@@ -120,9 +146,14 @@ class BackgroundCopy : public sim::SimObject
     sim::Tick roundStart = 0;
     sim::RateMeter guestIoRate;
 
+    WriteObserver observer;
+    /** Fetch-trouble backoff exponent (capped at 6, i.e. 64x). */
+    unsigned degradeShift = 0;
+
     sim::Bytes written = 0;
     std::uint64_t skipped = 0;
     std::uint64_t numSuspends = 0;
+    std::uint64_t numDegrades = 0;
 };
 
 } // namespace bmcast

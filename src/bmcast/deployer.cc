@@ -19,6 +19,22 @@ BmcastDeployer::BmcastDeployer(sim::EventQueue &eq, std::string name,
                                  vmxoff_supported);
 }
 
+BmcastDeployer::BmcastDeployer(sim::EventQueue &eq, std::string name,
+                               hw::Machine &machine,
+                               guest::GuestOs &guest_,
+                               std::vector<net::MacAddr> server_macs,
+                               sim::Lba image_sectors,
+                               VmmParams params, bool cold_firmware,
+                               bool vmxoff_supported)
+    : sim::SimObject(eq, std::move(name)),
+      machine_(machine), guest(guest_), coldFirmware(cold_firmware)
+{
+    vmm_ = std::make_unique<Vmm>(eq, this->name() + ".vmm", machine,
+                                 std::move(server_macs),
+                                 image_sectors, params,
+                                 vmxoff_supported);
+}
+
 void
 BmcastDeployer::run(std::function<void()> on_guest_ready)
 {

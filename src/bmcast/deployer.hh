@@ -44,6 +44,19 @@ class BmcastDeployer : public sim::SimObject
                    bool coldFirmware = true,
                    bool vmxoffSupported = false);
 
+    /**
+     * Multi-server variant: deployment starts from serverMacs[0]
+     * and fails over down the list when the active server stops
+     * answering mid-stream, resuming from the block bitmap.
+     */
+    BmcastDeployer(sim::EventQueue &eq, std::string name,
+                   hw::Machine &machine, guest::GuestOs &guest,
+                   std::vector<net::MacAddr> serverMacs,
+                   sim::Lba imageSectors,
+                   VmmParams params = VmmParams{},
+                   bool coldFirmware = true,
+                   bool vmxoffSupported = false);
+
     /** Start; @p onGuestReady fires when the guest OS has booted
      *  (the cloud customer's instance is usable). */
     void run(std::function<void()> onGuestReady);

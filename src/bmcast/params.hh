@@ -74,6 +74,15 @@ struct VmmParams
     /** AoE target (shelf/slot) holding this instance's image. */
     std::uint16_t aoeMajor = 0;
     std::uint8_t aoeMinor = 0;
+
+    /**
+     * Per-request AoE retry budget before the VMM's error handler
+     * runs (failover / degradation); negative = retry forever.
+     * Forwarded to InitiatorParams::maxRetries.
+     */
+    int aoeMaxRetries = 24;
+    /** Floor for the AoE retransmission timeout. */
+    sim::Tick aoeMinTimeout = 80 * sim::kMs;
 };
 
 } // namespace bmcast

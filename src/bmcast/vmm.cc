@@ -11,11 +11,22 @@ namespace bmcast {
 Vmm::Vmm(sim::EventQueue &eq, std::string name, hw::Machine &machine,
          net::MacAddr server_mac, sim::Lba image_sectors,
          VmmParams params, bool vmxoff_supported)
+    : Vmm(eq, std::move(name), machine,
+          std::vector<net::MacAddr>{server_mac}, image_sectors,
+          params, vmxoff_supported)
+{
+}
+
+Vmm::Vmm(sim::EventQueue &eq, std::string name, hw::Machine &machine,
+         std::vector<net::MacAddr> server_macs,
+         sim::Lba image_sectors, VmmParams params,
+         bool vmxoff_supported)
     : sim::SimObject(eq, std::move(name)),
-      machine_(machine), serverMac(server_mac),
+      machine_(machine), serverMacs(std::move(server_macs)),
       imageSectors(image_sectors), params_(params),
       vmxoffSupported(vmxoff_supported)
 {
+    sim::fatalIf(serverMacs.empty(), "VMM needs >= 1 AoE server");
     sim::Lba total = machine_.disk().capacitySectors();
     sim::fatalIf(imageSectors + params_.reservedDiskSectors > total,
                  "image does not fit the local disk");
@@ -87,9 +98,32 @@ Vmm::installVmm()
     aoe::InitiatorParams aoe_params;
     aoe_params.major = params_.aoeMajor;
     aoe_params.minor = params_.aoeMinor;
+    aoe_params.maxRetries = params_.aoeMaxRetries;
+    aoe_params.minTimeout = params_.aoeMinTimeout;
+    aoe_params.seed = machine_.config().seed;
     aoe_ = std::make_unique<aoe::AoeInitiator>(
-        eventQueue(), name() + ".aoe", *nicDriver, serverMac,
-        aoe_params);
+        eventQueue(), name() + ".aoe", *nicDriver,
+        serverMacs[serverIdx], aoe_params);
+    // Terminal fetch errors: slow the background copy down, tell the
+    // observer, fail over to the next server if one exists, and keep
+    // every request alive — the bitmap guarantees an eventual resume
+    // even if the sole server only comes back much later.
+    aoe_->setErrorHandler([this](const aoe::DeployError &err) {
+        ++numFetchErrors;
+        if (copy)
+            copy->noteFetchTrouble();
+        if (deployErrorCb)
+            deployErrorCb(err);
+        if (serverIdx + 1 < serverMacs.size()) {
+            ++serverIdx;
+            ++numFailovers;
+            sim::warn(name(), ": AoE server ", err.server,
+                      " unresponsive; failing over to server #",
+                      serverIdx);
+            aoe_->retarget(serverMacs[serverIdx]);
+        }
+        return aoe::ErrorAction::Retry;
+    });
 
     sim::Lba total = machine_.disk().capacitySectors();
     bitmap_ = std::make_unique<BlockBitmap>(total);

@@ -66,6 +66,17 @@ class Vmm : public sim::SimObject
         VmmParams params = VmmParams{}, bool vmxoffSupported = false);
 
     /**
+     * Multi-server variant: deployment starts from serverMacs[0] and
+     * fails over down the list when the current server stops
+     * answering (each AoE request's retry budget exhausts).  The
+     * block bitmap makes failover resumable: blocks already written
+     * locally are never re-fetched.
+     */
+    Vmm(sim::EventQueue &eq, std::string name, hw::Machine &machine,
+        std::vector<net::MacAddr> serverMacs, sim::Lba imageSectors,
+        VmmParams params = VmmParams{}, bool vmxoffSupported = false);
+
+    /**
      * Network-boot the VMM (Initialization phase); @p ready fires
      * when the machine is prepared for the guest OS (Deployment
      * phase entered, background copy running).
@@ -116,6 +127,21 @@ class Vmm : public sim::SimObject
     sim::Lba bitmapHomeLba() const { return bitmapHome; }
     sim::Lba dummyLba() const { return dummy; }
 
+    /** @name Robustness */
+    /// @{
+    /** The AoE server currently fetched from. */
+    net::MacAddr currentServer() const { return serverMacs[serverIdx]; }
+    /** Times the deployment switched to a secondary server. */
+    std::uint64_t failovers() const { return numFailovers; }
+    /** AoE requests that exhausted their retry budget. */
+    std::uint64_t fetchErrors() const { return numFetchErrors; }
+    /** Observe terminal fetch errors (fires before any failover). */
+    void onDeployError(std::function<void(const aoe::DeployError &)> cb)
+    {
+        deployErrorCb = std::move(cb);
+    }
+    /// @}
+
     /** The cost profile the VMM publishes while deploying. */
     hw::VirtProfile deployProfile() const;
 
@@ -132,7 +158,9 @@ class Vmm : public sim::SimObject
     void tryRestoreBitmapAttempt(std::function<void(bool)> done);
 
     hw::Machine &machine_;
-    net::MacAddr serverMac;
+    /** Failover chain; serverIdx points at the active server. */
+    std::vector<net::MacAddr> serverMacs;
+    std::size_t serverIdx = 0;
     sim::Lba imageSectors;
     VmmParams params_;
     bool vmxoffSupported;
@@ -158,8 +186,12 @@ class Vmm : public sim::SimObject
     /** Periodic deployment-phase bitmap-save timer (§3.3). */
     sim::EventId bitmapSaveTimer;
 
+    std::uint64_t numFailovers = 0;
+    std::uint64_t numFetchErrors = 0;
+
     std::function<void()> readyCb;
     std::function<void()> bareMetalCb;
+    std::function<void(const aoe::DeployError &)> deployErrorCb;
 };
 
 } // namespace bmcast

@@ -16,7 +16,13 @@ AhciDriver::AhciDriver(sim::EventQueue &eq, std::string name,
                        hw::InterruptController &intc,
                        hw::MemArena &arena)
     : sim::SimObject(eq, std::move(name)), view(view_), mem(mem_),
-      intc(intc)
+      intc(intc), wdog(eq, [this]() {
+          // Poll the ISR; it completes only slots whose CI bit the
+          // device actually cleared, so this is always safe.
+          auto guard = alive;
+          onIrq();
+          return *guard && busyCount > 0;
+      })
 {
     cmdList = arena.alloc(kSlots * kCmdHeaderSize, 1024);
     fisBase = arena.alloc(256, 256);
@@ -174,6 +180,7 @@ AhciDriver::issueChunk(const std::shared_ptr<Op> &op)
 
     // Go.
     view.write(IoSpace::Mmio, kAbar + kPxCi, 1u << slot, 4);
+    wdog.arm();
     return true;
 }
 
@@ -202,6 +209,11 @@ AhciDriver::onIrq()
         }
     }
     pump();
+    // Progress resets the countdown; idle stops it.
+    if (busyCount > 0)
+        wdog.arm();
+    else
+        wdog.disarm();
 }
 
 void

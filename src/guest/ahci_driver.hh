@@ -15,6 +15,7 @@
 #include <memory>
 
 #include "guest/block_driver.hh"
+#include "guest/irq_watchdog.hh"
 #include "hw/interrupts.hh"
 #include "hw/io_bus.hh"
 #include "hw/mem_arena.hh"
@@ -47,6 +48,9 @@ class AhciDriver : public sim::SimObject, public BlockDriver
 
     /** Slots currently issued (telemetry / tests). */
     unsigned slotsBusy() const { return busyCount; }
+
+    /** Lost-IRQ recovery watchdog (see guest/irq_watchdog.hh). */
+    IrqWatchdog &watchdog() { return wdog; }
 
   private:
     struct Op
@@ -95,6 +99,7 @@ class AhciDriver : public sim::SimObject, public BlockDriver
     std::shared_ptr<bool> alive = std::make_shared<bool>(true);
     unsigned busyCount = 0;
     std::deque<std::shared_ptr<Op>> queue;
+    IrqWatchdog wdog;
 
     std::uint64_t numOps = 0;
     sim::Tick latencySum = 0;

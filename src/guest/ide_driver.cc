@@ -16,7 +16,13 @@ IdeDriver::IdeDriver(sim::EventQueue &eq, std::string name,
                      hw::InterruptController &intc,
                      hw::MemArena &arena)
     : sim::SimObject(eq, std::move(name)), view(view_), mem(mem_),
-      intc(intc)
+      intc(intc), wdog(eq, [this]() {
+          // Poll the ISR; it bails on BSY, so a genuinely slow
+          // command survives the poll and we keep watching.
+          auto guard = alive;
+          onIrq();
+          return *guard && chunkActive;
+      })
 {
     prdTable = arena.alloc(64 * kPrdEntrySize, 64);
     buffer = arena.alloc(sim::Bytes(kMaxSectors) * sim::kSectorSize,
@@ -130,6 +136,7 @@ IdeDriver::issueChunk()
 
     view.write(IoSpace::Pio, kBmBase + kBmCommand,
                (op.isWrite ? 0 : kBmCmdToMemory) | kBmCmdStart, 1);
+    wdog.arm();
 }
 
 void
@@ -174,7 +181,9 @@ IdeDriver::onIrq()
         if (!*guard)
             return;
     }
-    pump();
+    pump(); // issues the next chunk (re-arming the watchdog), if any
+    if (!chunkActive)
+        wdog.disarm();
 }
 
 } // namespace guest

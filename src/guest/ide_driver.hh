@@ -12,6 +12,7 @@
 #include <deque>
 
 #include "guest/block_driver.hh"
+#include "guest/irq_watchdog.hh"
 #include "hw/interrupts.hh"
 #include "hw/io_bus.hh"
 #include "hw/mem_arena.hh"
@@ -39,6 +40,9 @@ class IdeDriver : public sim::SimObject, public BlockDriver
 
     std::uint64_t opsCompleted() const override { return numOps; }
     sim::Tick totalLatency() const override { return latencySum; }
+
+    /** Lost-IRQ recovery watchdog (see guest/irq_watchdog.hh). */
+    IrqWatchdog &watchdog() { return wdog; }
 
   private:
     struct Op
@@ -71,6 +75,7 @@ class IdeDriver : public sim::SimObject, public BlockDriver
     std::shared_ptr<bool> alive = std::make_shared<bool>(true);
     bool chunkActive = false;
     std::uint32_t chunkSectors = 0;
+    IrqWatchdog wdog;
 
     std::uint64_t numOps = 0;
     sim::Tick latencySum = 0;

@@ -16,7 +16,13 @@ NvmeDriver::NvmeDriver(sim::EventQueue &eq, std::string name,
                        hw::InterruptController &intc,
                        hw::MemArena &arena)
     : sim::SimObject(eq, std::move(name)), view(view_), mem(mem_),
-      intc(intc)
+      intc(intc), wdog(eq, [this]() {
+          // Poll the ISR; it consumes CQ entries by phase tag, so a
+          // poll with nothing completed is a no-op.
+          auto guard = alive;
+          onIrq();
+          return *guard && busyCount > 0;
+      })
 {
     sq = arena.alloc(sim::Bytes(kQueueDepth) * kSqEntrySize, 4096);
     cq = arena.alloc(sim::Bytes(kQueueDepth) * kCqEntrySize, 4096);
@@ -136,6 +142,7 @@ NvmeDriver::issueChunk(const std::shared_ptr<Op> &op)
     // Ring the doorbell.
     sqTail = (sqTail + 1) % kQueueDepth;
     view.write(IoSpace::Mmio, kBase + sqTailDb(1), sqTail, 4);
+    wdog.arm();
     return true;
 }
 
@@ -163,6 +170,11 @@ NvmeDriver::onIrq()
     if (any) {
         view.write(IoSpace::Mmio, kBase + cqHeadDb(1), cqHead, 4);
         pump();
+        // Progress resets the countdown; idle stops it.
+        if (busyCount > 0)
+            wdog.arm();
+        else
+            wdog.disarm();
     }
 }
 

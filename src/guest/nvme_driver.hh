@@ -18,6 +18,7 @@
 #include <memory>
 
 #include "guest/block_driver.hh"
+#include "guest/irq_watchdog.hh"
 #include "hw/interrupts.hh"
 #include "hw/io_bus.hh"
 #include "hw/mem_arena.hh"
@@ -53,6 +54,9 @@ class NvmeDriver : public sim::SimObject, public BlockDriver
 
     /** Commands currently issued (telemetry / tests). */
     unsigned slotsBusy() const { return busyCount; }
+
+    /** Lost-IRQ recovery watchdog (see guest/irq_watchdog.hh). */
+    IrqWatchdog &watchdog() { return wdog; }
 
   private:
     struct Op
@@ -102,6 +106,7 @@ class NvmeDriver : public sim::SimObject, public BlockDriver
     std::shared_ptr<bool> alive = std::make_shared<bool>(true);
     unsigned busyCount = 0;
     std::deque<std::shared_ptr<Op>> queue;
+    IrqWatchdog wdog;
 
     std::uint64_t numOps = 0;
     sim::Tick latencySum = 0;

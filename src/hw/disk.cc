@@ -123,6 +123,24 @@ Disk::serviceTime(const DiskRequest &req)
             rng.uniform() * static_cast<double>(params_.revolution));
         svc += seek + rot;
     }
+
+    if (faults && faults->anyActive()) {
+        sim::FaultSite err = req.isWrite
+                                 ? sim::FaultSite::DiskWriteError
+                                 : sim::FaultSite::DiskReadError;
+        if (faults->shouldFire(err, req.lba)) {
+            // A recoverable media error: the drive re-reads/rewrites
+            // the sector over several revolutions before succeeding,
+            // as real drives do before reporting UNC.
+            ++numMediaRetries;
+            svc += 3 * params_.revolution;
+        }
+        if (faults->shouldFire(sim::FaultSite::DiskLatencySpike,
+                               req.lba)) {
+            svc += faults->magnitude(sim::FaultSite::DiskLatencySpike,
+                                     50 * sim::kMs);
+        }
+    }
     return svc;
 }
 

@@ -23,6 +23,7 @@
 #include <functional>
 
 #include "hw/disk_store.hh"
+#include "simcore/fault_injector.hh"
 #include "simcore/random.hh"
 #include "simcore/sim_object.hh"
 #include "simcore/stats.hh"
@@ -96,7 +97,18 @@ class Disk : public sim::SimObject
     std::uint64_t seeks() const { return numSeeks; }
     /** Total media busy time (utilization = busyTime / elapsed). */
     sim::Tick busyTime() const { return mediaBusy; }
+    /** Injected media errors recovered by drive-internal retries. */
+    std::uint64_t mediaRetries() const { return numMediaRetries; }
     /// @}
+
+    /**
+     * Attach a fault injector (nullptr detaches).  Consulted per
+     * request for DiskReadError / DiskWriteError (keyed by LBA; the
+     * drive recovers with internal retries that cost extra
+     * revolutions) and DiskLatencySpike (one request takes an extra
+     * plan-magnitude delay).
+     */
+    void setFaultInjector(sim::FaultInjector *fi) { faults = fi; }
 
   private:
     void startNext();
@@ -107,6 +119,7 @@ class Disk : public sim::SimObject
     DiskParams params_;
     sim::Lba capSectors;
     sim::Rng rng;
+    sim::FaultInjector *faults = nullptr;
     DiskStore store_;
 
     std::deque<DiskRequest> queue;
@@ -123,6 +136,7 @@ class Disk : public sim::SimObject
     sim::Bytes writeBytes = 0;
     std::uint64_t numCacheHits = 0;
     std::uint64_t numSeeks = 0;
+    std::uint64_t numMediaRetries = 0;
     sim::Tick mediaBusy = 0;
 };
 

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "hw/virt_profile.hh"
+#include "simcore/fault_injector.hh"
 #include "simcore/sim_object.hh"
 
 namespace hw {
@@ -71,6 +72,25 @@ class InterruptController : public sim::SimObject
     raise(unsigned vector)
     {
         ++numRaised;
+        if (faults && faults->anyActive()) {
+            if (faults->shouldFire(sim::FaultSite::IrqLost, vector)) {
+                // The edge is swallowed: raised but never delivered.
+                // Handlers must be status-driven and device drivers
+                // need a watchdog to survive this.
+                ++numLost;
+                return;
+            }
+            if (faults->shouldFire(sim::FaultSite::IrqSpurious,
+                                   vector)) {
+                // An extra, unprompted edge trails the real one; the
+                // spurious-tolerance contract above makes this safe
+                // for correct handlers.
+                ++numInjectedSpurious;
+                ++numRaised;
+                schedule(baseLatency * 2,
+                         [this, vector]() { deliver(vector); });
+            }
+        }
         sim::Tick latency = baseLatency + profileFn().interruptExtraNs;
         schedule(latency, [this, vector]() { deliver(vector); });
     }
@@ -81,6 +101,18 @@ class InterruptController : public sim::SimObject
     std::uint64_t delivered() const { return numDelivered; }
     /** Interrupts raised with no handler registered (dropped). */
     std::uint64_t spurious() const { return numRaised - numDelivered; }
+    /** Injected fault telemetry. */
+    std::uint64_t lostIrqs() const { return numLost; }
+    std::uint64_t injectedSpurious() const
+    {
+        return numInjectedSpurious;
+    }
+
+    /**
+     * Attach a fault injector (nullptr detaches).  Consulted per
+     * raise() for IrqLost / IrqSpurious, keyed by vector number.
+     */
+    void setFaultInjector(sim::FaultInjector *fi) { faults = fi; }
 
   private:
     void
@@ -101,8 +133,11 @@ class InterruptController : public sim::SimObject
     std::map<unsigned, std::vector<std::pair<HandlerId, Handler>>>
         handlers;
     HandlerId nextHandlerId = 1;
+    sim::FaultInjector *faults = nullptr;
     std::uint64_t numRaised = 0;
     std::uint64_t numDelivered = 0;
+    std::uint64_t numLost = 0;
+    std::uint64_t numInjectedSpurious = 0;
 };
 
 /** A device's interrupt output pin, bound to one vector. */

@@ -102,6 +102,19 @@ class Machine : public sim::SimObject
     /** Number of physical cores. */
     unsigned cores() const { return cfg.cores; }
 
+    /**
+     * Attach a fault injector to this machine's fault sites (disk
+     * media errors / latency spikes, lost and spurious IRQs).  Pass
+     * nullptr to detach.  Network-side sites are attached on the
+     * net::Network itself.
+     */
+    void
+    setFaultInjector(sim::FaultInjector *fi)
+    {
+        disk_.setFaultInjector(fi);
+        intc_.setFaultInjector(fi);
+    }
+
   private:
     MachineConfig cfg;
     VirtProfile profile_;

@@ -66,10 +66,32 @@ Network::transmit(Port &from, Frame frame)
         return;
     }
 
+    // Injected faults, decided once per frame on the wire.  The wire
+    // time above is already charged, so a dropped frame still consumes
+    // sender bandwidth, just like a real collision or FCS failure.
+    bool duplicate = false;
+    sim::Tick extraDelay = 0;
+    if (faults && faults->anyActive()) {
+        if (faults->shouldFire(sim::FaultSite::NetDrop)) {
+            ++from.numDropped;
+            return;
+        }
+        if (faults->shouldFire(sim::FaultSite::NetCorrupt)) {
+            // Damaged payload fails the receiver's FCS check; the
+            // frame is never handed to the rx handler.
+            ++from.numDropped;
+            return;
+        }
+        duplicate = faults->shouldFire(sim::FaultSite::NetDuplicate);
+        if (faults->shouldFire(sim::FaultSite::NetReorder))
+            extraDelay = faults->magnitude(sim::FaultSite::NetReorder,
+                                           150 * sim::kUs);
+    }
+
     if (frame.dst == kBroadcastMac) {
         for (auto &[mac, port] : ports) {
             if (mac != from.mac())
-                deliverTo(*port, frame, depart);
+                deliverTo(*port, frame, depart, extraDelay);
         }
         return;
     }
@@ -81,16 +103,21 @@ Network::transmit(Port &from, Frame frame)
         ++from.numDropped;
         return;
     }
-    deliverTo(*dst, frame, depart);
+    deliverTo(*dst, frame, depart, extraDelay);
+    if (duplicate) {
+        // The duplicate trails the original by one switch traversal.
+        deliverTo(*dst, frame, depart, extraDelay + switchLat);
+    }
 }
 
 void
-Network::deliverTo(Port &dst, const Frame &frame, sim::Tick depart)
+Network::deliverTo(Port &dst, const Frame &frame, sim::Tick depart,
+                   sim::Tick extraDelay)
 {
     double bits = static_cast<double>(frame.wireSize()) * 8.0;
     auto rx_time = static_cast<sim::Tick>(
         bits / dst.cfg.bitsPerSec * static_cast<double>(sim::kSec));
-    sim::Tick arrive = depart + switchLat;
+    sim::Tick arrive = depart + switchLat + extraDelay;
     sim::Tick start = std::max(arrive, dst.rxFreeAt);
     sim::Tick done = start + rx_time;
     dst.rxFreeAt = done;

@@ -18,6 +18,7 @@
 #include <string>
 
 #include "net/frame.hh"
+#include "simcore/fault_injector.hh"
 #include "simcore/random.hh"
 #include "simcore/sim_object.hh"
 #include "simcore/stats.hh"
@@ -103,14 +104,24 @@ class Network : public sim::SimObject
     /** Total frames forwarded. */
     std::uint64_t framesForwarded() const { return numForwarded; }
 
+    /**
+     * Attach a fault injector (nullptr detaches).  Consulted per
+     * transmitted frame for the NetDrop / NetDuplicate / NetReorder /
+     * NetCorrupt sites; corruption is modeled as a receiver-side FCS
+     * drop (the frame never reaches the handler).
+     */
+    void setFaultInjector(sim::FaultInjector *fi) { faults = fi; }
+
   private:
     friend class Port;
 
     void transmit(Port &from, Frame frame);
-    void deliverTo(Port &dst, const Frame &frame, sim::Tick depart);
+    void deliverTo(Port &dst, const Frame &frame, sim::Tick depart,
+                   sim::Tick extraDelay = 0);
 
     sim::Tick switchLat;
     sim::Rng rng;
+    sim::FaultInjector *faults = nullptr;
     std::map<MacAddr, std::unique_ptr<Port>> ports;
     std::uint64_t numForwarded = 0;
 };

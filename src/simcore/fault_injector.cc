@@ -1,0 +1,149 @@
+#include "simcore/fault_injector.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace sim {
+
+const char *
+faultSiteName(FaultSite site)
+{
+    switch (site) {
+      case FaultSite::NetDrop: return "net.drop";
+      case FaultSite::NetDuplicate: return "net.duplicate";
+      case FaultSite::NetReorder: return "net.reorder";
+      case FaultSite::NetCorrupt: return "net.corrupt";
+      case FaultSite::DiskReadError: return "disk.read_error";
+      case FaultSite::DiskWriteError: return "disk.write_error";
+      case FaultSite::DiskLatencySpike: return "disk.latency_spike";
+      case FaultSite::ServerStall: return "server.stall";
+      case FaultSite::ServerCrash: return "server.crash";
+      case FaultSite::ServerRestart: return "server.restart";
+      case FaultSite::IrqLost: return "irq.lost";
+      case FaultSite::IrqSpurious: return "irq.spurious";
+      case FaultSite::kCount: break;
+    }
+    return "?";
+}
+
+FaultInjector::FaultInjector(std::uint64_t seed) : seed_(seed) {}
+
+void
+FaultInjector::arm(FaultSite site, SitePlan plan)
+{
+    assert(site != FaultSite::kCount);
+    assert(std::is_sorted(plan.fireOn.begin(), plan.fireOn.end()));
+    Site &s = at(site);
+    if (!s.armed)
+        ++numArmed_;
+    s.armed = true;
+    s.plan = std::move(plan);
+    // A fresh stream per arm(): re-arming the same site in a second
+    // run replays the same draws regardless of earlier plans.
+    s.rng = Rng(Rng::seedFrom(faultSiteName(site), seed_));
+}
+
+void
+FaultInjector::disarm(FaultSite site)
+{
+    Site &s = at(site);
+    if (s.armed)
+        --numArmed_;
+    s.armed = false;
+}
+
+bool
+FaultInjector::exhausted(const Site &s) const
+{
+    if (s.plan.maxTriggers && s.stats.triggers >= s.plan.maxTriggers)
+        return true;
+    if (!s.plan.fireOn.empty())
+        return s.stats.eligible >= s.plan.fireOn.back();
+    return s.plan.probability <= 0.0;
+}
+
+bool
+FaultInjector::active(FaultSite site) const
+{
+    const Site &s = at(site);
+    return s.armed && !exhausted(s);
+}
+
+bool
+FaultInjector::shouldFire(FaultSite site, std::uint64_t key)
+{
+    Site &s = at(site);
+    if (!s.armed)
+        return false;
+    ++s.stats.queries;
+    if (key < s.plan.keyLo || key > s.plan.keyHi)
+        return false;
+    ++s.stats.eligible;
+    if (s.plan.maxTriggers && s.stats.triggers >= s.plan.maxTriggers)
+        return false;
+
+    bool fire;
+    if (!s.plan.fireOn.empty()) {
+        fire = std::binary_search(s.plan.fireOn.begin(),
+                                  s.plan.fireOn.end(),
+                                  s.stats.eligible);
+    } else {
+        fire = s.plan.probability > 0.0 &&
+               s.rng.chance(s.plan.probability);
+    }
+    if (fire)
+        ++s.stats.triggers;
+    return fire;
+}
+
+void
+FaultInjector::noteFired(FaultSite site)
+{
+    ++at(site).stats.triggers;
+}
+
+Tick
+FaultInjector::magnitude(FaultSite site, Tick def) const
+{
+    const Site &s = at(site);
+    return (s.armed && s.plan.magnitude) ? s.plan.magnitude : def;
+}
+
+std::uint64_t
+FaultInjector::triggers(FaultSite site) const
+{
+    return at(site).stats.triggers;
+}
+
+std::uint64_t
+FaultInjector::queries(FaultSite site) const
+{
+    return at(site).stats.queries;
+}
+
+const SiteStats &
+FaultInjector::stats(FaultSite site) const
+{
+    return at(site).stats;
+}
+
+std::string
+FaultInjector::summary() const
+{
+    std::ostringstream os;
+    bool first = true;
+    for (unsigned i = 0; i < kNumFaultSites; ++i) {
+        const Site &s = sites_[i];
+        if (!s.armed && !s.stats.triggers && !s.stats.queries)
+            continue;
+        if (!first)
+            os << " ";
+        first = false;
+        os << faultSiteName(static_cast<FaultSite>(i)) << "="
+           << s.stats.triggers << "/" << s.stats.queries;
+    }
+    return os.str();
+}
+
+} // namespace sim

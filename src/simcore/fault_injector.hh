@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Central, seed-deterministic fault injection.
+ *
+ * A FaultInjector is a passive registry of per-site fault plans that
+ * instrumented components consult at well-defined *fault sites* (frame
+ * transmission, disk service, IRQ delivery, AoE request intake, ...).
+ * Components hold a plain pointer that is null by default; the hot
+ * paths pay one branch when no injector is attached and draw no random
+ * numbers when a site is unarmed, so runs without a fault plan are
+ * bit-identical to runs built before this subsystem existed.
+ *
+ * Determinism contract:
+ *  - Each site owns an independent Rng stream seeded from
+ *    Rng::seedFrom(faultSiteName(site), seed), so arming one site never
+ *    perturbs the draws of another.
+ *  - A probability draw happens only for queries that pass the plan's
+ *    key filter and occurrence script; scripted plans ("fire on the
+ *    3rd and 7th eligible occurrence") draw nothing at all.
+ *  - Every query and every trigger is counted per site, so tests can
+ *    assert exactly what fired.
+ */
+
+#ifndef SIMCORE_FAULT_INJECTOR_HH
+#define SIMCORE_FAULT_INJECTOR_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simcore/random.hh"
+#include "simcore/types.hh"
+
+namespace sim {
+
+/** Instrumented fault sites, one per failure mode. */
+enum class FaultSite : unsigned {
+    NetDrop = 0,      ///< Frame vanishes in flight.
+    NetDuplicate,     ///< Frame is delivered twice.
+    NetReorder,       ///< Frame is delayed behind later traffic.
+    NetCorrupt,       ///< Payload damaged; FCS check drops it at rx.
+    DiskReadError,    ///< Media error on read; drive retries internally.
+    DiskWriteError,   ///< Media error on write; drive retries internally.
+    DiskLatencySpike, ///< One request takes an extra `magnitude` ticks.
+    ServerStall,      ///< AoE server freezes for `magnitude` ticks.
+    ServerCrash,      ///< AoE server goes offline (state lost).
+    ServerRestart,    ///< Derived: a crashed server came back.
+    IrqLost,          ///< Interrupt raised but never delivered.
+    IrqSpurious,      ///< An extra, unprompted interrupt delivery.
+    kCount
+};
+
+constexpr std::size_t kNumFaultSites =
+    static_cast<std::size_t>(FaultSite::kCount);
+
+/** Stable site name (also the per-site Rng stream label). */
+const char *faultSiteName(FaultSite site);
+
+/**
+ * What to inject at one site.  A plan is "armed" if it can still fire:
+ * either `probability` > 0 or `fireOn` lists occurrence indices not yet
+ * reached, and the trigger budget is not exhausted.
+ */
+struct SitePlan
+{
+    /** Per-eligible-occurrence Bernoulli probability. */
+    double probability = 0.0;
+
+    /**
+     * Scripted occurrences: 1-based indices (ascending) of *eligible*
+     * queries that must fire.  Takes precedence over `probability`
+     * when non-empty; no random numbers are drawn.
+     */
+    std::vector<std::uint64_t> fireOn;
+
+    /** Stop firing after this many triggers (0 = unlimited). */
+    std::uint64_t maxTriggers = 0;
+
+    /**
+     * Key filter: the query is eligible only when its key (LBA for
+     * disk sites, IRQ vector for interrupt sites, 0 elsewhere) lies in
+     * [keyLo, keyHi].  Default accepts everything.
+     */
+    std::uint64_t keyLo = 0;
+    std::uint64_t keyHi = UINT64_MAX;
+
+    /** Site-specific magnitude (stall/spike duration, reorder delay). */
+    Tick magnitude = 0;
+};
+
+/** Per-site observability counters. */
+struct SiteStats
+{
+    std::uint64_t queries = 0;  ///< shouldFire() calls while armed.
+    std::uint64_t eligible = 0; ///< queries that passed the key filter.
+    std::uint64_t triggers = 0; ///< faults actually injected.
+};
+
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(std::uint64_t seed = 1);
+
+    /** Arm @p site with @p plan (replaces any existing plan). */
+    void arm(FaultSite site, SitePlan plan);
+
+    /** Disarm @p site; its counters are preserved. */
+    void disarm(FaultSite site);
+
+    /** True while @p site has a plan that can still fire. */
+    bool active(FaultSite site) const;
+
+    /** True if any site is armed (cheap whole-injector gate). */
+    bool anyActive() const { return numArmed_ > 0; }
+
+    /**
+     * The injection decision.  Must be called exactly once per
+     * potential fault occurrence at an instrumented site.  Returns
+     * false immediately (no counter, no draw) when the site is
+     * unarmed.
+     */
+    bool shouldFire(FaultSite site, std::uint64_t key = 0);
+
+    /**
+     * Record a derived fault event that was not decided by
+     * shouldFire() — e.g. the automatic restart that follows a
+     * scripted crash.  Counts as a trigger.
+     */
+    void noteFired(FaultSite site);
+
+    /** Plan magnitude for @p site, or @p def when unset/unarmed. */
+    Tick magnitude(FaultSite site, Tick def = 0) const;
+
+    std::uint64_t triggers(FaultSite site) const;
+    std::uint64_t queries(FaultSite site) const;
+    const SiteStats &stats(FaultSite site) const;
+
+    /** One "site=triggers/queries" line per armed-or-fired site. */
+    std::string summary() const;
+
+  private:
+    struct Site
+    {
+        bool armed = false;
+        SitePlan plan;
+        SiteStats stats;
+        Rng rng{0};
+    };
+
+    Site &at(FaultSite s) { return sites_[static_cast<unsigned>(s)]; }
+    const Site &at(FaultSite s) const
+    {
+        return sites_[static_cast<unsigned>(s)];
+    }
+    bool exhausted(const Site &s) const;
+
+    std::array<Site, kNumFaultSites> sites_;
+    std::uint64_t seed_;
+    unsigned numArmed_ = 0;
+};
+
+} // namespace sim
+
+#endif // SIMCORE_FAULT_INJECTOR_HH

@@ -17,10 +17,12 @@
 #include "hw/machine.hh"
 #include "net/network.hh"
 #include "simcore/event_queue.hh"
+#include "simcore/fault_injector.hh"
 
 namespace testutil {
 
 constexpr net::MacAddr kServerMac = 0x525400000001ULL;
+constexpr net::MacAddr kServer2Mac = 0x525400000002ULL;
 constexpr net::MacAddr kGuestMac = 0x525400000010ULL;
 constexpr net::MacAddr kMgmtMac = 0x525400000011ULL;
 
@@ -53,6 +55,9 @@ struct RigOptions
     unsigned serverWorkers = 4;
     double lossProbability = 0.0;
     bool tinyBoot = true;
+    /** Attach a secondary AoE server ("server2") with the same
+     *  image for failover tests. */
+    bool secondaryServer = false;
 };
 
 /** The rig. */
@@ -70,6 +75,14 @@ struct Rig
         server = std::make_unique<aoe::AoeServer>(eq, "server",
                                                   serverPort, sp);
         server->addTarget(0, 0, opt.imageSectors, kImageBase);
+
+        if (opt.secondaryServer) {
+            net::Port &p2 = lan.attach(
+                kServer2Mac, net::PortConfig{1e9, 9000, 0.0});
+            server2 = std::make_unique<aoe::AoeServer>(
+                eq, "server2", p2, sp);
+            server2->addTarget(0, 0, opt.imageSectors, kImageBase);
+        }
 
         hw::MachineConfig mc;
         mc.name = "node0";
@@ -103,11 +116,23 @@ struct Rig
         return p;
     }
 
+    /** Wire a fault injector into every site of this rig. */
+    void
+    attachInjector(sim::FaultInjector &fi)
+    {
+        lan.setFaultInjector(&fi);
+        machine->setFaultInjector(&fi);
+        server->setFaultInjector(&fi);
+        if (server2)
+            server2->setFaultInjector(&fi);
+    }
+
     RigOptions opts;
     sim::EventQueue eq;
     net::Network lan;
     net::Port &serverPort;
     std::unique_ptr<aoe::AoeServer> server;
+    std::unique_ptr<aoe::AoeServer> server2;
     std::unique_ptr<hw::Machine> machine;
     std::unique_ptr<guest::GuestOs> guest;
 };
