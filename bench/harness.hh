@@ -13,6 +13,7 @@
 #define BENCH_HARNESS_HH
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <vector>
@@ -26,50 +27,35 @@
 #include "hw/ib_hca.hh"
 #include "hw/machine.hh"
 #include "net/network.hh"
+#include "obs/chrome_trace.hh"
+#include "obs/obs.hh"
+#include "obs/run_report.hh"
 #include "simcore/table.hh"
 
 namespace bench {
 
-/** Dump a queue's kernel counters (see simcore/stats.hh). */
+/** Dump a queue's kernel counters through the obs registry (the one
+ *  rendering path for all run statistics). */
 inline void
 printKernelCounters(const sim::EventQueue &eq,
                     std::ostream &os = std::cout)
 {
-    const sim::KernelCounters &k = eq.counters();
-    sim::Table t({"Kernel counter", "Value"});
-    t.addRow({"events scheduled", std::to_string(k.scheduled)});
-    t.addRow({"events executed", std::to_string(k.executed)});
-    t.addRow({"events cancelled", std::to_string(k.cancelled)});
-    t.addRow({"tombstones popped", std::to_string(k.tombstonesPopped)});
-    t.addRow({"callbacks spilled to heap",
-              std::to_string(k.spilledCallbacks)});
-    t.addRow({"peak pending", std::to_string(k.peakPending)});
-    t.addRow({"wall ns / M executed",
-              sim::Table::num(k.wallNsPerMillionExecuted(), 0)});
-    t.print(os);
+    obs::Registry reg;
+    sim::publishKernelCounters(reg, "", eq.counters());
+    reg.printTable(os);
 }
 
-/** Dump mediator statistics snapshots (one row per mediator). */
+/** Dump mediator statistics snapshots through the obs registry. */
 inline void
 printMediatorStats(
     const std::vector<std::pair<std::string, bmcast::MediatorStats>>
         &snaps,
     std::ostream &os = std::cout)
 {
-    sim::Table t({"Mediator", "pt reads", "pt writes", "redirects",
-                  "fetched", "mixed", "vmm ops", "queued wr",
-                  "reserved", "dummies"});
+    obs::Registry reg;
     for (const auto &[label, s] : snaps)
-        t.addRow({label, std::to_string(s.passthroughReads),
-                  std::to_string(s.passthroughWrites),
-                  std::to_string(s.redirectedReads),
-                  std::to_string(s.redirectedSectors),
-                  std::to_string(s.mixedRedirects),
-                  std::to_string(s.vmmOps),
-                  std::to_string(s.queuedGuestWrites),
-                  std::to_string(s.reservedConversions),
-                  std::to_string(s.dummyRestarts)});
-    t.print(os);
+        bmcast::publishMediatorStats(reg, label, s);
+    reg.printTable(os);
 }
 
 constexpr net::MacAddr kServerMac = 0x525400000001ULL;
@@ -118,19 +104,62 @@ struct Testbed
 
         for (unsigned i = 0; i < numMachines; ++i)
             addMachine(storage);
+
+        // Opt-in tracing for any bench binary: BMCAST_TRACE=<path>
+        // arms a tracer for the run and writes a Chrome trace_event
+        // JSON (chrome://tracing / Perfetto), a deployment-timeline
+        // report (<path>.report.json) and a metrics snapshot
+        // (<path>.metrics.json) at teardown. A second Testbed in the
+        // same process gets numbered paths (<path>.1, ...).
+        if (const char *path = std::getenv("BMCAST_TRACE")) {
+            static unsigned instance = 0;
+            tracePath = path;
+            if (instance > 0)
+                tracePath += "." + std::to_string(instance);
+            ++instance;
+            tracer = std::make_unique<obs::Tracer>();
+            obs::arm(tracer.get());
+            obs::setClock(
+                [](const void *ctx) {
+                    return static_cast<const sim::EventQueue *>(ctx)
+                        ->now();
+                },
+                &eq);
+            obs::setMetrics(&metrics);
+            sim::setLogClock([this]() { return eq.now(); });
+        }
     }
 
     ~Testbed()
     {
-        // Opt-in kernel-profiling report for any bench binary.
-        if (std::getenv("BMCAST_KERNEL_STATS")) {
-            std::cout << "\nSimulation-kernel counters:\n";
-            printKernelCounters(eq);
-            if (!mediatorSnaps.empty()) {
-                std::cout << "\nMediator statistics:\n";
-                printMediatorStats(mediatorSnaps);
-            }
+        if (tracer) {
+            sim::setLogClock({});
+            publishStats();
+            obs::writeChromeTraceFile(tracePath, *tracer);
+            obs::RunReport::build(*tracer).writeJsonFile(
+                tracePath + ".report.json");
+            std::ofstream mf(tracePath + ".metrics.json");
+            if (mf)
+                metrics.writeJson(mf);
+            obs::setMetrics(nullptr);
+            obs::disarm();
         }
+        // Opt-in kernel-profiling report for any bench binary,
+        // rendered from the same registry the trace snapshot uses.
+        if (std::getenv("BMCAST_KERNEL_STATS")) {
+            publishStats();
+            std::cout << "\nSimulation-kernel counters:\n";
+            metrics.printTable(std::cout);
+        }
+    }
+
+    /** Snapshot native counters into the testbed registry. */
+    void
+    publishStats()
+    {
+        sim::publishKernelCounters(metrics, "", eq.counters());
+        for (const auto &[label, s] : mediatorSnaps)
+            bmcast::publishMediatorStats(metrics, label, s);
     }
 
     hw::Machine &
@@ -197,6 +226,13 @@ struct Testbed
     std::vector<std::unique_ptr<guest::GuestOs>> guests;
     std::vector<std::pair<std::string, bmcast::MediatorStats>>
         mediatorSnaps;
+
+    /** Always present (cheap when idle): the run's metric registry.
+     *  Installed globally via obs::setMetrics while tracing is
+     *  armed. */
+    obs::Registry metrics;
+    std::unique_ptr<obs::Tracer> tracer;
+    std::string tracePath;
 };
 
 /** Default VMM parameters used by the benches (calibrated;

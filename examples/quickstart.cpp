@@ -8,6 +8,10 @@
  * boots immediately under copy-on-read, the background copy fills
  * the local disk, and the VMM de-virtualizes itself away.
  *
+ * The run is traced through sim::obs: a Chrome trace_event JSON
+ * (load quickstart.trace.json in chrome://tracing or Perfetto) and a
+ * deployment-timeline report are written next to the binary.
+ *
  * Build & run:
  *   cmake -B build -G Ninja && cmake --build build
  *   ./build/examples/quickstart
@@ -20,11 +24,24 @@
 #include "guest/guest_os.hh"
 #include "hw/machine.hh"
 #include "net/network.hh"
+#include "obs/chrome_trace.hh"
+#include "obs/obs.hh"
+#include "obs/run_report.hh"
 
 int
 main()
 {
     sim::EventQueue eq;
+
+    // --- Observability: arm a tracer for the whole run. Every layer
+    // is instrumented but records nothing until this call.
+    obs::Tracer tracer;
+    obs::arm(&tracer);
+    obs::setClock(
+        [](const void *ctx) {
+            return static_cast<const sim::EventQueue *>(ctx)->now();
+        },
+        &eq);
 
     // --- The provider's infrastructure: a management LAN with an
     // AoE storage server exporting a 4-GiB golden image.
@@ -86,5 +103,15 @@ main()
               << "\n  intercepts removed: "
               << (machine.bus().anyInterceptActive() ? "NO" : "yes")
               << "\n  profile: " << machine.profile().name << "\n";
+
+    // --- Export the trace and the reconstructed timeline.
+    obs::disarm();
+    obs::writeChromeTraceFile("quickstart.trace.json", tracer);
+    obs::RunReport report = obs::RunReport::build(tracer);
+    report.writeJsonFile("quickstart.report.json");
+    std::cout << "\nTrace: quickstart.trace.json ("
+              << tracer.recorded() << " events, "
+              << report.events().size() << " milestones; open in "
+                 "chrome://tracing or ui.perfetto.dev)\n";
     return 0;
 }

@@ -12,7 +12,8 @@ AoeInitiator::AoeInitiator(sim::EventQueue &eq, std::string name,
                            InitiatorParams params_)
     : sim::SimObject(eq, std::move(name)),
       nic(nic_), server(server_mac), params(params_),
-      rng(sim::Rng::seedFrom(this->name() + ".backoff", params_.seed))
+      rng(sim::Rng::seedFrom(this->name() + ".backoff", params_.seed)),
+      obsTrack_(this->name())
 {
     nic.setRxHandler([this](const net::Frame &f) { onFrame(f); });
 }
@@ -121,6 +122,12 @@ AoeInitiator::issue(bool is_write, sim::Lba lba, std::uint32_t count,
     auto [it, ok] = pending.emplace(tag, std::move(p));
     sim::panicIfNot(ok, "AoE tag collision");
     ++numRequests;
+    if (obs::armed()) {
+        obs::Tracer &t = obs::tracer();
+        t.asyncBegin(obsTrack_.id(t), "aoe",
+                     is_write ? "write" : "read", obsFlowId(tag),
+                     now());
+    }
     sendRequest(tag, it->second);
 }
 
@@ -128,6 +135,11 @@ void
 AoeInitiator::sendRequest(std::uint32_t tag, Pending &p)
 {
     p.lastSent = now();
+    if (obs::armed()) {
+        obs::Tracer &t = obs::tracer();
+        t.flowBegin(obsTrack_.id(t), "aoe", "request",
+                    obsFlowId(tag), now());
+    }
     std::uint32_t per_frame = sectorsPerFrame(nic.mtu());
 
     if (!p.isWrite) {
@@ -191,6 +203,11 @@ void
 AoeInitiator::retarget(net::MacAddr new_server)
 {
     server = new_server;
+    if (obs::armed()) {
+        obs::Tracer &t = obs::tracer();
+        t.milestone(obsTrack_.id(t), "aoe.retarget", now(),
+                    static_cast<double>(pending.size()));
+    }
     // Everything in flight was addressed to the dead server; resend
     // it all to the new one with a fresh budget.
     for (auto &[tag, p] : pending) {
@@ -214,6 +231,11 @@ AoeInitiator::onTimeout(std::uint32_t tag)
         // handler rescues the request (typically by retargeting to a
         // secondary server first).
         ++numErrors;
+        if (obs::armed()) {
+            obs::Tracer &t = obs::tracer();
+            t.instant(obsTrack_.id(t), "aoe", "terminal_error",
+                      now(), static_cast<double>(p.retries));
+        }
         DeployError err{p.isWrite, p.lba, p.count, p.retries, server};
         ErrorAction action = errorHandler ? errorHandler(err)
                                           : ErrorAction::Drop;
@@ -241,6 +263,11 @@ AoeInitiator::onTimeout(std::uint32_t tag)
 
     ++p.retries;
     ++numRetx;
+    if (obs::armed()) {
+        obs::Tracer &t = obs::tracer();
+        t.instant(obsTrack_.id(t), "aoe", "retransmit", now(),
+                  static_cast<double>(p.retries));
+    }
     if (p.retries % params.warnEveryRetries == 0) {
         sim::warn(name(), ": request tag ", tag, " retried ",
                   p.retries, " times (server unreachable?)");
@@ -303,6 +330,22 @@ void
 AoeInitiator::completeRequest(std::uint32_t tag, Pending &p)
 {
     eventQueue().cancel(p.timer);
+
+    if (obs::armed()) {
+        obs::Tracer &t = obs::tracer();
+        const std::uint32_t track = obsTrack_.id(t);
+        t.flowEnd(track, "aoe", "response", obsFlowId(tag), now());
+        t.asyncEnd(track, "aoe", p.isWrite ? "write" : "read",
+                   obsFlowId(tag), now());
+    }
+    if (obs::metricsOn()) {
+        if (rttHistEpoch_ != obs::metricsEpoch()) {
+            rttHist_ =
+                &obs::metrics().histogram("aoe.rtt_ns", name());
+            rttHistEpoch_ = obs::metricsEpoch();
+        }
+        rttHist_->record(now() - p.lastSent);
+    }
 
     // RTT sample only from first transmissions (Karn's rule).
     if (p.retries == 0) {

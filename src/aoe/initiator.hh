@@ -20,6 +20,7 @@
 
 #include "net/l2.hh"
 #include "aoe/protocol.hh"
+#include "obs/obs.hh"
 #include "simcore/random.hh"
 #include "simcore/sim_object.hh"
 
@@ -187,6 +188,18 @@ class AoeInitiator : public sim::SimObject
     std::uint64_t numErrors = 0;
     sim::Bytes bytesRead = 0;
     sim::Bytes bytesWritten = 0;
+
+    /** Flow/async correlation id shared with the server side: both
+     *  ends derive it from (client MAC, tag) alone. */
+    std::uint64_t
+    obsFlowId(std::uint32_t tag) const
+    {
+        return aoeFlowId(nic.localMac(), tag);
+    }
+
+    obs::Track obsTrack_;
+    obs::Histogram *rttHist_ = nullptr;
+    std::uint64_t rttHistEpoch_ = 0;
 };
 
 } // namespace aoe

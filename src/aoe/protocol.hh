@@ -90,6 +90,16 @@ sectorsPerFrame(sim::Bytes mtu)
                                       sim::kSectorSize);
 }
 
+/** Trace-correlation id for one AoE exchange, computable at either
+ *  end: the initiator from its NIC MAC, the server from the frame
+ *  source. Ties the request flow, the server's service span, and
+ *  the response together in an obs trace. */
+constexpr std::uint64_t
+aoeFlowId(net::MacAddr client, std::uint32_t tag)
+{
+    return ((client & 0xFFFFFFULL) << 32) | tag;
+}
+
 } // namespace aoe
 
 #endif // AOE_PROTOCOL_HH

@@ -11,7 +11,8 @@ AoeServer::AoeServer(sim::EventQueue &eq, std::string name,
     : sim::SimObject(eq, std::move(name)),
       port(port_), params_(params),
       rng(sim::Rng::seedFrom(this->name(), 3)),
-      workerFreeAt(std::max(1u, params.workers), 0)
+      workerFreeAt(std::max(1u, params.workers), 0),
+      obsTrack_(this->name())
 {
     sim::fatalIf(params.workers == 0, "AoE server needs >= 1 worker");
     port.onReceive([this](const net::Frame &f) { onFrame(f); });
@@ -49,6 +50,11 @@ AoeServer::crash()
     ++numCrashes;
     queue.clear();
     assemblies.clear();
+    if (obs::armed()) {
+        obs::Tracer &t = obs::tracer();
+        t.milestone(obsTrack_.id(t), "server.crash", now(),
+                    static_cast<double>(epoch_));
+    }
     sim::debug(name(), ": crashed at ", now());
 }
 
@@ -64,6 +70,11 @@ AoeServer::restart()
     diskFreeAt = 0;
     diskHead = 0;
     stallUntil_ = 0;
+    if (obs::armed()) {
+        obs::Tracer &t = obs::tracer();
+        t.milestone(obsTrack_.id(t), "server.restart", now(),
+                    static_cast<double>(epoch_));
+    }
     sim::debug(name(), ": restarted at ", now());
 }
 
@@ -209,6 +220,19 @@ AoeServer::serve(unsigned worker, Job job)
     sim::Tick start =
         std::max({now(), workerFreeAt[worker], stallUntil_});
 
+    // Service span recorded up front with its (already computable)
+    // end tick; ties into the initiator's flow via aoeFlowId.
+    auto trace_serve = [&](const char *what, sim::Tick end) {
+        if (!obs::armed())
+            return;
+        obs::Tracer &t = obs::tracer();
+        const std::uint32_t track = obsTrack_.id(t);
+        const std::uint64_t id = aoeFlowId(job.client, req.tag);
+        t.flowStep(track, "aoe", "serve", id, now());
+        t.asyncBegin(track, "server", what, id, start);
+        t.asyncEnd(track, "server", what, id, end);
+    };
+
     auto send_at = [this](sim::Tick when, Message resp,
                           net::MacAddr dst) {
         eventQueue().scheduleAt(
@@ -235,6 +259,7 @@ AoeServer::serve(unsigned worker, Job job)
         workerFreeAt[worker] = done;
         busyTime += done - start;
         ++numServed;
+        trace_serve("discover", done);
         send_at(done, std::move(resp), job.client);
         return;
     }
@@ -298,6 +323,7 @@ AoeServer::serve(unsigned worker, Job job)
         workerFreeAt[worker] = ack_at;
         busyTime += params_.cpuPerRequest + params_.cpuPerFragment;
         ++numServed;
+        trace_serve("serve_write", ack_at);
         resp.sectors = 0;
         send_at(ack_at, std::move(resp), job.client);
         return;
@@ -348,6 +374,7 @@ AoeServer::serve(unsigned worker, Job job)
                     params_.cpuPerFragment;
     ++numServed;
     bytesOut += bytes;
+    trace_serve("serve_read", t);
 }
 
 } // namespace aoe

@@ -20,6 +20,7 @@
 #include "aoe/protocol.hh"
 #include "hw/disk_store.hh"
 #include "net/network.hh"
+#include "obs/obs.hh"
 #include "simcore/fault_injector.hh"
 #include "simcore/random.hh"
 #include "simcore/sim_object.hh"
@@ -178,6 +179,8 @@ class AoeServer : public sim::SimObject
     std::uint64_t numCrashes = 0;
     std::uint64_t numRestarts = 0;
     std::uint64_t offlineDrops = 0;
+
+    obs::Track obsTrack_;
 };
 
 } // namespace aoe

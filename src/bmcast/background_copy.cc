@@ -17,8 +17,18 @@ BackgroundCopy::BackgroundCopy(sim::EventQueue &eq, std::string name,
       params(params_), mod(params_.moderation), mediator(mediator_),
       bitmap(bitmap_), fetch(std::move(fetch_)),
       imageSectors(image_sectors), onComplete(std::move(on_complete)),
-      guestIoRate(params_.moderation.guestIoWindow)
+      guestIoRate(params_.moderation.guestIoWindow),
+      obsTrack_(this->name())
 {
+}
+
+void
+BackgroundCopy::noteMilestone(const char *what, double value)
+{
+    if (!obs::armed())
+        return;
+    obs::Tracer &t = obs::tracer();
+    t.milestone(obsTrack_.id(t), what, now(), value);
 }
 
 void
@@ -37,6 +47,8 @@ BackgroundCopy::noteFetchTrouble()
     if (degradeShift < 6) {
         ++degradeShift;
         ++numDegrades;
+        noteMilestone("copy.degrade",
+                      static_cast<double>(degradeShift));
         sim::inform(name(), ": fetch trouble; pacing backed off to ",
                     sim::toMillis(pacedInterval()), " ms");
     }
@@ -62,6 +74,7 @@ BackgroundCopy::stopSuspendPoll()
     if (suspendPollActive) {
         eventQueue().cancel(suspendPoll);
         suspendPollActive = false;
+        noteMilestone("copy.resume");
     }
 }
 
@@ -165,6 +178,8 @@ BackgroundCopy::writerWake()
         ++numSuspends;
         writerArmed = true; // the poll below is the pending wake-up
         if (!suspendPollActive) {
+            noteMilestone("copy.suspend",
+                          static_cast<double>(numSuspends));
             suspendPollActive = true;
             suspendPoll =
                 schedulePeriodic(mod.vmmWriteSuspendInterval,
@@ -287,6 +302,8 @@ BackgroundCopy::checkComplete()
     if (bitmap.isFilled(0, imageSectors)) {
         done = true;
         running = false;
+        noteMilestone("copy.complete",
+                      static_cast<double>(written / sim::kMiB));
         sim::inform(name(), ": deployment copy complete (",
                     written / sim::kMiB, " MiB written by VMM)");
         if (onComplete)

@@ -28,6 +28,7 @@
 #include "bmcast/block_bitmap.hh"
 #include "bmcast/mediator.hh"
 #include "bmcast/params.hh"
+#include "obs/obs.hh"
 #include "simcore/sim_object.hh"
 #include "simcore/stats.hh"
 
@@ -108,6 +109,8 @@ class BackgroundCopy : public sim::SimObject
     /** One-shot writer wake-up @p delay ticks out. */
     void armWriter(sim::Tick delay);
     void stopSuspendPoll();
+    /** Record an obs moderation milestone (no-op when disarmed). */
+    void noteMilestone(const char *what, double value = 0.0);
     /** The write interval scaled by the degradation backoff. */
     sim::Tick pacedInterval() const
     {
@@ -154,6 +157,8 @@ class BackgroundCopy : public sim::SimObject
     std::uint64_t skipped = 0;
     std::uint64_t numSuspends = 0;
     std::uint64_t numDegrades = 0;
+
+    obs::Track obsTrack_;
 };
 
 } // namespace bmcast

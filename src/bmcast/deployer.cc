@@ -12,7 +12,8 @@ BmcastDeployer::BmcastDeployer(sim::EventQueue &eq, std::string name,
                                VmmParams params, bool cold_firmware,
                                bool vmxoff_supported)
     : sim::SimObject(eq, std::move(name)),
-      machine_(machine), guest(guest_), coldFirmware(cold_firmware)
+      machine_(machine), guest(guest_), coldFirmware(cold_firmware),
+      obsTrack_(this->name())
 {
     vmm_ = std::make_unique<Vmm>(eq, this->name() + ".vmm", machine,
                                  server_mac, image_sectors, params,
@@ -27,7 +28,8 @@ BmcastDeployer::BmcastDeployer(sim::EventQueue &eq, std::string name,
                                VmmParams params, bool cold_firmware,
                                bool vmxoff_supported)
     : sim::SimObject(eq, std::move(name)),
-      machine_(machine), guest(guest_), coldFirmware(cold_firmware)
+      machine_(machine), guest(guest_), coldFirmware(cold_firmware),
+      obsTrack_(this->name())
 {
     vmm_ = std::make_unique<Vmm>(eq, this->name() + ".vmm", machine,
                                  std::move(server_macs),
@@ -36,25 +38,47 @@ BmcastDeployer::BmcastDeployer(sim::EventQueue &eq, std::string name,
 }
 
 void
+BmcastDeployer::noteMilestone(const char *what)
+{
+    if (!obs::armed())
+        return;
+    obs::Tracer &t = obs::tracer();
+    t.milestone(obsTrack_.id(t), what, now());
+}
+
+void
 BmcastDeployer::run(std::function<void()> on_guest_ready)
 {
     guestReadyCb = std::move(on_guest_ready);
     tl.powerOn = now();
+    noteMilestone("deploy.power_on");
 
     vmm_->onBareMetal([this]() {
         tl.copyComplete =
             vmm_->phaseEnteredAt(Vmm::Phase::Devirtualization);
         tl.bareMetal = now();
+        if (obs::armed()) {
+            // copyComplete is back-dated to the devirtualization
+            // instant; RunReport sorts milestones by timestamp.
+            obs::Tracer &t = obs::tracer();
+            const std::uint32_t track = obsTrack_.id(t);
+            t.milestone(track, "deploy.copy_complete",
+                        tl.copyComplete);
+            t.milestone(track, "deploy.bare_metal", tl.bareMetal);
+        }
         if (bareMetalCb)
             bareMetalCb();
     });
 
     auto boot_vmm = [this]() {
         tl.firmwareDone = now();
+        noteMilestone("deploy.firmware_done");
         vmm_->netboot([this]() {
             tl.vmmReady = now();
+            noteMilestone("deploy.vmm_ready");
             guest.start([this]() {
                 tl.guestBootDone = now();
+                noteMilestone("deploy.guest_boot_done");
                 if (guestReadyCb)
                     guestReadyCb();
             });

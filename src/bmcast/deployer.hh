@@ -14,6 +14,7 @@
 
 #include "bmcast/vmm.hh"
 #include "guest/guest_os.hh"
+#include "obs/obs.hh"
 #include "simcore/sim_object.hh"
 
 namespace bmcast {
@@ -77,11 +78,15 @@ class BmcastDeployer : public sim::SimObject
     }
 
   private:
+    /** Record an obs deployment milestone (no-op when disarmed). */
+    void noteMilestone(const char *what);
+
     hw::Machine &machine_;
     guest::GuestOs &guest;
     bool coldFirmware;
     std::unique_ptr<Vmm> vmm_;
     DeploymentTimeline tl;
+    obs::Track obsTrack_;
     std::function<void()> guestReadyCb;
     std::function<void()> bareMetalCb;
 };

@@ -2,9 +2,31 @@
 
 #include <algorithm>
 
+#include "obs/registry.hh"
 #include "simcore/logging.hh"
 
 namespace bmcast {
+
+void
+publishMediatorStats(obs::Registry &reg, const std::string &label,
+                     const MediatorStats &s)
+{
+    reg.counter("mediator.pt_reads", label).set(s.passthroughReads);
+    reg.counter("mediator.pt_writes", label).set(s.passthroughWrites);
+    reg.counter("mediator.redirected_reads", label)
+        .set(s.redirectedReads);
+    reg.counter("mediator.redirected_sectors", label)
+        .set(s.redirectedSectors);
+    reg.counter("mediator.mixed_redirects", label)
+        .set(s.mixedRedirects);
+    reg.counter("mediator.vmm_ops", label).set(s.vmmOps);
+    reg.counter("mediator.queued_guest_writes", label)
+        .set(s.queuedGuestWrites);
+    reg.counter("mediator.reserved_conversions", label)
+        .set(s.reservedConversions);
+    reg.counter("mediator.dummy_restarts", label)
+        .set(s.dummyRestarts);
+}
 
 MediationCore::MediationCore(std::string name_, hw::PhysMem &mem_,
                              ControllerPort &port_,
@@ -13,7 +35,7 @@ MediationCore::MediationCore(std::string name_, hw::PhysMem &mem_,
                              std::uint32_t bounce_sectors)
     : name(std::move(name_)), mem(mem_), port(port_),
       svc(std::move(services)), bounceBuffer(bounce_buffer),
-      bounceSectors(bounce_sectors)
+      bounceSectors(bounce_sectors), obsTrack_(name)
 {
     sim::panicIfNot(svc.bitmap != nullptr, "mediator needs a bitmap");
 }
@@ -85,8 +107,14 @@ MediationCore::queueRedirect(std::uint32_t key, sim::Lba lba,
     r.count = count;
     r.zeroFill = zero_fill;
     r.droppedWrite = dropped_write;
+    r.obsId = ++obsSeq_;
     if (!dropped_write && sg)
         r.guestSg = sg();
+    if (obs::armed()) {
+        obs::Tracer &t = obs::tracer();
+        t.asyncBegin(obsTrack_.id(t), "mediator", "redirect",
+                     r.obsId, obs::now());
+    }
     redirects.push_back(std::move(r));
 }
 
@@ -129,6 +157,14 @@ MediationCore::beginRedirects()
         ++stats_.mixedRedirects;
 
     r.fetchesPending = numFetches;
+    if (numFetches > 0 && !firstFetchNoted_) {
+        firstFetchNoted_ = true;
+        if (obs::armed()) {
+            obs::Tracer &t = obs::tracer();
+            t.milestone(obsTrack_.id(t), "cor.first_fetch",
+                        obs::now());
+        }
+    }
     // Second pass issues the remote fetches.
     svc.bitmap->forEachEmpty(
         r.lba, r.count, [&](sim::Lba s, sim::Lba e) {
@@ -231,6 +267,11 @@ void
 MediationCore::onRestartComplete()
 {
     port.onRestartRetired(redirects.front().key);
+    if (obs::armed()) {
+        obs::Tracer &t = obs::tracer();
+        t.asyncEnd(obsTrack_.id(t), "mediator", "redirect",
+                   redirects.front().obsId, obs::now());
+    }
     redirects.pop_front();
 
     if (!redirects.empty()) {
@@ -277,6 +318,15 @@ MediationCore::startVmmOp(VmmOp op)
     sim::panicIfNot(!vmmOp, "overlapping VMM ops on mediator");
     sim::panicIfNot(op.count <= bounceSectors,
                     "VMM op exceeds bounce buffer");
+    op.obsId = ++obsSeq_;
+    if (obs::armed()) {
+        obs::Tracer &t = obs::tracer();
+        t.asyncBegin(obsTrack_.id(t), "mediator",
+                     op.internal ? "local_read"
+                     : op.isWrite ? "vmm_write"
+                                  : "vmm_read",
+                     op.obsId, obs::now());
+    }
     vmmOp = std::make_unique<VmmOp>(std::move(op));
     vmmOpOnDevice = true;
 
@@ -298,6 +348,14 @@ MediationCore::checkVmmOpCompletion()
 
     std::unique_ptr<VmmOp> op = std::move(vmmOp);
     vmmOpOnDevice = false;
+    if (obs::armed()) {
+        obs::Tracer &t = obs::tracer();
+        t.asyncEnd(obsTrack_.id(t), "mediator",
+                   op->internal ? "local_read"
+                   : op->isWrite ? "vmm_write"
+                                 : "vmm_read",
+                   op->obsId, obs::now());
+    }
 
     std::vector<std::uint64_t> tokens;
     if (!op->isWrite) {

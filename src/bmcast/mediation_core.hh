@@ -27,6 +27,7 @@
 #include "bmcast/mediator.hh"
 #include "hw/dma.hh"
 #include "hw/phys_mem.hh"
+#include "obs/obs.hh"
 #include "simcore/interval_set.hh"
 
 namespace bmcast {
@@ -210,6 +211,7 @@ class MediationCore
         bool zeroFill = false;     //!< reserved region: data is zeros
         bool droppedWrite = false; //!< no data phase at all
         bool dataPhaseStarted = false;
+        std::uint64_t obsId = 0; //!< async-span correlation id
     };
 
     /** A multiplexed VMM command. */
@@ -223,6 +225,7 @@ class MediationCore
         std::function<void()> writeDone;
         std::function<void(const std::vector<std::uint64_t> &)>
             readDone;
+        std::uint64_t obsId = 0; //!< async-span correlation id
     };
 
     void queueRedirect(std::uint32_t key, sim::Lba lba,
@@ -260,6 +263,10 @@ class MediationCore
 
     std::function<void()> quiesceHook;
     MediatorStats stats_;
+
+    obs::Track obsTrack_;
+    std::uint64_t obsSeq_ = 0;     //!< async-id source (redirect/op)
+    bool firstFetchNoted_ = false; //!< cor.first_fetch milestone sent
 };
 
 } // namespace bmcast

@@ -33,6 +33,10 @@
 #include "bmcast/block_bitmap.hh"
 #include "simcore/types.hh"
 
+namespace obs {
+class Registry;
+} // namespace obs
+
 namespace bmcast {
 
 /** Services the VMM provides to its mediators. */
@@ -84,6 +88,12 @@ struct MediatorStats
     /** Dummy-sector restarts issued (one per redirected command). */
     std::uint64_t dummyRestarts = 0;
 };
+
+/** Publish a MediatorStats snapshot into @p reg under "mediator.*"
+ *  metrics labelled @p label (usually the controller kind). */
+void publishMediatorStats(obs::Registry &reg,
+                          const std::string &label,
+                          const MediatorStats &s);
 
 /** Abstract mediator. */
 class DeviceMediator

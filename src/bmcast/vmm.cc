@@ -24,7 +24,7 @@ Vmm::Vmm(sim::EventQueue &eq, std::string name, hw::Machine &machine,
     : sim::SimObject(eq, std::move(name)),
       machine_(machine), serverMacs(std::move(server_macs)),
       imageSectors(image_sectors), params_(params),
-      vmxoffSupported(vmxoff_supported)
+      vmxoffSupported(vmxoff_supported), obsTrack_(this->name())
 {
     sim::fatalIf(serverMacs.empty(), "VMM needs >= 1 AoE server");
     sim::Lba total = machine_.disk().capacitySectors();
@@ -38,6 +38,15 @@ sim::Tick
 Vmm::phaseEnteredAt(Phase p) const
 {
     return phaseAt[static_cast<std::size_t>(p)];
+}
+
+void
+Vmm::noteMilestone(const char *what, double value)
+{
+    if (!obs::armed())
+        return;
+    obs::Tracer &t = obs::tracer();
+    t.milestone(obsTrack_.id(t), what, now(), value);
 }
 
 hw::VirtProfile
@@ -68,6 +77,7 @@ Vmm::netboot(std::function<void()> ready)
     readyCb = std::move(ready);
     phase_ = Phase::Initialization;
     phaseAt[static_cast<std::size_t>(phase_)] = now();
+    noteMilestone("vmm.phase.initialization");
     sim::inform(name(), ": network boot (minimized image, parallel "
                         "init)");
     schedule(params_.bootTime, [this]() { installVmm(); });
@@ -110,6 +120,8 @@ Vmm::installVmm()
     // even if the sole server only comes back much later.
     aoe_->setErrorHandler([this](const aoe::DeployError &err) {
         ++numFetchErrors;
+        noteMilestone("vmm.fetch_error",
+                      static_cast<double>(numFetchErrors));
         if (copy)
             copy->noteFetchTrouble();
         if (deployErrorCb)
@@ -121,6 +133,8 @@ Vmm::installVmm()
                       " unresponsive; failing over to server #",
                       serverIdx);
             aoe_->retarget(serverMacs[serverIdx]);
+            noteMilestone("vmm.failover",
+                          static_cast<double>(serverIdx));
         }
         return aoe::ErrorAction::Retry;
     });
@@ -198,6 +212,7 @@ Vmm::installVmm()
         }
         phase_ = Phase::Deployment;
         phaseAt[static_cast<std::size_t>(phase_)] = now();
+        noteMilestone("vmm.phase.deployment");
         copy->start();
         armPeriodicBitmapSave();
         if (readyCb)
@@ -232,6 +247,7 @@ Vmm::powerOff()
     for (unsigned c = 0; c < machine_.cores(); ++c)
         machine_.vmx().vmxoff(c);
     phase_ = Phase::Off;
+    noteMilestone("vmm.phase.off");
 }
 
 void
@@ -263,6 +279,7 @@ Vmm::tryDevirtualize()
     devirtStarted = true;
     phase_ = Phase::Devirtualization;
     phaseAt[static_cast<std::size_t>(phase_)] = now();
+    noteMilestone("vmm.phase.devirtualization");
     copy->stop();
 
     // Persist the final bitmap, then de-virtualize the CPUs.
@@ -311,6 +328,7 @@ Vmm::finishDevirtualization()
     machine_.clearProfile();
     phase_ = Phase::BareMetal;
     phaseAt[static_cast<std::size_t>(phase_)] = now();
+    noteMilestone("vmm.phase.bare_metal");
     sim::inform(name(), ": de-virtualized; guest on bare metal");
     if (bareMetalCb)
         bareMetalCb();

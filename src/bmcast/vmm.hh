@@ -36,6 +36,7 @@
 #include "bmcast/params.hh"
 #include "hw/e1000_driver.hh"
 #include "hw/machine.hh"
+#include "obs/obs.hh"
 #include "simcore/sim_object.hh"
 
 namespace bmcast {
@@ -156,6 +157,8 @@ class Vmm : public sim::SimObject
                               std::function<void()> done);
     void tryRestoreBitmap(std::function<void(bool)> done);
     void tryRestoreBitmapAttempt(std::function<void(bool)> done);
+    /** Record an obs deployment milestone (no-op when disarmed). */
+    void noteMilestone(const char *what, double value = 0.0);
 
     hw::Machine &machine_;
     /** Failover chain; serverIdx points at the active server. */
@@ -188,6 +191,8 @@ class Vmm : public sim::SimObject
 
     std::uint64_t numFailovers = 0;
     std::uint64_t numFetchErrors = 0;
+
+    obs::Track obsTrack_;
 
     std::function<void()> readyCb;
     std::function<void()> bareMetalCb;

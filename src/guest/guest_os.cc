@@ -11,7 +11,8 @@ GuestOs::GuestOs(sim::EventQueue &eq, std::string name,
     : sim::SimObject(eq, std::move(name)),
       machine_(m), params_(params),
       rng(sim::Rng::seedFrom(this->name(), params.seed)),
-      arena(params.arenaBase, params.arenaSize)
+      arena(params.arenaBase, params.arenaSize),
+      obsTrack_(this->name())
 {
     if (params.externalDriver) {
         external = params.externalDriver;
@@ -47,6 +48,14 @@ GuestOs::start(std::function<void()> on_ready)
     sim::panicIfNot(!ready, "guest started twice");
     readyCb = std::move(on_ready);
     bootStart = now();
+    if (obs::armed()) {
+        obs::Tracer &t = obs::tracer();
+        const std::uint32_t track = obsTrack_.id(t);
+        t.milestone(track, "guest.boot_start", bootStart);
+        // The track id doubles as the async id: stable across runs
+        // (unlike a pointer) and unique per guest instance.
+        t.asyncBegin(track, "guest", "boot", track, bootStart);
+    }
     blk().initialize();
     bootSequentialPhase();
 }
@@ -149,6 +158,13 @@ GuestOs::finishBoot()
 {
     ready = true;
     bootEnd = now();
+    if (obs::armed()) {
+        obs::Tracer &t = obs::tracer();
+        const std::uint32_t track = obsTrack_.id(t);
+        t.asyncEnd(track, "guest", "boot", track, bootEnd);
+        t.milestone(track, "guest.boot_done", bootEnd,
+                    static_cast<double>(bootEnd - bootStart));
+    }
     if (readyCb)
         readyCb();
 }

@@ -26,6 +26,7 @@
 #include "guest/ide_driver.hh"
 #include "guest/nvme_driver.hh"
 #include "hw/machine.hh"
+#include "obs/obs.hh"
 #include "simcore/random.hh"
 #include "simcore/sim_object.hh"
 
@@ -120,6 +121,8 @@ class GuestOs : public sim::SimObject
     sim::Tick bootEnd = 0;
     sim::Lba lastLba = 0;
     std::uint32_t lastCount = 0;
+
+    obs::Track obsTrack_;
 };
 
 } // namespace guest

@@ -17,7 +17,8 @@ Network::Network(sim::EventQueue &eq, std::string name,
                  sim::Tick switchLatency, std::uint64_t seed)
     : sim::SimObject(eq, std::move(name)),
       switchLat(switchLatency),
-      rng(sim::Rng::seedFrom(this->name(), seed))
+      rng(sim::Rng::seedFrom(this->name(), seed)),
+      obsTrack_(this->name())
 {
 }
 
@@ -46,6 +47,11 @@ Network::transmit(Port &from, Frame frame)
     if (frame.wirePayload() > from.cfg.mtu) {
         // Oversize frames never make it onto the wire.
         ++from.numDropped;
+        if (obs::armed()) {
+            obs::Tracer &t = obs::tracer();
+            t.instant(obsTrack_.id(t), "net", "drop_oversize",
+                      now());
+        }
         sim::debug(name(), ": oversize frame dropped (",
                    frame.wirePayload(), " > mtu ", from.cfg.mtu, ")");
         return;
@@ -63,6 +69,10 @@ Network::transmit(Port &from, Frame frame)
     if (from.cfg.lossProbability > 0.0 &&
         rng.chance(from.cfg.lossProbability)) {
         ++from.numDropped;
+        if (obs::armed()) {
+            obs::Tracer &t = obs::tracer();
+            t.instant(obsTrack_.id(t), "net", "drop_loss", now());
+        }
         return;
     }
 
@@ -74,12 +84,22 @@ Network::transmit(Port &from, Frame frame)
     if (faults && faults->anyActive()) {
         if (faults->shouldFire(sim::FaultSite::NetDrop)) {
             ++from.numDropped;
+            if (obs::armed()) {
+                obs::Tracer &t = obs::tracer();
+                t.instant(obsTrack_.id(t), "net", "drop_fault",
+                          now());
+            }
             return;
         }
         if (faults->shouldFire(sim::FaultSite::NetCorrupt)) {
             // Damaged payload fails the receiver's FCS check; the
             // frame is never handed to the rx handler.
             ++from.numDropped;
+            if (obs::armed()) {
+                obs::Tracer &t = obs::tracer();
+                t.instant(obsTrack_.id(t), "net", "drop_corrupt",
+                          now());
+            }
             return;
         }
         duplicate = faults->shouldFire(sim::FaultSite::NetDuplicate);
@@ -122,6 +142,17 @@ Network::deliverTo(Port &dst, const Frame &frame, sim::Tick depart,
     sim::Tick done = start + rx_time;
     dst.rxFreeAt = done;
     ++numForwarded;
+
+    // Wire-occupancy span, recorded entirely at schedule time (the
+    // end timestamp is already known), so the delivery closure below
+    // keeps its exact capture size whether or not tracing is armed.
+    if (obs::armed()) {
+        obs::Tracer &t = obs::tracer();
+        const std::uint32_t track = obsTrack_.id(t);
+        const std::uint64_t id = ++obsFrameSeq_;
+        t.asyncBegin(track, "net", "frame", id, depart);
+        t.asyncEnd(track, "net", "frame", id, done);
+    }
 
     Frame copy = frame;
     Port *dst_p = &dst;

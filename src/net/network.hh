@@ -18,6 +18,7 @@
 #include <string>
 
 #include "net/frame.hh"
+#include "obs/obs.hh"
 #include "simcore/fault_injector.hh"
 #include "simcore/random.hh"
 #include "simcore/sim_object.hh"
@@ -124,6 +125,9 @@ class Network : public sim::SimObject
     sim::FaultInjector *faults = nullptr;
     std::map<MacAddr, std::unique_ptr<Port>> ports;
     std::uint64_t numForwarded = 0;
+
+    obs::Track obsTrack_;
+    std::uint64_t obsFrameSeq_ = 0; //!< per-frame wire-span id
 };
 
 } // namespace net

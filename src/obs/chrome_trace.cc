@@ -1,0 +1,128 @@
+#include "obs/chrome_trace.hh"
+
+#include <fstream>
+#include <ostream>
+
+namespace obs {
+
+namespace {
+
+void
+escape(std::ostream &os, const char *s)
+{
+    if (s == nullptr)
+        return;
+    for (; *s != '\0'; ++s) {
+        const char c = *s;
+        if (c == '"' || c == '\\')
+            os << '\\';
+        os << c;
+    }
+}
+
+/** Emit ticks (ns) as a microsecond value without going through
+ *  floating point: "<us>.<frac_ns>" keeps full precision. */
+void
+emitTs(std::ostream &os, sim::Tick ts)
+{
+    os << ts / 1000;
+    const sim::Tick frac = ts % 1000;
+    if (frac != 0) {
+        os << '.';
+        os << static_cast<char>('0' + frac / 100);
+        os << static_cast<char>('0' + (frac / 10) % 10);
+        os << static_cast<char>('0' + frac % 10);
+    }
+}
+
+} // namespace
+
+void
+writeChromeTrace(std::ostream &os, const Tracer &t)
+{
+    os << "{\"traceEvents\":[\n";
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,"
+          "\"tid\":0,\"args\":{\"name\":\"bmcast-sim\"}}";
+    for (std::size_t i = 0; i < t.numTracks(); ++i) {
+        os << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+              "\"tid\":"
+           << i << ",\"args\":{\"name\":\"";
+        escape(os, t.trackName(static_cast<std::uint32_t>(i)).c_str());
+        os << "\"}}";
+    }
+
+    t.forEach([&os](const TraceRecord &r) {
+        os << ",\n{";
+        switch (r.kind) {
+          case EventKind::SpanBegin:
+            os << "\"ph\":\"B\",\"name\":\"";
+            escape(os, r.name);
+            os << "\",\"cat\":\"";
+            escape(os, r.cat);
+            os << "\"";
+            break;
+          case EventKind::SpanEnd:
+            os << "\"ph\":\"E\"";
+            break;
+          case EventKind::Instant:
+            os << "\"ph\":\"i\",\"s\":\"t\",\"name\":\"";
+            escape(os, r.name);
+            os << "\",\"cat\":\"";
+            escape(os, r.cat);
+            os << "\"";
+            if (r.value != 0.0)
+                os << ",\"args\":{\"value\":" << r.value << "}";
+            break;
+          case EventKind::AsyncBegin:
+          case EventKind::AsyncEnd:
+            os << "\"ph\":\""
+               << (r.kind == EventKind::AsyncBegin ? 'b' : 'e')
+               << "\",\"id\":" << r.id << ",\"name\":\"";
+            escape(os, r.name);
+            os << "\",\"cat\":\"";
+            escape(os, r.cat);
+            os << "\"";
+            break;
+          case EventKind::FlowBegin:
+          case EventKind::FlowStep:
+          case EventKind::FlowEnd: {
+              char ph = 's';
+              if (r.kind == EventKind::FlowStep)
+                  ph = 't';
+              else if (r.kind == EventKind::FlowEnd)
+                  ph = 'f';
+              os << "\"ph\":\"" << ph << "\",\"id\":" << r.id
+                 << ",\"name\":\"";
+              escape(os, r.name);
+              os << "\",\"cat\":\"";
+              escape(os, r.cat);
+              os << "\"";
+              if (ph == 'f')
+                  os << ",\"bp\":\"e\"";
+              break;
+          }
+          case EventKind::CounterSample:
+            os << "\"ph\":\"C\",\"name\":\"";
+            escape(os, r.name);
+            os << "\",\"args\":{\"value\":" << r.value << "}";
+            break;
+        }
+        os << ",\"pid\":0,\"tid\":" << r.track << ",\"ts\":";
+        emitTs(os, r.ts);
+        os << "}";
+    });
+
+    os << "\n],\"displayTimeUnit\":\"ns\"}\n";
+}
+
+bool
+writeChromeTraceFile(const std::string &path, const Tracer &t)
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    writeChromeTrace(os, t);
+    return os.good();
+}
+
+} // namespace obs

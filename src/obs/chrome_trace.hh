@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Chrome trace_event JSON exporter.
+ *
+ * Serializes a Tracer's surviving records into the JSON Array Format
+ * consumed by chrome://tracing and by Perfetto's legacy importer
+ * (ui.perfetto.dev -> "Open trace file"). Mapping:
+ *
+ *  - one process (pid 0, named "bmcast-sim");
+ *  - each tracer track becomes a thread (tid = track index, named
+ *    via "thread_name" metadata);
+ *  - sim-time ticks (ns) become fractional-microsecond "ts" values,
+ *    so Perfetto's time axis reads directly in sim time;
+ *  - SpanBegin/SpanEnd -> ph "B"/"E"; Instant -> "i" (thread scope);
+ *    AsyncBegin/AsyncEnd -> "b"/"e" with an id; flow records ->
+ *    "s"/"t"/"f"; CounterSample -> "C".
+ */
+
+#ifndef OBS_CHROME_TRACE_HH
+#define OBS_CHROME_TRACE_HH
+
+#include <iosfwd>
+
+#include "obs/tracer.hh"
+
+namespace obs {
+
+/** Write @p t's records to @p os as Chrome trace_event JSON. */
+void writeChromeTrace(std::ostream &os, const Tracer &t);
+
+/** Convenience: writeChromeTrace to @p path.
+ *  @return false if the file could not be opened. */
+bool writeChromeTraceFile(const std::string &path, const Tracer &t);
+
+} // namespace obs
+
+#endif // OBS_CHROME_TRACE_HH

@@ -1,0 +1,39 @@
+#include "obs/obs.hh"
+
+namespace obs {
+
+namespace detail {
+bool gArmed = false;
+Tracer *gTracer = nullptr;
+sim::Tick (*gClockFn)(const void *) = nullptr;
+const void *gClockCtx = nullptr;
+Registry *gMetrics = nullptr;
+std::uint64_t gMetricsEpoch = 0;
+} // namespace detail
+
+void
+arm(Tracer *t)
+{
+    detail::gTracer = t;
+    detail::gArmed = t != nullptr;
+    if (t == nullptr) {
+        detail::gClockFn = nullptr;
+        detail::gClockCtx = nullptr;
+    }
+}
+
+void
+setClock(sim::Tick (*fn)(const void *), const void *ctx)
+{
+    detail::gClockFn = fn;
+    detail::gClockCtx = ctx;
+}
+
+void
+setMetrics(Registry *r)
+{
+    detail::gMetrics = r;
+    ++detail::gMetricsEpoch;
+}
+
+} // namespace obs

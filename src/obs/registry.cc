@@ -1,0 +1,227 @@
+#include "obs/registry.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace obs {
+
+std::uint64_t
+Histogram::quantile(double q) const
+{
+    if (count_ == 0)
+        return 0;
+    if (q <= 0.0)
+        return min();
+    if (q >= 1.0)
+        return max_;
+    const double targetF = q * static_cast<double>(count_);
+    std::uint64_t target = static_cast<std::uint64_t>(targetF);
+    if (static_cast<double>(target) < targetF)
+        ++target;
+    if (target == 0)
+        target = 1;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kNumBuckets; ++i) {
+        seen += counts_[i];
+        if (seen >= target)
+            return lowerBound(i);
+    }
+    return max_;
+}
+
+template <typename T>
+T &
+Registry::findOrCreate(std::map<Key, Entry<T>> &m,
+                       const std::string &name,
+                       const std::string &label)
+{
+    Key k{name, label};
+    auto it = m.find(k);
+    if (it == m.end()) {
+        it = m.emplace(std::move(k), Entry<T>{}).first;
+        it->second.seq = nextSeq_++;
+    }
+    return it->second.metric;
+}
+
+Counter &
+Registry::counter(const std::string &name, const std::string &label)
+{
+    return findOrCreate(counters_, name, label);
+}
+
+Gauge &
+Registry::gauge(const std::string &name, const std::string &label)
+{
+    return findOrCreate(gauges_, name, label);
+}
+
+Histogram &
+Registry::histogram(const std::string &name, const std::string &label)
+{
+    return findOrCreate(histograms_, name, label);
+}
+
+const Counter *
+Registry::findCounter(const std::string &name,
+                      const std::string &label) const
+{
+    auto it = counters_.find(Key{name, label});
+    return it == counters_.end() ? nullptr : &it->second.metric;
+}
+
+const Gauge *
+Registry::findGauge(const std::string &name,
+                    const std::string &label) const
+{
+    auto it = gauges_.find(Key{name, label});
+    return it == gauges_.end() ? nullptr : &it->second.metric;
+}
+
+const Histogram *
+Registry::findHistogram(const std::string &name,
+                        const std::string &label) const
+{
+    auto it = histograms_.find(Key{name, label});
+    return it == histograms_.end() ? nullptr : &it->second.metric;
+}
+
+namespace {
+
+struct Row
+{
+    std::uint64_t seq;
+    std::string left;
+    std::string right;
+};
+
+std::string
+keyText(const std::string &name, const std::string &label)
+{
+    if (label.empty())
+        return name;
+    return name + " [" + label + "]";
+}
+
+std::string
+formatDouble(double v)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(2) << v;
+    return os.str();
+}
+
+void
+jsonEscape(std::ostream &os, const std::string &s)
+{
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            os << "\\\"";
+            break;
+          case '\\':
+            os << "\\\\";
+            break;
+          case '\n':
+            os << "\\n";
+            break;
+          default:
+            os << c;
+        }
+    }
+}
+
+} // namespace
+
+void
+Registry::printTable(std::ostream &os) const
+{
+    std::vector<Row> rows;
+    rows.reserve(size());
+    for (const auto &[k, e] : counters_)
+        rows.push_back({e.seq, keyText(k.name, k.label),
+                        std::to_string(e.metric.value)});
+    for (const auto &[k, e] : gauges_)
+        rows.push_back({e.seq, keyText(k.name, k.label),
+                        formatDouble(e.metric.value)});
+    for (const auto &[k, e] : histograms_) {
+        const Histogram &h = e.metric;
+        const std::string base = keyText(k.name, k.label);
+        rows.push_back(
+            {e.seq, base + " count", std::to_string(h.count())});
+        if (h.count() > 0) {
+            rows.push_back(
+                {e.seq, base + " mean", formatDouble(h.mean())});
+            rows.push_back({e.seq, base + " p50",
+                            std::to_string(h.quantile(0.50))});
+            rows.push_back({e.seq, base + " p90",
+                            std::to_string(h.quantile(0.90))});
+            rows.push_back({e.seq, base + " p99",
+                            std::to_string(h.quantile(0.99))});
+            rows.push_back(
+                {e.seq, base + " max", std::to_string(h.max())});
+        }
+    }
+
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const Row &a, const Row &b) {
+                         return a.seq < b.seq;
+                     });
+
+    std::size_t width = 0;
+    for (const Row &r : rows)
+        width = std::max(width, r.left.size());
+    for (const Row &r : rows) {
+        os << "  " << r.left;
+        for (std::size_t i = r.left.size(); i < width + 2; ++i)
+            os << ' ';
+        os << r.right << "\n";
+    }
+}
+
+void
+Registry::writeJson(std::ostream &os) const
+{
+    os << "{\n  \"counters\": [";
+    bool first = true;
+    for (const auto &[k, e] : counters_) {
+        os << (first ? "\n" : ",\n") << "    {\"name\": \"";
+        jsonEscape(os, k.name);
+        os << "\", \"label\": \"";
+        jsonEscape(os, k.label);
+        os << "\", \"value\": " << e.metric.value << "}";
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "],\n  \"gauges\": [";
+    first = true;
+    for (const auto &[k, e] : gauges_) {
+        os << (first ? "\n" : ",\n") << "    {\"name\": \"";
+        jsonEscape(os, k.name);
+        os << "\", \"label\": \"";
+        jsonEscape(os, k.label);
+        os << "\", \"value\": " << e.metric.value << "}";
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "],\n  \"histograms\": [";
+    first = true;
+    for (const auto &[k, e] : histograms_) {
+        const Histogram &h = e.metric;
+        os << (first ? "\n" : ",\n") << "    {\"name\": \"";
+        jsonEscape(os, k.name);
+        os << "\", \"label\": \"";
+        jsonEscape(os, k.label);
+        os << "\", \"count\": " << h.count()
+           << ", \"min\": " << h.min() << ", \"max\": " << h.max()
+           << ", \"mean\": " << h.mean()
+           << ", \"p50\": " << h.quantile(0.50)
+           << ", \"p90\": " << h.quantile(0.90)
+           << ", \"p99\": " << h.quantile(0.99) << "}";
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "]\n}\n";
+}
+
+} // namespace obs

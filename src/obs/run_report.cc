@@ -1,0 +1,103 @@
+#include "obs/run_report.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+
+namespace obs {
+
+RunReport
+RunReport::build(const Tracer &t)
+{
+    RunReport r;
+    r.events_.reserve(t.milestones().size());
+    for (const Milestone &m : t.milestones()) {
+        r.events_.push_back({m.ts, t.trackName(m.track),
+                             m.name != nullptr ? m.name : "",
+                             m.value});
+    }
+    std::stable_sort(r.events_.begin(), r.events_.end(),
+                     [](const MilestoneEvent &a,
+                        const MilestoneEvent &b) {
+                         return a.ts < b.ts;
+                     });
+    for (const MilestoneEvent &e : r.events_) {
+        MilestoneSummary &s = r.summary_[e.name];
+        if (s.count == 0)
+            s.first = e.ts;
+        s.last = e.ts;
+        ++s.count;
+    }
+    return r;
+}
+
+std::optional<sim::Tick>
+RunReport::firstTs(const std::string &name) const
+{
+    auto it = summary_.find(name);
+    if (it == summary_.end())
+        return std::nullopt;
+    return it->second.first;
+}
+
+std::uint64_t
+RunReport::count(const std::string &name) const
+{
+    auto it = summary_.find(name);
+    return it == summary_.end() ? 0 : it->second.count;
+}
+
+namespace {
+
+void
+jsonEscape(std::ostream &os, const std::string &s)
+{
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            os << '\\';
+        os << c;
+    }
+}
+
+} // namespace
+
+void
+RunReport::writeJson(std::ostream &os) const
+{
+    os << "{\n  \"milestones\": [";
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+        const MilestoneEvent &e = events_[i];
+        os << (i == 0 ? "\n" : ",\n") << "    {\"ts_ns\": " << e.ts
+           << ", \"track\": \"";
+        jsonEscape(os, e.track);
+        os << "\", \"name\": \"";
+        jsonEscape(os, e.name);
+        os << "\"";
+        if (e.value != 0.0)
+            os << ", \"value\": " << e.value;
+        os << "}";
+    }
+    os << (events_.empty() ? "" : "\n  ") << "],\n  \"summary\": {";
+    bool first = true;
+    for (const auto &[name, s] : summary_) {
+        os << (first ? "\n" : ",\n") << "    \"";
+        jsonEscape(os, name);
+        os << "\": {\"first_ns\": " << s.first
+           << ", \"last_ns\": " << s.last
+           << ", \"count\": " << s.count << "}";
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "}\n}\n";
+}
+
+bool
+RunReport::writeJsonFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    writeJson(os);
+    return os.good();
+}
+
+} // namespace obs

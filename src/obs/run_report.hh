@@ -1,0 +1,84 @@
+/**
+ * @file
+ * RunReport: machine-readable deployment-timeline reconstruction.
+ *
+ * Milestones (Tracer::milestone, category "deploy") survive ring wrap
+ * in a bounded side log. RunReport::build() collects them into a
+ * sim-time-ordered event list plus a per-name summary (first/last
+ * occurrence, count), which together reconstruct each instance's
+ * deployment timeline: power-on, firmware, VMM ready, guest boot,
+ * first CoR fetch, moderation adjustments (copy.suspend/resume/
+ * degrade), the de-virtualization instant, bare metal, and failover
+ * epochs. Instances are distinguished by their track names.
+ *
+ * The fig benches emit this as <trace>.report.json next to the
+ * Chrome trace when BMCAST_TRACE is set.
+ */
+
+#ifndef OBS_RUN_REPORT_HH
+#define OBS_RUN_REPORT_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/tracer.hh"
+
+namespace obs {
+
+/** One milestone occurrence, resolved to owned strings. */
+struct MilestoneEvent
+{
+    sim::Tick ts = 0;
+    std::string track;
+    std::string name;
+    double value = 0.0;
+};
+
+/** Per-milestone-name aggregate. */
+struct MilestoneSummary
+{
+    sim::Tick first = 0;
+    sim::Tick last = 0;
+    std::uint64_t count = 0;
+};
+
+/** The report. */
+class RunReport
+{
+  public:
+    /** Collect @p t's milestone log (sim-time order). */
+    static RunReport build(const Tracer &t);
+
+    const std::vector<MilestoneEvent> &events() const
+    {
+        return events_;
+    }
+    const std::map<std::string, MilestoneSummary> &summary() const
+    {
+        return summary_;
+    }
+
+    /** Sim time of the first occurrence of @p name across all
+     *  tracks, if any. */
+    std::optional<sim::Tick> firstTs(const std::string &name) const;
+
+    /** Occurrences of @p name across all tracks. */
+    std::uint64_t count(const std::string &name) const;
+
+    void writeJson(std::ostream &os) const;
+
+    /** @return false if @p path could not be opened. */
+    bool writeJsonFile(const std::string &path) const;
+
+  private:
+    std::vector<MilestoneEvent> events_;
+    std::map<std::string, MilestoneSummary> summary_;
+};
+
+} // namespace obs
+
+#endif // OBS_RUN_REPORT_HH

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/obs.hh"
 #include "simcore/logging.hh"
 
 namespace sim {
@@ -393,6 +394,16 @@ EventQueue::dispatch(const HeapEntry &e)
     // storage shifting underneath it.
     Slot &s = slotRef(e.slot);
     ++counters_.executed;
+    const bool traced = obs::armed();
+    if (traced) {
+        obs::Tracer &t = obs::tracer();
+        if (obsEpoch_ != t.epoch()) {
+            obsTrack_ = t.track("kernel");
+            obsEpoch_ = t.epoch();
+        }
+        t.spanBegin(obsTrack_, "kernel",
+                    s.period == 0 ? "event" : "periodic", e.when);
+    }
     if (s.period == 0) {
         // One-shot: kill the handle *before* invoking, so cancel()
         // from within the callback (or any time later, even after
@@ -420,6 +431,10 @@ EventQueue::dispatch(const HeapEntry &e)
             freeSlot(e.slot);
         }
     }
+    // Re-check armed(): a callback may tear the tracer down (the
+    // bench harness disarms from its destructor).
+    if (traced && obs::armed())
+        obs::tracer().spanEnd(obsTrack_, e.when);
 }
 
 bool

@@ -348,6 +348,12 @@ class EventQueue
     std::vector<HeapEntry> batch;
 
     KernelCounters counters_;
+
+    /** obs track cache for dispatch spans (plain ints so this header
+     *  needs no obs include); revalidated against the armed tracer's
+     *  epoch in dispatch(). */
+    std::uint64_t obsEpoch_ = 0;
+    std::uint32_t obsTrack_ = 0;
 };
 
 } // namespace sim

@@ -16,6 +16,8 @@
 #ifndef SIMCORE_LOGGING_HH
 #define SIMCORE_LOGGING_HH
 
+#include <cstdint>
+#include <functional>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -71,6 +73,29 @@ enum class LogLevel { Quiet, Warn, Inform, Debug };
 /** Get/set the process-wide log level (default: Warn). */
 LogLevel logLevel();
 void setLogLevel(LogLevel level);
+
+/**
+ * Install a sim-time source for log timestamps. With a clock
+ * installed every warn/inform/debug line is prefixed with the
+ * current sim time as "[<s>.<9-digit ns>] "; without one the output
+ * is byte-identical to the historical format. Pass an empty function
+ * to uninstall (the bench harness installs the event queue's clock
+ * while BMCAST_TRACE is armed and uninstalls it at teardown).
+ */
+void setLogClock(std::function<std::uint64_t()> clock);
+
+/**
+ * Per-component verbosity: messages whose text starts with
+ * @p componentPrefix (components conventionally lead their messages
+ * with name() + ": ") use @p level instead of the global one. The
+ * longest matching prefix wins, so setLogLevelFor("node0.vmm", ...)
+ * covers "node0.vmm.copy" until a more specific override exists.
+ */
+void setLogLevelFor(const std::string &componentPrefix,
+                    LogLevel level);
+
+/** Drop every per-component override. */
+void clearLogLevelOverrides();
 
 /** Emit a warning to stderr (if the log level allows). */
 void warnStr(const std::string &msg);

@@ -2,9 +2,27 @@
 
 #include <cmath>
 
+#include "obs/registry.hh"
 #include "simcore/logging.hh"
 
 namespace sim {
+
+void
+publishKernelCounters(obs::Registry &reg, const std::string &label,
+                      const KernelCounters &k)
+{
+    reg.counter("kernel.scheduled", label).set(k.scheduled);
+    reg.counter("kernel.executed", label).set(k.executed);
+    reg.counter("kernel.cancelled", label).set(k.cancelled);
+    reg.counter("kernel.tombstones_popped", label)
+        .set(k.tombstonesPopped);
+    reg.counter("kernel.spilled_callbacks", label)
+        .set(k.spilledCallbacks);
+    reg.counter("kernel.peak_pending", label).set(k.peakPending);
+    reg.counter("kernel.wall_ns", label).set(k.wallNs);
+    reg.gauge("kernel.wall_ns_per_m_events", label)
+        .set(k.wallNsPerMillionExecuted());
+}
 
 void
 Distribution::add(double sample)

@@ -16,6 +16,10 @@
 
 #include "simcore/types.hh"
 
+namespace obs {
+class Registry;
+} // namespace obs
+
 namespace sim {
 
 /**
@@ -44,6 +48,16 @@ struct KernelCounters
                static_cast<double>(executed);
     }
 };
+
+/**
+ * Publish a KernelCounters snapshot into @p reg under "kernel.*"
+ * metrics labelled @p label. All stat reporting (bench harness,
+ * BMCAST_KERNEL_STATS dump) renders from the registry; the kernel
+ * keeps its native struct so the hot path stays untouched.
+ */
+void publishKernelCounters(obs::Registry &reg,
+                           const std::string &label,
+                           const KernelCounters &k);
 
 /** A simple monotonically increasing counter. */
 class Counter
