@@ -73,6 +73,31 @@ AoeInitiator::writeRange(sim::Lba lba, std::uint32_t count,
 }
 
 void
+AoeInitiator::readSectorsVia(net::MacAddr source, sim::Lba lba,
+                             std::uint32_t count, RoutedReadCallback done)
+{
+    sim::panicIfNot(count > 0 && count <= params.maxSectorsPerRequest,
+                    "routed read must fit one request");
+    std::uint32_t tag = nextTag++;
+    Pending p;
+    p.lba = lba;
+    p.count = count;
+    p.dest = source;
+    p.routedDone = std::move(done);
+    p.rxTokens.resize(count);
+    p.got.assign(count, false);
+    auto [it, ok] = pending.emplace(tag, std::move(p));
+    sim::panicIfNot(ok, "AoE tag collision");
+    ++numRequests;
+    if (obs::armed()) {
+        obs::Tracer &t = obs::tracer();
+        t.asyncBegin(obsTrack_.id(t), "aoe", "shard_read",
+                     obsFlowId(tag), now());
+    }
+    sendRequest(tag, it->second);
+}
+
+void
 AoeInitiator::shutdown()
 {
     for (auto &[tag, p] : pending)
@@ -149,12 +174,13 @@ AoeInitiator::sendRequest(std::uint32_t tag, Pending &p)
         m.major = params.major;
         m.minor = params.minor;
         m.tag = tag;
+        m.command = p.dest ? kCmdShardRead : kCmdAta;
         m.ataCmd = 0x25; // READ DMA EXT register image
         m.lba = p.lba;
         m.sectors = static_cast<std::uint16_t>(
             std::min<std::uint32_t>(p.count, 0xFFFF));
         m.totalSectors = p.count;
-        nic.sendFrame(toFrame(m, server));
+        nic.sendFrame(toFrame(m, p.dest ? p.dest : server));
     } else {
         // Write data travels in request fragments.
         for (std::uint32_t off = 0; off < p.count; off += per_frame) {
@@ -180,7 +206,8 @@ AoeInitiator::sendRequest(std::uint32_t tag, Pending &p)
 sim::Tick
 AoeInitiator::timeout(Pending &p)
 {
-    sim::Tick base = std::max(params.minTimeout, 4 * rttEma);
+    sim::Tick floor = p.dest ? params.shardMinTimeout : params.minTimeout;
+    sim::Tick base = std::max(floor, 4 * rttEma);
     // Exponential backoff, capped.
     int shift = std::min(p.retries, 6);
     sim::Tick t = base << shift;
@@ -209,8 +236,11 @@ AoeInitiator::retarget(net::MacAddr new_server)
                     static_cast<double>(pending.size()));
     }
     // Everything in flight was addressed to the dead server; resend
-    // it all to the new one with a fresh budget.
+    // it all to the new one with a fresh budget.  Routed reads are
+    // pinned to their explicit source and handle failure themselves.
     for (auto &[tag, p] : pending) {
+        if (p.dest != 0)
+            continue;
         p.retries = 0;
         p.acked = false;
         ++numRetx;
@@ -225,6 +255,19 @@ AoeInitiator::onTimeout(std::uint32_t tag)
     if (it == pending.end())
         return;
     Pending &p = it->second;
+
+    if (p.dest != 0) {
+        // Routed read: fail fast, the store tier reroutes.
+        if (p.retries >=
+            static_cast<int>(params.shardMaxRetries)) {
+            failRouted(tag, RoutedStatus::Timeout);
+            return;
+        }
+        ++p.retries;
+        ++numRetx;
+        sendRequest(tag, p);
+        return;
+    }
 
     if (params.maxRetries >= 0 && p.retries >= params.maxRetries) {
         // Budget exhausted: this is a terminal error unless the
@@ -298,6 +341,19 @@ AoeInitiator::onFrame(const net::Frame &frame)
         return; // stale duplicate
     Pending &p = it->second;
 
+    if (p.dest != 0) {
+        if (m.error) {
+            failRouted(m.tag, RoutedStatus::Error);
+            return;
+        }
+        // Per-fragment digest check: a damaged shard payload must not
+        // land in the image.
+        if (digestTokens(m.data) != m.digest) {
+            failRouted(m.tag, RoutedStatus::BadDigest);
+            return;
+        }
+    }
+
     if (p.isWrite) {
         if (!p.acked) {
             p.acked = true;
@@ -320,8 +376,10 @@ AoeInitiator::onFrame(const net::Frame &frame)
     }
     if (p.numGot == p.count) {
         bytesRead += sim::Bytes(p.count) * sim::kSectorSize;
-        std::copy(p.rxTokens.begin(), p.rxTokens.end(),
-                  p.call->tokens.begin() + p.callOffset);
+        if (p.call) {
+            std::copy(p.rxTokens.begin(), p.rxTokens.end(),
+                      p.call->tokens.begin() + p.callOffset);
+        }
         completeRequest(m.tag, p);
     }
 }
@@ -335,7 +393,9 @@ AoeInitiator::completeRequest(std::uint32_t tag, Pending &p)
         obs::Tracer &t = obs::tracer();
         const std::uint32_t track = obsTrack_.id(t);
         t.flowEnd(track, "aoe", "response", obsFlowId(tag), now());
-        t.asyncEnd(track, "aoe", p.isWrite ? "write" : "read",
+        t.asyncEnd(track, "aoe",
+                   p.routedDone ? "shard_read"
+                                : (p.isWrite ? "write" : "read"),
                    obsFlowId(tag), now());
     }
     if (obs::metricsOn()) {
@@ -353,6 +413,14 @@ AoeInitiator::completeRequest(std::uint32_t tag, Pending &p)
         rttEma = rttEma == 0 ? sample : (rttEma * 7 + sample) / 8;
     }
 
+    if (p.routedDone) {
+        RoutedReadCallback cb = std::move(p.routedDone);
+        std::vector<std::uint64_t> tokens = std::move(p.rxTokens);
+        pending.erase(tag);
+        cb(RoutedStatus::Ok, tokens);
+        return;
+    }
+
     std::shared_ptr<Call> call = p.call;
     pending.erase(tag);
 
@@ -362,6 +430,29 @@ AoeInitiator::completeRequest(std::uint32_t tag, Pending &p)
         if (call->writeDone)
             call->writeDone();
     }
+}
+
+void
+AoeInitiator::failRouted(std::uint32_t tag, RoutedStatus status)
+{
+    auto it = pending.find(tag);
+    if (it == pending.end())
+        return;
+    Pending &p = it->second;
+    eventQueue().cancel(p.timer);
+    ++numShardFailures;
+    if (status == RoutedStatus::BadDigest)
+        ++numDigestMismatches;
+    if (obs::armed()) {
+        obs::Tracer &t = obs::tracer();
+        const std::uint32_t track = obsTrack_.id(t);
+        t.instant(track, "aoe", "shard_fail", now(),
+                  static_cast<double>(status));
+        t.asyncEnd(track, "aoe", "shard_read", obsFlowId(tag), now());
+    }
+    RoutedReadCallback cb = std::move(p.routedDone);
+    pending.erase(it);
+    cb(status, {});
 }
 
 } // namespace aoe

@@ -50,6 +50,13 @@ struct InitiatorParams
     int maxRetries = 24;
     /** Seed for the retransmission-jitter stream. */
     std::uint64_t seed = 1;
+    /**
+     * Routed (store) reads fail fast instead of retrying forever: the
+     * streamer has other sources to try.  Separate budget and timeout
+     * floor from the legacy path.
+     */
+    std::uint32_t shardMaxRetries = 2;
+    sim::Tick shardMinTimeout = 40 * sim::kMs;
 };
 
 /** A request that exhausted its retry budget. */
@@ -69,6 +76,14 @@ enum class ErrorAction {
     Retry, ///< Reset the budget and keep trying (e.g. after failover).
 };
 
+/** Outcome of a routed (store) read. */
+enum class RoutedStatus {
+    Ok,        ///< Tokens delivered and digest-verified.
+    Timeout,   ///< Source never answered within the shard budget.
+    Error,     ///< Source answered with an AoE error.
+    BadDigest, ///< Payload did not match its carried digest.
+};
+
 /** The initiator. */
 class AoeInitiator : public sim::SimObject
 {
@@ -77,6 +92,8 @@ class AoeInitiator : public sim::SimObject
         std::function<void(const std::vector<std::uint64_t> &tokens)>;
     using WriteCallback = std::function<void()>;
     using DiscoverCallback = std::function<void(bool found)>;
+    using RoutedReadCallback = std::function<void(
+        RoutedStatus, const std::vector<std::uint64_t> &tokens)>;
 
     AoeInitiator(sim::EventQueue &eq, std::string name,
                  net::L2Endpoint &nic, net::MacAddr serverMac,
@@ -94,6 +111,17 @@ class AoeInitiator : public sim::SimObject
     /** Write a whole range sharing one content base. */
     void writeRange(sim::Lba lba, std::uint32_t count,
                     std::uint64_t contentBase, WriteCallback done);
+
+    /**
+     * Read [lba, lba+count) from an explicit @p source (a peer node
+     * or an erasure-stripe member) instead of the default server.
+     * Uses kCmdShardRead: digest-checked payloads, a short timeout,
+     * and a small retry budget — on failure the callback reports why
+     * and the store tier picks another source.  Never retargeted by
+     * retarget().
+     */
+    void readSectorsVia(net::MacAddr source, sim::Lba lba,
+                        std::uint32_t count, RoutedReadCallback done);
 
     /** Probe the server. */
     void discover(DiscoverCallback done);
@@ -134,6 +162,13 @@ class AoeInitiator : public sim::SimObject
     sim::Bytes dataBytesWritten() const { return bytesWritten; }
     std::size_t inflight() const { return pending.size(); }
     sim::Tick rttEstimate() const { return rttEma; }
+    /** Routed reads that failed (timeout, error, or bad digest). */
+    std::uint64_t shardFailures() const { return numShardFailures; }
+    /** Routed reads rejected for a digest mismatch. */
+    std::uint64_t shardDigestMismatches() const
+    {
+        return numDigestMismatches;
+    }
     /// @}
 
   private:
@@ -161,11 +196,16 @@ class AoeInitiator : public sim::SimObject
         sim::Tick lastSent = 0;
         int retries = 0;
         sim::EventId timer;
+
+        /** Routed reads only: explicit source (0 = default server). */
+        net::MacAddr dest = 0;
+        RoutedReadCallback routedDone;
     };
 
     void issue(bool isWrite, sim::Lba lba, std::uint32_t count,
                std::shared_ptr<Call> call, std::uint32_t offset);
     void sendRequest(std::uint32_t tag, Pending &p);
+    void failRouted(std::uint32_t tag, RoutedStatus status);
     void armTimer(std::uint32_t tag, Pending &p);
     void onTimeout(std::uint32_t tag);
     void onFrame(const net::Frame &frame);
@@ -186,6 +226,8 @@ class AoeInitiator : public sim::SimObject
     std::uint64_t numRequests = 0;
     std::uint64_t numRetx = 0;
     std::uint64_t numErrors = 0;
+    std::uint64_t numShardFailures = 0;
+    std::uint64_t numDigestMismatches = 0;
     sim::Bytes bytesRead = 0;
     sim::Bytes bytesWritten = 0;
 

@@ -95,6 +95,10 @@ toFrame(const Message &msg, net::MacAddr dst)
     put32(b, msg.totalSectors);
     while (b.size() < kHeaderSize)
         put8(b, 0);
+    // Shard frames carry an 8-byte digest trailer; legacy frames stay
+    // byte-identical.
+    if (msg.command == kCmdShardRead)
+        put64(b, msg.digest);
 
     for (std::uint64_t token : msg.data)
         put64(b, token);
@@ -133,6 +137,11 @@ parse(const net::Frame &frame)
     m.fragOffset = get32(b, o);
     m.totalSectors = get32(b, o);
     o = kHeaderSize;
+    if (m.command == kCmdShardRead) {
+        if (b.size() < kHeaderSize + 8)
+            return std::nullopt;
+        m.digest = get64(b, o);
+    }
 
     std::size_t data_bytes = b.size() - o;
     if (data_bytes % 8 != 0)

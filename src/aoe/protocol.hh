@@ -34,6 +34,9 @@ constexpr std::uint8_t kFlagError = 0x04;
 /** Commands. */
 constexpr std::uint8_t kCmdAta = 0x00;
 constexpr std::uint8_t kCmdDiscover = 0x01;
+/** Store-routed read: like kCmdAta reads, but addressed to an explicit
+ *  source (peer or stripe member) and digest-checked end to end. */
+constexpr std::uint8_t kCmdShardRead = 0x10;
 
 /** Serialized header size. */
 constexpr sim::Bytes kHeaderSize = 32;
@@ -67,6 +70,10 @@ struct Message
     /** Data tokens (reads: in responses; writes: in requests). */
     std::vector<std::uint64_t> data;
 
+    /** Content digest over @ref data; carried (as an 8-byte trailer
+     *  after the header) only on kCmdShardRead frames. */
+    std::uint64_t digest = 0;
+
     bool
     isWrite() const
     {
@@ -89,6 +96,31 @@ sectorsPerFrame(sim::Bytes mtu)
     return static_cast<std::uint32_t>((mtu - kHeaderSize) /
                                       sim::kSectorSize);
 }
+
+/** @name Content digests (FNV-1a over sector tokens).
+ *  Used by the store tier to detect corrupted shard payloads; cheap,
+ *  deterministic, and stable across runs. */
+/// @{
+constexpr std::uint64_t kContentDigestSeed = 0xCBF29CE484222325ULL;
+
+constexpr std::uint64_t
+digestStep(std::uint64_t h, std::uint64_t v)
+{
+    h ^= v;
+    h *= 0x100000001B3ULL;
+    h ^= h >> 29;
+    return h;
+}
+
+inline std::uint64_t
+digestTokens(const std::vector<std::uint64_t> &tokens)
+{
+    std::uint64_t h = kContentDigestSeed;
+    for (std::uint64_t t : tokens)
+        h = digestStep(h, t);
+    return h;
+}
+/// @}
 
 /** Trace-correlation id for one AoE exchange, computable at either
  *  end: the initiator from its NIC MAC, the server from the frame

@@ -182,7 +182,7 @@ AoeServer::dispatch()
 sim::Tick
 AoeServer::diskOccupy(sim::Lba lba, std::uint32_t sectors,
                       bool is_write, sim::Tick earliest,
-                      bool *cache_hit)
+                      bool *cache_hit, bool shard_stream)
 {
     if (cache_hit)
         *cache_hit = false;
@@ -204,7 +204,12 @@ AoeServer::diskOccupy(sim::Lba lba, std::uint32_t sectors,
             *cache_hit = true;
         return std::max(earliest, now()) + 50 * sim::kUs;
     }
-    if (lba != diskHead)
+    // Shard slices address the image's logical LBAs, but on disk a
+    // stripe member packs only its own slices, back to back: an
+    // ascending shard stream is physically sequential even though
+    // the logical LBAs it touches have gaps. Only a backward jump
+    // (another client's stream rewinding the head) pays the seek.
+    if (shard_stream ? lba < diskHead : lba != diskHead)
         svc += params_.diskSeek;
     diskHead = lba + sectors;
     sim::Tick start = std::max(earliest, diskFreeAt);
@@ -217,8 +222,18 @@ void
 AoeServer::serve(unsigned worker, Job job)
 {
     const Message &req = job.request;
+    const bool shard = req.command == kCmdShardRead;
     sim::Tick start =
         std::max({now(), workerFreeAt[worker], stallUntil_});
+
+    // Chunk-source timeout: the request is swallowed whole; the
+    // initiator's short shard timeout reroutes to another source.
+    if (shard && faults && faults->anyActive() &&
+        faults->shouldFire(sim::FaultSite::StoreSourceTimeout,
+                           req.lba)) {
+        ++numShardTimeouts;
+        return;
+    }
 
     // Service span recorded up front with its (already computable)
     // end tick; ties into the initiator's flow via aoeFlowId.
@@ -335,7 +350,7 @@ AoeServer::serve(unsigned worker, Job job)
     sim::Tick cpu_done = start + params_.cpuPerRequest;
     bool cache_hit = false;
     sim::Tick disk_done =
-        diskOccupy(req.lba, count, false, cpu_done, &cache_hit);
+        diskOccupy(req.lba, count, false, cpu_done, &cache_hit, shard);
     double rate = params_.diskReadMBps * 1e6;
 
     std::uint32_t per_frame = sectorsPerFrame(port.config().mtu);
@@ -356,6 +371,17 @@ AoeServer::serve(unsigned worker, Job job)
         frag.data.resize(n);
         for (std::uint32_t i = 0; i < n; ++i)
             frag.data[i] = target->store.tokenAt(req.lba + off + i);
+        if (shard) {
+            frag.digest = digestTokens(frag.data);
+            // Injected media/DMA damage *after* digesting models
+            // corruption the digest is there to catch.
+            if (faults && faults->anyActive() &&
+                faults->shouldFire(sim::FaultSite::StoreShardCorrupt,
+                                   frag.lba)) {
+                frag.data[0] ^= 0xBAD0BAD0BAD0BAD0ULL;
+                ++numShardCorruptions;
+            }
+        }
         ++frag_no;
         sim::Tick data_ready =
             cache_hit ? disk_done

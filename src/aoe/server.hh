@@ -84,6 +84,10 @@ class AoeServer : public sim::SimObject
 
     AoeTarget *findTarget(std::uint16_t major, std::uint8_t minor);
 
+    /** Drop every exported target (node release: the machine's disk
+     *  no longer backs any chunk exports). */
+    void clearTargets() { targets.clear(); }
+
     /** @name Telemetry */
     /// @{
     std::uint64_t requestsServed() const { return numServed; }
@@ -96,6 +100,10 @@ class AoeServer : public sim::SimObject
     std::uint64_t restarts() const { return numRestarts; }
     /** Frames that arrived while the server was offline. */
     std::uint64_t framesDroppedOffline() const { return offlineDrops; }
+    /** Shard requests swallowed by an injected source timeout. */
+    std::uint64_t shardTimeouts() const { return numShardTimeouts; }
+    /** Shard fragments damaged by an injected corruption. */
+    std::uint64_t shardCorruptions() const { return numShardCorruptions; }
     /// @}
 
     /** @name Failure model */
@@ -148,7 +156,8 @@ class AoeServer : public sim::SimObject
     void serve(unsigned worker, Job job);
     sim::Tick diskOccupy(sim::Lba lba, std::uint32_t sectors,
                          bool isWrite, sim::Tick earliest,
-                         bool *cacheHit = nullptr);
+                         bool *cacheHit = nullptr,
+                         bool shardStream = false);
 
     net::Port &port;
     ServerParams params_;
@@ -179,6 +188,8 @@ class AoeServer : public sim::SimObject
     std::uint64_t numCrashes = 0;
     std::uint64_t numRestarts = 0;
     std::uint64_t offlineDrops = 0;
+    std::uint64_t numShardTimeouts = 0;
+    std::uint64_t numShardCorruptions = 0;
 
     obs::Track obsTrack_;
 };

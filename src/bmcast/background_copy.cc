@@ -7,6 +7,32 @@
 
 namespace bmcast {
 
+namespace {
+
+/**
+ * Split fetched tokens into maximal single-content-base runs.  Flat
+ * images produce one run (the legacy path); overlay images served by
+ * the store tier can mix bases inside one fetch.
+ */
+template <typename Fn>
+void
+forEachTokenRun(sim::Lba lba, const std::vector<std::uint64_t> &tokens,
+                Fn fn)
+{
+    std::size_t i = 0;
+    while (i < tokens.size()) {
+        std::uint64_t base = hw::baseFromToken(tokens[i], lba + i);
+        std::size_t j = i + 1;
+        while (j < tokens.size() &&
+               hw::baseFromToken(tokens[j], lba + j) == base)
+            ++j;
+        fn(lba + i, static_cast<std::uint32_t>(j - i), base);
+        i = j;
+    }
+}
+
+} // namespace
+
 BackgroundCopy::BackgroundCopy(sim::EventQueue &eq, std::string name,
                                const VmmParams &params_,
                                DeviceMediator &mediator_,
@@ -101,20 +127,24 @@ BackgroundCopy::stashFetched(sim::Lba lba, std::uint32_t count,
     // which drains this queue with priority but under the same
     // moderation, so deployment work never competes with a booting
     // or I/O-active guest.
-    std::uint64_t base = hw::baseFromToken(tokens[0], lba);
     // Coalesce with the previous stash block when contiguous (boot
     // reads often continue each other), halving the write count and
-    // amortizing seeks.
-    if (!stashQueue.empty()) {
-        Block &back = stashQueue.back();
-        if (back.lba + back.count == lba && back.contentBase == base &&
-            back.count + count <= params.copyBlockSectors) {
-            back.count += count;
-            cursor = std::min<sim::Lba>(lba + count, imageSectors);
-            return;
-        }
-    }
-    stashQueue.push_back(Block{lba, count, base});
+    // amortizing seeks.  Mixed-base fetches (overlay images via the
+    // store tier) split into per-base runs.
+    forEachTokenRun(
+        lba, tokens,
+        [this](sim::Lba rl, std::uint32_t rc, std::uint64_t rb) {
+            if (!stashQueue.empty()) {
+                Block &back = stashQueue.back();
+                if (back.lba + back.count == rl &&
+                    back.contentBase == rb &&
+                    back.count + rc <= params.copyBlockSectors) {
+                    back.count += rc;
+                    return;
+                }
+            }
+            stashQueue.push_back(Block{rl, rc, rb});
+        });
     // Follow the guest's access pattern for subsequent retrieves.
     cursor = std::min<sim::Lba>(lba + count, imageSectors);
 }
@@ -144,20 +174,33 @@ BackgroundCopy::retrieverLoop()
     auto count =
         static_cast<std::uint32_t>(block->second - block->first);
     lba = block->first;
+    if (params.copyFetchAlignSectors) {
+        // Trim a boundary-crossing fetch so it ends on an alignment
+        // boundary: successors then start chunk-aligned and the store
+        // tier fans the span out one piece per chunk. Fetches inside
+        // a single chunk (tail, or resuming behind a guest read) pass
+        // through untouched.
+        sim::Lba aligned_end = ((lba + count) /
+                                params.copyFetchAlignSectors) *
+                               params.copyFetchAlignSectors;
+        if (aligned_end > lba)
+            count = static_cast<std::uint32_t>(aligned_end - lba);
+    }
     cursor = lba + count;
 
     retrieverBusy = true;
     fetch(lba, count,
-          [this, lba, count](const std::vector<std::uint64_t> &tokens) {
+          [this, lba](const std::vector<std::uint64_t> &tokens) {
               retrieverBusy = false;
               // The fetch path answered: back to full-speed pacing.
               degradeShift = 0;
               if (!running || done)
                   return;
-              std::uint64_t base =
-                  tokens.empty() ? 0
-                                 : hw::baseFromToken(tokens[0], lba);
-              fifo.push_back(Block{lba, count, base});
+              forEachTokenRun(lba, tokens,
+                              [this](sim::Lba rl, std::uint32_t rc,
+                                     std::uint64_t rb) {
+                                  fifo.push_back(Block{rl, rc, rb});
+                              });
               retrieverLoop();
           });
 }
@@ -257,6 +300,8 @@ BackgroundCopy::tryWriteHead()
             writeInFlight = false;
             if (observer)
                 observer(b.lba, b.count);
+            if (storeObserver)
+                storeObserver(b.lba, b.count);
             // FILLED only at completion: until the data is on disk,
             // reads must keep going to the server.
             bitmap.markFilled(b.lba, b.count);

@@ -84,6 +84,13 @@ class BackgroundCopy : public sim::SimObject
     using WriteObserver = std::function<void(sim::Lba, std::uint32_t)>;
     void setWriteObserver(WriteObserver o) { observer = std::move(o); }
 
+    /** Second observer slot for the store tier (peer-source
+     *  registration tracks landed pristine content). */
+    void setStoreObserver(WriteObserver o)
+    {
+        storeObserver = std::move(o);
+    }
+
     bool complete() const { return done; }
     sim::Bytes bytesWritten() const { return written; }
     std::uint64_t blocksSkipped() const { return skipped; }
@@ -150,6 +157,7 @@ class BackgroundCopy : public sim::SimObject
     sim::RateMeter guestIoRate;
 
     WriteObserver observer;
+    WriteObserver storeObserver;
     /** Fetch-trouble backoff exponent (capped at 6, i.e. 64x). */
     unsigned degradeShift = 0;
 

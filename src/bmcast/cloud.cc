@@ -7,6 +7,8 @@ namespace bmcast {
 namespace {
 
 constexpr net::MacAddr kServerMac = 0x525400FFFF01ULL;
+/** Per-node chunk-export MAC: base + pool slot. */
+constexpr net::MacAddr kPeerMacBase = 0xC00000000000ULL;
 
 } // namespace
 
@@ -15,10 +17,26 @@ Cloud::Cloud(sim::EventQueue &eq, std::string name, CloudConfig config)
       cfg(std::move(config)),
       lan(eq, this->name() + ".lan")
 {
-    serverPort = &lan.attach(kServerMac,
-                             net::PortConfig{1e9, 9000, 0.0});
-    server = std::make_unique<aoe::AoeServer>(
-        eq, this->name() + ".imgsrv", *serverPort, cfg.server);
+    // Legacy mode keeps the single image server (and its exact
+    // object name) so disabled-store runs stay bit-identical.
+    unsigned nservers = cfg.store.enabled ? cfg.store.seedServers : 1;
+    sim::fatalIf(nservers == 0, "store mode needs seed servers");
+    for (unsigned i = 0; i < nservers; ++i) {
+        net::MacAddr mac = kServerMac + i;
+        serverMacs_.push_back(mac);
+        net::Port &p = lan.attach(mac, net::PortConfig{1e9, 9000, 0.0});
+        std::string sname = this->name() + ".imgsrv";
+        if (i > 0)
+            sname += std::to_string(i);
+        servers_.push_back(std::make_unique<aoe::AoeServer>(
+            eq, sname, p, cfg.server));
+    }
+    if (cfg.store.enabled) {
+        fabric_ = std::make_unique<store::StoreFabric>(
+            eq, this->name() + ".store", cfg.store, serverMacs_);
+        for (unsigned i = 0; i < nservers; ++i)
+            fabric_->bindSeedServer(serverMacs_[i], servers_[i].get());
+    }
 
     for (unsigned i = 0; i < cfg.machines; ++i) {
         hw::MachineConfig mc = cfg.machineTemplate;
@@ -40,10 +58,46 @@ Cloud::addImage(const std::string &img_name, sim::Bytes size,
                  "duplicate image ", img_name);
     auto sectors = static_cast<sim::Lba>(size / sim::kSectorSize);
     std::uint16_t major = nextMajor++;
-    server->addTarget(major, 0, sectors, content_base);
-    images[img_name] = Image{major, sectors};
+    // Every seed server exports the full image: any stripe member
+    // holds the truth for any chunk (erasure coding is modeled at
+    // the placement/traffic level, see store::Placement).
+    for (auto &srv : servers_)
+        srv->addTarget(major, 0, sectors, content_base);
+    if (fabric_)
+        fabric_->catalog().addFlat(img_name, major, sectors,
+                                   content_base);
+    images[img_name] = Image{major, sectors, content_base, {}};
     sim::inform(name(), ": image '", img_name, "' registered (",
                 size / sim::kMiB, " MiB)");
+}
+
+void
+Cloud::addOverlayImage(const std::string &img_name,
+                       const std::string &base_name,
+                       const std::vector<store::DeltaRun> &deltas)
+{
+    sim::fatalIf(images.count(img_name) > 0,
+                 "duplicate image ", img_name);
+    auto base = images.find(base_name);
+    sim::fatalIf(base == images.end(),
+                 "unknown base image ", base_name);
+    sim::fatalIf(!base->second.deltas.empty(),
+                 "overlay base must be a flat image");
+    std::uint16_t major = nextMajor++;
+    sim::Lba sectors = base->second.sectors;
+    for (auto &srv : servers_) {
+        aoe::AoeTarget &t = srv->addTarget(major, 0, sectors,
+                                           base->second.contentBase);
+        for (const auto &d : deltas)
+            t.store.write(d.lba, d.count, d.base);
+    }
+    if (fabric_)
+        fabric_->catalog().addOverlay(img_name, major, base_name,
+                                      deltas);
+    images[img_name] =
+        Image{major, sectors, base->second.contentBase, deltas};
+    sim::inform(name(), ": overlay '", img_name, "' on '", base_name,
+                "' registered (", deltas.size(), " delta runs)");
 }
 
 unsigned
@@ -54,6 +108,18 @@ Cloud::freeMachines() const
         if (!used)
             ++n;
     return n;
+}
+
+void
+Cloud::setFaultInjector(sim::FaultInjector *fi)
+{
+    lan.setFaultInjector(fi);
+    for (auto &srv : servers_)
+        srv->setFaultInjector(fi);
+    for (auto &m : pool)
+        m->setFaultInjector(fi);
+    if (fabric_)
+        fabric_->setFaultInjector(fi);
 }
 
 Instance *
@@ -88,16 +154,36 @@ Cloud::provision(const std::string &img_name,
     // The AoE major number selects this instance's image on the
     // shared storage server.
     vp.aoeMajor = img->second.major;
-    ref->deployer_ = std::make_unique<BmcastDeployer>(
-        eventQueue(), pool[slot]->name() + ".dep", *pool[slot],
-        *ref->guest_, kServerMac, img->second.sectors, vp,
-        cfg.coldFirmware);
+    if (fabric_) {
+        ref->deployer_ = std::make_unique<BmcastDeployer>(
+            eventQueue(), pool[slot]->name() + ".dep", *pool[slot],
+            *ref->guest_, serverMacs_, img->second.sectors, vp,
+            cfg.coldFirmware);
+        net::MacAddr peer_mac = kPeerMacBase + slot;
+        store::DeploySpec spec;
+        spec.fabric = fabric_.get();
+        spec.image = img_name;
+        spec.peerMac = peer_mac;
+        ref->deployer_->setStoreSpec(std::move(spec));
+        fabric_->attachPeer(lan, peer_mac,
+                            pool[slot]->name() + ".chunksrv");
+    } else {
+        ref->deployer_ = std::make_unique<BmcastDeployer>(
+            eventQueue(), pool[slot]->name() + ".dep", *pool[slot],
+            *ref->guest_, kServerMac, img->second.sectors, vp,
+            cfg.coldFirmware);
+    }
 
     ref->deployer_->onBareMetal([ref]() {
         ref->state_ = Instance::State::BareMetal;
     });
     ref->deployer_->run([ref, on_serving = std::move(on_serving)]() {
-        ref->state_ = Instance::State::Serving;
+        // Devirtualization is transparent to the guest: a fast copy
+        // can reach bare metal while the guest is still booting, so
+        // never downgrade the state when the boot callback arrives
+        // late.
+        if (ref->state_ != Instance::State::BareMetal)
+            ref->state_ = Instance::State::Serving;
         if (on_serving)
             on_serving(*ref);
     });
@@ -128,6 +214,12 @@ Cloud::release(Instance &inst)
     // the queue retire harmlessly.
     inst.deployer_->vmm().powerOff();
     inst.guest_->halt();
+
+    // Return the node's cached chunks to the store: replica refs are
+    // released and its chunk exporter goes dark (in-flight fetches
+    // against it fail over to the erasure stripe).
+    if (fabric_)
+        fabric_->nodeReleased(kPeerMacBase + slot);
 
     // Scrub the local disk: tenant data must not leak to the next
     // lease, and a stale saved bitmap would make the next deployment

@@ -24,6 +24,7 @@
 #include "hw/machine.hh"
 #include "net/network.hh"
 #include "simcore/sim_object.hh"
+#include "store/fabric.hh"
 
 namespace bmcast {
 
@@ -39,6 +40,8 @@ struct CloudConfig
     guest::GuestOsParams guestTemplate;
     /** Cold firmware init on first power-on. */
     bool coldFirmware = false;
+    /** Store tier; disabled keeps the legacy single image server. */
+    store::StoreParams store;
 };
 
 /** One leased instance. */
@@ -78,9 +81,20 @@ class Cloud : public sim::SimObject
     Cloud(sim::EventQueue &eq, std::string name,
           CloudConfig config = CloudConfig{});
 
-    /** Register a golden image on the storage server. */
+    /** Register a golden image on the storage server(s). */
     void addImage(const std::string &name, sim::Bytes size,
                   std::uint64_t contentBase);
+
+    /**
+     * Register an overlay image: @p baseImage with @p deltas applied
+     * (elijah-style base + modified runs).  Every seed server exports
+     * it as a full target; with the store tier enabled, the catalog
+     * additionally dedups every chunk the deltas do not touch against
+     * the base image.
+     */
+    void addOverlayImage(const std::string &name,
+                         const std::string &baseImage,
+                         const std::vector<store::DeltaRun> &deltas);
 
     /**
      * Lease the next free machine and deploy @p image onto it with
@@ -105,7 +119,19 @@ class Cloud : public sim::SimObject
     unsigned freeMachines() const;
 
     net::Network &network() { return lan; }
-    aoe::AoeServer &imageServer() { return *server; }
+    aoe::AoeServer &imageServer() { return *servers_.front(); }
+    /** Seed server @p i (store mode exports several). */
+    aoe::AoeServer &seedServer(unsigned i) { return *servers_[i]; }
+    std::size_t seedServerCount() const { return servers_.size(); }
+    const std::vector<net::MacAddr> &seedMacs() const
+    {
+        return serverMacs_;
+    }
+    /** The store fabric (nullptr when the store tier is disabled). */
+    store::StoreFabric *storeFabric() { return fabric_.get(); }
+    /** Wire chaos into the LAN, the seed servers, every machine and
+     *  the store fabric's peer exporters. */
+    void setFaultInjector(sim::FaultInjector *fi);
     const std::vector<std::unique_ptr<Instance>> &instances() const
     {
         return leased;
@@ -116,12 +142,18 @@ class Cloud : public sim::SimObject
     {
         std::uint16_t major;
         sim::Lba sectors;
+        std::uint64_t contentBase;
+        /** Overlay runs applied on top of contentBase (empty = flat). */
+        std::vector<store::DeltaRun> deltas;
     };
 
     CloudConfig cfg;
     net::Network lan;
-    net::Port *serverPort;
-    std::unique_ptr<aoe::AoeServer> server;
+    /** Seed image servers; one in legacy mode, params.seedServers in
+     *  store mode (the erasure stripe spreads over them). */
+    std::vector<net::MacAddr> serverMacs_;
+    std::vector<std::unique_ptr<aoe::AoeServer>> servers_;
+    std::unique_ptr<store::StoreFabric> fabric_;
     std::vector<std::unique_ptr<hw::Machine>> pool;
     std::vector<bool> inUse;
     std::map<std::string, Image> images;

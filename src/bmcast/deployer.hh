@@ -58,6 +58,13 @@ class BmcastDeployer : public sim::SimObject
                    bool coldFirmware = true,
                    bool vmxoffSupported = false);
 
+    /** Bind the deployment to the store fabric (before run()); see
+     *  Vmm::setStoreSpec. */
+    void setStoreSpec(store::DeploySpec spec)
+    {
+        vmm_->setStoreSpec(std::move(spec));
+    }
+
     /** Start; @p onGuestReady fires when the guest OS has booted
      *  (the cloud customer's instance is usable). */
     void run(std::function<void()> onGuestReady);

@@ -58,6 +58,8 @@ MediationCore::onGuestWrite(std::uint32_t key, sim::Lba lba,
     // Guest data is the freshest: mark at issue time so the
     // background writer can never claim these blocks (§3.3).
     svc.bitmap->markFilled(lba, count);
+    if (svc.onGuestWriteRange)
+        svc.onGuestWriteRange(lba, count);
     ++stats_.passthroughWrites;
     if (svc.onGuestIo)
         svc.onGuestIo(true, count);

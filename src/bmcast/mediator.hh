@@ -59,6 +59,10 @@ struct MediatorServices
     /** Guest I/O notification feeding the moderation rate meter. */
     std::function<void(bool isWrite, std::uint32_t sectors)> onGuestIo;
 
+    /** Guest-write range notification (issue time).  The store tier
+     *  uses it to stop offering chunks the tenant has dirtied. */
+    std::function<void(sim::Lba, std::uint32_t)> onGuestWriteRange;
+
     /** The consistency bitmap (§3.3). */
     BlockBitmap *bitmap = nullptr;
 

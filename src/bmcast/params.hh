@@ -49,6 +49,14 @@ struct VmmParams
     /** Sectors per background-copy block (Fig. 14 uses 1024 KB). */
     std::uint32_t copyBlockSectors = 2048;
 
+    /**
+     * When non-zero, background-copy fetches never cross a multiple
+     * of this alignment (the store tier sets it to the chunk size so
+     * every fetch maps to exactly one chunk).  Zero = legacy
+     * unaligned blocks.
+     */
+    std::uint32_t copyFetchAlignSectors = 0;
+
     /** Depth of the retriever->writer FIFO (blocks). */
     std::size_t copyFifoDepth = 8;
 

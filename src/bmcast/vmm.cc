@@ -111,6 +111,18 @@ Vmm::installVmm()
     aoe_params.maxRetries = params_.aoeMaxRetries;
     aoe_params.minTimeout = params_.aoeMinTimeout;
     aoe_params.seed = machine_.config().seed;
+    const bool store_on =
+        storeSpec_.fabric && storeSpec_.fabric->params().enabled;
+    if (store_on) {
+        aoe_params.shardMaxRetries =
+            storeSpec_.fabric->params().shardMaxRetries;
+        aoe_params.shardMinTimeout =
+            storeSpec_.fabric->params().shardMinTimeout;
+        // Keep background-copy fetch boundaries on chunk edges so
+        // the streamer's pieces cover whole chunks (peer-source
+        // registration needs complete chunks to land).
+        params_.copyFetchAlignSectors = store::kChunkSectors;
+    }
     aoe_ = std::make_unique<aoe::AoeInitiator>(
         eventQueue(), name() + ".aoe", *nicDriver,
         serverMacs[serverIdx], aoe_params);
@@ -139,6 +151,13 @@ Vmm::installVmm()
         return aoe::ErrorAction::Retry;
     });
 
+    if (store_on) {
+        streamer_ = std::make_unique<store::ChunkStreamer>(
+            eventQueue(), name() + ".stream", *aoe_,
+            *storeSpec_.fabric, storeSpec_.image, storeSpec_.peerMac,
+            imageSectors);
+    }
+
     sim::Lba total = machine_.disk().capacitySectors();
     bitmap_ = std::make_unique<BlockBitmap>(total);
     // Only the image region deploys; everything beyond it (incl. the
@@ -154,7 +173,10 @@ Vmm::installVmm()
                              std::function<void(
                                  const std::vector<std::uint64_t> &)>
                                  done) {
-        aoe_->readSectors(lba, count, std::move(done));
+        if (streamer_)
+            streamer_->fetch(lba, count, std::move(done));
+        else
+            aoe_->readSectors(lba, count, std::move(done));
     };
     svc.stashFetched = [this](sim::Lba lba, std::uint32_t count,
                               const std::vector<std::uint64_t> &t) {
@@ -165,6 +187,15 @@ Vmm::installVmm()
         if (copy)
             copy->noteGuestIo(is_write, sectors);
     };
+    if (store_on) {
+        // Guest writes poison the covered chunks: the pristine image
+        // content is gone, so stop offering them as a peer source.
+        svc.onGuestWriteRange = [this](sim::Lba lba,
+                                       std::uint32_t count) {
+            if (streamer_)
+                streamer_->notePoisoned(lba, count);
+        };
+    }
 
     if (machine_.storageKind() == hw::StorageKind::Ide) {
         mediator_ = std::make_unique<IdeMediator>(
@@ -185,9 +216,20 @@ Vmm::installVmm()
         [this](sim::Lba lba, std::uint32_t count,
                std::function<void(const std::vector<std::uint64_t> &)>
                    done) {
-            aoe_->readSectors(lba, count, std::move(done));
+            if (streamer_)
+                streamer_->fetch(lba, count, std::move(done));
+            else
+                aoe_->readSectors(lba, count, std::move(done));
         },
         imageSectors, [this]() { requestDevirtualization(); });
+    if (streamer_) {
+        // Pristine image content landing locally makes this node a
+        // peer source for the covered chunks.
+        copy->setStoreObserver(
+            [this](sim::Lba lba, std::uint32_t count) {
+                streamer_->noteLocalWrite(lba, count);
+            });
+    }
 
     mediator_->install();
     machine_.setProfile(deployProfile());
@@ -239,6 +281,8 @@ Vmm::powerOff()
         return; // nothing installed yet; netboot checks halted
     if (copy)
         copy->stop();
+    if (streamer_)
+        streamer_->shutdown();
     if (aoe_)
         aoe_->shutdown();
     if (mediator_)
@@ -316,6 +360,8 @@ Vmm::finishDevirtualization()
     // The deployment network stack is done: cancel any straggling
     // AoE request (e.g. a retriever prefetch that lost the race with
     // the final write) — nothing will poll the NIC after this.
+    if (streamer_)
+        streamer_->shutdown();
     aoe_->shutdown();
 
     if (vmxoffSupported) {

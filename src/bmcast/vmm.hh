@@ -38,6 +38,7 @@
 #include "hw/machine.hh"
 #include "obs/obs.hh"
 #include "simcore/sim_object.hh"
+#include "store/streamer.hh"
 
 namespace bmcast {
 
@@ -76,6 +77,22 @@ class Vmm : public sim::SimObject
     Vmm(sim::EventQueue &eq, std::string name, hw::Machine &machine,
         std::vector<net::MacAddr> serverMacs, sim::Lba imageSectors,
         VmmParams params = VmmParams{}, bool vmxoffSupported = false);
+
+    /**
+     * Bind this deployment to the store fabric (must run before
+     * netboot()).  With an enabled fabric, fetches route through a
+     * ChunkStreamer — peers first, then the erasure stripe — and the
+     * node registers as a peer source for chunks it lands.  An empty
+     * spec (or a disabled fabric) keeps the legacy single-server
+     * path bit-identical.
+     */
+    void setStoreSpec(store::DeploySpec spec)
+    {
+        storeSpec_ = std::move(spec);
+    }
+
+    /** The store streamer (nullptr on the legacy path). */
+    store::ChunkStreamer *streamer() { return streamer_.get(); }
 
     /**
      * Network-boot the VMM (Initialization phase); @p ready fires
@@ -177,6 +194,8 @@ class Vmm : public sim::SimObject
     std::unique_ptr<BlockBitmap> bitmap_;
     std::unique_ptr<DeviceMediator> mediator_;
     std::unique_ptr<BackgroundCopy> copy;
+    store::DeploySpec storeSpec_;
+    std::unique_ptr<store::ChunkStreamer> streamer_;
 
     sim::Lba bitmapHome = 0;
     sim::Lba dummy = 0;

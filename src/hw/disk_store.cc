@@ -101,4 +101,36 @@ DiskStore::rangeHasBase(sim::Lba start, std::uint64_t count,
     return true;
 }
 
+void
+DiskStore::forEachBase(
+    sim::Lba start, std::uint64_t count,
+    const std::function<void(sim::Lba, std::uint64_t, std::uint64_t)>
+        &fn) const
+{
+    sim::Lba pos = start;
+    sim::Lba end = start + count;
+    while (pos < end) {
+        auto it = extents.upper_bound(pos);
+        const Extent *cover = nullptr;
+        if (it != extents.begin()) {
+            auto prev = std::prev(it);
+            if (pos < prev->second.end)
+                cover = &prev->second;
+        }
+        sim::Lba run_end;
+        std::uint64_t base;
+        if (cover) {
+            run_end = std::min(end, cover->end);
+            base = cover->base;
+        } else {
+            run_end = (it == extents.end())
+                          ? end
+                          : std::min(end, it->first);
+            base = 0;
+        }
+        fn(pos, run_end - pos, base);
+        pos = run_end;
+    }
+}
+
 } // namespace hw

@@ -23,6 +23,7 @@
 #define HW_DISK_STORE_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
 
 #include "simcore/types.hh"
@@ -76,6 +77,13 @@ class DiskStore
     /** True if every sector of the range has content base @p base. */
     bool rangeHasBase(sim::Lba start, std::uint64_t count,
                       std::uint64_t base) const;
+
+    /** Invoke @p fn(lba, count, base) over maximal uniform-base runs
+     *  covering [start, start+count); gaps appear with base 0. */
+    void forEachBase(
+        sim::Lba start, std::uint64_t count,
+        const std::function<void(sim::Lba, std::uint64_t, std::uint64_t)>
+            &fn) const;
 
     /** Number of extents (compression telemetry / tests). */
     std::size_t extentCount() const { return extents.size(); }

@@ -65,6 +65,7 @@ Network::transmit(Port &from, Frame frame)
     sim::Tick depart = start + tx_time;
     from.txFreeAt = depart;
     ++from.numSent;
+    from.bytesSent += frame.wireSize();
 
     if (from.cfg.lossProbability > 0.0 &&
         rng.chance(from.cfg.lossProbability)) {
@@ -158,6 +159,7 @@ Network::deliverTo(Port &dst, const Frame &frame, sim::Tick depart,
     Port *dst_p = &dst;
     eventQueue().scheduleAt(done, [dst_p, f = std::move(copy)]() {
         ++dst_p->numReceived;
+        dst_p->bytesReceived += f.wireSize();
         if (dst_p->rx)
             dst_p->rx(f);
     });

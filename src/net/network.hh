@@ -66,6 +66,10 @@ class Port
     std::uint64_t framesReceived() const { return numReceived; }
     /** Frames from this port dropped (loss or oversize). */
     std::uint64_t framesDropped() const { return numDropped; }
+    /** Wire bytes (incl. preamble/IFG) transmitted by this port. */
+    sim::Bytes bytesSentOnWire() const { return bytesSent; }
+    /** Wire bytes delivered to this port's handler. */
+    sim::Bytes bytesReceivedOnWire() const { return bytesReceived; }
 
   private:
     friend class Network;
@@ -83,6 +87,8 @@ class Port
     std::uint64_t numSent = 0;
     std::uint64_t numReceived = 0;
     std::uint64_t numDropped = 0;
+    sim::Bytes bytesSent = 0;
+    sim::Bytes bytesReceived = 0;
 };
 
 /** The switch plus all attached ports. */

@@ -22,6 +22,8 @@ faultSiteName(FaultSite site)
       case FaultSite::ServerRestart: return "server.restart";
       case FaultSite::IrqLost: return "irq.lost";
       case FaultSite::IrqSpurious: return "irq.spurious";
+      case FaultSite::StoreSourceTimeout: return "store.source_timeout";
+      case FaultSite::StoreShardCorrupt: return "store.shard_corrupt";
       case FaultSite::kCount: break;
     }
     return "?";

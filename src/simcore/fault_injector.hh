@@ -48,6 +48,8 @@ enum class FaultSite : unsigned {
     ServerRestart,    ///< Derived: a crashed server came back.
     IrqLost,          ///< Interrupt raised but never delivered.
     IrqSpurious,      ///< An extra, unprompted interrupt delivery.
+    StoreSourceTimeout, ///< Chunk source swallows a shard request.
+    StoreShardCorrupt,  ///< Shard payload damaged after digesting.
     kCount
 };
 

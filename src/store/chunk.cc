@@ -1,0 +1,49 @@
+#include "store/chunk.hh"
+
+namespace store {
+
+std::uint64_t
+ChunkPayload::baseAt(std::uint32_t offset) const
+{
+    for (const Run &r : runs) {
+        if (offset < r.offset)
+            return 0;
+        if (offset < r.offset + r.count)
+            return r.base;
+    }
+    return 0;
+}
+
+Digest
+ChunkPayload::digestAt(sim::Lba chunk_start) const
+{
+    std::uint64_t h = aoe::kContentDigestSeed;
+    std::size_t run = 0;
+    for (std::uint32_t s = 0; s < sectors; ++s) {
+        while (run < runs.size() && s >= runs[run].offset + runs[run].count)
+            ++run;
+        std::uint64_t base = 0;
+        if (run < runs.size() && s >= runs[run].offset)
+            base = runs[run].base;
+        h = aoe::digestStep(h, hw::sectorToken(base, chunk_start + s));
+    }
+    return h;
+}
+
+void
+ChunkPayload::fill(sim::Lba chunk_start, hw::DiskStore &out) const
+{
+    // Gaps must overwrite whatever the target held before (a peer's
+    // export is refilled in place when a chunk re-registers).
+    std::uint32_t pos = 0;
+    for (const Run &r : runs) {
+        if (r.offset > pos)
+            out.write(chunk_start + pos, r.offset - pos, 0);
+        out.write(chunk_start + r.offset, r.count, r.base);
+        pos = r.offset + r.count;
+    }
+    if (pos < sectors)
+        out.write(chunk_start + pos, sectors - pos, 0);
+}
+
+} // namespace store

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Chunk model of the content-addressed image store.
+ *
+ * Images are cut into fixed 256 KiB chunks (512 sectors).  A chunk's
+ * content is the sequence of per-sector tokens the simulation uses as
+ * its data plane (hw/disk_store.hh), represented compactly as maximal
+ * uniform-content-base runs.  The chunk digest is an FNV-style fold
+ * over those tokens — the same fold the AoE shard path computes over
+ * served data (aoe/protocol.hh), so an end-to-end integrity check
+ * needs no side channel.
+ *
+ * Because tokens mix the LBA into the content, the digest is
+ * position-bound: two images share a chunk digest exactly when they
+ * hold identical content at the same image offset.  That is precisely
+ * the sharing overlay images exhibit (a delta image reuses every
+ * untouched base chunk), which is what the dedup layer exploits.
+ */
+
+#ifndef STORE_CHUNK_HH
+#define STORE_CHUNK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "aoe/protocol.hh"
+#include "hw/disk_store.hh"
+#include "simcore/types.hh"
+
+namespace store {
+
+/** Fixed chunk size (elijah-style sub-image granularity). */
+constexpr sim::Bytes kChunkBytes = 256 * sim::kKiB;
+constexpr std::uint32_t kChunkSectors =
+    static_cast<std::uint32_t>(kChunkBytes / sim::kSectorSize); // 512
+
+/** Content address of one chunk. */
+using Digest = std::uint64_t;
+
+constexpr sim::Lba
+chunkStartLba(std::size_t idx)
+{
+    return static_cast<sim::Lba>(idx) * kChunkSectors;
+}
+
+constexpr std::size_t
+chunkIndexOf(sim::Lba lba)
+{
+    return static_cast<std::size_t>(lba / kChunkSectors);
+}
+
+/** Chunks covering an image of @p imageSectors sectors. */
+constexpr std::size_t
+chunkCount(sim::Lba imageSectors)
+{
+    return static_cast<std::size_t>(
+        (imageSectors + kChunkSectors - 1) / kChunkSectors);
+}
+
+/**
+ * One chunk's content: sorted, non-overlapping runs of uniform
+ * content base.  Offsets are sector offsets within the chunk; gaps
+ * between runs read as base 0 (token 0).  The tail chunk of an image
+ * may span fewer than kChunkSectors sectors.
+ */
+struct ChunkPayload
+{
+    struct Run
+    {
+        std::uint32_t offset = 0;
+        std::uint32_t count = 0;
+        std::uint64_t base = 0;
+    };
+
+    std::vector<Run> runs;
+    std::uint32_t sectors = kChunkSectors;
+
+    /** Content base at a sector offset (0 in gaps). */
+    std::uint64_t baseAt(std::uint32_t offset) const;
+
+    /** Digest of the token sequence for a chunk homed at
+     *  @p chunkStart (position-bound, see file comment). */
+    Digest digestAt(sim::Lba chunkStart) const;
+
+    /** Write the chunk's content into @p out at @p chunkStart. */
+    void fill(sim::Lba chunkStart, hw::DiskStore &out) const;
+};
+
+} // namespace store
+
+#endif // STORE_CHUNK_HH

@@ -1,0 +1,83 @@
+#include "store/chunk_store.hh"
+
+#include "simcore/logging.hh"
+
+namespace store {
+
+Digest
+ChunkStore::addImageRef(sim::Lba chunk_start, ChunkPayload payload)
+{
+    Digest d = payload.digestAt(chunk_start);
+    auto it = chunks_.find(d);
+    if (it == chunks_.end()) {
+        bytes_ += sim::Bytes(payload.sectors) * sim::kSectorSize;
+        it = chunks_.emplace(d, Entry{std::move(payload), 0, 0}).first;
+    } else {
+        ++dedupHits_;
+    }
+    ++it->second.imageRefs;
+    return d;
+}
+
+void
+ChunkStore::maybeDrop(std::map<Digest, Entry>::iterator it)
+{
+    if (it->second.imageRefs == 0 && it->second.replicaRefs == 0) {
+        bytes_ -= sim::Bytes(it->second.payload.sectors) *
+                  sim::kSectorSize;
+        chunks_.erase(it);
+    }
+}
+
+void
+ChunkStore::unrefImage(Digest d)
+{
+    auto it = chunks_.find(d);
+    sim::panicIfNot(it != chunks_.end() && it->second.imageRefs > 0,
+                    "image unref of unknown chunk");
+    --it->second.imageRefs;
+    maybeDrop(it);
+}
+
+void
+ChunkStore::refReplica(Digest d)
+{
+    auto it = chunks_.find(d);
+    sim::panicIfNot(it != chunks_.end(),
+                    "replica ref of unknown chunk");
+    ++it->second.replicaRefs;
+}
+
+void
+ChunkStore::unrefReplica(Digest d)
+{
+    auto it = chunks_.find(d);
+    if (it == chunks_.end())
+        return; // image removed and chunk already reclaimed
+    if (it->second.replicaRefs > 0)
+        --it->second.replicaRefs;
+    maybeDrop(it);
+}
+
+const ChunkPayload *
+ChunkStore::find(Digest d) const
+{
+    auto it = chunks_.find(d);
+    return it == chunks_.end() ? nullptr : &it->second.payload;
+}
+
+std::uint64_t
+ChunkStore::imageRefs(Digest d) const
+{
+    auto it = chunks_.find(d);
+    return it == chunks_.end() ? 0 : it->second.imageRefs;
+}
+
+std::uint64_t
+ChunkStore::replicaRefs(Digest d) const
+{
+    auto it = chunks_.find(d);
+    return it == chunks_.end() ? 0 : it->second.replicaRefs;
+}
+
+} // namespace store

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Refcounted, deduplicating chunk store.
+ *
+ * Chunks are interned by digest.  Two reference counts per chunk:
+ *  - image refs: catalog entries (flat or overlay images) naming the
+ *    chunk as part of their recipe;
+ *  - replica refs: deployed nodes registered as peer sources for it.
+ *
+ * A chunk is dropped when both counts reach zero — removing an image
+ * while nodes still serve its chunks keeps the chunks alive, and
+ * releasing the last node holding an orphaned chunk reclaims it.
+ */
+
+#ifndef STORE_CHUNK_STORE_HH
+#define STORE_CHUNK_STORE_HH
+
+#include <cstdint>
+#include <map>
+
+#include "store/chunk.hh"
+
+namespace store {
+
+class ChunkStore
+{
+  public:
+    /**
+     * Intern @p payload for a chunk homed at @p chunkStart and take
+     * an image reference.  Identical content at the same offset
+     * dedups onto the existing entry.
+     * @return the chunk digest.
+     */
+    Digest addImageRef(sim::Lba chunkStart, ChunkPayload payload);
+
+    void unrefImage(Digest d);
+    void refReplica(Digest d);
+    void unrefReplica(Digest d);
+
+    /** Payload for @p d, or nullptr if unknown. */
+    const ChunkPayload *find(Digest d) const;
+
+    std::uint64_t imageRefs(Digest d) const;
+    std::uint64_t replicaRefs(Digest d) const;
+
+    /** Distinct chunks currently stored (the dedup denominator). */
+    std::size_t uniqueChunks() const { return chunks_.size(); }
+
+    /** Bytes held by unique chunks (what a physical store would
+     *  occupy after dedup). */
+    sim::Bytes storedBytes() const { return bytes_; }
+
+    /** addImageRef() calls satisfied by an existing chunk. */
+    std::uint64_t dedupHits() const { return dedupHits_; }
+
+  private:
+    struct Entry
+    {
+        ChunkPayload payload;
+        std::uint64_t imageRefs = 0;
+        std::uint64_t replicaRefs = 0;
+    };
+
+    void maybeDrop(std::map<Digest, Entry>::iterator it);
+
+    std::map<Digest, Entry> chunks_;
+    std::uint64_t dedupHits_ = 0;
+    sim::Bytes bytes_ = 0;
+};
+
+} // namespace store
+
+#endif // STORE_CHUNK_STORE_HH

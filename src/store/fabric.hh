@@ -1,0 +1,162 @@
+/**
+ * @file
+ * StoreFabric: the control plane of the bmcast::store subsystem.
+ *
+ * Owns the content-addressed chunk store, the image catalog, the
+ * erasure-coded placement over the seed-server pool, and the peer
+ * registry.  Deployment-side data movement lives in ChunkStreamer;
+ * the fabric answers "who can serve chunk d right now" and keeps the
+ * replica bookkeeping honest as nodes join (attachPeer), land chunks
+ * (noteChunkLanded), dirty them (dropChunk) and leave (nodeReleased).
+ */
+
+#ifndef STORE_FABRIC_HH
+#define STORE_FABRIC_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "aoe/server.hh"
+#include "net/network.hh"
+#include "obs/obs.hh"
+#include "simcore/sim_object.hh"
+#include "store/catalog.hh"
+#include "store/chunk_store.hh"
+#include "store/peer_registry.hh"
+#include "store/placement.hh"
+
+namespace store {
+
+/** Store subsystem configuration (all-default = legacy behaviour). */
+struct StoreParams
+{
+    /** Master switch; false keeps the single-server legacy path. */
+    bool enabled = false;
+
+    /** Erasure code: any k of k+m stripe members reconstruct. */
+    unsigned dataShards = 4;
+    unsigned parityShards = 2;
+
+    /** Seed AoE servers in the pool. */
+    unsigned seedServers = 6;
+
+    /** Modeled Reed–Solomon decode cost when parity substitutes for
+     *  a dead data member. */
+    sim::Tick decodePenalty = 2 * sim::kMs;
+
+    /** Retry delay when no source set can currently serve a chunk. */
+    sim::Tick noSourceRetry = 250 * sim::kMs;
+
+    /** How long a failed source stays deprioritized. */
+    sim::Tick suspectTtl = 2 * sim::kSec;
+
+    /** Routed-read failure budget/floor (see InitiatorParams). */
+    std::uint32_t shardMaxRetries = 2;
+    sim::Tick shardMinTimeout = 40 * sim::kMs;
+
+    /** Service model of the peer-side chunk exporter (lighter than a
+     *  seed server: it shares the node's disk with the tenant). */
+    aoe::ServerParams peerService;
+};
+
+/** Counters the fabric aggregates across all deployments. */
+struct FabricStats
+{
+    std::uint64_t registeredChunks = 0; //!< noteChunkLanded calls
+    std::uint64_t releasedChunks = 0;   //!< returned by nodeReleased
+    std::uint64_t poisonedChunks = 0;   //!< dropped after guest writes
+};
+
+class ChunkStreamer;
+
+/** Deployment binding handed to a VMM (empty = store off). */
+struct DeploySpec
+{
+    class StoreFabric *fabric = nullptr;
+    std::string image;
+    net::MacAddr peerMac = 0; //!< this node's chunk-export MAC
+};
+
+class StoreFabric : public sim::SimObject
+{
+  public:
+    StoreFabric(sim::EventQueue &eq, std::string name,
+                StoreParams params, std::vector<net::MacAddr> seedMacs);
+
+    const StoreParams &params() const { return params_; }
+    ChunkStore &chunks() { return chunks_; }
+    const ChunkStore &chunkStore() const { return chunks_; }
+    ImageCatalog &catalog() { return catalog_; }
+    const ImageCatalog &catalog() const { return catalog_; }
+    Placement &placement() { return placement_; }
+    PeerRegistry &peers() { return peers_; }
+    const PeerRegistry &peerRegistry() const { return peers_; }
+    const FabricStats &stats() const { return stats_; }
+
+    /** Bind a pre-existing seed server so liveness queries and fault
+     *  wiring can reach it. */
+    void bindSeedServer(net::MacAddr mac, aoe::AoeServer *server);
+
+    /**
+     * Attach (or re-arm, for a recycled slot) the chunk-export server
+     * of a node at @p mac, creating its LAN port on first use, and
+     * register the node as a peer.
+     */
+    aoe::AoeServer &attachPeer(net::Network &lan, net::MacAddr mac,
+                               const std::string &label);
+
+    /** The peer export server at @p mac (nullptr if never attached). */
+    aoe::AoeServer *peerServer(net::MacAddr mac);
+
+    /**
+     * A full chunk of @p image landed on the node at @p mac: register
+     * it as a secondary source and mirror the chunk's content into
+     * the node's export target.
+     */
+    void noteChunkLanded(net::MacAddr mac, const std::string &image,
+                         std::size_t chunkIdx);
+
+    /** The node at @p mac dirtied chunk @p chunkIdx (tenant write):
+     *  stop offering it.  The export content stays untouched so any
+     *  in-flight fetch still serves the pristine payload. */
+    void dropChunk(net::MacAddr mac, const std::string &image,
+                   std::size_t chunkIdx);
+
+    /**
+     * The node at @p mac was released back to the cloud: deregister
+     * every chunk it offered, return the replica references to the
+     * store, and take its export server offline (in-flight fetches
+     * fail over to the erasure stripe).
+     */
+    void nodeReleased(net::MacAddr mac);
+
+    /** Is the source at @p mac currently answering? (Unknown MACs
+     *  are presumed live seed members.) */
+    bool sourceUp(net::MacAddr mac);
+
+    /** Forward to current and future peer export servers. */
+    void setFaultInjector(sim::FaultInjector *fi);
+
+  private:
+    StoreParams params_;
+    ChunkStore chunks_;
+    ImageCatalog catalog_;
+    Placement placement_;
+    PeerRegistry peers_;
+    FabricStats stats_;
+    sim::FaultInjector *faults_ = nullptr;
+
+    std::map<net::MacAddr, aoe::AoeServer *> seedServers_;
+    std::map<net::MacAddr, std::unique_ptr<aoe::AoeServer>> peerServers_;
+
+    obs::Track obsTrack_;
+};
+
+/** Publish fabric + chunk-store counters into a metrics registry. */
+void publishStoreStats(obs::Registry &reg, const StoreFabric &fabric);
+
+} // namespace store
+
+#endif // STORE_FABRIC_HH

@@ -1,0 +1,113 @@
+#include "store/peer_registry.hh"
+
+#include <algorithm>
+
+#include "simcore/logging.hh"
+
+namespace store {
+
+void
+PeerRegistry::registerPeer(net::MacAddr mac)
+{
+    peers_.emplace(mac, Peer{});
+}
+
+bool
+PeerRegistry::known(net::MacAddr mac) const
+{
+    return peers_.count(mac) != 0;
+}
+
+std::vector<Digest>
+PeerRegistry::deregisterPeer(net::MacAddr mac)
+{
+    auto it = peers_.find(mac);
+    if (it == peers_.end())
+        return {};
+    std::vector<Digest> held(it->second.chunks.begin(),
+                             it->second.chunks.end());
+    for (Digest d : held)
+        removeChunk(mac, d);
+    peers_.erase(it);
+    return held;
+}
+
+void
+PeerRegistry::addChunk(net::MacAddr mac, Digest d)
+{
+    auto it = peers_.find(mac);
+    sim::panicIfNot(it != peers_.end(),
+                    "chunk registered for unknown peer");
+    if (!it->second.chunks.insert(d).second)
+        return;
+    holders_[d].push_back(mac);
+    ++registrations_;
+}
+
+void
+PeerRegistry::removeChunk(net::MacAddr mac, Digest d)
+{
+    auto it = peers_.find(mac);
+    if (it == peers_.end() || it->second.chunks.erase(d) == 0)
+        return;
+    auto hit = holders_.find(d);
+    if (hit == holders_.end())
+        return;
+    auto &v = hit->second;
+    v.erase(std::remove(v.begin(), v.end(), mac), v.end());
+    if (v.empty())
+        holders_.erase(hit);
+}
+
+bool
+PeerRegistry::holds(net::MacAddr mac, Digest d) const
+{
+    auto it = peers_.find(mac);
+    return it != peers_.end() && it->second.chunks.count(d) != 0;
+}
+
+std::vector<net::MacAddr>
+PeerRegistry::sourcesFor(Digest d, net::MacAddr self) const
+{
+    auto hit = holders_.find(d);
+    if (hit == holders_.end())
+        return {};
+    std::vector<net::MacAddr> out;
+    out.reserve(hit->second.size());
+    for (net::MacAddr mac : hit->second) {
+        if (mac != self)
+            out.push_back(mac);
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [this](net::MacAddr a, net::MacAddr b) {
+                         const Peer &pa = peers_.at(a);
+                         const Peer &pb = peers_.at(b);
+                         if (pa.active != pb.active)
+                             return pa.active < pb.active;
+                         if (pa.served != pb.served)
+                             return pa.served < pb.served;
+                         return a < b;
+                     });
+    return out;
+}
+
+void
+PeerRegistry::noteFetchStart(net::MacAddr mac)
+{
+    auto it = peers_.find(mac);
+    if (it != peers_.end())
+        ++it->second.active;
+}
+
+void
+PeerRegistry::noteFetchEnd(net::MacAddr mac)
+{
+    auto it = peers_.find(mac);
+    if (it == peers_.end())
+        return;
+    if (it->second.active > 0)
+        --it->second.active;
+    ++it->second.served;
+}
+
+} // namespace store

@@ -1,0 +1,56 @@
+#include "store/placement.hh"
+
+#include <algorithm>
+
+#include "simcore/logging.hh"
+
+namespace store {
+
+Placement::Placement(unsigned data_shards, unsigned parity_shards,
+                     std::vector<net::MacAddr> servers)
+    : k_(data_shards), m_(parity_shards), servers_(std::move(servers))
+{
+    sim::fatalIf(k_ == 0, "placement needs at least one data shard");
+    sim::fatalIf(servers_.size() < k_, "placement needs >= k servers (",
+                 servers_.size(), " < ", k_, ")");
+    width_ = static_cast<unsigned>(
+        std::min<std::size_t>(servers_.size(), k_ + m_));
+}
+
+std::vector<net::MacAddr>
+Placement::stripeFor(Digest d) const
+{
+    std::vector<net::MacAddr> stripe;
+    stripe.reserve(width_);
+    std::size_t n = servers_.size();
+    for (unsigned i = 0; i < width_; ++i)
+        stripe.push_back(servers_[(d + i) % n]);
+    return stripe;
+}
+
+std::optional<Placement::Plan>
+Placement::planFor(Digest d,
+                   const std::function<bool(net::MacAddr)> &live) const
+{
+    std::vector<net::MacAddr> stripe = stripeFor(d);
+    Plan plan;
+    plan.sources.reserve(k_);
+    // Data members first...
+    for (unsigned i = 0; i < k_ && i < stripe.size(); ++i) {
+        if (live(stripe[i]))
+            plan.sources.push_back(stripe[i]);
+    }
+    // ...then live parity fills the gaps.
+    for (unsigned i = k_;
+         i < stripe.size() && plan.sources.size() < k_; ++i) {
+        if (live(stripe[i])) {
+            plan.sources.push_back(stripe[i]);
+            ++plan.parityUsed;
+        }
+    }
+    if (plan.sources.size() < k_)
+        return std::nullopt;
+    return plan;
+}
+
+} // namespace store

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Erasure-coded chunk placement across the seed-server pool.
+ *
+ * Each chunk digest maps to a stripe of k data + m parity members
+ * drawn round-robin from the server pool.  Any k live members of the
+ * stripe can reconstruct the chunk; fetch plans substitute live
+ * parity members for dead data members (Reed–Solomon-style), at a
+ * decode cost the streamer models as a fixed penalty.
+ *
+ * Modeling note: the simulation carries sector *tokens*, not real
+ * bytes, so every stripe member exports the full chunk content and
+ * the erasure code is modeled at the placement/availability level —
+ * a plan exists iff >= k stripe members are live, and using parity
+ * members marks the plan as a reconstruction.  Wire traffic still
+ * splits the chunk across the k chosen members (1/k each), so
+ * throughput scales the way a real k+m striping would.
+ */
+
+#ifndef STORE_PLACEMENT_HH
+#define STORE_PLACEMENT_HH
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "net/frame.hh"
+#include "store/chunk.hh"
+
+namespace store {
+
+class Placement
+{
+  public:
+    Placement(unsigned dataShards, unsigned parityShards,
+              std::vector<net::MacAddr> servers);
+
+    /** A concrete fetch plan: k sources, possibly using parity. */
+    struct Plan
+    {
+        std::vector<net::MacAddr> sources;
+        unsigned parityUsed = 0;
+    };
+
+    /** Stripe members for @p d (data members first). */
+    std::vector<net::MacAddr> stripeFor(Digest d) const;
+
+    /**
+     * Pick k live stripe members for @p d, preferring data members
+     * and back-filling from live parity.  Returns nullopt when fewer
+     * than k members are live (chunk unreconstructable right now).
+     */
+    std::optional<Plan>
+    planFor(Digest d,
+            const std::function<bool(net::MacAddr)> &live) const;
+
+    unsigned dataShards() const { return k_; }
+    unsigned parityShards() const { return m_; }
+    unsigned stripeWidth() const { return width_; }
+
+  private:
+    unsigned k_;
+    unsigned m_;
+    unsigned width_;
+    std::vector<net::MacAddr> servers_;
+};
+
+} // namespace store
+
+#endif // STORE_PLACEMENT_HH

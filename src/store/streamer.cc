@@ -1,0 +1,278 @@
+#include "store/streamer.hh"
+
+#include <algorithm>
+
+#include "simcore/logging.hh"
+
+namespace store {
+
+namespace {
+
+/** Failed attempts on a piece before backing off to a timed retry. */
+constexpr unsigned kMaxPieceAttempts = 32;
+
+} // namespace
+
+ChunkStreamer::ChunkStreamer(sim::EventQueue &eq, std::string name,
+                             aoe::AoeInitiator &aoe, StoreFabric &fabric,
+                             std::string image, net::MacAddr self_mac,
+                             sim::Lba image_sectors)
+    : sim::SimObject(eq, std::move(name)), aoe_(aoe), fabric_(fabric),
+      image_(std::move(image)), self_(self_mac),
+      imageSectors_(image_sectors), obsTrack_(this->name())
+{
+    sim::fatalIf(fabric_.catalog().find(image_) == nullptr,
+                 "streamer for unknown image ", image_);
+}
+
+void
+ChunkStreamer::fetch(sim::Lba lba, std::uint32_t count, FetchDone done)
+{
+    sim::panicIfNot(count > 0 && lba + count <= imageSectors_,
+                    "store fetch outside the image");
+    auto op = std::make_shared<FetchOp>();
+    op->lba = lba;
+    op->count = count;
+    op->tokens.resize(count);
+    op->done = std::move(done);
+
+    // Cut the range at chunk boundaries.
+    std::vector<Piece> pieces;
+    sim::Lba pos = lba;
+    sim::Lba end = lba + count;
+    while (pos < end) {
+        std::size_t idx = chunkIndexOf(pos);
+        sim::Lba chunk_end = chunkStartLba(idx) + kChunkSectors;
+        sim::Lba piece_end = std::min(end, chunk_end);
+        pieces.push_back(Piece{
+            pos, static_cast<std::uint32_t>(piece_end - pos), idx});
+        pos = piece_end;
+    }
+    op->remaining = pieces.size();
+    for (const Piece &p : pieces)
+        startPiece(op, p, 0);
+}
+
+void
+ChunkStreamer::startPiece(const std::shared_ptr<FetchOp> &op,
+                          Piece piece, unsigned attempts)
+{
+    if (halted_)
+        return;
+    if (attempts >= kMaxPieceAttempts) {
+        // Everything reachable failed repeatedly; pause and retry
+        // fresh (sources may restart or lose their suspect mark).
+        ++stalls_;
+        schedule(fabric_.params().noSourceRetry,
+                 [this, op, piece]() { startPiece(op, piece, 0); });
+        return;
+    }
+
+    Digest d = fabric_.catalog().digestAt(image_, piece.chunkIdx);
+
+    // Warm peers first.
+    for (net::MacAddr peer : fabric_.peers().sourcesFor(d, self_)) {
+        if (live(peer)) {
+            fetchFromPeer(op, piece, attempts, peer);
+            return;
+        }
+    }
+    fetchFromSeeds(op, piece, attempts);
+}
+
+void
+ChunkStreamer::fetchFromPeer(const std::shared_ptr<FetchOp> &op,
+                             Piece piece, unsigned attempts,
+                             net::MacAddr peer)
+{
+    fabric_.peers().noteFetchStart(peer);
+    aoe_.readSectorsVia(
+        peer, piece.lba, piece.count,
+        [this, op, piece, attempts, peer](
+            aoe::RoutedStatus st,
+            const std::vector<std::uint64_t> &tokens) {
+            fabric_.peers().noteFetchEnd(peer);
+            if (halted_)
+                return;
+            if (st == aoe::RoutedStatus::Ok) {
+                if (peerHits_++ == 0 && obs::armed()) {
+                    obs::Tracer &t = obs::tracer();
+                    t.milestone(obsTrack_.id(t),
+                                "store.peer_tier_engaged", now(), 1.0);
+                }
+                commit(op, piece, tokens);
+                return;
+            }
+            ++sourceFailures_;
+            suspect(peer);
+            startPiece(op, piece, attempts + 1);
+        });
+}
+
+void
+ChunkStreamer::fetchFromSeeds(const std::shared_ptr<FetchOp> &op,
+                              Piece piece, unsigned attempts)
+{
+    Digest d = fabric_.catalog().digestAt(image_, piece.chunkIdx);
+    auto plan = fabric_.placement().planFor(
+        d, [this](net::MacAddr mac) { return live(mac); });
+    if (!plan) {
+        // Fewer than k stripe members reachable: the chunk cannot be
+        // reconstructed right now.  Park the piece and retry.
+        ++stalls_;
+        schedule(fabric_.params().noSourceRetry,
+                 [this, op, piece]() { startPiece(op, piece, 0); });
+        return;
+    }
+
+    // Stripe the piece 1/k per chosen member (a k+m code moves only
+    // count/k sectors per source).
+    struct Joined
+    {
+        std::vector<std::uint64_t> tokens;
+        std::size_t remaining = 0;
+        bool failed = false;
+    };
+    auto join = std::make_shared<Joined>();
+    join->tokens.resize(piece.count);
+
+    const unsigned k = static_cast<unsigned>(plan->sources.size());
+    std::uint32_t slice_base = piece.count / k;
+    std::uint32_t slice_rem = piece.count % k;
+    const bool reconstructed = plan->parityUsed > 0;
+
+    struct Slice
+    {
+        net::MacAddr src;
+        sim::Lba lba;
+        std::uint32_t off;
+        std::uint32_t count;
+    };
+    std::vector<Slice> slices;
+    std::uint32_t off = 0;
+    for (unsigned i = 0; i < k && off < piece.count; ++i) {
+        std::uint32_t n = slice_base + (i < slice_rem ? 1 : 0);
+        if (n == 0)
+            continue;
+        slices.push_back(
+            Slice{plan->sources[i], piece.lba + off, off, n});
+        off += n;
+    }
+    join->remaining = slices.size();
+
+    for (const Slice &s : slices) {
+        aoe_.readSectorsVia(
+            s.src, s.lba, s.count,
+            [this, op, piece, attempts, join, s, reconstructed](
+                aoe::RoutedStatus st,
+                const std::vector<std::uint64_t> &tokens) {
+                if (halted_)
+                    return;
+                if (st != aoe::RoutedStatus::Ok) {
+                    ++sourceFailures_;
+                    suspect(s.src);
+                    if (!join->failed) {
+                        // First failing slice re-plans the piece; the
+                        // surviving slices' data is discarded (a real
+                        // decoder needs k complete shards).
+                        join->failed = true;
+                        startPiece(op, piece, attempts + 1);
+                    }
+                    return;
+                }
+                if (join->failed)
+                    return;
+                std::copy(tokens.begin(), tokens.end(),
+                          join->tokens.begin() + s.off);
+                if (--join->remaining > 0)
+                    return;
+                ++seedFetches_;
+                if (reconstructed) {
+                    if (reconstructions_++ == 0 && obs::armed()) {
+                        obs::Tracer &t = obs::tracer();
+                        t.milestone(obsTrack_.id(t),
+                                    "store.reconstruction", now(),
+                                    1.0);
+                    }
+                    // Model the Reed–Solomon decode before the data
+                    // is usable.
+                    schedule(fabric_.params().decodePenalty,
+                             [this, op, piece, join]() {
+                                 if (!halted_)
+                                     commit(op, piece, join->tokens);
+                             });
+                    return;
+                }
+                commit(op, piece, join->tokens);
+            });
+    }
+}
+
+void
+ChunkStreamer::commit(const std::shared_ptr<FetchOp> &op,
+                      const Piece &piece,
+                      const std::vector<std::uint64_t> &tokens)
+{
+    std::copy(tokens.begin(), tokens.end(),
+              op->tokens.begin() + (piece.lba - op->lba));
+    if (--op->remaining == 0 && op->done)
+        op->done(op->tokens);
+}
+
+void
+ChunkStreamer::suspect(net::MacAddr mac)
+{
+    suspectUntil_[mac] = now() + fabric_.params().suspectTtl;
+}
+
+bool
+ChunkStreamer::live(net::MacAddr mac)
+{
+    auto it = suspectUntil_.find(mac);
+    if (it != suspectUntil_.end()) {
+        if (now() < it->second)
+            return false;
+        suspectUntil_.erase(it);
+    }
+    return fabric_.sourceUp(mac);
+}
+
+void
+ChunkStreamer::noteLocalWrite(sim::Lba lba, std::uint32_t count)
+{
+    sim::Lba end = std::min<sim::Lba>(lba + count, imageSectors_);
+    sim::Lba pos = std::min<sim::Lba>(lba, end);
+    while (pos < end) {
+        std::size_t idx = chunkIndexOf(pos);
+        sim::Lba chunk_end = std::min<sim::Lba>(
+            chunkStartLba(idx) + kChunkSectors, imageSectors_);
+        sim::Lba seg_end = std::min(end, chunk_end);
+        ChunkState &cs = chunkState_[idx];
+        cs.landed += static_cast<std::uint32_t>(seg_end - pos);
+        std::uint32_t span = static_cast<std::uint32_t>(
+            chunk_end - chunkStartLba(idx));
+        if (cs.state == 0 && cs.landed >= span) {
+            cs.state = 1;
+            fabric_.noteChunkLanded(self_, image_, idx);
+        }
+        pos = seg_end;
+    }
+}
+
+void
+ChunkStreamer::notePoisoned(sim::Lba lba, std::uint32_t count)
+{
+    if (count == 0)
+        return;
+    std::size_t first = chunkIndexOf(lba);
+    std::size_t last = chunkIndexOf(
+        std::min<sim::Lba>(lba + count - 1, imageSectors_ - 1));
+    for (std::size_t idx = first; idx <= last; ++idx) {
+        ChunkState &cs = chunkState_[idx];
+        if (cs.state == 1)
+            fabric_.dropChunk(self_, image_, idx);
+        cs.state = 2;
+    }
+}
+
+} // namespace store

@@ -67,6 +67,37 @@ TEST(Cloud, ProvisionTwoImagesConcurrently)
         0, img_sectors, kCentos));
 }
 
+TEST(Cloud, BareMetalStateSurvivesLateGuestBoot)
+{
+    // Devirtualization is transparent to the guest: a tiny image
+    // finishes copying (and the VMM reaches bare metal) while the
+    // guest is still grinding through a long CPU boot phase. The
+    // late guest-ready callback must not downgrade the instance
+    // state back to Serving.
+    sim::EventQueue eq;
+    bmcast::CloudConfig cfg = testConfig(1);
+    cfg.guestTemplate.boot.cpuTotal = 60 * sim::kSec;
+    bmcast::Cloud cloud(eq, "region", cfg);
+    cloud.addImage("tiny", 8 * sim::kMiB, kUbuntu);
+
+    bool served = false;
+    bmcast::Instance *a = cloud.provision(
+        "tiny", [&](bmcast::Instance &) { served = true; });
+    ASSERT_NE(a, nullptr);
+
+    while ((a->state() != bmcast::Instance::State::BareMetal ||
+            !served) &&
+           !eq.empty() && eq.now() < 40000 * sim::kSec)
+        eq.step();
+
+    ASSERT_TRUE(served);
+    EXPECT_LT(a->deployer().timeline().bareMetal,
+              a->deployer().timeline().guestBootDone)
+        << "precondition: bare metal must precede guest-boot-done "
+           "for this regression test to bite";
+    EXPECT_EQ(a->state(), bmcast::Instance::State::BareMetal);
+}
+
 TEST(Cloud, PoolExhaustionReturnsNull)
 {
     sim::EventQueue eq;

@@ -15,6 +15,7 @@
 #include <tuple>
 
 #include "aoe/protocol.hh"
+#include "bmcast/cloud.hh"
 #include "bmcast/deployer.hh"
 #include "net/l2.hh"
 #include "simcore/fault_injector.hh"
@@ -140,6 +141,75 @@ TEST(FaultInjectorUnit, SummaryNamesTouchedSites)
     (void)fi.shouldFire(FaultSite::NetCorrupt);
     std::string s = fi.summary();
     EXPECT_NE(s.find("net.corrupt"), std::string::npos) << s;
+}
+
+TEST(FaultInjectorUnit, StoreSitesAreNamedInSummaries)
+{
+    sim::FaultInjector fi(7);
+    sim::SitePlan plan;
+    plan.fireOn = {1};
+    fi.arm(FaultSite::StoreSourceTimeout, plan);
+    fi.arm(FaultSite::StoreShardCorrupt, plan);
+    EXPECT_TRUE(fi.shouldFire(FaultSite::StoreSourceTimeout));
+    EXPECT_TRUE(fi.shouldFire(FaultSite::StoreShardCorrupt));
+    std::string s = fi.summary();
+    EXPECT_NE(s.find("store.source_timeout"), std::string::npos) << s;
+    EXPECT_NE(s.find("store.shard_corrupt"), std::string::npos) << s;
+}
+
+// --- Store-tier chaos: source timeouts and corrupted shards ---
+
+TEST(StoreChaos, DeploymentSurvivesSourceTimeoutsAndCorruption)
+{
+    sim::EventQueue eq;
+    bmcast::CloudConfig cfg;
+    cfg.machines = 1;
+    cfg.machineTemplate.disk.capacityBytes = 2 * sim::kGiB;
+    cfg.vmm.bootTime = 5 * sim::kSec;
+    cfg.vmm.moderation.vmmWriteInterval = 2 * sim::kMs;
+    cfg.vmm.moderation.guestIoFreqThreshold = 1e9;
+    cfg.guestTemplate.boot.loaderBytes = 1 * sim::kMiB;
+    cfg.guestTemplate.boot.kernelBytes = 4 * sim::kMiB;
+    cfg.guestTemplate.boot.numReads = 40;
+    cfg.guestTemplate.boot.cpuTotal = 500 * sim::kMs;
+    cfg.guestTemplate.boot.regionBytes = 16 * sim::kMiB;
+    cfg.store.enabled = true;
+    cfg.store.seedServers = 4;
+    cfg.store.dataShards = 2;
+    cfg.store.parityShards = 2;
+    bmcast::Cloud cloud(eq, "region", cfg);
+
+    constexpr std::uint64_t image_base = 0xAAAA000000000001ULL;
+    constexpr sim::Bytes image_bytes = 24 * sim::kMiB;
+    constexpr sim::Lba image_sectors = image_bytes / sim::kSectorSize;
+    cloud.addImage("img", image_bytes, image_base);
+
+    sim::FaultInjector fi(1234);
+    sim::SitePlan swallow;
+    swallow.probability = 0.02;
+    fi.arm(FaultSite::StoreSourceTimeout, swallow);
+    sim::SitePlan corrupt;
+    corrupt.probability = 0.02;
+    fi.arm(FaultSite::StoreShardCorrupt, corrupt);
+    cloud.setFaultInjector(&fi);
+
+    bmcast::Instance *a = cloud.provision("img", nullptr);
+    ASSERT_NE(a, nullptr);
+    ASSERT_TRUE(runUntil(eq, 80000 * sim::kSec, [&]() {
+        return a->state() == bmcast::Instance::State::BareMetal;
+    })) << "store chaos must degrade, not stall; injector: "
+        << fi.summary();
+
+    EXPECT_GT(fi.triggers(FaultSite::StoreSourceTimeout), 0u);
+    EXPECT_GT(fi.triggers(FaultSite::StoreShardCorrupt), 0u);
+    // Per-fragment digests catch every injected corruption and the
+    // piece is re-fetched: the landed image is still byte-exact.
+    aoe::AoeInitiator &ini = a->deployer().vmm().initiator();
+    EXPECT_GT(ini.shardDigestMismatches(), 0u);
+    EXPECT_TRUE(a->machine().disk().store().rangeHasBase(
+        0, image_sectors, image_base));
+    EXPECT_TRUE(cloud.storeFabric()->catalog().verifyDisk(
+        "img", a->machine().disk().store()));
 }
 
 // --- Chaos matrix: fault plan x storage controller ---
