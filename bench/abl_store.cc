@@ -25,6 +25,7 @@
  */
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -54,6 +55,7 @@ struct FleetResult
     std::uint64_t reconstructions = 0;
     std::uint64_t executed = 0;
     sim::Tick endTick = 0;
+    double wallMs = 0.0;
 };
 
 bmcast::CloudConfig
@@ -105,12 +107,16 @@ runFleet(unsigned n, bool store_on, bool kill_seed,
         }
         return true;
     };
+    auto t0 = std::chrono::steady_clock::now();
     while (!all_bare() && !eq.empty() &&
            eq.now() < 500000 * sim::kSec)
         eq.step();
+    auto t1 = std::chrono::steady_clock::now();
 
     FleetResult r;
     r.n = n;
+    r.wallMs =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
     r.ok = all_bare();
     const sim::Lba image_sectors = image_bytes / sim::kSectorSize;
     sim::Tick last_bare = 0;
@@ -187,7 +193,10 @@ main(int argc, char **argv)
               << (smoke ? " (smoke)" : "") << ", arrival stagger: "
               << sim::toSeconds(kArrivalStagger) << " s\n";
 
-    const std::vector<unsigned> fleet_sizes{1, 2, 4, 8};
+    // Fleet sizes come from the environment (BMCAST_NODES=16,32,...)
+    // so storm sweeps need no recompile.
+    const std::vector<unsigned> fleet_sizes =
+        bench::envUnsignedList("BMCAST_NODES", {1, 2, 4, 8});
     std::vector<FleetResult> legacy, stored;
     for (unsigned n : fleet_sizes) {
         legacy.push_back(runFleet(n, false, false, image_bytes));
@@ -248,9 +257,24 @@ main(int argc, char **argv)
     std::cout << "store-disabled run tick-identical to legacy: "
               << (disabled_identical ? "yes" : "NO") << "\n";
 
+    // Uniform storm records (one per store-tier configuration), in
+    // the same shape abl_scaleout and abl_storm emit.
+    std::vector<bench::ScaleRecord> recs;
+    for (std::size_t i = 0; i < fleet_sizes.size(); ++i) {
+        bench::ScaleRecord rec;
+        rec.nodes = fleet_sizes[i];
+        rec.wallMs = stored[i].wallMs;
+        rec.events = stored[i].executed;
+        if (rec.wallMs > 0.0)
+            rec.eventsPerSec =
+                double(rec.events) / (rec.wallMs / 1000.0);
+        recs.push_back(rec);
+    }
+
     std::ofstream json("BENCH_store.json");
     json << "{\n  \"bench\": \"abl_store\",\n"
          << "  \"image_mib\": " << image_bytes / sim::kMiB << ",\n"
+         << "  " << bench::scaleRecordsJson(recs, "  ") << ",\n"
          << "  \"superlinear_vs_single_server\": "
          << (superlinear ? "true" : "false") << ",\n"
          << "  \"degraded_ok\": " << (degraded_ok ? "true" : "false")

@@ -16,6 +16,8 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "aoe/server.hh"
@@ -248,6 +250,94 @@ paperVmmParams()
     p.moderation.vmmWriteSuspendInterval = 250 * sim::kMs;
     return p;
 }
+
+/** @name Storm-bench parameterization and uniform records
+ * The storm benches (abl_scaleout, abl_store, abl_storm) take their
+ * node counts from the environment instead of hardcoded N<=8 loops,
+ * and every configuration they run is reported as one uniform
+ * {nodes, shards, wall_ms, events_per_sec} JSON record, so scaling
+ * sweeps across benches land in comparable shape in BENCH_*.json. */
+/// @{
+
+/** Unsigned environment knob: BMCAST_NODES=512, BMCAST_SHARDS=8... */
+inline unsigned
+envUnsigned(const char *name, unsigned def)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return def;
+    char *end = nullptr;
+    unsigned long parsed = std::strtoul(v, &end, 10);
+    if (end == v || *end != '\0' || parsed == 0) {
+        std::cerr << "ignoring bad " << name << "=" << v << "\n";
+        return def;
+    }
+    return static_cast<unsigned>(parsed);
+}
+
+/** Comma-separated unsigned list knob (BMCAST_SHARDS=1,2,4,8). */
+inline std::vector<unsigned>
+envUnsignedList(const char *name, std::vector<unsigned> def)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return def;
+    std::vector<unsigned> out;
+    const char *p = v;
+    while (*p) {
+        char *end = nullptr;
+        unsigned long parsed = std::strtoul(p, &end, 10);
+        if (end == p || parsed == 0) {
+            std::cerr << "ignoring bad " << name << "=" << v << "\n";
+            return def;
+        }
+        out.push_back(static_cast<unsigned>(parsed));
+        p = (*end == ',') ? end + 1 : end;
+    }
+    return out.empty() ? def : out;
+}
+
+/** One storm configuration's uniform result record. */
+struct ScaleRecord
+{
+    unsigned nodes = 0;
+    unsigned shards = 1;
+    double wallMs = 0.0;
+    std::uint64_t events = 0;
+    double eventsPerSec = 0.0; ///< simulated events per wall second
+    std::uint64_t fingerprint = 0; ///< sim-outcome fold (0 = n/a)
+};
+
+/** The record in its uniform JSON shape. */
+inline std::string
+scaleRecordJson(const ScaleRecord &r)
+{
+    std::ostringstream os;
+    os << "{\"nodes\": " << r.nodes << ", \"shards\": " << r.shards
+       << ", \"wall_ms\": " << r.wallMs
+       << ", \"events\": " << r.events
+       << ", \"events_per_sec\": " << r.eventsPerSec
+       << ", \"fingerprint\": \"0x" << std::hex << r.fingerprint
+       << std::dec << "\"}";
+    return os.str();
+}
+
+/** The uniform `"records": [...]` JSON fragment (no trailing brace
+ *  or comma — callers embed it in their bench-specific object). */
+inline std::string
+scaleRecordsJson(const std::vector<ScaleRecord> &rs,
+                 const char *indent = "    ")
+{
+    std::ostringstream os;
+    os << "\"records\": [\n";
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+        os << indent << "  " << scaleRecordJson(rs[i])
+           << (i + 1 < rs.size() ? "," : "") << "\n";
+    }
+    os << indent << "]";
+    return os.str();
+}
+/// @}
 
 /** Print a figure header. */
 inline void

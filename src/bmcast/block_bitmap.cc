@@ -1,6 +1,7 @@
 #include "bmcast/block_bitmap.hh"
 
 #include <map>
+#include <mutex>
 
 #include "simcore/logging.hh"
 
@@ -12,8 +13,12 @@ namespace {
  * Registry modelling serialized bitmap bytes at rest: the token
  * written to the reserved region maps to the interval list. (Sector
  * content in this simulation is a 64-bit token; see the file comment
- * in block_bitmap.hh.)
+ * in block_bitmap.hh.) Process-global and hit by every shard of a
+ * sharded run, hence the lock; tokens are content hashes, so the
+ * registry's contents are interleaving-independent.
  */
+std::mutex savedStatesMu;
+
 std::map<std::uint64_t,
          std::vector<sim::IntervalSet::Range>> &
 savedStates()
@@ -95,6 +100,7 @@ BlockBitmap::serializeToken() const
     }
     if (h == 0)
         h = 1; // never collide with "unwritten"
+    std::lock_guard<std::mutex> g(savedStatesMu);
     savedStates()[h] = filled.intervals();
     return h;
 }
@@ -102,11 +108,16 @@ BlockBitmap::serializeToken() const
 bool
 BlockBitmap::restoreFromToken(std::uint64_t token)
 {
-    auto it = savedStates().find(token);
-    if (it == savedStates().end())
-        return false;
+    std::vector<sim::IntervalSet::Range> saved;
+    {
+        std::lock_guard<std::mutex> g(savedStatesMu);
+        auto it = savedStates().find(token);
+        if (it == savedStates().end())
+            return false;
+        saved = it->second;
+    }
     filled.clear();
-    for (const auto &[s, e] : it->second)
+    for (const auto &[s, e] : saved)
         filled.insert(s, e);
     return true;
 }

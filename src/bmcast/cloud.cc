@@ -110,6 +110,22 @@ Cloud::freeMachines() const
     return n;
 }
 
+unsigned
+Cloud::rackOf(unsigned slot) const
+{
+    return cfg.racks > 1 ? slot % cfg.racks : 0;
+}
+
+unsigned
+Cloud::rackLoad(unsigned rack) const
+{
+    unsigned n = 0;
+    for (unsigned i = 0; i < cfg.machines; ++i)
+        if (inUse[i] && rackOf(i) == rack)
+            ++n;
+    return n;
+}
+
 void
 Cloud::setFaultInjector(sim::FaultInjector *fi)
 {
@@ -129,11 +145,19 @@ Cloud::provision(const std::string &img_name,
     auto img = images.find(img_name);
     sim::fatalIf(img == images.end(), "unknown image ", img_name);
 
+    // Rack-aware placement: lease from the least-loaded rack so a
+    // storm spreads across failure domains (ties break toward the
+    // lower rack, then the lower slot — with one rack this is the
+    // historical lowest-free-slot order).
     unsigned slot = cfg.machines;
+    unsigned best_load = 0;
     for (unsigned i = 0; i < cfg.machines; ++i) {
-        if (!inUse[i]) {
+        if (inUse[i])
+            continue;
+        unsigned load = rackLoad(rackOf(i));
+        if (slot == cfg.machines || load < best_load) {
             slot = i;
-            break;
+            best_load = load;
         }
     }
     if (slot == cfg.machines)
@@ -143,6 +167,7 @@ Cloud::provision(const std::string &img_name,
     auto inst = std::make_unique<Instance>();
     Instance *ref = inst.get();
     ref->image_ = img_name;
+    ref->rack_ = rackOf(slot);
     ref->machine_ = pool[slot].get();
 
     guest::GuestOsParams gp = cfg.guestTemplate;

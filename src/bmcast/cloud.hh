@@ -33,6 +33,15 @@ struct CloudConfig
 {
     /** Machines racked in the region. */
     unsigned machines = 4;
+    /**
+     * Racks the pool is striped over (machine i lives in rack
+     * i % racks). Placement is rack-aware: provision() leases from
+     * the least-loaded rack, spreading a deployment storm across
+     * failure domains instead of filling rack 0 first. With the
+     * default single rack, placement degenerates to the historical
+     * lowest-free-slot order.
+     */
+    unsigned racks = 1;
     hw::StorageKind storage = hw::StorageKind::Ahci;
     hw::MachineConfig machineTemplate;
     aoe::ServerParams server;
@@ -55,6 +64,8 @@ class Instance
     guest::GuestOs &guest() { return *guest_; }
     BmcastDeployer &deployer() { return *deployer_; }
     const std::string &image() const { return image_; }
+    /** Rack the leased machine lives in. */
+    unsigned rack() const { return rack_; }
 
     /** Seconds from the provision request to a serving guest. */
     double
@@ -69,6 +80,7 @@ class Instance
 
     State state_ = State::Provisioning;
     std::string image_;
+    unsigned rack_ = 0;
     hw::Machine *machine_ = nullptr;
     std::unique_ptr<guest::GuestOs> guest_;
     std::unique_ptr<BmcastDeployer> deployer_;
@@ -117,6 +129,11 @@ class Cloud : public sim::SimObject
 
     /** Machines not yet leased. */
     unsigned freeMachines() const;
+
+    /** Rack of pool slot @p slot (machines stripe round-robin). */
+    unsigned rackOf(unsigned slot) const;
+    /** Leased machines currently in rack @p rack. */
+    unsigned rackLoad(unsigned rack) const;
 
     net::Network &network() { return lan; }
     aoe::AoeServer &imageServer() { return *servers_.front(); }

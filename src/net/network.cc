@@ -119,6 +119,13 @@ Network::transmit(Port &from, Frame frame)
 
     Port *dst = findPort(frame.dst);
     if (!dst) {
+        if (uplink) {
+            // Non-local unicast leaves the segment through the
+            // uplink; sender-side serialization is already charged.
+            ++numUplinked;
+            uplink(frame, depart);
+            return;
+        }
         // Unknown unicast: a real switch floods; we drop and count,
         // which is sufficient for these experiments.
         ++from.numDropped;
@@ -129,6 +136,17 @@ Network::transmit(Port &from, Frame frame)
         // The duplicate trails the original by one switch traversal.
         deliverTo(*dst, frame, depart, extraDelay + switchLat);
     }
+}
+
+void
+Network::inject(const Frame &frame)
+{
+    Port *dst = findPort(frame.dst);
+    if (!dst) {
+        ++numUplinkDrops;
+        return;
+    }
+    deliverTo(*dst, frame, now());
 }
 
 void

@@ -112,6 +112,41 @@ class Network : public sim::SimObject
     std::uint64_t framesForwarded() const { return numForwarded; }
 
     /**
+     * @name Inter-segment uplink (shard/link boundary routing)
+     *
+     * A segment that is part of a larger topology (e.g. one rack of
+     * a sharded experiment) installs an uplink handler: a unicast
+     * frame whose destination MAC is not attached locally is handed
+     * to the handler — after the sender's serialization has been
+     * charged — instead of being dropped. The handler forwards it
+     * across the inter-rack link (typically via
+     * sim::ShardGroup::postToRack with the link's latency) to the
+     * destination segment, which re-injects it with inject().
+     * Broadcast stays a segment-local domain. With no handler
+     * installed, behavior is exactly the historical drop-and-count.
+     */
+    /// @{
+    using UplinkHandler =
+        std::function<void(const Frame &, sim::Tick depart)>;
+
+    /** Install the non-local unicast handler (empty to remove). */
+    void setUplink(UplinkHandler h) { uplink = std::move(h); }
+
+    /**
+     * Deliver a frame arriving from another segment: charges the
+     * switch traversal and the destination port's receive
+     * serialization, exactly like a locally forwarded frame. An
+     * unknown destination is counted as an uplink drop.
+     */
+    void inject(const Frame &frame);
+
+    /** Frames handed to the uplink handler. */
+    std::uint64_t framesUplinked() const { return numUplinked; }
+    /** Injected frames whose destination was unknown here. */
+    std::uint64_t uplinkDrops() const { return numUplinkDrops; }
+    /// @}
+
+    /**
      * Attach a fault injector (nullptr detaches).  Consulted per
      * transmitted frame for the NetDrop / NetDuplicate / NetReorder /
      * NetCorrupt sites; corruption is modeled as a receiver-side FCS
@@ -131,6 +166,9 @@ class Network : public sim::SimObject
     sim::FaultInjector *faults = nullptr;
     std::map<MacAddr, std::unique_ptr<Port>> ports;
     std::uint64_t numForwarded = 0;
+    UplinkHandler uplink;
+    std::uint64_t numUplinked = 0;
+    std::uint64_t numUplinkDrops = 0;
 
     obs::Track obsTrack_;
     std::uint64_t obsFrameSeq_ = 0; //!< per-frame wire-span id

@@ -3,12 +3,12 @@
 namespace obs {
 
 namespace detail {
-bool gArmed = false;
-Tracer *gTracer = nullptr;
-sim::Tick (*gClockFn)(const void *) = nullptr;
-const void *gClockCtx = nullptr;
-Registry *gMetrics = nullptr;
-std::uint64_t gMetricsEpoch = 0;
+thread_local bool gArmed = false;
+thread_local Tracer *gTracer = nullptr;
+thread_local sim::Tick (*gClockFn)(const void *) = nullptr;
+thread_local const void *gClockCtx = nullptr;
+thread_local Registry *gMetrics = nullptr;
+thread_local std::uint64_t gMetricsEpoch = 0;
 } // namespace detail
 
 void

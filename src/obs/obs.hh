@@ -3,7 +3,9 @@
  * Arming facade for the observability subsystem.
  *
  * The simulator is instrumented unconditionally, but every probe is
- * gated on obs::armed() — an inline read of one global bool. The
+ * gated on obs::armed() — an inline read of one thread-local bool
+ * (thread-local so each shard of a sharded run can arm its own
+ * tracer ring with no synchronization on the probe path). The
  * default state is disarmed: no Tracer exists, armed() is false, and
  * an instrumented run is bit-identical to an uninstrumented build
  * (asserted by tests and enforced by bench/abl_obs.cc).
@@ -36,16 +38,21 @@
 namespace obs {
 
 namespace detail {
-extern bool gArmed;
-extern Tracer *gTracer;
-extern sim::Tick (*gClockFn)(const void *);
-extern const void *gClockCtx;
-extern Registry *gMetrics;
-extern std::uint64_t gMetricsEpoch;
+// Arming state is thread-local: a tracer's ring is written only by
+// the thread that armed it, so sharded runs (sim::ShardGroup) can
+// arm one tracer per shard worker and record concurrently with no
+// synchronization on the probe path. Single-threaded use is
+// unchanged — arm and probe happen on the same thread.
+extern thread_local bool gArmed;
+extern thread_local Tracer *gTracer;
+extern thread_local sim::Tick (*gClockFn)(const void *);
+extern thread_local const void *gClockCtx;
+extern thread_local Registry *gMetrics;
+extern thread_local std::uint64_t gMetricsEpoch;
 } // namespace detail
 
-/** True when a tracer is installed. The only cost a disarmed probe
- *  pays. */
+/** True when a tracer is installed on this thread. The only cost a
+ *  disarmed probe pays (one thread-local bool read). */
 inline bool
 armed()
 {
@@ -59,8 +66,9 @@ tracer()
     return *detail::gTracer;
 }
 
-/** Install @p t as the global tracer (nullptr to disarm; disarming
- *  also clears the clock). */
+/** Install @p t as the calling thread's tracer (nullptr to disarm;
+ *  disarming also clears the clock). A tracer armed on one thread
+ *  must only be written by that thread. */
 void arm(Tracer *t);
 
 /** Equivalent to arm(nullptr). */

@@ -31,6 +31,11 @@ faultSiteName(FaultSite site)
 
 FaultInjector::FaultInjector(std::uint64_t seed) : seed_(seed) {}
 
+FaultInjector::FaultInjector(std::uint64_t seed, unsigned shard)
+    : seed_(seed), shard_(shard), sharded_(true)
+{
+}
+
 void
 FaultInjector::arm(FaultSite site, SitePlan plan)
 {
@@ -42,8 +47,13 @@ FaultInjector::arm(FaultSite site, SitePlan plan)
     s.armed = true;
     s.plan = std::move(plan);
     // A fresh stream per arm(): re-arming the same site in a second
-    // run replays the same draws regardless of earlier plans.
-    s.rng = Rng(Rng::seedFrom(faultSiteName(site), seed_));
+    // run replays the same draws regardless of earlier plans. A
+    // sharded injector derives its site streams through the
+    // counter-mode shard salt so racks never share draws.
+    s.rng = Rng(sharded_
+                    ? Rng::seedForShard(faultSiteName(site), seed_,
+                                        shard_)
+                    : Rng::seedFrom(faultSiteName(site), seed_));
 }
 
 void

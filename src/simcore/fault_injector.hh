@@ -104,6 +104,20 @@ class FaultInjector
   public:
     explicit FaultInjector(std::uint64_t seed = 1);
 
+    /**
+     * Per-shard variant: the same experiment seed, salted with a
+     * rack/shard index via the counter-mode derivation
+     * (Rng::seedForShard), so every rack of a sharded run owns
+     * independent site streams while the whole fleet is still
+     * reproduced by one experiment seed. FaultInjector(s) and
+     * FaultInjector(s, 0) are distinct streams on purpose — rack 0
+     * is not the serial injector.
+     */
+    FaultInjector(std::uint64_t seed, unsigned shard);
+
+    /** Rack/shard stream index (0 for the serial constructor). */
+    unsigned streamShard() const { return shard_; }
+
     /** Arm @p site with @p plan (replaces any existing plan). */
     void arm(FaultSite site, SitePlan plan);
 
@@ -159,6 +173,8 @@ class FaultInjector
 
     std::array<Site, kNumFaultSites> sites_;
     std::uint64_t seed_;
+    unsigned shard_ = 0;
+    bool sharded_ = false;
     unsigned numArmed_ = 0;
 };
 

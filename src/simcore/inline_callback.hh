@@ -13,6 +13,7 @@
 #ifndef SIMCORE_INLINE_CALLBACK_HH
 #define SIMCORE_INLINE_CALLBACK_HH
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <new>
@@ -120,7 +121,11 @@ class InlineCallback
     bool spilled() const { return ops && ops->heap; }
 
     /** Closures that spilled to the heap since process start. */
-    static std::uint64_t spillCount() { return spillCounter(); }
+    static std::uint64_t
+    spillCount()
+    {
+        return spillCounter().load(std::memory_order_relaxed);
+    }
 
   private:
     struct Ops
@@ -179,10 +184,12 @@ class InlineCallback
         true,
     };
 
-    static std::uint64_t &
+    /** Process-wide and incremented from every shard thread, so it
+     *  must be atomic (relaxed: it is a statistic, not an ordering). */
+    static std::atomic<std::uint64_t> &
     spillCounter()
     {
-        static std::uint64_t count = 0;
+        static std::atomic<std::uint64_t> count{0};
         return count;
     }
 

@@ -46,6 +46,21 @@ Rng::seedFrom(const std::string &name, std::uint64_t base)
 }
 
 std::uint64_t
+Rng::seedForShard(const std::string &name, std::uint64_t base,
+                  unsigned shard)
+{
+    // Counter-mode: run the splitmix64 counter `shard + 1` steps
+    // from the base seed, then hash the name against that stream
+    // value. One step per index keeps neighboring racks' streams as
+    // far apart as unrelated seeds.
+    std::uint64_t x = base;
+    std::uint64_t mixed = base;
+    for (unsigned i = 0; i <= shard; ++i)
+        mixed = splitmix64(x);
+    return seedFrom(name, mixed);
+}
+
+std::uint64_t
 Rng::next()
 {
     std::uint64_t result = rotl(s[1] * 5, 7) * 9;

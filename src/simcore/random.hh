@@ -30,6 +30,20 @@ class Rng
     static std::uint64_t seedFrom(const std::string &name,
                                   std::uint64_t base);
 
+    /**
+     * Derive an independent per-shard stream: counter-mode mix of
+     * the base seed with the shard/rack index before the name hash,
+     * so every rack of a sharded experiment draws from its own
+     * stream — identically-named components in different racks never
+     * share draws, and adding a rack never perturbs another rack's
+     * stream. shard 0 is NOT the plain seedFrom stream; the mix is
+     * applied for every index so rack 0 is no more special than
+     * rack 7.
+     */
+    static std::uint64_t seedForShard(const std::string &name,
+                                      std::uint64_t base,
+                                      unsigned shard);
+
     /** Next raw 64-bit value. */
     std::uint64_t next();
 

@@ -1,0 +1,241 @@
+#include "simcore/shard_group.hh"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+#include "obs/obs.hh"
+#include "simcore/logging.hh"
+
+namespace sim {
+
+ShardGroup::ShardGroup(Params p)
+    : racks_(p.racks),
+      shards_(std::min(std::max(p.shards, 1u),
+                       std::max(p.racks, 1u))),
+      window_(p.window)
+{
+    fatalIf(racks_ == 0, "ShardGroup needs at least one rack");
+    fatalIf(window_ == 0, "ShardGroup window must be positive");
+
+    queues_.reserve(racks_);
+    for (unsigned r = 0; r < racks_; ++r)
+        queues_.push_back(std::make_unique<EventQueue>());
+
+    channels_.reserve(std::size_t(racks_) * racks_);
+    for (std::size_t i = 0; i < std::size_t(racks_) * racks_; ++i)
+        channels_.push_back(
+            std::make_unique<Channel>(p.mailboxCapacity));
+
+    states_.reserve(shards_);
+    for (unsigned s = 0; s < shards_; ++s)
+        states_.push_back(std::make_unique<ShardState>());
+
+    shardRacks_.resize(shards_);
+    for (unsigned r = 0; r < racks_; ++r)
+        shardRacks_[shardOf(r)].push_back(r);
+}
+
+ShardGroup::~ShardGroup() = default;
+
+void
+ShardGroup::postToRack(unsigned srcRack, unsigned dstRack, Tick when,
+                       InlineCallback cb)
+{
+    fatalIf(srcRack >= racks_ || dstRack >= racks_,
+            "postToRack: rack out of range");
+    const Tick sendTick = queues_[srcRack]->now();
+    fatalIf(when < sendTick + window_,
+            "postToRack violates the lookahead window: send tick ",
+            sendTick, " + window ", window_, " > delivery tick ",
+            when);
+
+    Channel &ch = channel(srcRack, dstRack);
+    Msg m;
+    m.sendTick = sendTick;
+    m.when = when;
+    m.srcRack = srcRack;
+    m.seq = ch.nextSeq++;
+    m.cb = std::move(cb);
+    ch.ring.push(std::move(m));
+}
+
+void
+ShardGroup::awaitHorizons(unsigned self, Tick t)
+{
+    ShardState &st = *states_[self];
+    for (unsigned s = 0; s < shards_; ++s) {
+        if (s == self)
+            continue;
+        while (states_[s]->horizon.load(std::memory_order_acquire) <
+               t) {
+            if (aborted_.load(std::memory_order_relaxed))
+                return;
+            ++st.horizonWaits;
+            std::this_thread::yield();
+        }
+    }
+}
+
+void
+ShardGroup::drainInbound(unsigned rack, Tick t,
+                         std::vector<Msg> &scratch, ShardState &st)
+{
+    scratch.clear();
+    for (unsigned src = 0; src < racks_; ++src) {
+        channel(src, rack).ring.drainIf(
+            scratch,
+            [t](const Msg &m) { return m.sendTick < t; });
+    }
+    if (scratch.empty())
+        return;
+
+    // Deterministic merge: the dispatch order of cross-rack traffic
+    // is a pure function of (delivery tick, source rack, channel
+    // seq), whatever the thread interleaving was. Scheduling in
+    // sorted order makes the queue's same-tick FIFO match the key.
+    std::sort(scratch.begin(), scratch.end(),
+              [](const Msg &a, const Msg &b) {
+                  if (a.when != b.when)
+                      return a.when < b.when;
+                  if (a.srcRack != b.srcRack)
+                      return a.srcRack < b.srcRack;
+                  return a.seq < b.seq;
+              });
+    EventQueue &q = *queues_[rack];
+    for (Msg &m : scratch) {
+        fatalIf(m.when < t, "cross-rack message due at ", m.when,
+                " surfaced only at barrier ", t,
+                " (link latency below the lookahead window?)");
+        q.scheduleAt(m.when, std::move(m.cb));
+        ++st.messages;
+    }
+}
+
+void
+ShardGroup::shardMain(unsigned self, Tick base, Tick until)
+{
+    ShardState &st = *states_[self];
+
+    // Per-shard tracing: arm this shard's tracer on this thread for
+    // the duration of the run (obs arming is thread-local). Shard 0
+    // runs on the caller's thread, so save and restore whatever
+    // tracer the caller had armed.
+    obs::Tracer *prev =
+        obs::armed() ? &obs::tracer() : nullptr;
+    if (st.tracer)
+        obs::arm(st.tracer);
+
+    std::vector<Msg> scratch;
+    for (Tick t = base; t < until; t += window_) {
+        if (aborted_.load(std::memory_order_relaxed))
+            break;
+        const Tick end = t + window_; // executes ticks [t, end)
+        awaitHorizons(self, t);
+        for (unsigned r : shardRacks_[self])
+            drainInbound(r, t, scratch, st);
+        for (unsigned r : shardRacks_[self]) {
+            if (st.tracer) {
+                obs::setClock(
+                    [](const void *ctx) {
+                        return static_cast<const EventQueue *>(ctx)
+                            ->now();
+                    },
+                    queues_[r].get());
+            }
+            queues_[r]->runUntil(end - 1);
+            ++st.windows;
+        }
+        st.horizon.store(end, std::memory_order_release);
+    }
+
+    if (st.tracer)
+        obs::arm(prev);
+}
+
+void
+ShardGroup::run(Tick until)
+{
+    fatalIf(until % window_ != 0,
+            "ShardGroup::run horizon ", until,
+            " must be a multiple of the lookahead window ", window_,
+            " (drain points must land on the window grid)");
+    fatalIf(until < committed_, "ShardGroup::run horizon ", until,
+            " is before committed time ", committed_);
+    if (until == committed_)
+        return;
+
+    const Tick base = committed_;
+    aborted_.store(false, std::memory_order_relaxed);
+
+    if (shards_ == 1) {
+        // Inline on the calling thread: with one shard (and a
+        // fortiori one rack) this is the serial kernel, no threads,
+        // no atomics on the hot path beyond the horizon store.
+        shardMain(0, base, until);
+    } else {
+        std::vector<std::exception_ptr> errs(shards_);
+        std::vector<std::thread> workers;
+        workers.reserve(shards_ - 1);
+        for (unsigned s = 1; s < shards_; ++s) {
+            workers.emplace_back([this, s, base, until, &errs]() {
+                try {
+                    shardMain(s, base, until);
+                } catch (...) {
+                    errs[s] = std::current_exception();
+                    aborted_.store(true,
+                                   std::memory_order_relaxed);
+                    // Unblock peers waiting on this horizon.
+                    states_[s]->horizon.store(
+                        until, std::memory_order_release);
+                }
+            });
+        }
+        try {
+            shardMain(0, base, until);
+        } catch (...) {
+            errs[0] = std::current_exception();
+            aborted_.store(true, std::memory_order_relaxed);
+            states_[0]->horizon.store(until,
+                                      std::memory_order_release);
+        }
+        for (auto &w : workers)
+            w.join();
+        for (auto &e : errs) {
+            if (e)
+                std::rethrow_exception(e);
+        }
+    }
+
+    committed_ = until;
+
+    counters_.windows = 0;
+    counters_.messages = 0;
+    counters_.horizonWaits = 0;
+    for (const auto &st : states_) {
+        counters_.windows += st->windows;
+        counters_.messages += st->messages;
+        counters_.horizonWaits += st->horizonWaits;
+    }
+    counters_.mailboxSpills = 0;
+    for (const auto &ch : channels_)
+        counters_.mailboxSpills += ch->ring.spillCount();
+}
+
+std::uint64_t
+ShardGroup::totalExecuted() const
+{
+    std::uint64_t n = 0;
+    for (const auto &q : queues_)
+        n += q->executed();
+    return n;
+}
+
+void
+ShardGroup::setShardTracer(unsigned shard, obs::Tracer *t)
+{
+    fatalIf(shard >= shards_, "setShardTracer: shard out of range");
+    states_[shard]->tracer = t;
+}
+
+} // namespace sim

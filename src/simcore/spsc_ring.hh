@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Bounded single-producer/single-consumer ring for cross-shard
+ * mailboxes.
+ *
+ * One ShardGroup channel (src rack -> dst rack) is owned by exactly
+ * one producer thread (the shard executing the source rack) and one
+ * consumer thread (the shard executing the destination rack), so the
+ * classic two-index SPSC protocol suffices: the producer writes the
+ * slot, then publishes tail with release; the consumer acquires tail,
+ * reads the slot, then publishes head with release. Neither index is
+ * ever written by the other side.
+ *
+ * The ring is bounded by design (a mailbox that can grow without
+ * bound hides a shard that has stopped draining). A full ring must
+ * not block the producer, though: the consumer drains mailboxes only
+ * at lookahead barriers, so a producer that waited for space while
+ * its peer waits at the barrier would deadlock. Overflow therefore
+ * spills to a mutex-protected side vector — a rare, counted slow
+ * path. Entries in the ring and in the spill are each in producer
+ * (send) order; the barrier drain merges the two by the message sort
+ * key, so the split never reorders delivery.
+ */
+
+#ifndef SIMCORE_SPSC_RING_HH
+#define SIMCORE_SPSC_RING_HH
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace sim {
+
+template <typename T>
+class SpscRing
+{
+  public:
+    explicit SpscRing(std::size_t capacity = 1024)
+    {
+        // Round up to a power of two for cheap index masking.
+        std::size_t cap = 2;
+        while (cap < capacity)
+            cap <<= 1;
+        slots_.resize(cap);
+        mask_ = cap - 1;
+    }
+
+    SpscRing(const SpscRing &) = delete;
+    SpscRing &operator=(const SpscRing &) = delete;
+
+    std::size_t capacity() const { return slots_.size(); }
+
+    /** Producer side. Never blocks: a full ring spills. */
+    void
+    push(T v)
+    {
+        const std::size_t tail =
+            tail_.load(std::memory_order_relaxed);
+        const std::size_t head =
+            head_.load(std::memory_order_acquire);
+        if (tail - head >= slots_.size()) {
+            std::lock_guard<std::mutex> g(spillMu_);
+            spill_.push_back(std::move(v));
+            ++spillCount_;
+            hasSpill_.store(true, std::memory_order_release);
+            return;
+        }
+        slots_[tail & mask_] = std::move(v);
+        tail_.store(tail + 1, std::memory_order_release);
+    }
+
+    /**
+     * Consumer side: pop every buffered entry (ring, then spill) for
+     * which @p take returns true, appending them to @p out. Entries
+     * for which @p take is false stay buffered; both the ring and the
+     * spill are in producer order, so the kept entries remain a
+     * contiguous suffix of each.
+     */
+    template <typename Pred>
+    void
+    drainIf(std::vector<T> &out, Pred &&take)
+    {
+        std::size_t head = head_.load(std::memory_order_relaxed);
+        const std::size_t tail =
+            tail_.load(std::memory_order_acquire);
+        while (head != tail) {
+            T &slot = slots_[head & mask_];
+            if (!take(static_cast<const T &>(slot)))
+                break;
+            out.push_back(std::move(slot));
+            ++head;
+        }
+        head_.store(head, std::memory_order_release);
+
+        // The spill path is rare; skip the lock entirely unless a
+        // producer has published a spilled entry. Entries eligible at
+        // this barrier were spilled before the producer released its
+        // horizon, so the flag (and the entries) are visible here.
+        if (!hasSpill_.load(std::memory_order_acquire))
+            return;
+        std::lock_guard<std::mutex> g(spillMu_);
+        std::size_t keep = 0;
+        while (keep < spill_.size() &&
+               take(static_cast<const T &>(spill_[keep]))) {
+            out.push_back(std::move(spill_[keep]));
+            ++keep;
+        }
+        if (keep > 0)
+            spill_.erase(spill_.begin(),
+                         spill_.begin() +
+                             static_cast<std::ptrdiff_t>(keep));
+        if (spill_.empty())
+            hasSpill_.store(false, std::memory_order_release);
+    }
+
+    /** Times the bounded ring was full and an entry spilled. */
+    std::uint64_t spillCount() const { return spillCount_; }
+
+  private:
+    std::vector<T> slots_;
+    std::size_t mask_ = 0;
+    alignas(64) std::atomic<std::size_t> head_{0};
+    alignas(64) std::atomic<std::size_t> tail_{0};
+
+    std::mutex spillMu_;
+    std::vector<T> spill_;
+    std::atomic<bool> hasSpill_{false};
+    std::atomic<std::uint64_t> spillCount_{0};
+};
+
+} // namespace sim
+
+#endif // SIMCORE_SPSC_RING_HH

@@ -43,6 +43,24 @@ constexpr Bytes kKiB = 1024;
 constexpr Bytes kMiB = 1024 * kKiB;
 constexpr Bytes kGiB = 1024 * kMiB;
 
+/** @name Result-stream fingerprinting
+ * FNV-1a-style fold over 64-bit words, used to condense a simulated
+ * result stream (completion ticks, byte counts, event totals) into
+ * one order-sensitive fingerprint. The sharded-kernel gates compare
+ * these across shard counts: equal fingerprints == equal simulated
+ * outcomes. */
+/// @{
+constexpr std::uint64_t kFingerprintSeed = 0xCBF29CE484222325ULL;
+
+constexpr std::uint64_t
+fingerprintMix(std::uint64_t h, std::uint64_t v)
+{
+    h ^= v;
+    h *= 0x100000001B3ULL;
+    return h;
+}
+/// @}
+
 /** Convert ticks to floating-point seconds (for reporting only). */
 constexpr double
 toSeconds(Tick t)

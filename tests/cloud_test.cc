@@ -204,4 +204,55 @@ TEST(Cloud, DuplicateImageIsFatal)
                  sim::FatalError);
 }
 
+TEST(Cloud, RackAwarePlacementSpreadsAcrossRacks)
+{
+    // 8 machines striped over 4 racks: the first four leases must
+    // land in four different racks (ties break toward the lower
+    // rack), not fill rack 0's two slots first.
+    sim::EventQueue eq;
+    bmcast::CloudConfig cfg = testConfig(8);
+    cfg.racks = 4;
+    bmcast::Cloud cloud(eq, "region", cfg);
+    cloud.addImage("img", 16 * sim::kMiB, kUbuntu);
+
+    std::vector<bmcast::Instance *> fleet;
+    for (unsigned i = 0; i < 4; ++i)
+        fleet.push_back(cloud.provision("img", nullptr));
+    for (unsigned i = 0; i < 4; ++i) {
+        ASSERT_NE(fleet[i], nullptr);
+        EXPECT_EQ(fleet[i]->rack(), i);
+        EXPECT_EQ(cloud.rackLoad(i), 1u);
+    }
+    // The next wave doubles up, one per rack again.
+    for (unsigned i = 0; i < 4; ++i) {
+        bmcast::Instance *inst = cloud.provision("img", nullptr);
+        ASSERT_NE(inst, nullptr);
+        EXPECT_EQ(inst->rack(), i);
+        EXPECT_EQ(cloud.rackLoad(i), 2u);
+    }
+    EXPECT_EQ(cloud.freeMachines(), 0u);
+}
+
+TEST(Cloud, SingleRackPlacementKeepsHistoricalOrder)
+{
+    // racks=1 (the default) must replay the historical
+    // lowest-free-slot order: machine() pointers lease ascending.
+    sim::EventQueue eq;
+    bmcast::Cloud cloud(eq, "region", testConfig(3));
+    cloud.addImage("img", 16 * sim::kMiB, kUbuntu);
+    bmcast::Instance *a = cloud.provision("img", nullptr);
+    bmcast::Instance *b = cloud.provision("img", nullptr);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(a->rack(), 0u);
+    EXPECT_EQ(b->rack(), 0u);
+    hw::Machine *slot0 = &a->machine();
+    EXPECT_NE(slot0, &b->machine());
+    cloud.release(*a);
+    // The freed slot 0 is re-leased before the untouched slot 2.
+    bmcast::Instance *c = cloud.provision("img", nullptr);
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(&c->machine(), slot0);
+}
+
 } // namespace
