@@ -26,6 +26,7 @@
  * bench-smoke ctest label.
  */
 
+#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -61,6 +62,7 @@ struct Result
     std::uint64_t fetchErrors = 0;
     std::uint64_t failovers = 0;
     std::string faults;
+    bench::ScaleRecord rec; ///< uniform cross-bench scaling record
 };
 
 Result
@@ -128,6 +130,7 @@ runScenario(const char *name, Mode mode, sim::Lba imageSectors)
     bool killed = false;
     sim::Lba baseFilled = 0;
     dep.run([]() {});
+    const auto t0 = std::chrono::steady_clock::now();
     bool done = tb.runUntil(500000 * sim::kSec, [&]() {
         if (mode == Mode::Failover50) {
             bmcast::Vmm &vmm = dep.vmm();
@@ -145,6 +148,18 @@ runScenario(const char *name, Mode mode, sim::Lba imageSectors)
         }
         return dep.bareMetalReached();
     });
+    const auto t1 = std::chrono::steady_clock::now();
+
+    r.rec.nodes = 1;
+    r.rec.shards = 1;
+    r.rec.wallMs =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    r.rec.events = tb.eq.executed();
+    r.rec.eventsPerSec =
+        r.rec.wallMs > 0.0
+            ? static_cast<double>(r.rec.events) /
+                  (r.rec.wallMs / 1000.0)
+            : 0.0;
 
     r.ok = done &&
            tb.machine().disk().store().rangeHasBase(
@@ -225,10 +240,15 @@ main(int argc, char **argv)
              << "\"bare_metal_sec\": " << r.bareSec << ", "
              << "\"retransmissions\": " << r.retx << ", "
              << "\"fetch_errors\": " << r.fetchErrors << ", "
-             << "\"failovers\": " << r.failovers << "}"
-             << (i + 1 < rows.size() ? "," : "") << "\n";
+             << "\"failovers\": " << r.failovers << ", "
+             << "\"record\": " << bench::scaleRecordJson(r.rec)
+             << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
     }
-    json << "  ]\n}\n";
+    std::vector<bench::ScaleRecord> recs;
+    for (const auto &r : rows)
+        recs.push_back(r.rec);
+    json << "  ],\n  " << bench::scaleRecordsJson(recs, "  ")
+         << "\n}\n";
     json.close();
     std::cout << "wrote BENCH_faults.json\n";
 

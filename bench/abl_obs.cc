@@ -47,6 +47,22 @@ struct Result
     std::uint64_t recorded = 0;
     std::uint64_t milestones = 0;
     std::uint64_t rttSamples = 0;
+
+    /** Uniform cross-bench scaling record for trajectory tooling. */
+    bench::ScaleRecord
+    rec() const
+    {
+        bench::ScaleRecord s;
+        s.nodes = 1;
+        s.shards = 1;
+        s.wallMs = static_cast<double>(wallNs) / 1e6;
+        s.events = executed;
+        s.eventsPerSec =
+            wallNs > 0 ? static_cast<double>(executed) /
+                             (static_cast<double>(wallNs) / 1e9)
+                       : 0.0;
+        return s;
+    }
 };
 
 Result
@@ -183,7 +199,11 @@ main(int argc, char **argv)
          << static_cast<std::uint64_t>(wall_base) << ",\n"
          << "  \"wall_ns_armed\": " << armed.wallNs << ",\n"
          << "  \"armed_overhead_ns_per_event\": "
-         << sim::Table::num(per_event, 2) << "\n}\n";
+         << sim::Table::num(per_event, 2) << ",\n";
+    std::vector<bench::ScaleRecord> recs;
+    for (const auto &r : rows)
+        recs.push_back(r.rec());
+    json << "  " << bench::scaleRecordsJson(recs, "  ") << "\n}\n";
     json.close();
     std::cout << "wrote BENCH_obs.json\n";
 

@@ -1,0 +1,687 @@
+/**
+ * @file
+ * Fleet-scale control-plane world on the sharded kernel.
+ *
+ * Extends the storm world's shape — R racks, each with its own ToR
+ * segment, seed server and machines, one ShardGroup rack per queue —
+ * with the full PR-7 control stack:
+ *
+ *  - a cloud::ControlPlane lives on rack 0's queue; its
+ *    ProvisionerPort implementation (FleetPort) carries deployment
+ *    and release orders to the owning rack as cross-shard messages
+ *    and the completion notifications back, so lease admission,
+ *    placement and teardown are exercised *through* the mailbox
+ *    fabric rather than inline;
+ *  - a shared net::Topology charges every cross-rack frame on the
+ *    source rack's up-link (at hand-off, on the source shard) and
+ *    the destination rack's down-link (at arrival, on the
+ *    destination shard) — the split-charging contract; links model
+ *    FIFO occupancy, so deployment and serving flows genuinely
+ *    queue behind each other;
+ *  - an optional cloud::CongestionController shapes each lease's
+ *    deployment fetches against its rack lane (linkShare of the
+ *    effective aggregation capacity), which is what keeps serving
+ *    headroom during a flash crowd;
+ *  - per-rack serving traffic: rack r streams stamped frames to a
+ *    sink in rack (r+1) % R, sharing the sink rack's down-link with
+ *    deployment data. Goodput counts only frames delivered within
+ *    the one-way latency SLO — the paper's agility claim is that
+ *    provisioning storms must not break serving tenants.
+ *
+ * Deployments are also deliberately cross-rack: rack r's nodes pull
+ * their image from rack (r+1) % R's seed, so deployment data rides
+ * up_[r+1] and down_[r] for the whole run.
+ *
+ * The world is a pure function of (nodes, racks, window, image,
+ * seed, shaping): the shard count changes which thread executes a
+ * rack and nothing else, which fingerprint() asserts.
+ */
+
+#ifndef BENCH_FLEET_WORLD_HH
+#define BENCH_FLEET_WORLD_HH
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "aoe/server.hh"
+#include "bench/harness.hh"
+#include "bench/storm_world.hh"
+#include "bmcast/deployer.hh"
+#include "cloud/congestion.hh"
+#include "cloud/control_plane.hh"
+#include "guest/guest_os.hh"
+#include "hw/machine.hh"
+#include "net/network.hh"
+#include "net/topology.hh"
+#include "simcore/fault_injector.hh"
+#include "simcore/logging.hh"
+#include "simcore/shard_group.hh"
+
+namespace bench {
+
+struct FleetParams
+{
+    unsigned nodes = 96; ///< must be a multiple of racks
+    unsigned racks = 8;
+    unsigned shards = 1;
+    /** Inter-rack link latency == the conservative lookahead. */
+    sim::Tick uplinkLatency = 1 * sim::kMs;
+    sim::Bytes imageBytes = 16 * sim::kMiB;
+    std::uint64_t seed = 1;
+
+    /** @name Aggregation fabric */
+    /// @{
+    double uplinkBps = 4e9;
+    double oversubscription = 4.0; ///< effective link = 1 Gb/s
+    /// @}
+
+    /** @name Deployment shaping (the congestion controller) */
+    /// @{
+    bool shaped = true;
+    double linkShare = 0.6; ///< deployment's share of a rack link
+    double tenantShare = 0.5; ///< per-tenant cap inside a lane
+    /// @}
+
+    /** @name Control plane */
+    /// @{
+    std::size_t queueCapacity = 4096;
+    std::size_t perTenantQueueCap = 0;
+    sim::Tick scrubTime = 0;
+    /// @}
+
+    /** @name Serving traffic (0 interval disables) */
+    /// @{
+    sim::Bytes servingPayload = 8 * sim::kKiB;
+    sim::Tick servingInterval = 250 * sim::kUs;
+    /**
+     * One-way delivery SLO; later frames count as lost goodput. A
+     * cross-rack serving frame traverses two aggregation links, and a
+     * shaped deployment keeps at most one 1 MiB copy block in flight
+     * per rack lane (8.4 ms of serialization at the 1 Gb/s effective
+     * link), so the shaped worst case is one burst on each link:
+     * ~17 ms. The SLO sits just above that. Unshaped deployment
+     * stacks one burst per concurrent flow on the same links, so a
+     * flash crowd pushes serving delay far past the SLO.
+     */
+    sim::Tick servingSlo = 20 * sim::kMs;
+    /// @}
+};
+
+class FleetWorld
+{
+  public:
+    /** MAC scheme: 0x5254 | rack (bits 24-31) | kind (bits 20-23) |
+     *  station index. The uplink routes on the rack field alone. */
+    static net::MacAddr
+    serverMac(unsigned rack)
+    {
+        return 0x525400000001ULL + (net::MacAddr(rack) << 24);
+    }
+    static net::MacAddr
+    nodeMac(unsigned rack, unsigned i)
+    {
+        return 0x525400100000ULL + (net::MacAddr(rack) << 24) + i;
+    }
+    static net::MacAddr
+    mgmtMac(unsigned rack, unsigned i)
+    {
+        return 0x525400200000ULL + (net::MacAddr(rack) << 24) + i;
+    }
+    static net::MacAddr
+    servSrcMac(unsigned rack)
+    {
+        return 0x525400300000ULL + (net::MacAddr(rack) << 24);
+    }
+    static net::MacAddr
+    servSinkMac(unsigned rack)
+    {
+        return 0x525400300001ULL + (net::MacAddr(rack) << 24);
+    }
+    static unsigned
+    rackOfMac(net::MacAddr mac)
+    {
+        return static_cast<unsigned>((mac >> 24) & 0xFF);
+    }
+
+    /** EtherType of serving-traffic frames (sink filter). */
+    static constexpr std::uint16_t kServEtherType = 0x88B5;
+
+    explicit FleetWorld(FleetParams p)
+        : prm(p),
+          group(sim::ShardGroup::Params{
+              p.racks, p.shards, p.uplinkLatency, 4096}),
+          port_(*this)
+    {
+        sim::fatalIf(prm.racks == 0 || prm.nodes % prm.racks != 0,
+                     "fleet nodes must stripe evenly over racks");
+        sectors_ = prm.imageBytes / sim::kSectorSize;
+
+        net::TopologyConfig tc;
+        tc.racks = prm.racks;
+        tc.uplinkBps = prm.uplinkBps;
+        tc.oversubscription = prm.oversubscription;
+        topo_ = std::make_unique<net::Topology>(tc);
+        if (prm.shaped) {
+            cloud::CongestionParams cp;
+            cp.enabled = true;
+            cp.linkShare = prm.linkShare;
+            cp.tenantShare = prm.tenantShare;
+            congestion_ =
+                std::make_unique<cloud::CongestionController>(
+                    cp, prm.racks, topo_.get());
+        }
+
+        activeDeploys_.assign(prm.racks, 0);
+        racks_.reserve(prm.racks);
+        for (unsigned r = 0; r < prm.racks; ++r) {
+            auto rack = std::make_unique<Rack>();
+            sim::EventQueue &eq = group.rackQueue(r);
+
+            rack->net = std::make_unique<net::Network>(
+                eq, "rack" + std::to_string(r) + ".tor",
+                4 * sim::kUs,
+                sim::Rng::seedForShard("tor", prm.seed, r));
+            rack->faults =
+                std::make_unique<sim::FaultInjector>(prm.seed, r);
+            rack->net->setFaultInjector(rack->faults.get());
+
+            // A 10G seed NIC: the aggregation fabric, not the seed
+            // port, is the scarce resource the controller manages.
+            net::Port &sp = rack->net->attach(
+                serverMac(r), net::PortConfig{10e9, 9000, 0.0});
+            aoe::ServerParams spar;
+            spar.workers = 8;
+            spar.cacheHitRate = 0.9;
+            rack->server = std::make_unique<aoe::AoeServer>(
+                eq, "rack" + std::to_string(r) + ".seed", sp, spar);
+            rack->server->addTarget(0, 0, sectors_, kImageBase);
+            rack->server->setFaultInjector(rack->faults.get());
+
+            if (prm.servingInterval > 0 && prm.racks > 1) {
+                rack->servPort = &rack->net->attach(
+                    servSrcMac(r), net::PortConfig{1e9, 9000, 0.0});
+                net::Port &sink = rack->net->attach(
+                    servSinkMac(r), net::PortConfig{1e9, 9000, 0.0});
+                Rack *rk = rack.get();
+                sink.onReceive([this, rk, r](const net::Frame &f) {
+                    onServingFrame(*rk, r, f);
+                });
+            }
+
+            // Cross-rack frames: book the source rack's up-link
+            // here (source shard), ship through the mailbox, book
+            // the destination's down-link on arrival (its shard).
+            rack->net->setUplink([this, r](const net::Frame &f,
+                                           sim::Tick depart) {
+                unsigned dst = rackOfMac(f.dst);
+                if (dst >= prm.racks || dst == r)
+                    return; // not routable: drop at the spine
+                sim::Bytes wire = f.wireSize();
+                sim::Tick up = topo_->chargeUplink(r, wire, depart);
+                sim::Tick arrive = up +
+                                   topo_->config().aggHopLatency +
+                                   prm.uplinkLatency;
+                group.postToRack(r, dst, arrive, [this, dst, f,
+                                                  wire]() {
+                    Rack &rk = *racks_[dst];
+                    sim::EventQueue &q = group.rackQueue(dst);
+                    sim::Tick done =
+                        topo_->chargeDownlink(dst, wire, q.now());
+                    if (done <= q.now()) {
+                        rk.net->inject(f);
+                    } else {
+                        q.scheduleAt(done,
+                                     [net = rk.net.get(), f]() {
+                                         net->inject(f);
+                                     });
+                    }
+                });
+            });
+
+            racks_.push_back(std::move(rack));
+        }
+
+        // Machines: slot s lives in rack s % racks (the plane's
+        // rackOfSlot contract), persistent across leases.
+        const unsigned per_rack = prm.nodes / prm.racks;
+        for (unsigned r = 0; r < prm.racks; ++r)
+            racks_[r]->slots.resize(per_rack);
+        for (unsigned s = 0; s < prm.nodes; ++s) {
+            unsigned r = s % prm.racks;
+            unsigned idx = s / prm.racks;
+            Rack &rack = *racks_[r];
+            sim::EventQueue &eq = group.rackQueue(r);
+
+            hw::MachineConfig mc;
+            mc.name = "rack" + std::to_string(r) + ".node" +
+                      std::to_string(idx);
+            mc.storage = hw::StorageKind::Ahci;
+            mc.disk.capacityBytes = 4 * prm.imageBytes;
+            mc.hasInfiniBand = false;
+            mc.seed = sim::Rng::seedForShard(
+                "machine" + std::to_string(s), prm.seed, r);
+            rack.slots[idx].machine = std::make_unique<hw::Machine>(
+                eq, mc, *rack.net, nodeMac(r, idx), *rack.net,
+                mgmtMac(r, idx));
+            rack.slots[idx].machine->setFaultInjector(
+                rack.faults.get());
+        }
+
+        cloud::ControlPlaneParams cpp;
+        cpp.queue.capacity = prm.queueCapacity;
+        cpp.queue.perTenantCap = prm.perTenantQueueCap;
+        cpp.scrubTime = prm.scrubTime;
+        plane_ = std::make_unique<cloud::ControlPlane>(
+            group.rackQueue(0), "fleet.cp", cpp, port_);
+    }
+
+    /** @name Control-plane surface (rack-0 context or between runs) */
+    /// @{
+    cloud::Lease *
+    submitLease(cloud::LeaseRequest rq,
+                cloud::Lease::ServingFn onServing = {},
+                cloud::Lease::RejectedFn onRejected = {})
+    {
+        return plane_->submit(
+            std::move(rq),
+            [this, fn = std::move(onServing)](cloud::Lease &l) {
+                if (activeDeploys_[l.rack()] > 0)
+                    --activeDeploys_[l.rack()];
+                deployDone_.insert(l.id());
+                if (fn)
+                    fn(l);
+            },
+            std::move(onRejected));
+    }
+
+    void releaseLease(cloud::Lease &l) { plane_->release(l); }
+    cloud::ControlPlane &plane() { return *plane_; }
+    cloud::CongestionController *congestion()
+    {
+        return congestion_.get();
+    }
+    net::Topology &topology() { return *topo_; }
+    /// @}
+
+    /** @name Serving traffic */
+    /// @{
+    /** Start every rack's serving stream (slightly desynchronized)
+     *  until @p until. Call before the first run(). */
+    void
+    startServing(sim::Tick start, sim::Tick until)
+    {
+        if (prm.servingInterval == 0 || prm.racks < 2)
+            return;
+        for (unsigned r = 0; r < prm.racks; ++r) {
+            sim::Tick t0 = start + r * 37 * sim::kUs;
+            group.rackQueue(r).scheduleAt(
+                t0, [this, r, until]() { servTick(r, until); });
+        }
+    }
+
+    /** Goodput bytes (within the SLO) summed over sinks; safe to
+     *  read between run() calls — the window snapshots. */
+    sim::Bytes
+    servingGoodBytes() const
+    {
+        sim::Bytes b = 0;
+        for (const auto &r : racks_)
+            b += r->servGoodBytes;
+        return b;
+    }
+    sim::Bytes
+    servingRxBytes() const
+    {
+        sim::Bytes b = 0;
+        for (const auto &r : racks_)
+            b += r->servRxBytes;
+        return b;
+    }
+    std::uint64_t
+    servingLateFrames() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &r : racks_)
+            n += r->servLate;
+        return n;
+    }
+    sim::Tick
+    servingMaxDelay() const
+    {
+        sim::Tick d = 0;
+        for (const auto &r : racks_)
+            d = std::max(d, r->servMaxDelay);
+        return d;
+    }
+    /// @}
+
+    /** @name Driving */
+    /// @{
+    /** Advance the group to @p t in lookahead-aligned chunks. */
+    void
+    runTo(sim::Tick t, sim::Tick chunk = 250 * sim::kMs)
+    {
+        chunk -= chunk % group.window();
+        if (chunk == 0)
+            chunk = group.window();
+        t -= t % group.window();
+        while (group.committed() < t)
+            group.run(std::min(t, group.committed() + chunk));
+    }
+
+    /** Run until @p pred (checked between chunks) or @p deadline. */
+    template <typename Pred>
+    bool
+    runUntil(sim::Tick deadline, Pred &&pred,
+             sim::Tick chunk = 250 * sim::kMs)
+    {
+        chunk -= chunk % group.window();
+        if (chunk == 0)
+            chunk = group.window();
+        deadline -= deadline % group.window();
+        while (!pred() && group.committed() < deadline)
+            group.run(
+                std::min(deadline, group.committed() + chunk));
+        return pred();
+    }
+    /// @}
+
+    /**
+     * Deterministic fold of the simulated result stream: every
+     * lease's recorded timeline and final state, every seed's bytes,
+     * every link's occupancy counters, every sink's goodput, every
+     * rack queue's event total. Equal across shard counts by the
+     * ShardGroup contract.
+     */
+    std::uint64_t
+    fingerprint() const
+    {
+        std::uint64_t h = sim::kFingerprintSeed;
+        for (unsigned r = 0; r < prm.racks; ++r) {
+            const Rack &rack = *racks_[r];
+            h = sim::fingerprintMix(h, rack.server->dataBytesOut());
+            h = sim::fingerprintMix(h, rack.net->framesForwarded());
+            h = sim::fingerprintMix(h, rack.net->framesUplinked());
+            h = sim::fingerprintMix(h, rack.servTx);
+            h = sim::fingerprintMix(h, rack.servRxBytes);
+            h = sim::fingerprintMix(h, rack.servGoodBytes);
+            h = sim::fingerprintMix(h, topo_->uplinkBytes(r));
+            h = sim::fingerprintMix(h, topo_->downlinkBytes(r));
+            h = sim::fingerprintMix(h, topo_->uplinkFrames(r));
+            h = sim::fingerprintMix(h, topo_->downlinkFrames(r));
+            if (congestion_) {
+                h = sim::fingerprintMix(
+                    h, congestion_->grantedBytes(r));
+                h = sim::fingerprintMix(
+                    h, congestion_->throttleDelay(r));
+            }
+            h = sim::fingerprintMix(h,
+                                    group.rackQueue(r).executed());
+        }
+        for (const auto &lp : plane_->leases()) {
+            const cloud::Lease &l = *lp;
+            h = sim::fingerprintMix(h, l.id());
+            h = sim::fingerprintMix(
+                h, static_cast<std::uint64_t>(l.state()));
+            h = sim::fingerprintMix(
+                h, static_cast<std::uint64_t>(l.rejectReason()));
+            h = sim::fingerprintMix(h, l.slot());
+            h = sim::fingerprintMix(h, l.rack());
+            h = sim::fingerprintMix(h, l.submittedAt());
+            h = sim::fingerprintMix(h, l.placedAt());
+            h = sim::fingerprintMix(h, l.servingAt());
+            h = sim::fingerprintMix(h, l.releasedAt());
+        }
+        const cloud::ControlPlaneStats &st = plane_->stats();
+        h = sim::fingerprintMix(h, st.submitted);
+        h = sim::fingerprintMix(h, st.placed);
+        h = sim::fingerprintMix(h, st.served);
+        h = sim::fingerprintMix(h, st.released);
+        h = sim::fingerprintMix(h, st.canceled);
+        for (std::uint64_t rej : st.rejected)
+            h = sim::fingerprintMix(h, rej);
+        return h;
+    }
+
+    std::uint64_t totalEvents() const { return group.totalExecuted(); }
+
+    /** One slot: a persistent machine plus the current lease's guest
+     *  and deployer (retired pairs park in the rack graveyard). */
+    struct Slot
+    {
+        std::unique_ptr<hw::Machine> machine;
+        std::unique_ptr<guest::GuestOs> guest;
+        std::unique_ptr<bmcast::BmcastDeployer> dep;
+        std::uint64_t leaseId = 0;
+    };
+
+    struct Rack
+    {
+        std::unique_ptr<net::Network> net;
+        std::unique_ptr<sim::FaultInjector> faults;
+        std::unique_ptr<aoe::AoeServer> server;
+        std::vector<Slot> slots;
+        /** Halted guests/deployers of released leases: queued events
+         *  may still reference them; they retire harmlessly. */
+        std::vector<std::unique_ptr<guest::GuestOs>> oldGuests;
+        std::vector<std::unique_ptr<bmcast::BmcastDeployer>> oldDeps;
+        net::Port *servPort = nullptr;
+        std::uint64_t servTx = 0;
+        sim::Bytes servRxBytes = 0;
+        sim::Bytes servGoodBytes = 0;
+        std::uint64_t servLate = 0;
+        sim::Tick servMaxDelay = 0;
+        std::uint64_t releases = 0;
+    };
+
+    FleetParams prm;
+    sim::ShardGroup group;
+
+  private:
+    /** The plane's mechanism boundary: orders travel to the owning
+     *  rack as cross-shard messages, completions travel back. */
+    class FleetPort : public cloud::ProvisionerPort
+    {
+      public:
+        explicit FleetPort(FleetWorld &w) : w_(w) {}
+
+        unsigned slots() const override { return w_.prm.nodes; }
+        unsigned
+        rackOfSlot(unsigned slot) const override
+        {
+            return slot % w_.prm.racks;
+        }
+        void
+        startDeployment(cloud::Lease &l) override
+        {
+            w_.beginDeploy(l);
+        }
+        void
+        startRelease(cloud::Lease &l) override
+        {
+            w_.beginRelease(l);
+        }
+        /** In-flight deployments per rack — plane-shard state; the
+         *  topology's link watermarks belong to other shards. */
+        std::uint64_t
+        rackScore(unsigned rack) const override
+        {
+            return w_.activeDeploys_[rack];
+        }
+
+      private:
+        FleetWorld &w_;
+    };
+
+    /** Ship @p cb from the plane's rack (0) to @p dstRack one
+     *  lookahead window out; same-rack orders keep the same delay so
+     *  rack 0 is not privileged. */
+    template <typename F>
+    void
+    postFromPlane(unsigned dstRack, F &&cb)
+    {
+        sim::EventQueue &q0 = group.rackQueue(0);
+        sim::Tick when = q0.now() + group.window();
+        if (dstRack == 0)
+            q0.scheduleAt(when, std::forward<F>(cb));
+        else
+            group.postToRack(0, dstRack, when, std::forward<F>(cb));
+    }
+
+    /** Ship a completion notification back to the plane. */
+    template <typename F>
+    void
+    postToPlane(unsigned srcRack, F &&cb)
+    {
+        sim::EventQueue &q = group.rackQueue(srcRack);
+        sim::Tick when = q.now() + group.window();
+        if (srcRack == 0)
+            q.scheduleAt(when, std::forward<F>(cb));
+        else
+            group.postToRack(srcRack, 0, when, std::forward<F>(cb));
+    }
+
+    void
+    beginDeploy(cloud::Lease &l)
+    {
+        ++activeDeploys_[l.rack()];
+        unsigned slot = l.slot();
+        std::uint64_t id = l.id();
+        cloud::TenantId tenant = l.tenant();
+        postFromPlane(l.rack(), [this, slot, id, tenant]() {
+            rackStartDeploy(slot, id, tenant);
+        });
+    }
+
+    void
+    beginRelease(cloud::Lease &l)
+    {
+        // A lease torn down mid-deployment still holds a rack score
+        // credit; give it back (Serving leases already did).
+        if (deployDone_.count(l.id()) == 0 &&
+            activeDeploys_[l.rack()] > 0)
+            --activeDeploys_[l.rack()];
+        unsigned slot = l.slot();
+        std::uint64_t id = l.id();
+        postFromPlane(l.rack(), [this, slot, id]() {
+            rackStartRelease(slot, id);
+        });
+    }
+
+    void
+    rackStartDeploy(unsigned slot, std::uint64_t id,
+                    cloud::TenantId tenant)
+    {
+        unsigned r = slot % prm.racks;
+        unsigned idx = slot / prm.racks;
+        Rack &rack = *racks_[r];
+        Slot &sl = rack.slots[idx];
+        sim::EventQueue &eq = group.rackQueue(r);
+        sl.leaseId = id;
+
+        guest::GuestOsParams gp;
+        gp.boot = StormWorld::stormBootTrace();
+        gp.seed = sim::Rng::seedForShard(
+            "guest" + std::to_string(slot) + "." +
+                std::to_string(id),
+            prm.seed, r);
+        sl.guest = std::make_unique<guest::GuestOs>(
+            eq, sl.machine->name() + ".guest", *sl.machine, gp);
+
+        // Deployment data always crosses the fabric: the image comes
+        // from the next rack's seed.
+        unsigned target = (r + 1) % prm.racks;
+        sl.dep = std::make_unique<bmcast::BmcastDeployer>(
+            eq, sl.machine->name() + ".dep", *sl.machine, *sl.guest,
+            serverMac(target), sectors_,
+            StormWorld::stormVmmParams(), false);
+        if (congestion_)
+            sl.dep->setRateGate(congestion_->gateFor(r, tenant));
+        sl.dep->run([this, r, id]() {
+            postToPlane(r,
+                        [this, id]() { plane_->noteServing(id); });
+        });
+    }
+
+    void
+    rackStartRelease(unsigned slot, std::uint64_t id)
+    {
+        unsigned r = slot % prm.racks;
+        unsigned idx = slot / prm.racks;
+        Rack &rack = *racks_[r];
+        Slot &sl = rack.slots[idx];
+
+        if (sl.dep)
+            sl.dep->vmm().powerOff();
+        if (sl.guest)
+            sl.guest->halt();
+        sl.machine->disk().store().clear();
+        sl.machine->clearProfile();
+        if (sl.guest)
+            rack.oldGuests.push_back(std::move(sl.guest));
+        if (sl.dep)
+            rack.oldDeps.push_back(std::move(sl.dep));
+        sl.leaseId = 0;
+        ++rack.releases;
+
+        postToPlane(r, [this, id]() { plane_->noteReleased(id); });
+    }
+
+    void
+    servTick(unsigned r, sim::Tick until)
+    {
+        Rack &rack = *racks_[r];
+        sim::EventQueue &q = group.rackQueue(r);
+        sim::Tick now = q.now();
+        if (now >= until)
+            return;
+        net::Frame f;
+        f.dst = servSinkMac((r + 1) % prm.racks);
+        f.etherType = kServEtherType;
+        f.payload.resize(8);
+        for (unsigned i = 0; i < 8; ++i)
+            f.payload[i] =
+                static_cast<std::uint8_t>((now >> (8 * i)) & 0xFF);
+        f.padding = prm.servingPayload - f.payload.size();
+        rack.servPort->send(f);
+        ++rack.servTx;
+        q.scheduleAt(now + prm.servingInterval,
+                     [this, r, until]() { servTick(r, until); });
+    }
+
+    void
+    onServingFrame(Rack &rack, unsigned r, const net::Frame &f)
+    {
+        if (f.etherType != kServEtherType || f.payload.size() != 8)
+            return; // segment broadcast noise, not serving traffic
+        sim::Tick sent = 0;
+        for (unsigned i = 0; i < 8; ++i)
+            sent |= sim::Tick(f.payload[i]) << (8 * i);
+        sim::Tick delay = group.rackQueue(r).now() - sent;
+        rack.servRxBytes += f.wirePayload();
+        if (delay <= prm.servingSlo)
+            rack.servGoodBytes += f.wirePayload();
+        else
+            ++rack.servLate;
+        rack.servMaxDelay = std::max(rack.servMaxDelay, delay);
+    }
+
+    sim::Lba sectors_ = 0;
+    FleetPort port_;
+    std::unique_ptr<net::Topology> topo_;
+    std::unique_ptr<cloud::CongestionController> congestion_;
+    std::vector<std::unique_ptr<Rack>> racks_;
+    std::unique_ptr<cloud::ControlPlane> plane_;
+    /** In-flight deployments per rack (plane-shard state, mirrors
+     *  what the rack shards are doing for placement scoring). */
+    std::vector<std::uint64_t> activeDeploys_;
+    /** Leases whose deployment reached serving (score bookkeeping). */
+    std::set<std::uint64_t> deployDone_;
+};
+
+} // namespace bench
+
+#endif // BENCH_FLEET_WORLD_HH

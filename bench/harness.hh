@@ -12,6 +12,8 @@
 #ifndef BENCH_HARNESS_HH
 #define BENCH_HARNESS_HH
 
+#include <cerrno>
+#include <climits>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -259,23 +261,56 @@ paperVmmParams()
  * sweeps across benches land in comparable shape in BENCH_*.json. */
 /// @{
 
-/** Unsigned environment knob: BMCAST_NODES=512, BMCAST_SHARDS=8... */
+/**
+ * Reject a malformed environment knob. Silently falling back to the
+ * default would run a sweep the user didn't ask for and record it
+ * under the name they did — a corrupted trajectory is worse than a
+ * dead bench, so a bad value is a hard error (exit 2).
+ */
+[[noreturn]] inline void
+envBad(const char *name, const char *value, const char *why)
+{
+    std::cerr << "bad " << name << "=\"" << value << "\": " << why
+              << " (expected a positive decimal integer)\n";
+    std::exit(2);
+}
+
+/** One strictly-validated positive decimal; advances @p p. */
+inline unsigned
+envParseOne(const char *name, const char *whole, const char *&p)
+{
+    if (*p == '-' || *p == '+')
+        envBad(name, whole, "signed values are not accepted");
+    char *end = nullptr;
+    errno = 0;
+    unsigned long parsed = std::strtoul(p, &end, 10);
+    if (end == p)
+        envBad(name, whole, "not a number");
+    if (errno == ERANGE || parsed > UINT_MAX)
+        envBad(name, whole, "out of range");
+    if (parsed == 0)
+        envBad(name, whole, "must be nonzero");
+    p = end;
+    return static_cast<unsigned>(parsed);
+}
+
+/** Unsigned environment knob: BMCAST_NODES=512, BMCAST_TENANTS=4...
+ *  Zero, negative, or non-numeric values are fatal (exit 2). */
 inline unsigned
 envUnsigned(const char *name, unsigned def)
 {
     const char *v = std::getenv(name);
     if (!v || !*v)
         return def;
-    char *end = nullptr;
-    unsigned long parsed = std::strtoul(v, &end, 10);
-    if (end == v || *end != '\0' || parsed == 0) {
-        std::cerr << "ignoring bad " << name << "=" << v << "\n";
-        return def;
-    }
-    return static_cast<unsigned>(parsed);
+    const char *p = v;
+    unsigned parsed = envParseOne(name, v, p);
+    if (*p != '\0')
+        envBad(name, v, "trailing junk after the number");
+    return parsed;
 }
 
-/** Comma-separated unsigned list knob (BMCAST_SHARDS=1,2,4,8). */
+/** Comma-separated unsigned list knob (BMCAST_SHARDS=1,2,4,8).
+ *  Any malformed element is fatal (exit 2). */
 inline std::vector<unsigned>
 envUnsignedList(const char *name, std::vector<unsigned> def)
 {
@@ -284,17 +319,17 @@ envUnsignedList(const char *name, std::vector<unsigned> def)
         return def;
     std::vector<unsigned> out;
     const char *p = v;
-    while (*p) {
-        char *end = nullptr;
-        unsigned long parsed = std::strtoul(p, &end, 10);
-        if (end == p || parsed == 0) {
-            std::cerr << "ignoring bad " << name << "=" << v << "\n";
-            return def;
-        }
-        out.push_back(static_cast<unsigned>(parsed));
-        p = (*end == ',') ? end + 1 : end;
+    for (;;) {
+        out.push_back(envParseOne(name, v, p));
+        if (*p == '\0')
+            break;
+        if (*p != ',')
+            envBad(name, v, "elements must be comma-separated");
+        ++p;
+        if (*p == '\0')
+            envBad(name, v, "trailing comma");
     }
-    return out.empty() ? def : out;
+    return out;
 }
 
 /** One storm configuration's uniform result record. */

@@ -189,6 +189,30 @@ BackgroundCopy::retrieverLoop()
     cursor = lba + count;
 
     retrieverBusy = true;
+    if (gate_) {
+        // Book the block against the shared deployment budget; a
+        // congested lane pushes the issue into the future while the
+        // retriever stays busy (no second pick races this one).
+        sim::Tick start =
+            gate_(sim::Bytes(count) * sim::kSectorSize, now());
+        if (start > now()) {
+            ++gateWaits_;
+            schedule(start - now(), [this, lba, count]() {
+                if (!running || done) {
+                    retrieverBusy = false;
+                    return;
+                }
+                issueFetch(lba, count);
+            });
+            return;
+        }
+    }
+    issueFetch(lba, count);
+}
+
+void
+BackgroundCopy::issueFetch(sim::Lba lba, std::uint32_t count)
+{
     fetch(lba, count,
           [this, lba](const std::vector<std::uint64_t> &tokens) {
               retrieverBusy = false;

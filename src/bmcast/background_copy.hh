@@ -62,6 +62,14 @@ class BackgroundCopy : public sim::SimObject
     /** Mediators report guest I/O (moderation + seek locality). */
     void noteGuestIo(bool isWrite, std::uint32_t sectors);
 
+    /**
+     * Bind a deployment-bandwidth gate (cloud congestion control):
+     * every retriever fetch books its bytes through the gate and is
+     * deferred to the returned tick. Unset = unshaped, the exact
+     * historical event sequence.
+     */
+    void setRateGate(RateGate g) { gate_ = std::move(g); }
+
     /** Live-tune the write interval (Fig. 14 sweep). */
     void setWriteInterval(sim::Tick t) { mod.vmmWriteInterval = t; }
     /** Disable the guest-I/O-frequency suspension (Fig. 14). */
@@ -96,6 +104,8 @@ class BackgroundCopy : public sim::SimObject
     std::uint64_t blocksSkipped() const { return skipped; }
     std::uint64_t suspensions() const { return numSuspends; }
     std::size_t fifoDepth() const { return fifo.size(); }
+    /** Fetches the rate gate pushed into the future. */
+    std::uint64_t gateWaits() const { return gateWaits_; }
     /** Times the pacing was slowed by fetch trouble. */
     std::uint64_t degradeEvents() const { return numDegrades; }
     /** Current pacing backoff exponent (0 = full speed). */
@@ -110,6 +120,8 @@ class BackgroundCopy : public sim::SimObject
     };
 
     void retrieverLoop();
+    /** Issue the fetch the retriever picked (after any gate delay). */
+    void issueFetch(sim::Lba lba, std::uint32_t count);
     void writerWake();
     void tryWriteHead();
     void checkComplete();
@@ -129,6 +141,7 @@ class BackgroundCopy : public sim::SimObject
     DeviceMediator &mediator;
     BlockBitmap &bitmap;
     FetchFn fetch;
+    RateGate gate_;
     sim::Lba imageSectors;
     std::function<void()> onComplete;
 
@@ -163,6 +176,7 @@ class BackgroundCopy : public sim::SimObject
 
     sim::Bytes written = 0;
     std::uint64_t skipped = 0;
+    std::uint64_t gateWaits_ = 0;
     std::uint64_t numSuspends = 0;
     std::uint64_t numDegrades = 0;
 

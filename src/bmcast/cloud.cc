@@ -46,8 +46,30 @@ Cloud::Cloud(sim::EventQueue &eq, std::string name, CloudConfig config)
         pool.push_back(std::make_unique<hw::Machine>(
             eq, mc, lan, 0xA00000000000ULL + i, lan,
             0xB00000000000ULL + i));
-        inUse.push_back(false);
     }
+
+    if (cfg.topology.racks > 0) {
+        sim::fatalIf(cfg.topology.racks != cfg.racks,
+                     "topology racks must match the pool striping");
+        topo_ = std::make_unique<net::Topology>(cfg.topology);
+        for (net::MacAddr mac : serverMacs_)
+            topo_->placeAtCore(mac);
+        for (unsigned i = 0; i < cfg.machines; ++i) {
+            unsigned rack = rackOf(i);
+            topo_->placeNode(0xA00000000000ULL + i, rack);
+            topo_->placeNode(0xB00000000000ULL + i, rack);
+            topo_->placeNode(kPeerMacBase + i, rack);
+        }
+        lan.setTopology(topo_.get());
+    }
+    if (cfg.congestion.enabled) {
+        congestion_ = std::make_unique<cloud::CongestionController>(
+            cfg.congestion, cfg.racks, topo_.get());
+    }
+    // The port conversion must happen here (the base is private).
+    cloud::ProvisionerPort &port = *this;
+    plane_ = std::make_unique<cloud::ControlPlane>(
+        eq, this->name() + ".cp", cfg.controlPlane, port);
 }
 
 void
@@ -103,11 +125,7 @@ Cloud::addOverlayImage(const std::string &img_name,
 unsigned
 Cloud::freeMachines() const
 {
-    unsigned n = 0;
-    for (bool used : inUse)
-        if (!used)
-            ++n;
-    return n;
+    return plane_->freeSlots();
 }
 
 unsigned
@@ -119,11 +137,13 @@ Cloud::rackOf(unsigned slot) const
 unsigned
 Cloud::rackLoad(unsigned rack) const
 {
-    unsigned n = 0;
-    for (unsigned i = 0; i < cfg.machines; ++i)
-        if (inUse[i] && rackOf(i) == rack)
-            ++n;
-    return n;
+    return plane_->rackLoad(rack);
+}
+
+std::uint64_t
+Cloud::rackScore(unsigned rack) const
+{
+    return topo_ ? topo_->downlinkBacklog(rack, now()) : 0;
 }
 
 void
@@ -142,33 +162,55 @@ Instance *
 Cloud::provision(const std::string &img_name,
                  std::function<void(Instance &)> on_serving)
 {
-    auto img = images.find(img_name);
-    sim::fatalIf(img == images.end(), "unknown image ", img_name);
-
-    // Rack-aware placement: lease from the least-loaded rack so a
-    // storm spreads across failure domains (ties break toward the
-    // lower rack, then the lower slot — with one rack this is the
-    // historical lowest-free-slot order).
-    unsigned slot = cfg.machines;
-    unsigned best_load = 0;
-    for (unsigned i = 0; i < cfg.machines; ++i) {
-        if (inUse[i])
-            continue;
-        unsigned load = rackLoad(rackOf(i));
-        if (slot == cfg.machines || load < best_load) {
-            slot = i;
-            best_load = load;
-        }
-    }
-    if (slot == cfg.machines)
+    cloud::LeaseRequest rq;
+    rq.image = img_name;
+    rq.failFast = true; // the historical blocking contract
+    cloud::Lease *l = submitLease(std::move(rq), std::move(on_serving));
+    if (l->state() == cloud::LeaseState::Rejected)
         return nullptr; // region full
+    return instanceFor(*l);
+}
 
-    inUse[slot] = true;
+cloud::Lease *
+Cloud::submitLease(cloud::LeaseRequest rq,
+                   std::function<void(Instance &)> on_serving,
+                   cloud::Lease::RejectedFn on_rejected)
+{
+    // Unknown images are a configuration error, caught before the
+    // request ever reaches the admission queue.
+    sim::fatalIf(images.find(rq.image) == images.end(),
+                 "unknown image ", rq.image);
+    return plane_->submit(
+        std::move(rq),
+        [this, cb = std::move(on_serving)](cloud::Lease &l) {
+            if (cb)
+                cb(*leaseInst_.at(l.id()));
+        },
+        std::move(on_rejected));
+}
+
+Instance *
+Cloud::instanceFor(const cloud::Lease &l)
+{
+    auto it = leaseInst_.find(l.id());
+    return it == leaseInst_.end() ? nullptr : it->second;
+}
+
+void
+Cloud::startDeployment(cloud::Lease &l)
+{
+    auto img = images.find(l.image());
+    sim::panicIfNot(img != images.end(),
+                    "plane placed a lease for an unknown image");
+    const unsigned slot = l.slot();
+
     auto inst = std::make_unique<Instance>();
     Instance *ref = inst.get();
-    ref->image_ = img_name;
-    ref->rack_ = rackOf(slot);
+    ref->image_ = l.image();
+    ref->rack_ = l.rack();
     ref->machine_ = pool[slot].get();
+    ref->lease_ = &l;
+    leaseInst_[l.id()] = ref;
 
     guest::GuestOsParams gp = cfg.guestTemplate;
     gp.seed += slot;
@@ -187,7 +229,7 @@ Cloud::provision(const std::string &img_name,
         net::MacAddr peer_mac = kPeerMacBase + slot;
         store::DeploySpec spec;
         spec.fabric = fabric_.get();
-        spec.image = img_name;
+        spec.image = l.image();
         spec.peerMac = peer_mac;
         ref->deployer_->setStoreSpec(std::move(spec));
         fabric_->attachPeer(lan, peer_mac,
@@ -198,23 +240,25 @@ Cloud::provision(const std::string &img_name,
             *ref->guest_, kServerMac, img->second.sectors, vp,
             cfg.coldFirmware);
     }
+    if (congestion_) {
+        ref->deployer_->setRateGate(
+            congestion_->gateFor(l.rack(), l.tenant()));
+    }
 
     ref->deployer_->onBareMetal([ref]() {
         ref->state_ = Instance::State::BareMetal;
     });
-    ref->deployer_->run([ref, on_serving = std::move(on_serving)]() {
+    ref->deployer_->run([this, ref, id = l.id()]() {
         // Devirtualization is transparent to the guest: a fast copy
         // can reach bare metal while the guest is still booting, so
         // never downgrade the state when the boot callback arrives
         // late.
         if (ref->state_ != Instance::State::BareMetal)
             ref->state_ = Instance::State::Serving;
-        if (on_serving)
-            on_serving(*ref);
+        plane_->noteServing(id);
     });
 
     leased.push_back(std::move(inst));
-    return ref;
 }
 
 void
@@ -222,15 +266,22 @@ Cloud::release(Instance &inst)
 {
     sim::fatalIf(inst.state_ == Instance::State::Released,
                  "instance released twice");
-    unsigned slot = cfg.machines;
-    for (unsigned i = 0; i < cfg.machines; ++i) {
-        if (pool[i].get() == inst.machine_) {
-            slot = i;
-            break;
-        }
-    }
-    sim::fatalIf(slot == cfg.machines || !inUse[slot],
+    sim::fatalIf(inst.lease_ == nullptr,
                  "releasing an instance this region does not lease");
+    plane_->release(*inst.lease_);
+}
+
+void
+Cloud::releaseLease(cloud::Lease &l)
+{
+    plane_->release(l);
+}
+
+void
+Cloud::startRelease(cloud::Lease &l)
+{
+    Instance &inst = *leaseInst_.at(l.id());
+    const unsigned slot = l.slot();
 
     // Power off whatever is still running: the VMM tears down its
     // intercepts, copy engine and AoE session; the guest stops its
@@ -254,8 +305,8 @@ Cloud::release(Instance &inst)
 
     inst.machine_ = nullptr;
     inst.state_ = Instance::State::Released;
-    inUse[slot] = false;
     sim::inform(name(), ": node ", slot, " released back to the pool");
+    plane_->noteReleased(l.id());
 }
 
 } // namespace bmcast

@@ -3,10 +3,22 @@
  * Provider-side facade: a bare-metal cloud region built on BMcast.
  *
  * Owns the management network, the image server and the machine
- * pool, and exposes the one operation a control plane needs:
- * provision a bare-metal instance from a named image, quickly
- * (§1: on-demand self-service, rapid elasticity). Each provisioned
- * instance runs the full BMcast pipeline and reports its lifecycle.
+ * pool. Lease admission, placement and lifecycle live in a
+ * cloud::ControlPlane for which the Cloud is the ProvisionerPort:
+ * the plane decides *which* slot serves a lease, the Cloud performs
+ * the mechanism (guest + deployer construction, power-off + scrub on
+ * release). Two call surfaces share that machinery:
+ *
+ *  - provision()/release(): the historical blocking API, preserved
+ *    as a fail-fast shim — a submit that cannot be placed this
+ *    instant returns nullptr, exactly the legacy contract;
+ *  - submitLease()/releaseLease(): the queued API with QoS classes,
+ *    typed rejections and the full lease timeline.
+ *
+ * Optionally the region models its aggregation network explicitly
+ * (CloudConfig::topology) and shapes deployment traffic against a
+ * shared budget (CloudConfig::congestion); both default off, keeping
+ * historical runs bit-identical.
  */
 
 #ifndef BMCAST_CLOUD_HH
@@ -20,9 +32,12 @@
 
 #include "aoe/server.hh"
 #include "bmcast/deployer.hh"
+#include "cloud/congestion.hh"
+#include "cloud/control_plane.hh"
 #include "guest/guest_os.hh"
 #include "hw/machine.hh"
 #include "net/network.hh"
+#include "net/topology.hh"
 #include "simcore/sim_object.hh"
 #include "store/fabric.hh"
 
@@ -51,6 +66,16 @@ struct CloudConfig
     bool coldFirmware = false;
     /** Store tier; disabled keeps the legacy single image server. */
     store::StoreParams store;
+    /** Admission queue + lease state machine knobs. */
+    cloud::ControlPlaneParams controlPlane;
+    /**
+     * Explicit aggregation topology (racks must match `racks` when
+     * enabled). racks == 0 leaves the LAN flat — bit-identical to
+     * every run before the topology existed.
+     */
+    net::TopologyConfig topology;
+    /** Deployment-bandwidth shaping; disabled = unshaped. */
+    cloud::CongestionParams congestion;
 };
 
 /** One leased instance. */
@@ -66,6 +91,8 @@ class Instance
     const std::string &image() const { return image_; }
     /** Rack the leased machine lives in. */
     unsigned rack() const { return rack_; }
+    /** The control-plane lease backing this instance (never null). */
+    cloud::Lease &lease() { return *lease_; }
 
     /** Seconds from the provision request to a serving guest. */
     double
@@ -82,12 +109,13 @@ class Instance
     std::string image_;
     unsigned rack_ = 0;
     hw::Machine *machine_ = nullptr;
+    cloud::Lease *lease_ = nullptr;
     std::unique_ptr<guest::GuestOs> guest_;
     std::unique_ptr<BmcastDeployer> deployer_;
 };
 
 /** The region. */
-class Cloud : public sim::SimObject
+class Cloud : public sim::SimObject, private cloud::ProvisionerPort
 {
   public:
     Cloud(sim::EventQueue &eq, std::string name,
@@ -113,9 +141,32 @@ class Cloud : public sim::SimObject
      * BMcast. @p onServing fires when the guest OS is up (long
      * before the image has fully landed on the local disk).
      * @return the instance handle, or nullptr if the region is full.
+     *
+     * Legacy blocking shim: equivalent to submitLease() with
+     * failFast set and default QoS.
      */
     Instance *provision(const std::string &image,
                         std::function<void(Instance &)> onServing);
+
+    /**
+     * Queued admission path. The request passes the control plane's
+     * bounded admission queue (strict QoS priority, per-tenant caps);
+     * the returned lease reports Queued/Deploying, or Rejected with
+     * a typed reason. @p onServing fires with the deployed instance
+     * when the guest is up.
+     */
+    cloud::Lease *
+    submitLease(cloud::LeaseRequest rq,
+                std::function<void(Instance &)> onServing,
+                cloud::Lease::RejectedFn onRejected = {});
+
+    /** Release by lease handle: cancels a still-queued lease, tears
+     *  down a deploying/serving one (see release(Instance&)). */
+    void releaseLease(cloud::Lease &l);
+
+    /** The instance deployed for @p l (nullptr while queued or
+     *  rejected). Valid for released leases too. */
+    Instance *instanceFor(const cloud::Lease &l);
 
     /**
      * Return a leased instance's machine to the pool (rapid
@@ -129,6 +180,16 @@ class Cloud : public sim::SimObject
 
     /** Machines not yet leased. */
     unsigned freeMachines() const;
+
+    /** The lease control plane (admission queue, placement, stats). */
+    cloud::ControlPlane &plane() { return *plane_; }
+    /** The aggregation topology (nullptr when disabled). */
+    net::Topology *topology() { return topo_.get(); }
+    /** The deployment congestion controller (nullptr when disabled). */
+    cloud::CongestionController *congestion()
+    {
+        return congestion_.get();
+    }
 
     /** Rack of pool slot @p slot (machines stripe round-robin). */
     unsigned rackOf(unsigned slot) const;
@@ -164,6 +225,20 @@ class Cloud : public sim::SimObject
         std::vector<store::DeltaRun> deltas;
     };
 
+    /** @name ProvisionerPort (the mechanism the plane drives) */
+    /// @{
+    unsigned slots() const override { return cfg.machines; }
+    unsigned rackOfSlot(unsigned slot) const override
+    {
+        return rackOf(slot);
+    }
+    void startDeployment(cloud::Lease &l) override;
+    void startRelease(cloud::Lease &l) override;
+    /** Tiebreak on aggregation downlink backlog when the topology is
+     *  modeled (single event queue: reading it here is safe). */
+    std::uint64_t rackScore(unsigned rack) const override;
+    /// @}
+
     CloudConfig cfg;
     net::Network lan;
     /** Seed image servers; one in legacy mode, params.seedServers in
@@ -172,10 +247,16 @@ class Cloud : public sim::SimObject
     std::vector<std::unique_ptr<aoe::AoeServer>> servers_;
     std::unique_ptr<store::StoreFabric> fabric_;
     std::vector<std::unique_ptr<hw::Machine>> pool;
-    std::vector<bool> inUse;
     std::map<std::string, Image> images;
     std::uint16_t nextMajor = 0;
     std::vector<std::unique_ptr<Instance>> leased;
+
+    std::unique_ptr<net::Topology> topo_;
+    std::unique_ptr<cloud::CongestionController> congestion_;
+    std::unique_ptr<cloud::ControlPlane> plane_;
+    /** Lease id -> deployed instance (entries persist after release
+     *  so timelines stay inspectable). */
+    std::map<std::uint64_t, Instance *> leaseInst_;
 };
 
 } // namespace bmcast

@@ -65,6 +65,10 @@ class BmcastDeployer : public sim::SimObject
         vmm_->setStoreSpec(std::move(spec));
     }
 
+    /** Bind a deployment-bandwidth gate (before run()); see
+     *  Vmm::setRateGate. */
+    void setRateGate(RateGate g) { vmm_->setRateGate(std::move(g)); }
+
     /** Start; @p onGuestReady fires when the guest OS has booted
      *  (the cloud customer's instance is usable). */
     void run(std::function<void()> onGuestReady);

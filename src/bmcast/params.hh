@@ -7,9 +7,21 @@
 #ifndef BMCAST_PARAMS_HH
 #define BMCAST_PARAMS_HH
 
+#include <functional>
+
 #include "simcore/types.hh"
 
 namespace bmcast {
+
+/**
+ * Deployment-bandwidth token gate: gate(bytes, now) books a fetch of
+ * `bytes` against a shared budget and returns the earliest tick the
+ * fetch may be issued (>= now). Structurally identical to
+ * cloud::RateGate so a cloud::CongestionController lane can be bound
+ * here without the data plane linking the control plane; a default-
+ * constructed (empty) gate means unshaped — the historical behavior.
+ */
+using RateGate = std::function<sim::Tick(sim::Bytes, sim::Tick)>;
 
 /** Background-copy moderation (paper §3.3): three knobs. */
 struct ModerationParams

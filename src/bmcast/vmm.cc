@@ -173,10 +173,32 @@ Vmm::installVmm()
                              std::function<void(
                                  const std::vector<std::uint64_t> &)>
                                  done) {
-        if (streamer_)
+        if (streamer_) {
             streamer_->fetch(lba, count, std::move(done));
-        else
-            aoe_->readSectors(lba, count, std::move(done));
+            return;
+        }
+        // Copy-on-read demand fetches are deployment traffic too: on
+        // the legacy path they book the same congestion lane as the
+        // background copy, so the lane's rate bounds *all* image
+        // bytes a rack pulls — one burst in flight per lane, never a
+        // demand burst stacked on a copy burst. (The store path
+        // charges once, inside the streamer.)
+        if (gate_) {
+            sim::Tick start =
+                gate_(sim::Bytes(count) * sim::kSectorSize, now());
+            if (start > now()) {
+                schedule(start - now(),
+                         [this, lba, count,
+                          done = std::move(done)]() mutable {
+                             if (halted)
+                                 return;
+                             aoe_->readSectors(lba, count,
+                                               std::move(done));
+                         });
+                return;
+            }
+        }
+        aoe_->readSectors(lba, count, std::move(done));
     };
     svc.stashFetched = [this](sim::Lba lba, std::uint32_t count,
                               const std::vector<std::uint64_t> &t) {
@@ -217,11 +239,22 @@ Vmm::installVmm()
                std::function<void(const std::vector<std::uint64_t> &)>
                    done) {
             if (streamer_)
-                streamer_->fetch(lba, count, std::move(done));
+                streamer_->fetch(lba, count, std::move(done),
+                                 /*background=*/true);
             else
                 aoe_->readSectors(lba, count, std::move(done));
         },
         imageSectors, [this]() { requestDevirtualization(); });
+    if (gate_) {
+        // One gate, one charge point per fetch: the streamer shapes
+        // pieces on the store path; on the legacy path the retriever
+        // shapes background blocks and fetchRemote (above) shapes
+        // demand reads against the same lane.
+        if (streamer_)
+            streamer_->setRateGate(gate_);
+        else
+            copy->setRateGate(gate_);
+    }
     if (streamer_) {
         // Pristine image content landing locally makes this node a
         // peer source for the covered chunks.

@@ -95,6 +95,16 @@ class Vmm : public sim::SimObject
     store::ChunkStreamer *streamer() { return streamer_.get(); }
 
     /**
+     * Bind a deployment-bandwidth gate (must run before netboot()).
+     * Background-copy fetch issues draw tokens from it — through the
+     * ChunkStreamer on the store path, directly at the BackgroundCopy
+     * retriever otherwise (never both, so bytes are charged once).
+     * Copy-on-read guest faults stay unshaped. Unset = historical
+     * behavior.
+     */
+    void setRateGate(RateGate g) { gate_ = std::move(g); }
+
+    /**
      * Network-boot the VMM (Initialization phase); @p ready fires
      * when the machine is prepared for the guest OS (Deployment
      * phase entered, background copy running).
@@ -196,6 +206,7 @@ class Vmm : public sim::SimObject
     std::unique_ptr<BackgroundCopy> copy;
     store::DeploySpec storeSpec_;
     std::unique_ptr<store::ChunkStreamer> streamer_;
+    RateGate gate_;
 
     sim::Lba bitmapHome = 0;
     sim::Lba dummy = 0;

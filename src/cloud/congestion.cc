@@ -1,0 +1,124 @@
+#include "cloud/congestion.hh"
+
+#include <algorithm>
+
+#include "simcore/logging.hh"
+
+namespace cloud {
+
+CongestionController::CongestionController(CongestionParams p,
+                                           unsigned racks,
+                                           const net::Topology *topo)
+    : prm_(p)
+{
+    sim::fatalIf(racks == 0, "congestion controller needs racks");
+    sim::fatalIf(prm_.linkShare <= 0.0 || prm_.linkShare > 1.0,
+                 "deployment link share must be in (0, 1]");
+    lanes_.resize(racks);
+    for (unsigned r = 0; r < racks; ++r) {
+        Lane &lane = lanes_[r];
+        if (prm_.deployBudgetBps > 0.0) {
+            lane.rackBps =
+                prm_.deployBudgetBps / static_cast<double>(racks);
+        } else {
+            double link = topo ? topo->effectiveUplinkBps()
+                               : prm_.rackLinkBps;
+            lane.rackBps = prm_.linkShare * link;
+        }
+        sim::fatalIf(lane.rackBps <= 0.0,
+                     "rack deployment lane has no capacity");
+        lane.tenantBps = prm_.tenantShare > 0.0
+                             ? lane.rackBps * prm_.tenantShare
+                             : 0.0;
+    }
+}
+
+double
+CongestionController::laneBps(unsigned rack) const
+{
+    return lanes_.at(rack).rackBps;
+}
+
+sim::Tick
+CongestionController::admit(unsigned rack, TenantId tenant,
+                            sim::Bytes bytes, sim::Tick now)
+{
+    Lane &lane = lanes_.at(rack);
+    Bucket &tb = lane.tenants[tenant];
+
+    double bits = static_cast<double>(bytes) * 8.0;
+    auto lane_ser = static_cast<sim::Tick>(
+        bits / lane.rackBps * static_cast<double>(sim::kSec));
+    sim::Tick tenant_ser =
+        lane.tenantBps > 0.0
+            ? static_cast<sim::Tick>(bits / lane.tenantBps *
+                                     static_cast<double>(sim::kSec))
+            : lane_ser;
+
+    // Hierarchical booking: the transfer starts when the rack lane
+    // and the tenant's slice are both free, and occupies each at its
+    // own rate — so one tenant's storm fills its slice long before
+    // it can fill the lane.
+    sim::Tick start = std::max({now, lane.all.freeAt, tb.freeAt});
+    lane.all.freeAt = start + lane_ser;
+    tb.freeAt = start + tenant_ser;
+
+    sim::Tick delay = start - now;
+    lane.all.bytes += bytes;
+    ++lane.all.grants;
+    lane.all.delaySum += delay;
+    tb.bytes += bytes;
+    ++tb.grants;
+    tb.delaySum += delay;
+    return start;
+}
+
+sim::Bytes
+CongestionController::grantedBytes(unsigned rack) const
+{
+    return lanes_.at(rack).all.bytes;
+}
+
+std::uint64_t
+CongestionController::grants(unsigned rack) const
+{
+    return lanes_.at(rack).all.grants;
+}
+
+sim::Tick
+CongestionController::throttleDelay(unsigned rack) const
+{
+    return lanes_.at(rack).all.delaySum;
+}
+
+sim::Bytes
+CongestionController::tenantBytes(unsigned rack,
+                                  TenantId tenant) const
+{
+    const Lane &lane = lanes_.at(rack);
+    auto it = lane.tenants.find(tenant);
+    return it == lane.tenants.end() ? 0 : it->second.bytes;
+}
+
+void
+CongestionController::publish(obs::Registry &reg,
+                              const std::string &prefix) const
+{
+    for (std::size_t r = 0; r < lanes_.size(); ++r) {
+        const Lane &lane = lanes_[r];
+        std::string rack = "rack" + std::to_string(r);
+        reg.counter(prefix + "congestion.granted_bytes", rack)
+            .set(lane.all.bytes);
+        reg.counter(prefix + "congestion.grants", rack)
+            .set(lane.all.grants);
+        reg.counter(prefix + "congestion.throttle_delay_ns", rack)
+            .set(lane.all.delaySum);
+        for (const auto &[tenant, b] : lane.tenants) {
+            reg.counter(prefix + "congestion.tenant_bytes",
+                        rack + ".t" + std::to_string(tenant))
+                .set(b.bytes);
+        }
+    }
+}
+
+} // namespace cloud

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Global deployment congestion controller.
+ *
+ * The paper moderates background copy *per node* (write interval +
+ * guest-I/O suspension). At fleet scale the scarce resource is the
+ * shared aggregation link, not the node disk: a flash-crowd of
+ * deployments can fill a rack's downlink and starve serving traffic
+ * no matter how polite each node is locally. The controller promotes
+ * the moderation budget to a hierarchy of deterministic rate buckets:
+ *
+ *   region deployment budget
+ *     -> per-rack lane  (share of that rack's aggregation capacity)
+ *        -> per-tenant bucket inside the lane
+ *
+ * Deployment engines (bmcast::BackgroundCopy, store::ChunkStreamer)
+ * draw tokens through a RateGate before issuing each fetch: admit()
+ * books the transfer's serialization time on the rack lane and the
+ * tenant bucket and returns the earliest issue tick. The invariant:
+ * the sum of deployment bytes granted against rack r per unit time
+ * never exceeds lane r's rate, which is configured strictly below
+ * the rack's aggregation capacity — the headroom is what serving
+ * traffic rides on.
+ *
+ * Shard safety by partitioning: budgets are divided statically
+ * across racks at construction and every mutable bucket lives in
+ * exactly one rack's lane, so in a sharded world each lane is only
+ * ever touched by the shard that owns its rack — no locks, and the
+ * grant stream is a pure function of the per-rack demand sequence
+ * (deterministic for any shard count).
+ */
+
+#ifndef CLOUD_CONGESTION_HH
+#define CLOUD_CONGESTION_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cloud/types.hh"
+#include "net/topology.hh"
+#include "obs/registry.hh"
+
+namespace cloud {
+
+struct CongestionParams
+{
+    bool enabled = false;
+    /**
+     * Region-wide deployment budget in bits/sec, divided evenly
+     * across racks. 0 derives each rack's lane from the topology
+     * (or rackLinkBps) via linkShare instead.
+     */
+    double deployBudgetBps = 0.0;
+    /** Fraction of a rack's aggregation capacity deployment may
+     *  book; the rest is serving-traffic headroom. */
+    double linkShare = 0.7;
+    /** Per-tenant cap as a fraction of the rack lane (0 = no cap). */
+    double tenantShare = 0.5;
+    /** Rack aggregation capacity used when no topology is attached. */
+    double rackLinkBps = 1e9;
+};
+
+class CongestionController
+{
+  public:
+    /** @p racks lanes; capacities from @p topo when given. */
+    CongestionController(CongestionParams p, unsigned racks,
+                         const net::Topology *topo = nullptr);
+
+    const CongestionParams &params() const { return prm_; }
+    /** Lane rate for @p rack in bits/sec. */
+    double laneBps(unsigned rack) const;
+
+    /**
+     * Book @p bytes of deployment transfer for (rack, tenant) at
+     * @p now; returns the earliest tick the transfer may be issued.
+     * Must be called from the shard owning @p rack.
+     */
+    sim::Tick admit(unsigned rack, TenantId tenant, sim::Bytes bytes,
+                    sim::Tick now);
+
+    /** A RateGate bound to (rack, tenant), ready to hand to
+     *  BackgroundCopy / ChunkStreamer. */
+    RateGate
+    gateFor(unsigned rack, TenantId tenant)
+    {
+        return [this, rack, tenant](sim::Bytes bytes, sim::Tick now) {
+            return admit(rack, tenant, bytes, now);
+        };
+    }
+
+    /** @name Telemetry (read after the run, or from the owning shard) */
+    /// @{
+    sim::Bytes grantedBytes(unsigned rack) const;
+    std::uint64_t grants(unsigned rack) const;
+    /** Total issue-delay imposed on rack @p rack's flows. */
+    sim::Tick throttleDelay(unsigned rack) const;
+    /** Bytes granted to @p tenant in rack @p rack. */
+    sim::Bytes tenantBytes(unsigned rack, TenantId tenant) const;
+    /** Snapshot "<prefix>congestion.*" counters into @p reg. */
+    void publish(obs::Registry &reg,
+                 const std::string &prefix = "") const;
+    /// @}
+
+  private:
+    struct Bucket
+    {
+        sim::Tick freeAt = 0;
+        sim::Bytes bytes = 0;
+        std::uint64_t grants = 0;
+        sim::Tick delaySum = 0;
+    };
+
+    struct Lane
+    {
+        double rackBps = 0.0;
+        double tenantBps = 0.0;
+        Bucket all;
+        std::map<TenantId, Bucket> tenants;
+    };
+
+    CongestionParams prm_;
+    std::vector<Lane> lanes_;
+};
+
+} // namespace cloud
+
+#endif // CLOUD_CONGESTION_HH

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * A lease: one tenant's claim on one bare-metal machine, tracked
+ * through the async state machine queued -> placing -> deploying ->
+ * serving -> releasing -> released (or rejected at admission).
+ *
+ * Leases are owned by the ControlPlane; handles stay valid for the
+ * plane's lifetime, including terminal states, so callers can read
+ * the recorded timeline after the fact.
+ */
+
+#ifndef CLOUD_LEASE_HH
+#define CLOUD_LEASE_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "cloud/types.hh"
+
+namespace cloud {
+
+class ControlPlane;
+
+/** What a tenant asks for. */
+struct LeaseRequest
+{
+    std::string image;
+    TenantId tenant = 0;
+    QosClass qos = QosClass::Standard;
+    /**
+     * Reject with RegionFull/NoUsableRack instead of queueing when
+     * no machine is immediately available — the legacy blocking
+     * Cloud::provision contract.
+     */
+    bool failFast = false;
+};
+
+class Lease
+{
+  public:
+    using ServingFn = std::function<void(Lease &)>;
+    using RejectedFn = std::function<void(Lease &)>;
+
+    std::uint64_t id() const { return id_; }
+    LeaseState state() const { return state_; }
+    RejectReason rejectReason() const { return reject_; }
+    const std::string &image() const { return image_; }
+    TenantId tenant() const { return tenant_; }
+    QosClass qos() const { return qos_; }
+
+    /** Pool slot / rack; valid once the lease left Queued. */
+    unsigned slot() const { return slot_; }
+    unsigned rack() const { return rack_; }
+
+    /** @name Recorded timeline (ticks; 0 = not reached) */
+    /// @{
+    sim::Tick submittedAt() const { return submittedAt_; }
+    sim::Tick placedAt() const { return placedAt_; }
+    sim::Tick servingAt() const { return servingAt_; }
+    sim::Tick releasedAt() const { return releasedAt_; }
+    /** Queue wait: submission to slot assignment. */
+    sim::Tick admissionLatency() const
+    {
+        return placedAt_ - submittedAt_;
+    }
+    /// @}
+
+    bool terminal() const
+    {
+        return state_ == LeaseState::Released ||
+               state_ == LeaseState::Rejected;
+    }
+
+  private:
+    friend class ControlPlane;
+
+    std::uint64_t id_ = 0;
+    std::string image_;
+    TenantId tenant_ = 0;
+    QosClass qos_ = QosClass::Standard;
+    bool failFast_ = false;
+
+    LeaseState state_ = LeaseState::Queued;
+    RejectReason reject_ = RejectReason::None;
+    unsigned slot_ = 0;
+    unsigned rack_ = 0;
+
+    sim::Tick submittedAt_ = 0;
+    sim::Tick placedAt_ = 0;
+    sim::Tick servingAt_ = 0;
+    sim::Tick releasedAt_ = 0;
+
+    ServingFn onServing_;
+    RejectedFn onRejected_;
+};
+
+} // namespace cloud
+
+#endif // CLOUD_LEASE_HH

@@ -1,0 +1,44 @@
+#include "cloud/types.hh"
+
+namespace cloud {
+
+const char *
+qosClassName(QosClass c)
+{
+    switch (c) {
+      case QosClass::Critical: return "critical";
+      case QosClass::Standard: return "standard";
+      case QosClass::Scavenger: return "scavenger";
+    }
+    return "?";
+}
+
+const char *
+rejectReasonName(RejectReason r)
+{
+    switch (r) {
+      case RejectReason::None: return "none";
+      case RejectReason::QueueFull: return "queue_full";
+      case RejectReason::TenantQueueCap: return "tenant_queue_cap";
+      case RejectReason::RegionFull: return "region_full";
+      case RejectReason::NoUsableRack: return "no_usable_rack";
+    }
+    return "?";
+}
+
+const char *
+leaseStateName(LeaseState s)
+{
+    switch (s) {
+      case LeaseState::Queued: return "queued";
+      case LeaseState::Placing: return "placing";
+      case LeaseState::Deploying: return "deploying";
+      case LeaseState::Serving: return "serving";
+      case LeaseState::Releasing: return "releasing";
+      case LeaseState::Released: return "released";
+      case LeaseState::Rejected: return "rejected";
+    }
+    return "?";
+}
+
+} // namespace cloud

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Control-plane vocabulary: tenants, QoS classes, lease lifecycle
+ * states, typed admission rejections, and the deployment rate-gate
+ * signature shared with the data-plane engines.
+ *
+ * This header is the only coupling the data plane needs: the gate is
+ * a plain std::function signature (structurally identical to
+ * bmcast::RateGate and store::ChunkStreamer::RateGate), so the
+ * engines that draw tokens never link against the control plane.
+ */
+
+#ifndef CLOUD_TYPES_HH
+#define CLOUD_TYPES_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "simcore/types.hh"
+
+namespace cloud {
+
+/** Tenant identity; 0 is the anonymous/legacy tenant. */
+using TenantId = std::uint32_t;
+
+/** Admission priority classes, highest first. Placement is strict
+ *  priority across classes, FIFO within one. */
+enum class QosClass : std::uint8_t {
+    Critical = 0, ///< serving-capacity restoration, repairs
+    Standard,     ///< ordinary tenant leases
+    Scavenger,    ///< preemptible batch / spot capacity
+};
+
+constexpr unsigned kNumQosClasses = 3;
+
+/** Typed admission backpressure. */
+enum class RejectReason : std::uint8_t {
+    None = 0,
+    QueueFull,      ///< region-wide admission queue at capacity
+    TenantQueueCap, ///< this tenant's queued share at its cap
+    RegionFull,     ///< fail-fast lease and no free machine
+    NoUsableRack,   ///< free machines exist, all in failed racks
+};
+
+/** Async lease lifecycle. */
+enum class LeaseState : std::uint8_t {
+    Queued = 0, ///< admitted, waiting for capacity
+    Placing,    ///< slot selection in progress
+    Deploying,  ///< BMcast pipeline running on the chosen node
+    Serving,    ///< guest up (bare metal may still be pending)
+    Releasing,  ///< teardown + scrub in progress
+    Released,   ///< slot returned to the pool (terminal)
+    Rejected,   ///< admission backpressure (terminal)
+};
+
+const char *qosClassName(QosClass c);
+const char *rejectReasonName(RejectReason r);
+const char *leaseStateName(LeaseState s);
+
+/**
+ * Deployment rate gate: ask to move @p bytes at @p now; the gate
+ * books the transfer on its budget buckets and returns the earliest
+ * tick the transfer may be issued (>= now). Issued from the shard
+ * that owns the flow's rack.
+ */
+using RateGate = std::function<sim::Tick(sim::Bytes, sim::Tick)>;
+
+} // namespace cloud
+
+#endif // CLOUD_TYPES_HH

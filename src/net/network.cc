@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "net/topology.hh"
 #include "simcore/logging.hh"
 
 namespace net {
@@ -130,6 +131,13 @@ Network::transmit(Port &from, Frame frame)
         // which is sufficient for these experiments.
         ++from.numDropped;
         return;
+    }
+    if (topo_) {
+        // Endpoints in different placement domains climb to the
+        // aggregation tier; the traversed links charge serialization
+        // and queueing on top of the segment model.
+        extraDelay += topo_->charge(frame.src, frame.dst,
+                                    frame.wireSize(), depart);
     }
     deliverTo(*dst, frame, depart, extraDelay);
     if (duplicate) {

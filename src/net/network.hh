@@ -27,6 +27,7 @@
 namespace net {
 
 class Network;
+class Topology;
 
 /** Configuration of one switch port / attached station. */
 struct PortConfig
@@ -154,6 +155,20 @@ class Network : public sim::SimObject
      */
     void setFaultInjector(sim::FaultInjector *fi) { faults = fi; }
 
+    /**
+     * Attach a fat-tree topology (nullptr detaches). Unicast frames
+     * whose endpoints are placed in different domains (rack vs rack,
+     * or rack vs core) additionally traverse and charge the
+     * aggregation links (net::Topology::charge); co-located and
+     * broadcast traffic is untouched. With no topology attached the
+     * transmit path is byte-identical to the flat-segment model.
+     * The topology may be shared between several segments (one per
+     * rack) provided each segment only carries frames whose
+     * endpoints map to its own rack or the core.
+     */
+    void setTopology(Topology *topo) { topo_ = topo; }
+    Topology *topology() { return topo_; }
+
   private:
     friend class Port;
 
@@ -164,6 +179,7 @@ class Network : public sim::SimObject
     sim::Tick switchLat;
     sim::Rng rng;
     sim::FaultInjector *faults = nullptr;
+    Topology *topo_ = nullptr;
     std::map<MacAddr, std::unique_ptr<Port>> ports;
     std::uint64_t numForwarded = 0;
     UplinkHandler uplink;

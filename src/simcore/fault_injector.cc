@@ -24,6 +24,8 @@ faultSiteName(FaultSite site)
       case FaultSite::IrqSpurious: return "irq.spurious";
       case FaultSite::StoreSourceTimeout: return "store.source_timeout";
       case FaultSite::StoreShardCorrupt: return "store.shard_corrupt";
+      case FaultSite::RackOutage: return "rack.outage";
+      case FaultSite::RackRecover: return "rack.recover";
       case FaultSite::kCount: break;
     }
     return "?";

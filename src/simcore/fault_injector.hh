@@ -50,6 +50,8 @@ enum class FaultSite : unsigned {
     IrqSpurious,      ///< An extra, unprompted interrupt delivery.
     StoreSourceTimeout, ///< Chunk source swallows a shard request.
     StoreShardCorrupt,  ///< Shard payload damaged after digesting.
+    RackOutage,  ///< A rack drops out of placement for `magnitude`.
+    RackRecover, ///< Derived: an out rack rejoined the pool.
     kCount
 };
 

@@ -26,7 +26,8 @@ ChunkStreamer::ChunkStreamer(sim::EventQueue &eq, std::string name,
 }
 
 void
-ChunkStreamer::fetch(sim::Lba lba, std::uint32_t count, FetchDone done)
+ChunkStreamer::fetch(sim::Lba lba, std::uint32_t count, FetchDone done,
+                     bool background)
 {
     sim::panicIfNot(count > 0 && lba + count <= imageSectors_,
                     "store fetch outside the image");
@@ -49,8 +50,23 @@ ChunkStreamer::fetch(sim::Lba lba, std::uint32_t count, FetchDone done)
         pos = piece_end;
     }
     op->remaining = pieces.size();
-    for (const Piece &p : pieces)
+    for (const Piece &p : pieces) {
+        if (gate_ && background) {
+            // Bulk traffic books each piece against the deployment
+            // budget at issue; retries are not re-charged (the bytes
+            // were already granted).
+            sim::Tick start =
+                gate_(sim::Bytes(p.count) * sim::kSectorSize, now());
+            if (start > now()) {
+                ++gateWaits_;
+                schedule(start - now(), [this, op, p]() {
+                    startPiece(op, p, 0);
+                });
+                continue;
+            }
+        }
         startPiece(op, p, 0);
+    }
 }
 
 void

@@ -43,9 +43,22 @@ class ChunkStreamer : public sim::SimObject
                   std::string image, net::MacAddr selfMac,
                   sim::Lba imageSectors);
 
+    /**
+     * Deployment-bandwidth token gate (same shape as
+     * bmcast::RateGate / cloud::RateGate, duplicated so the store
+     * tier stays free of control-plane headers): gate(bytes, now)
+     * returns the earliest issue tick. Applies only to fetches marked
+     * background — copy-on-read stays latency-critical and unshaped.
+     */
+    using RateGate = std::function<sim::Tick(sim::Bytes, sim::Tick)>;
+    void setRateGate(RateGate g) { gate_ = std::move(g); }
+
     /** Fetch [lba, lba+count) of the image through the store tier.
-     *  @p done receives one token per sector, digest-verified. */
-    void fetch(sim::Lba lba, std::uint32_t count, FetchDone done);
+     *  @p done receives one token per sector, digest-verified.
+     *  @p background marks bulk background-copy traffic, which draws
+     *  issue tokens from the rate gate when one is bound. */
+    void fetch(sim::Lba lba, std::uint32_t count, FetchDone done,
+               bool background = false);
 
     /** [lba, lba+count) of pristine image content landed on the local
      *  disk; chunks that become fully resident register this node as
@@ -66,6 +79,8 @@ class ChunkStreamer : public sim::SimObject
     std::uint64_t reconstructions() const { return reconstructions_; }
     std::uint64_t sourceFailures() const { return sourceFailures_; }
     std::uint64_t noSourceStalls() const { return stalls_; }
+    /** Pieces the rate gate pushed into the future. */
+    std::uint64_t gateWaits() const { return gateWaits_; }
     /// @}
 
   private:
@@ -104,6 +119,7 @@ class ChunkStreamer : public sim::SimObject
     net::MacAddr self_;
     sim::Lba imageSectors_;
     bool halted_ = false;
+    RateGate gate_;
 
     /** Per-chunk lifecycle: sectors landed; 0 filling, 1 registered,
      *  2 poisoned. */
@@ -122,6 +138,7 @@ class ChunkStreamer : public sim::SimObject
     std::uint64_t reconstructions_ = 0;
     std::uint64_t sourceFailures_ = 0;
     std::uint64_t stalls_ = 0;
+    std::uint64_t gateWaits_ = 0;
 
     obs::Track obsTrack_;
 };

@@ -177,6 +177,44 @@ TEST(Cloud, ReleaseMidDeploymentIsSafe)
         node.disk().store().rangeHasBase(0, img_sectors, kCentos));
 }
 
+TEST(Cloud, ReleaseWhileStillProvisioningIsSafe)
+{
+    // Churn guard at the shim layer: the tenant bails out while the
+    // lease is still Deploying (guest not yet up). The control
+    // plane's in-flight serving notification must be absorbed, the
+    // machine scrubbed, and the slot re-leasable.
+    sim::EventQueue eq;
+    bmcast::Cloud cloud(eq, "region", testConfig(1));
+    cloud.addImage("img", 512 * sim::kMiB, kUbuntu);
+    cloud.addImage("img2", 512 * sim::kMiB, kCentos);
+
+    unsigned served = 0;
+    bmcast::Instance *a = cloud.provision(
+        "img", [&](bmcast::Instance &) { ++served; });
+    ASSERT_NE(a, nullptr);
+    eq.runUntil(100 * sim::kMs);
+    ASSERT_EQ(a->state(), bmcast::Instance::State::Provisioning);
+    hw::Machine &node = a->machine();
+
+    cloud.release(*a);
+    EXPECT_EQ(a->state(), bmcast::Instance::State::Released);
+    EXPECT_EQ(cloud.freeMachines(), 1u);
+    EXPECT_FALSE(node.bus().anyInterceptActive());
+
+    // Draining what the canceled deployment left behind must not
+    // fire its serving callback or disturb the next lease.
+    bmcast::Instance *b = cloud.provision("img2", nullptr);
+    ASSERT_NE(b, nullptr);
+    while (b->state() != bmcast::Instance::State::BareMetal &&
+           !eq.empty() && eq.now() < 40000 * sim::kSec)
+        eq.step();
+    EXPECT_EQ(b->state(), bmcast::Instance::State::BareMetal);
+    EXPECT_EQ(served, 0u);
+    sim::Lba img_sectors = (512 * sim::kMiB) / sim::kSectorSize;
+    EXPECT_TRUE(
+        node.disk().store().rangeHasBase(0, img_sectors, kCentos));
+}
+
 TEST(Cloud, DoubleReleaseIsFatal)
 {
     sim::EventQueue eq;
