@@ -1,0 +1,368 @@
+/**
+ * @file
+ * A sharded malleable-metal world: per-rack instances live-migrating
+ * to the neighbor rack over a fat-tree aggregation fabric, driven by
+ * deterministic dirty-write processes.
+ *
+ * The world exists to prove the mobility machinery deterministic
+ * under the PR-6 sharded kernel: R racks each run one source
+ * instance (a token disk plus a MigrationManager on the rack's own
+ * EventQueue) that migrates to rack (r+1) % R. Pre-copy shipments
+ * book the shared net::Topology in the split-charge style of
+ * bench/fleet_world.hh — the up-link on the source shard at
+ * departure, the down-link on the destination shard at arrival, the
+ * completion acknowledged back through the mailbox — so every
+ * cross-rack byte pays the same links a deployment would, and the
+ * whole schedule is a pure function of (racks, seed), never of the
+ * shard count.
+ *
+ * fingerprint() folds every migration's stats, every disk's content
+ * runs, the write-process counters and the topology byte meters into
+ * one order-sensitive hash: equal fingerprints across shard counts
+ * mean equal simulated outcomes, which bench/abl_migrate gates on
+ * its exit code and tests/migration_test.cc asserts directly.
+ */
+
+#ifndef BENCH_MIGRATE_WORLD_HH
+#define BENCH_MIGRATE_WORLD_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hw/disk_store.hh"
+#include "migrate/migration.hh"
+#include "net/topology.hh"
+#include "simcore/fault_injector.hh"
+#include "simcore/logging.hh"
+#include "simcore/random.hh"
+#include "simcore/shard_group.hh"
+#include "simcore/types.hh"
+
+namespace migratebench {
+
+struct MigrateWorldParams
+{
+    unsigned racks = 4;
+    unsigned shards = 1;
+    std::uint64_t seed = 1;
+
+    sim::Bytes imageBytes = 32 * sim::kMiB;
+    /** Aggregation fabric (shared; split-charged per rack). */
+    double uplinkBps = 10e9;
+    double oversubscription = 4.0;
+    /** Cross-rack latency == the shard group's lookahead window. */
+    sim::Tick uplinkLatency = sim::kMs;
+
+    /** Dirty-write process: one burst every interval per rack. */
+    sim::Tick writeInterval = 2 * sim::kMs;
+    std::uint32_t writeBurstMax = 64; //!< sectors per burst, 1..max
+
+    /** Every rack's migration starts here. */
+    sim::Tick migrateAt = 50 * sim::kMs;
+    sim::Tick runFor = 30 * sim::kSec;
+
+    migrate::MigrateParams migrate;
+
+    /** Armed on every rack's injector when probability/fireOn set. */
+    sim::SitePlan streamDrop;
+    sim::SitePlan destCrash;
+};
+
+class MigrateWorld
+{
+  public:
+    explicit MigrateWorld(MigrateWorldParams p)
+        : prm(p),
+          group(sim::ShardGroup::Params{p.racks, p.shards,
+                                        p.uplinkLatency, 4096})
+    {
+        sim::fatalIf(prm.racks == 0, "migrate world needs racks");
+        sectors_ = prm.imageBytes / sim::kSectorSize;
+
+        net::TopologyConfig tc;
+        tc.racks = prm.racks;
+        tc.uplinkBps = prm.uplinkBps;
+        tc.oversubscription = prm.oversubscription;
+        topo_ = std::make_unique<net::Topology>(tc);
+
+        racks_.reserve(prm.racks);
+        for (unsigned r = 0; r < prm.racks; ++r) {
+            auto rack = std::make_unique<Rack>();
+            sim::EventQueue &eq = group.rackQueue(r);
+
+            rack->faults =
+                std::make_unique<sim::FaultInjector>(prm.seed, r);
+            if (armed(prm.streamDrop))
+                rack->faults->arm(sim::FaultSite::MigrateStreamDrop,
+                                  prm.streamDrop);
+            if (armed(prm.destCrash))
+                rack->faults->arm(sim::FaultSite::MigrateDestCrash,
+                                  prm.destCrash);
+
+            // The source instance's disk starts as a freshly landed
+            // image; the write process dirties it from tick 0.
+            rack->disk.write(0, sectors_, imageBase(r));
+            rack->mgr = std::make_unique<migrate::MigrationManager>(
+                eq, "rack" + std::to_string(r) + ".mig", prm.migrate,
+                sectors_);
+            rack->mgr->setFaultInjector(rack->faults.get());
+            rack->wrRng = sim::Rng(
+                sim::Rng::seedForShard("migw", prm.seed, r));
+
+            racks_.push_back(std::move(rack));
+        }
+
+        for (unsigned r = 0; r < prm.racks; ++r) {
+            armWriter(r);
+            group.rackQueue(r).scheduleAt(
+                prm.migrateAt, [this, r]() { startMigration(r); });
+        }
+    }
+
+    /** Drive to runFor (window-aligned), chunked. */
+    void
+    run()
+    {
+        const sim::Tick w = group.window();
+        sim::Tick until = ((prm.runFor + w - 1) / w) * w;
+        group.run(until);
+    }
+
+    unsigned
+    migrationsDone() const
+    {
+        unsigned n = 0;
+        for (const auto &rk : racks_)
+            n += rk->mgr->phase() ==
+                 migrate::MigrationManager::Phase::Done;
+        return n;
+    }
+    unsigned
+    migrationsAborted() const
+    {
+        unsigned n = 0;
+        for (const auto &rk : racks_)
+            n += rk->mgr->stats().aborted;
+        return n;
+    }
+    std::uint64_t
+    faultTriggers(sim::FaultSite site) const
+    {
+        std::uint64_t n = 0;
+        for (const auto &rk : racks_)
+            n += rk->faults->triggers(site);
+        return n;
+    }
+    const migrate::MigrateStats &
+    stats(unsigned rack) const
+    {
+        return racks_.at(rack)->mgr->stats();
+    }
+    /** The migrated replica rack @p r received from its neighbor. */
+    const hw::DiskStore &
+    destDisk(unsigned r) const
+    {
+        return racks_.at(r)->destDisk;
+    }
+    const hw::DiskStore &
+    sourceDisk(unsigned r) const
+    {
+        return racks_.at(r)->disk;
+    }
+    sim::Lba sectors() const { return sectors_; }
+    std::uint64_t
+    totalExecuted() const
+    {
+        return group.totalExecuted();
+    }
+
+    /** Order-sensitive digest of every simulated outcome. */
+    std::uint64_t
+    fingerprint() const
+    {
+        std::uint64_t h = sim::kFingerprintSeed;
+        for (unsigned r = 0; r < prm.racks; ++r) {
+            const Rack &rk = *racks_[r];
+            const migrate::MigrateStats &st = rk.mgr->stats();
+            h = sim::fingerprintMix(h, st.rounds);
+            h = sim::fingerprintMix(h, st.bytesShipped);
+            h = sim::fingerprintMix(h, st.diskBytesShipped);
+            h = sim::fingerprintMix(h, st.memoryBytesShipped);
+            h = sim::fingerprintMix(h, st.finalBytes);
+            h = sim::fingerprintMix(h, st.forcedStop);
+            h = sim::fingerprintMix(h, st.aborted);
+            h = sim::fingerprintMix(h, st.abortAtRound);
+            h = sim::fingerprintMix(h, st.startedAt);
+            h = sim::fingerprintMix(h, st.pausedAt);
+            h = sim::fingerprintMix(h, st.finishedAt);
+            h = sim::fingerprintMix(h, st.downtime);
+            h = sim::fingerprintMix(h, rk.writes);
+            h = sim::fingerprintMix(h, rk.sectorsWritten);
+            h = foldDisk(h, rk.disk);
+            h = foldDisk(h, rk.destDisk);
+            h = sim::fingerprintMix(h, topo_->uplinkBytes(r));
+            h = sim::fingerprintMix(h, topo_->downlinkBytes(r));
+            h = sim::fingerprintMix(
+                h, rk.faults->triggers(
+                       sim::FaultSite::MigrateStreamDrop));
+            h = sim::fingerprintMix(
+                h, rk.faults->triggers(
+                       sim::FaultSite::MigrateDestCrash));
+        }
+        return h;
+    }
+
+    const MigrateWorldParams prm;
+    sim::ShardGroup group;
+
+  private:
+    struct Rack
+    {
+        hw::DiskStore disk;     //!< the source instance's local disk
+        hw::DiskStore destDisk; //!< replica arriving from rack r-1
+        std::unique_ptr<migrate::MigrationManager> mgr;
+        std::unique_ptr<sim::FaultInjector> faults;
+        sim::Rng wrRng{0};
+        std::uint64_t writes = 0;
+        std::uint64_t sectorsWritten = 0;
+        std::uint64_t nextBase = 1;
+    };
+
+    static bool
+    armed(const sim::SitePlan &p)
+    {
+        return p.probability > 0.0 || !p.fireOn.empty();
+    }
+
+    static std::uint64_t
+    imageBase(unsigned rack)
+    {
+        return 0xABCD000000000100ULL + rack;
+    }
+
+    std::uint64_t
+    foldDisk(std::uint64_t h, const hw::DiskStore &d) const
+    {
+        d.forEachBase(0, sectors_,
+                      [&h](sim::Lba lba, std::uint64_t count,
+                           std::uint64_t base) {
+                          h = sim::fingerprintMix(h, lba);
+                          h = sim::fingerprintMix(h, count);
+                          h = sim::fingerprintMix(h, base);
+                      });
+        return h;
+    }
+
+    /** The dirty-write process: one burst per interval, paused with
+     *  the guest during stop-and-copy, retired once the instance has
+     *  moved (an aborted migration keeps writing — the guest never
+     *  stopped). */
+    void
+    armWriter(unsigned r)
+    {
+        group.rackQueue(r).schedule(prm.writeInterval, [this, r]() {
+            Rack &rk = *racks_[r];
+            using Phase = migrate::MigrationManager::Phase;
+            if (rk.mgr->phase() == Phase::Done)
+                return; // instance left this rack
+            if (!rk.mgr->paused()) {
+                sim::Lba lba = rk.wrRng.uniformInt(0, sectors_ - 1);
+                std::uint64_t count =
+                    rk.wrRng.uniformInt(1, prm.writeBurstMax);
+                if (lba + count > sectors_)
+                    count = sectors_ - lba;
+                std::uint64_t base =
+                    0xD000000000000000ULL |
+                    (std::uint64_t(r) << 40) | rk.nextBase++;
+                rk.disk.write(lba, count, base);
+                rk.mgr->noteGuestWrite(
+                    lba, static_cast<std::uint32_t>(count));
+                ++rk.writes;
+                rk.sectorsWritten += count;
+            }
+            armWriter(r);
+        });
+    }
+
+    void
+    startMigration(unsigned r)
+    {
+        Rack &rk = *racks_[r];
+        const unsigned dst = (r + 1) % prm.racks;
+
+        migrate::MigrationManager::Hooks hooks;
+        // Re-virtualization is a fixed-cost stage here: the world
+        // has no VMM, the tracker is live from tick 0 (equivalent to
+        // seeding with the pre-migration dirty set).
+        hooks.revirt = [this, r](std::function<void()> done) {
+            group.rackQueue(r).schedule(sim::kMs, std::move(done));
+        };
+
+        hooks.ship = [this, r, dst](sim::Bytes bytes,
+                                    std::function<void()> done) {
+            sim::EventQueue &q = group.rackQueue(r);
+            sim::Tick up = topo_->chargeUplink(r, bytes, q.now());
+            sim::Tick arrive = up + topo_->config().aggHopLatency +
+                               prm.uplinkLatency;
+            if (prm.racks == 1) {
+                // Single-rack world: no fabric to cross.
+                q.scheduleAt(arrive, std::move(done));
+                return;
+            }
+            group.postToRack(
+                r, dst, arrive,
+                [this, r, dst, bytes,
+                 done = std::move(done)]() mutable {
+                    sim::EventQueue &dq = group.rackQueue(dst);
+                    sim::Tick clear = topo_->chargeDownlink(
+                        dst, bytes, dq.now());
+                    if (clear < dq.now())
+                        clear = dq.now();
+                    // Acknowledge back to the source shard.
+                    group.postToRack(dst, r,
+                                     clear + prm.uplinkLatency,
+                                     std::move(done));
+                });
+        };
+
+        hooks.handoff = [this, r, dst](std::function<void()> done) {
+            // Apply the byte-identical replica on the destination
+            // rack: snapshot by value, apply on its shard.
+            std::vector<migrate::DirtyRun> runs;
+            racks_[r]->disk.forEachBase(
+                0, sectors_,
+                [&runs](sim::Lba lba, std::uint64_t count,
+                        std::uint64_t base) {
+                    if (base != 0)
+                        runs.push_back({lba, count, base});
+                });
+            if (prm.racks == 1) {
+                for (const auto &dr : runs)
+                    racks_[r]->destDisk.write(dr.lba, dr.count,
+                                              dr.base);
+            } else {
+                sim::EventQueue &q = group.rackQueue(r);
+                group.postToRack(
+                    r, dst, q.now() + prm.uplinkLatency,
+                    [this, dst, runs = std::move(runs)]() {
+                        for (const auto &dr : runs)
+                            racks_[dst]->destDisk.write(
+                                dr.lba, dr.count, dr.base);
+                    });
+            }
+            done();
+        };
+
+        rk.mgr->start(std::move(hooks));
+    }
+
+    sim::Lba sectors_ = 0;
+    std::unique_ptr<net::Topology> topo_;
+    std::vector<std::unique_ptr<Rack>> racks_;
+};
+
+} // namespace migratebench
+
+#endif // BENCH_MIGRATE_WORLD_HH

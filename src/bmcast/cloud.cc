@@ -85,10 +85,12 @@ Cloud::addImage(const std::string &img_name, sim::Bytes size,
     // the placement/traffic level, see store::Placement).
     for (auto &srv : servers_)
         srv->addTarget(major, 0, sectors, content_base);
-    if (fabric_)
+    if (fabric_) {
         fabric_->catalog().addFlat(img_name, major, sectors,
                                    content_base);
-    images[img_name] = Image{major, sectors, content_base, {}};
+        fabric_->noteImageAdded(img_name);
+    }
+    images[img_name] = Image{major, sectors, content_base, {}, {}};
     sim::inform(name(), ": image '", img_name, "' registered (",
                 size / sim::kMiB, " MiB)");
 }
@@ -113,11 +115,13 @@ Cloud::addOverlayImage(const std::string &img_name,
         for (const auto &d : deltas)
             t.store.write(d.lba, d.count, d.base);
     }
-    if (fabric_)
+    if (fabric_) {
         fabric_->catalog().addOverlay(img_name, major, base_name,
                                       deltas);
-    images[img_name] =
-        Image{major, sectors, base->second.contentBase, deltas};
+        fabric_->noteImageAdded(img_name);
+    }
+    images[img_name] = Image{major, sectors, base->second.contentBase,
+                             deltas, base_name};
     sim::inform(name(), ": overlay '", img_name, "' on '", base_name,
                 "' registered (", deltas.size(), " delta runs)");
 }
@@ -149,6 +153,7 @@ Cloud::rackScore(unsigned rack) const
 void
 Cloud::setFaultInjector(sim::FaultInjector *fi)
 {
+    fi_ = fi;
     lan.setFaultInjector(fi);
     for (auto &srv : servers_)
         srv->setFaultInjector(fi);
@@ -283,6 +288,12 @@ Cloud::startRelease(cloud::Lease &l)
     Instance &inst = *leaseInst_.at(l.id());
     const unsigned slot = l.slot();
 
+    // A release racing a live migration wins: tear the state machine
+    // down first so its in-flight ship/handoff events retire without
+    // touching the slots the plane is about to free.
+    if (inst.mig_ && !inst.mig_->finished())
+        inst.mig_->cancel();
+
     // Power off whatever is still running: the VMM tears down its
     // intercepts, copy engine and AoE session; the guest stops its
     // workload and unhooks its driver's interrupt handlers. Both
@@ -297,6 +308,25 @@ Cloud::startRelease(cloud::Lease &l)
     if (fabric_)
         fabric_->nodeReleased(kPeerMacBase + slot);
 
+    // Fold the instance's writes into an overlay image before the
+    // scrub erases them: a re-lease then redeploys base + delta.
+    auto po = pendingOverlay_.find(l.id());
+    if (po != pendingOverlay_.end()) {
+        const Image &img = images.at(inst.image_);
+        const std::string flat =
+            img.deltas.empty() ? inst.image_ : img.baseName;
+        hw::DiskStore flat_ref;
+        flat_ref.write(0, img.sectors, img.contentBase);
+        std::vector<store::DeltaRun> deltas;
+        for (const auto &r :
+             migrate::diffDisks(inst.machine_->disk().store(),
+                                flat_ref, 0, img.sectors))
+            deltas.push_back(
+                {r.lba, static_cast<std::uint32_t>(r.count), r.base});
+        addOverlayImage(po->second, flat, deltas);
+        pendingOverlay_.erase(po);
+    }
+
     // Scrub the local disk: tenant data must not leak to the next
     // lease, and a stale saved bitmap would make the next deployment
     // "resume" the wrong image.
@@ -307,6 +337,208 @@ Cloud::startRelease(cloud::Lease &l)
     inst.state_ = Instance::State::Released;
     sim::inform(name(), ": node ", slot, " released back to the pool");
     plane_->noteReleased(l.id());
+}
+
+void
+Cloud::releaseToOverlay(Instance &inst, const std::string &overlay)
+{
+    sim::fatalIf(inst.state_ != Instance::State::BareMetal,
+                 "overlay release needs a fully landed bare-metal "
+                 "instance");
+    sim::fatalIf(images.count(overlay) > 0,
+                 "duplicate image ", overlay);
+    pendingOverlay_[inst.lease_->id()] = overlay;
+    plane_->release(*inst.lease_);
+}
+
+cloud::MigrateReject
+Cloud::migrate(Instance &inst, unsigned dest_slot)
+{
+    sim::fatalIf(inst.lease_ == nullptr,
+                 "migrating an instance this region does not lease");
+    sim::fatalIf(inst.mig_ != nullptr,
+                 "instance already migrated: the destination runs "
+                 "native, with no VMM to re-arm");
+    return plane_->migrate(inst.lease_->id(), dest_slot);
+}
+
+hw::DiskStore
+Cloud::imageDisk(const Image &img) const
+{
+    hw::DiskStore ref;
+    ref.write(0, img.sectors, img.contentBase);
+    for (const auto &d : img.deltas)
+        ref.write(d.lba, d.count, d.base);
+    return ref;
+}
+
+void
+Cloud::startMigration(cloud::Lease &l, unsigned dest_slot)
+{
+    Instance &inst = *leaseInst_.at(l.id());
+    sim::fatalIf(inst.mig_ != nullptr,
+                 "instance already migrated once");
+    // Re-virtualization needs the source at bare metal (the VMM
+    // re-arms under the running guest). A Serving-but-still-deploying
+    // instance waits for its first de-virtualization to finish.
+    inst.deployer_->onBareMetal(
+        [this, ref = &inst, id = l.id(), dest_slot]() {
+            ref->state_ = Instance::State::BareMetal;
+            cloud::Lease *l2 = plane_->leaseById(id);
+            if (l2->state() != cloud::LeaseState::Migrating)
+                return; // released while waiting for bare metal
+            beginMigration(*l2, dest_slot);
+        });
+}
+
+void
+Cloud::beginMigration(cloud::Lease &l, unsigned dest_slot)
+{
+    Instance *ref = leaseInst_.at(l.id());
+    const unsigned src_slot = l.slot();
+    const Image &img = images.at(ref->image_);
+    const sim::Lba sectors = img.sectors;
+
+    ref->mig_ = std::make_unique<migrate::MigrationManager>(
+        eventQueue(), pool[src_slot]->name() + ".mig", cfg.migrate,
+        sectors);
+    migrate::MigrationManager *mig = ref->mig_.get();
+    if (fi_)
+        mig->setFaultInjector(fi_);
+
+    // Blocks the destination cannot reconstruct from the image store
+    // must stream: seed the dirty set with the source disk's
+    // divergence from its deployed image.
+    mig->seedDirty(migrate::diffDisks(pool[src_slot]->disk().store(),
+                                      imageDisk(img), 0, sectors));
+
+    migrate::MigrationManager::Hooks hooks;
+
+    hooks.revirt = [this, ref, mig](std::function<void()> done) {
+        Vmm &vmm = ref->deployer_->vmm();
+        vmm.setGuestWriteHook(
+            [mig](sim::Lba lba, std::uint32_t count) {
+                mig->noteGuestWrite(lba, count);
+            });
+        vmm.revirtualize(
+            [g = ref->guest_.get()]() { return g->blk().idle(); },
+            [ref, done = std::move(done)]() {
+                // Mediated again: the instance is virtualized for
+                // the duration of the pre-copy.
+                ref->state_ = Instance::State::Serving;
+                done();
+            });
+    };
+
+    const net::MacAddr src_mac = 0xA00000000000ULL + src_slot;
+    const net::MacAddr dst_mac = 0xA00000000000ULL + dest_slot;
+    hooks.ship = [this, src_mac, dst_mac, src_rack = rackOf(src_slot),
+                  tenant = l.tenant()](sim::Bytes bytes,
+                                       std::function<void()> done) {
+        // Migration streams share the deployment fabric: the same
+        // congestion budget shapes the departure and the same
+        // aggregation links carry (and bill) the bytes.
+        sim::Tick depart = now();
+        if (congestion_)
+            depart = congestion_->admit(src_rack, tenant, bytes,
+                                        depart);
+        sim::Tick arrive = depart + bytes * 8; // 1 Gbps wire
+        if (topo_)
+            arrive += topo_->charge(src_mac, dst_mac, bytes, depart);
+        schedule(arrive - now(), std::move(done));
+    };
+
+    hooks.handoff = [this, ref, src_slot, dest_slot,
+                     sectors](std::function<void()> done) {
+        quiesceThenHandoff(ref, src_slot, dest_slot, sectors,
+                           std::move(done));
+    };
+
+    hooks.onDone = [this, id = l.id()](const migrate::MigrateStats &) {
+        plane_->noteMigrated(id);
+    };
+
+    hooks.onAbort = [this, ref, dest_slot,
+                     id = l.id()](const migrate::MigrateStats &) {
+        // Roll back: drop the intercept hook, de-virtualize the
+        // source again (the guest never stopped — zero lost writes)
+        // and scrub whatever partial stream reached the destination.
+        Vmm &vmm = ref->deployer_->vmm();
+        vmm.setGuestWriteHook({});
+        vmm.devirtualizeAgain([this, ref, dest_slot, id]() {
+            ref->state_ = Instance::State::BareMetal;
+            pool[dest_slot]->disk().store().clear();
+            plane_->noteMigrationFailed(id);
+        });
+    };
+
+    mig->start(std::move(hooks));
+}
+
+void
+Cloud::quiesceThenHandoff(Instance *ref, unsigned src_slot,
+                          unsigned dest_slot, sim::Lba sectors,
+                          std::function<void()> done)
+{
+    // A release (or abort) racing the pause wins: nothing to apply.
+    if (!ref->mig_ || ref->mig_->finished())
+        return;
+    // The pause stopped the vCPUs, not the controller: commands
+    // queued before the pause keep completing against the source
+    // disk, and copying under them would lose their writes on the
+    // destination. Drain first; the drain tail is honest downtime.
+    if (!ref->guest_->blk().idle()) {
+        schedule(500 * sim::kUs,
+                 [this, ref, src_slot, dest_slot, sectors,
+                  done = std::move(done)]() mutable {
+                     quiesceThenHandoff(ref, src_slot, dest_slot,
+                                        sectors, std::move(done));
+                 });
+        return;
+    }
+
+    // Apply state: the destination disk becomes a byte-identical
+    // replica of the source at the pause point (the guest has been
+    // paused — and now drained — for the whole handoff window).
+    hw::DiskStore &src = pool[src_slot]->disk().store();
+    hw::DiskStore &dst = pool[dest_slot]->disk().store();
+    dst.clear();
+    src.forEachBase(0, sectors,
+                    [&dst](sim::Lba lba, std::uint64_t count,
+                           std::uint64_t base) {
+                        if (base != 0)
+                            dst.write(lba, count, base);
+                    });
+
+    // Resume the guest on the destination, native: the handoff
+    // budget covered its de-virtualization, so it comes up directly
+    // on bare metal.
+    guest::GuestOsParams gp = cfg.guestTemplate;
+    gp.seed += dest_slot;
+    auto dguest = std::make_unique<guest::GuestOs>(
+        eventQueue(), pool[dest_slot]->name() + ".guest",
+        *pool[dest_slot], gp);
+    dguest->resume();
+
+    // Tear the source down: stop intercepting, halt the (now stale)
+    // source guest, scrub the node for its next lease.
+    Vmm &vmm = ref->deployer_->vmm();
+    vmm.setGuestWriteHook({});
+    vmm.powerOff();
+    ref->guest_->halt();
+    if (fabric_)
+        fabric_->nodeReleased(kPeerMacBase + src_slot);
+    pool[src_slot]->disk().store().clear();
+    pool[src_slot]->clearProfile();
+
+    ref->oldGuests_.push_back(std::move(ref->guest_));
+    ref->guest_ = std::move(dguest);
+    ref->machine_ = pool[dest_slot].get();
+    ref->rack_ = rackOf(dest_slot);
+    ref->state_ = Instance::State::BareMetal;
+    sim::inform(name(), ": node ", src_slot, " migrated to node ",
+                dest_slot);
+    done();
 }
 
 } // namespace bmcast

@@ -36,6 +36,7 @@
 #include "cloud/control_plane.hh"
 #include "guest/guest_os.hh"
 #include "hw/machine.hh"
+#include "migrate/migration.hh"
 #include "net/network.hh"
 #include "net/topology.hh"
 #include "simcore/sim_object.hh"
@@ -76,6 +77,8 @@ struct CloudConfig
     net::TopologyConfig topology;
     /** Deployment-bandwidth shaping; disabled = unshaped. */
     cloud::CongestionParams congestion;
+    /** Live-migration tuning (pre-copy rounds, handoff budget). */
+    migrate::MigrateParams migrate;
 };
 
 /** One leased instance. */
@@ -93,6 +96,11 @@ class Instance
     unsigned rack() const { return rack_; }
     /** The control-plane lease backing this instance (never null). */
     cloud::Lease &lease() { return *lease_; }
+
+    /** The live migration driving (or having driven) this instance;
+     *  nullptr before Cloud::migrate ran. Stays valid afterwards so
+     *  callers can read the recorded MigrateStats. */
+    migrate::MigrationManager *migration() { return mig_.get(); }
 
     /** Seconds from the provision request to a serving guest. */
     double
@@ -112,6 +120,10 @@ class Instance
     cloud::Lease *lease_ = nullptr;
     std::unique_ptr<guest::GuestOs> guest_;
     std::unique_ptr<BmcastDeployer> deployer_;
+    std::unique_ptr<migrate::MigrationManager> mig_;
+    /** Source-node guests parked after a migration handoff: events
+     *  still in the queue retire against live objects. */
+    std::vector<std::unique_ptr<guest::GuestOs>> oldGuests_;
 };
 
 /** The region. */
@@ -178,6 +190,28 @@ class Cloud : public sim::SimObject, private cloud::ProvisionerPort
      */
     void release(Instance &inst);
 
+    /**
+     * Release @p inst and fold its disk's divergence from the
+     * deployed image into a new overlay image @p overlayName
+     * (registered before the disk scrubs): a re-lease redeploys from
+     * the delta instead of re-shipping the whole working set. The
+     * instance must have reached bare metal — a partially landed
+     * disk would capture unlanded blocks as zero deltas.
+     */
+    void releaseToOverlay(Instance &inst,
+                          const std::string &overlayName);
+
+    /**
+     * Live-migrate @p inst onto free pool slot @p destSlot: the
+     * source VMM re-arms under the running guest (re-virtualization),
+     * pre-copy rounds stream the dirty working set, and after the
+     * stop-and-copy the guest resumes on the destination, bare-metal.
+     * Refusals are typed and leave the instance untouched. One
+     * migration per instance: the destination runs native, with no
+     * VMM to re-arm for a second hop.
+     */
+    cloud::MigrateReject migrate(Instance &inst, unsigned destSlot);
+
     /** Machines not yet leased. */
     unsigned freeMachines() const;
 
@@ -223,6 +257,8 @@ class Cloud : public sim::SimObject, private cloud::ProvisionerPort
         std::uint64_t contentBase;
         /** Overlay runs applied on top of contentBase (empty = flat). */
         std::vector<store::DeltaRun> deltas;
+        /** Flat image this overlays (empty = this image is flat). */
+        std::string baseName;
     };
 
     /** @name ProvisionerPort (the mechanism the plane drives) */
@@ -234,10 +270,23 @@ class Cloud : public sim::SimObject, private cloud::ProvisionerPort
     }
     void startDeployment(cloud::Lease &l) override;
     void startRelease(cloud::Lease &l) override;
+    void startMigration(cloud::Lease &l, unsigned destSlot) override;
     /** Tiebreak on aggregation downlink backlog when the topology is
      *  modeled (single event queue: reading it here is safe). */
     std::uint64_t rackScore(unsigned rack) const override;
     /// @}
+
+    /** Arm the manager and its hooks once the source is bare-metal. */
+    void beginMigration(cloud::Lease &l, unsigned destSlot);
+    /** The stop-and-copy state application: drain the source guest's
+     *  in-flight I/O (commands queued before the pause keep
+     *  completing against the source disk), then copy, swap the
+     *  instance onto the destination and tear the source down. */
+    void quiesceThenHandoff(Instance *ref, unsigned srcSlot,
+                            unsigned destSlot, sim::Lba sectors,
+                            std::function<void()> done);
+    /** A reference disk holding @p img's pristine content. */
+    hw::DiskStore imageDisk(const Image &img) const;
 
     CloudConfig cfg;
     net::Network lan;
@@ -257,6 +306,10 @@ class Cloud : public sim::SimObject, private cloud::ProvisionerPort
     /** Lease id -> deployed instance (entries persist after release
      *  so timelines stay inspectable). */
     std::map<std::uint64_t, Instance *> leaseInst_;
+    /** Lease id -> overlay image name to capture in startRelease. */
+    std::map<std::uint64_t, std::string> pendingOverlay_;
+    /** Last injector wired by setFaultInjector (migrations inherit). */
+    sim::FaultInjector *fi_ = nullptr;
 };
 
 } // namespace bmcast

@@ -209,15 +209,19 @@ Vmm::installVmm()
         if (copy)
             copy->noteGuestIo(is_write, sectors);
     };
-    if (store_on) {
-        // Guest writes poison the covered chunks: the pristine image
-        // content is gone, so stop offering them as a peer source.
-        svc.onGuestWriteRange = [this](sim::Lba lba,
-                                       std::uint32_t count) {
-            if (streamer_)
-                streamer_->notePoisoned(lba, count);
-        };
-    }
+    // Guest writes poison store chunks (the pristine image content
+    // is gone, so stop offering them as a peer source) and feed the
+    // migration write hook. Both taps indirect through members —
+    // MediatorServices is copied by value into the mediator, and the
+    // hook may be (un)set long after install. With neither armed the
+    // forwarder is inert: no events, no simulated time.
+    svc.onGuestWriteRange = [this](sim::Lba lba,
+                                   std::uint32_t count) {
+        if (streamer_)
+            streamer_->notePoisoned(lba, count);
+        if (guestWriteHook)
+            guestWriteHook(lba, count);
+    };
 
     if (machine_.storageKind() == hw::StorageKind::Ide) {
         mediator_ = std::make_unique<IdeMediator>(
@@ -421,8 +425,12 @@ Vmm::persistBitmap(std::function<void()> done)
         return;
     }
     if (bitmapSaveInFlight) {
-        // One save at a time; caller's periodic rearm handles it.
-        done();
+        // One save at a time — but completing the caller now would
+        // confirm durability of a token that was never written
+        // (migration's stop-and-copy handoff waits on this). Park
+        // the request; once the in-flight save lands, a fresh save
+        // of the *newest* state runs and only then completes it.
+        pendingSaves_.push_back(std::move(done));
         return;
     }
     bitmapSaveInFlight = true;
@@ -439,6 +447,18 @@ Vmm::persistBitmapAttempt(std::uint64_t token, std::function<void()> done)
                                   [this, done]() {
                                       bitmapSaveInFlight = false;
                                       done();
+                                      if (pendingSaves_.empty())
+                                          return;
+                                      auto waiters =
+                                          std::move(pendingSaves_);
+                                      pendingSaves_.clear();
+                                      persistBitmap(
+                                          [waiters =
+                                               std::move(waiters)]() {
+                                              for (const auto &w :
+                                                   waiters)
+                                                  w();
+                                          });
                                   });
     if (!ok)
         schedule(2 * sim::kMs, [this, token, done = std::move(done)]() {
@@ -465,6 +485,118 @@ void
 Vmm::saveBitmapNow(std::function<void()> done)
 {
     persistBitmap(std::move(done));
+}
+
+void
+Vmm::revirtualize(std::function<bool()> guest_idle,
+                  std::function<void()> ready)
+{
+    sim::panicIfNot(phase_ == Phase::BareMetal && !halted,
+                    "revirtualize needs a bare-metal machine");
+    // The mediator install paths resync from live controller state
+    // (doorbell readback on NVMe, shadow seeding on AHCI) and demand
+    // a guest-quiescent instant — no command queued or in flight.
+    // The guest keeps running; poll for the next such instant.
+    if (!guest_idle()) {
+        schedule(params_.pollInterval,
+                 [this, guest_idle = std::move(guest_idle),
+                  ready = std::move(ready)]() mutable {
+                     if (halted)
+                         return;
+                     revirtualizeRetry(std::move(guest_idle),
+                                       std::move(ready));
+                 });
+        return;
+    }
+
+    // Nested paging back on, per CPU; identity mapping means the
+    // guest never notices (§3.4, reversed).
+    for (unsigned c = 0; c < machine_.cores(); ++c)
+        machine_.vmx().vmxon(c);
+
+    mediator_->install();
+    machine_.setProfile(deployProfile());
+    devirtRequested = false;
+    devirtStarted = false;
+    cpusDevirtualized = 0;
+    phase_ = Phase::Revirtualized;
+    phaseAt[static_cast<std::size_t>(phase_)] = now();
+    noteMilestone("vmm.phase.revirtualized");
+    sim::inform(name(), ": re-virtualized under the running guest");
+
+    // The poll loop ran out when the first de-virtualization hit
+    // bare metal; re-arm it for the mediated interlude.
+    machine_.vmx().startPreemptionTimer(
+        params_.pollInterval, [this]() {
+            if (halted)
+                return false;
+            pollLoop();
+            return phase_ != Phase::BareMetal;
+        });
+    ready();
+}
+
+void
+Vmm::revirtualizeRetry(std::function<bool()> guest_idle,
+                       std::function<void()> ready)
+{
+    if (phase_ != Phase::BareMetal || halted)
+        return; // powered off (or re-virtualized) while waiting
+    revirtualize(std::move(guest_idle), std::move(ready));
+}
+
+void
+Vmm::devirtualizeAgain(std::function<void()> on_done)
+{
+    sim::panicIfNot(phase_ == Phase::Revirtualized,
+                    "devirtualizeAgain outside Revirtualized");
+    if (!mediator_->quiescent()) {
+        mediator_->setQuiesceCallback(
+            [this, on_done = std::move(on_done)]() mutable {
+                if (phase_ == Phase::Revirtualized && !halted)
+                    devirtualizeAgain(std::move(on_done));
+            });
+        return;
+    }
+    phase_ = Phase::Devirtualization;
+    phaseAt[static_cast<std::size_t>(phase_)] = now();
+    noteMilestone("vmm.phase.devirtualization");
+    cpusDevirtualized = 0;
+    auto done = std::make_shared<std::function<void()>>(
+        std::move(on_done));
+    for (unsigned c = 0; c < machine_.cores(); ++c) {
+        schedule(sim::Tick(c) * 50 * sim::kUs, [this, c, done]() {
+            if (halted)
+                return;
+            machine_.vmx().disableNestedPaging(c);
+            if (++cpusDevirtualized == machine_.cores())
+                finishDevirtualizeAgain(std::move(*done));
+        });
+    }
+}
+
+void
+Vmm::finishDevirtualizeAgain(std::function<void()> on_done)
+{
+    // Same consistency rule as the original de-virtualization: the
+    // guest may have issued I/O while the CPUs switched.
+    if (!mediator_->quiescent()) {
+        mediator_->setQuiesceCallback(
+            [this, on_done = std::move(on_done)]() mutable {
+                finishDevirtualizeAgain(std::move(on_done));
+            });
+        return;
+    }
+    mediator_->uninstall();
+    sim::panicIfNot(!machine_.bus().anyInterceptActive(),
+                    "intercepts remain after re-devirtualization");
+    machine_.clearProfile();
+    phase_ = Phase::BareMetal;
+    phaseAt[static_cast<std::size_t>(phase_)] = now();
+    noteMilestone("vmm.phase.bare_metal");
+    sim::inform(name(), ": de-virtualized again; guest on bare metal");
+    if (on_done)
+        on_done();
 }
 
 void

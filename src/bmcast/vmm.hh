@@ -53,6 +53,8 @@ class Vmm : public sim::SimObject
         Deployment,
         Devirtualization,
         BareMetal,
+        /** Re-armed under a running bare-metal guest (migration). */
+        Revirtualized,
     };
 
     /**
@@ -173,12 +175,58 @@ class Vmm : public sim::SimObject
     /** The cost profile the VMM publishes while deploying. */
     hw::VirtProfile deployProfile() const;
 
+    /** @name Re-virtualization (malleable metal)
+     * The reverse arrow: re-arm this VMM under the running bare-metal
+     * guest so migration can intercept its disk writes, then remove
+     * it again once the instance has moved (or the move aborted).
+     */
+    /// @{
+    /**
+     * Re-virtualize a bare-metal machine in place: wait for a
+     * guest-quiescent instant (@p guestIdle true, no command mid-
+     * flight in the controller), turn nested paging back on per CPU,
+     * reinstall the device mediator via its doorbell-readback/resync
+     * path, and restart the preemption-timer poll loop. @p ready
+     * fires once the mediator intercepts are live — from then on
+     * every guest write reaches the write hook.
+     */
+    void revirtualize(std::function<bool()> guestIdle,
+                      std::function<void()> ready);
+
+    /**
+     * Leave the Revirtualized phase the same way the original
+     * deployment de-virtualized (quiesce, per-CPU nested-paging
+     * disable at independent times, quiesce, uninstall) — but
+     * without touching the long-gone deployment network stack and
+     * without re-firing the onBareMetal callback. Used after a
+     * migration handoff (source teardown follows) and after an
+     * aborted migration (the guest keeps running, bare-metal again).
+     */
+    void devirtualizeAgain(std::function<void()> onDone);
+
+    /**
+     * Observe every guest write range the mediation layer sees
+     * (migration's DirtyTracker). Indirected through the VMM because
+     * MediatorServices is captured by value at mediator construction;
+     * set/clear any time, even while installed. Unset = no effect on
+     * any code path.
+     */
+    void
+    setGuestWriteHook(std::function<void(sim::Lba, std::uint32_t)> fn)
+    {
+        guestWriteHook = std::move(fn);
+    }
+    /// @}
+
   private:
     void installVmm();
     void armPeriodicBitmapSave();
     void pollLoop();
     void tryDevirtualize();
     void finishDevirtualization();
+    void revirtualizeRetry(std::function<bool()> guestIdle,
+                           std::function<void()> ready);
+    void finishDevirtualizeAgain(std::function<void()> onDone);
     void persistBitmap(std::function<void()> done);
     void persistBitmapAttempt(std::uint64_t token,
                               std::function<void()> done);
@@ -196,7 +244,7 @@ class Vmm : public sim::SimObject
     bool vmxoffSupported;
 
     Phase phase_ = Phase::Off;
-    std::array<sim::Tick, 5> phaseAt{};
+    std::array<sim::Tick, 6> phaseAt{};
 
     std::unique_ptr<hw::MemArena> arena;
     std::unique_ptr<hw::E1000Driver> nicDriver;
@@ -216,8 +264,13 @@ class Vmm : public sim::SimObject
     bool devirtStarted = false;
     unsigned cpusDevirtualized = 0;
     bool bitmapSaveInFlight = false;
+    /** Saves requested while one was in flight: completed only once
+     *  a fresh serialization of the newest state actually lands. */
+    std::vector<std::function<void()>> pendingSaves_;
     /** Periodic deployment-phase bitmap-save timer (§3.3). */
     sim::EventId bitmapSaveTimer;
+    /** Migration's dirty-tracking tap (see setGuestWriteHook). */
+    std::function<void(sim::Lba, std::uint32_t)> guestWriteHook;
 
     std::uint64_t numFailovers = 0;
     std::uint64_t numFetchErrors = 0;

@@ -6,6 +6,13 @@
 
 namespace cloud {
 
+void
+ProvisionerPort::startMigration(Lease &lease, unsigned destSlot)
+{
+    sim::fatal("this provisioner port cannot migrate (lease ",
+               lease.id(), " -> slot ", destSlot, ")");
+}
+
 ControlPlane::ControlPlane(sim::EventQueue &eq, std::string name,
                            ControlPlaneParams params,
                            ProvisionerPort &port)
@@ -180,6 +187,99 @@ ControlPlane::release(Lease &l)
     port_.startRelease(l);
 }
 
+MigrateReject
+ControlPlane::migrate(std::uint64_t leaseId, unsigned destSlot)
+{
+    Lease *l = leaseById(leaseId);
+    sim::fatalIf(l == nullptr, "migrate for unknown lease");
+    sim::fatalIf(destSlot >= port_.slots(),
+                 "migrate to slot ", destSlot, " outside the pool");
+
+    MigrateReject why = MigrateReject::None;
+    if (l->state_ != LeaseState::Serving)
+        why = MigrateReject::NotServing;
+    else if (destSlot == l->slot_)
+        why = MigrateReject::SameSlot;
+    else if (slotOwner_[destSlot] != nullptr)
+        why = MigrateReject::DestBusy;
+    else if (!rackUsable_[port_.rackOfSlot(destSlot)])
+        why = MigrateReject::DestRackDown;
+    if (why != MigrateReject::None) {
+        ++stats_.migrateRejected[static_cast<unsigned>(why)];
+        if (obs::armed()) {
+            obs::Tracer &t = obs::tracer();
+            t.instant(obsTrack_.id(t), "cloud",
+                      migrateRejectName(why), now());
+        }
+        return why;
+    }
+
+    // Reserve the destination before the port runs: a concurrent
+    // placement must not land on the slot the stream is filling.
+    slotOwner_[destSlot] = l;
+    ++rackLoad_[port_.rackOfSlot(destSlot)];
+    l->migrateTo_ = destSlot;
+    l->migratePending_ = true;
+    l->state_ = LeaseState::Migrating;
+    port_.startMigration(*l, destSlot);
+    return MigrateReject::None;
+}
+
+void
+ControlPlane::noteMigrated(std::uint64_t leaseId)
+{
+    Lease *l = leaseById(leaseId);
+    sim::fatalIf(l == nullptr, "noteMigrated for unknown lease");
+    if (l->state_ != LeaseState::Migrating)
+        return; // a release raced the migration and won
+    const unsigned oldSlot = l->slot_;
+    l->slot_ = l->migrateTo_;
+    l->rack_ = port_.rackOfSlot(l->slot_);
+    l->migratePending_ = false;
+    l->state_ = LeaseState::Serving;
+    l->migratedAt_ = now();
+    ++stats_.migrated;
+    if (obs::armed()) {
+        obs::Tracer &t = obs::tracer();
+        t.instant(obsTrack_.id(t), "cloud", "migrated", now());
+    }
+    reclaimSlot(oldSlot);
+}
+
+void
+ControlPlane::noteMigrationFailed(std::uint64_t leaseId)
+{
+    Lease *l = leaseById(leaseId);
+    sim::fatalIf(l == nullptr,
+                 "noteMigrationFailed for unknown lease");
+    if (l->state_ != LeaseState::Migrating)
+        return; // a release raced the migration and won
+    const unsigned dest = l->migrateTo_;
+    l->migratePending_ = false;
+    l->state_ = LeaseState::Serving; // still on the source slot
+    ++stats_.migrateFailed;
+    if (obs::armed()) {
+        obs::Tracer &t = obs::tracer();
+        t.instant(obsTrack_.id(t), "cloud", "migrate_failed", now());
+    }
+    reclaimSlot(dest);
+}
+
+void
+ControlPlane::reclaimSlot(unsigned slot)
+{
+    auto freeIt = [this, slot] {
+        slotOwner_[slot] = nullptr;
+        --rackLoad_[port_.rackOfSlot(slot)];
+        pump();
+    };
+    if (prm_.scrubTime == 0) {
+        freeIt();
+        return;
+    }
+    schedule(prm_.scrubTime, freeIt);
+}
+
 void
 ControlPlane::noteReleased(std::uint64_t leaseId)
 {
@@ -198,6 +298,13 @@ ControlPlane::finishRelease(Lease &l)
 {
     slotOwner_[l.slot_] = nullptr;
     --rackLoad_[l.rack_];
+    if (l.migratePending_) {
+        // A release that raced a live migration owns two slots: the
+        // reserved destination returns to the pool with the source.
+        slotOwner_[l.migrateTo_] = nullptr;
+        --rackLoad_[port_.rackOfSlot(l.migrateTo_)];
+        l.migratePending_ = false;
+    }
     l.state_ = LeaseState::Released;
     l.releasedAt_ = now();
     ++stats_.released;
@@ -309,6 +416,13 @@ ControlPlane::publish(obs::Registry &reg,
         reg.counter(prefix + "cp.rejected",
                     rejectReasonName(static_cast<RejectReason>(r)))
             .set(stats_.rejected[r]);
+    }
+    reg.counter(prefix + "cp.migrated").set(stats_.migrated);
+    reg.counter(prefix + "cp.migrate_failed").set(stats_.migrateFailed);
+    for (unsigned r = 1; r < stats_.migrateRejected.size(); ++r) {
+        reg.counter(prefix + "cp.migrate_rejected",
+                    migrateRejectName(static_cast<MigrateReject>(r)))
+            .set(stats_.migrateRejected[r]);
     }
     reg.gauge(prefix + "cp.queue_depth")
         .set(static_cast<double>(queue_.depth()));

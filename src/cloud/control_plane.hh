@@ -65,6 +65,15 @@ class ProvisionerPort
     virtual void startRelease(Lease &lease) = 0;
 
     /**
+     * Begin live-migrating @p lease from its current slot to
+     * @p destSlot (already reserved by the plane). Must eventually
+     * answer with noteMigrated(id) or noteMigrationFailed(id). The
+     * default implementation is fatal: ports that never see
+     * ControlPlane::migrate need not implement it.
+     */
+    virtual void startMigration(Lease &lease, unsigned destSlot);
+
+    /**
      * Placement tiebreak after rack load: a congestion figure for
      * @p rack, lower = roomier (e.g. aggregation-link backlog, or
      * in-flight deployments). Must only read state owned by the
@@ -98,6 +107,9 @@ struct ControlPlaneStats
     std::uint64_t released = 0;
     std::uint64_t canceled = 0; ///< released while still queued
     std::array<std::uint64_t, 5> rejected{}; ///< by RejectReason
+    std::uint64_t migrated = 0;      ///< live migrations completed
+    std::uint64_t migrateFailed = 0; ///< aborted, rolled back
+    std::array<std::uint64_t, 5> migrateRejected{}; ///< MigrateReject
 };
 
 class ControlPlane : public sim::SimObject
@@ -117,11 +129,34 @@ class ControlPlane : public sim::SimObject
                   Lease::RejectedFn onRejected = {});
 
     /**
-     * Release @p l: cancels a Queued lease outright; a Deploying or
-     * Serving lease transitions to Releasing and tears down through
-     * the port. Releasing a terminal lease is fatal.
+     * Release @p l: cancels a Queued lease outright; a Deploying,
+     * Serving, or Migrating lease transitions to Releasing and tears
+     * down through the port (a Migrating lease's reserved destination
+     * slot is freed with it). Releasing a terminal lease is fatal.
      */
     void release(Lease &l);
+
+    /**
+     * Live-migrate lease @p leaseId onto free slot @p destSlot.
+     * Serving leases only — a Deploying lease is refused NotServing
+     * (migrate-during-deploy resolves by finishing the deploy first).
+     * On None the destination slot is reserved, the lease turns
+     * Migrating, and the port's startMigration runs; any other value
+     * leaves the lease and the pool untouched.
+     */
+    MigrateReject migrate(std::uint64_t leaseId, unsigned destSlot);
+
+    /** @name Migration completion notifications (plane-queue context)
+     *  Both are ignored unless the lease is still Migrating (a
+     *  release that raced the migration wins). */
+    /// @{
+    /** Destination is serving: the lease moves to the destination
+     *  slot/rack and the old slot scrubs back into the pool. */
+    void noteMigrated(std::uint64_t leaseId);
+    /** Migration aborted: the lease stays Serving on its source slot
+     *  and the reserved destination scrubs back into the pool. */
+    void noteMigrationFailed(std::uint64_t leaseId);
+    /// @}
 
     /** @name Port completion notifications (plane-queue context) */
     /// @{
@@ -164,6 +199,11 @@ class ControlPlane : public sim::SimObject
     {
         return stats_.rejected[static_cast<unsigned>(r)];
     }
+    std::uint64_t
+    migrateRejectedFor(MigrateReject r) const
+    {
+        return stats_.migrateRejected[static_cast<unsigned>(r)];
+    }
     /** Queue-wait distribution (ticks), recorded at placement. */
     const obs::Histogram &admissionLatency() const
     {
@@ -189,6 +229,8 @@ class ControlPlane : public sim::SimObject
     unsigned pickSlot() const;
     bool tryPlace(Lease &l);
     void finishRelease(Lease &l);
+    /** Scrub @p slot back into the pool after scrubTime. */
+    void reclaimSlot(unsigned slot);
     void probeRackHealth();
     /** Trace the queue depth as an obs counter (disarmed: no-op). */
     void noteQueueDepth();

@@ -3,6 +3,8 @@
  * A lease: one tenant's claim on one bare-metal machine, tracked
  * through the async state machine queued -> placing -> deploying ->
  * serving -> releasing -> released (or rejected at admission).
+ * Serving leases may detour through migrating (live migration to a
+ * reserved destination slot) and return to serving on either node.
  *
  * Leases are owned by the ControlPlane; handles stay valid for the
  * plane's lifetime, including terminal states, so callers can read
@@ -53,11 +55,15 @@ class Lease
     unsigned slot() const { return slot_; }
     unsigned rack() const { return rack_; }
 
+    /** Reserved destination slot while Migrating (else stale). */
+    unsigned migratingTo() const { return migrateTo_; }
+
     /** @name Recorded timeline (ticks; 0 = not reached) */
     /// @{
     sim::Tick submittedAt() const { return submittedAt_; }
     sim::Tick placedAt() const { return placedAt_; }
     sim::Tick servingAt() const { return servingAt_; }
+    sim::Tick migratedAt() const { return migratedAt_; }
     sim::Tick releasedAt() const { return releasedAt_; }
     /** Queue wait: submission to slot assignment. */
     sim::Tick admissionLatency() const
@@ -85,10 +91,17 @@ class Lease
     RejectReason reject_ = RejectReason::None;
     unsigned slot_ = 0;
     unsigned rack_ = 0;
+    /** Destination slot reserved by migrate(); meaningful while
+     *  migratePending_. */
+    unsigned migrateTo_ = 0;
+    /** A migration holds the destination slot; release/finishRelease
+     *  must return both slots to the pool. */
+    bool migratePending_ = false;
 
     sim::Tick submittedAt_ = 0;
     sim::Tick placedAt_ = 0;
     sim::Tick servingAt_ = 0;
+    sim::Tick migratedAt_ = 0;
     sim::Tick releasedAt_ = 0;
 
     ServingFn onServing_;

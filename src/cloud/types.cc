@@ -34,9 +34,23 @@ leaseStateName(LeaseState s)
       case LeaseState::Placing: return "placing";
       case LeaseState::Deploying: return "deploying";
       case LeaseState::Serving: return "serving";
+      case LeaseState::Migrating: return "migrating";
       case LeaseState::Releasing: return "releasing";
       case LeaseState::Released: return "released";
       case LeaseState::Rejected: return "rejected";
+    }
+    return "?";
+}
+
+const char *
+migrateRejectName(MigrateReject r)
+{
+    switch (r) {
+      case MigrateReject::None: return "none";
+      case MigrateReject::NotServing: return "not_serving";
+      case MigrateReject::DestBusy: return "dest_busy";
+      case MigrateReject::DestRackDown: return "dest_rack_down";
+      case MigrateReject::SameSlot: return "same_slot";
     }
     return "?";
 }

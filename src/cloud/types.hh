@@ -48,14 +48,29 @@ enum class LeaseState : std::uint8_t {
     Placing,    ///< slot selection in progress
     Deploying,  ///< BMcast pipeline running on the chosen node
     Serving,    ///< guest up (bare metal may still be pending)
+    Migrating,  ///< live migration to a reserved destination slot
     Releasing,  ///< teardown + scrub in progress
     Released,   ///< slot returned to the pool (terminal)
     Rejected,   ///< admission backpressure (terminal)
 };
 
+/**
+ * Typed migration refusal. Separate from RejectReason: admission
+ * rejections are terminal lease outcomes, a refused migrate leaves
+ * the lease Serving untouched.
+ */
+enum class MigrateReject : std::uint8_t {
+    None = 0,
+    NotServing,   ///< lease is not currently Serving
+    DestBusy,     ///< destination slot is occupied (or scrubbing)
+    DestRackDown, ///< destination rack drained by the health probe
+    SameSlot,     ///< destination is the lease's current slot
+};
+
 const char *qosClassName(QosClass c);
 const char *rejectReasonName(RejectReason r);
 const char *leaseStateName(LeaseState s);
+const char *migrateRejectName(MigrateReject r);
 
 /**
  * Deployment rate gate: ask to move @p bytes at @p now; the gate

@@ -45,6 +45,11 @@ class AhciDriver : public sim::SimObject, public BlockDriver
 
     std::uint64_t opsCompleted() const override { return numOps; }
     sim::Tick totalLatency() const override { return latencySum; }
+    bool
+    idle() const override
+    {
+        return queue.empty() && busyCount == 0;
+    }
 
     /** Slots currently issued (telemetry / tests). */
     unsigned slotsBusy() const { return busyCount; }

@@ -46,6 +46,16 @@ class BlockDriver
     virtual void write(sim::Lba lba, std::uint32_t count,
                        std::uint64_t contentBase, WriteDone done) = 0;
 
+    /**
+     * True when no request is queued or in flight. Re-virtualization
+     * uses this to find a guest-quiescent instant before reinstalling
+     * a mediator whose install path resyncs from controller state
+     * (see bmcast::Vmm::revirtualize). Externally-modelled drivers
+     * (the KVM-baseline virtio model) are never re-virtualized and
+     * keep the permissive default.
+     */
+    virtual bool idle() const { return true; }
+
     /** Completed operations. */
     virtual std::uint64_t opsCompleted() const = 0;
 

@@ -84,6 +84,16 @@ GuestOs::halt()
 }
 
 void
+GuestOs::resume()
+{
+    sim::panicIfNot(!ready && !halted,
+                    "resume needs a fresh guest instance");
+    blk().initialize();
+    ready = true;
+    bootStart = bootEnd = now();
+}
+
+void
 GuestOs::bootSeqStep(std::uint32_t done, std::uint32_t total)
 {
     if (halted)

@@ -89,6 +89,14 @@ class GuestOs : public sim::SimObject
     void halt();
     bool isHalted() const { return halted; }
 
+    /**
+     * Bring up a guest whose state arrived by live migration: the
+     * driver programs the (destination) controller, and the OS is
+     * immediately ready — no boot trace replays, because the OS is
+     * already running. The workload keeps issuing I/O through blk().
+     */
+    void resume();
+
     /** The block driver (workloads issue I/O through it). */
     BlockDriver &blk() { return external ? *external : *driver; }
 

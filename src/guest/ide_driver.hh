@@ -40,6 +40,11 @@ class IdeDriver : public sim::SimObject, public BlockDriver
 
     std::uint64_t opsCompleted() const override { return numOps; }
     sim::Tick totalLatency() const override { return latencySum; }
+    bool
+    idle() const override
+    {
+        return queue.empty() && !chunkActive;
+    }
 
     /** Lost-IRQ recovery watchdog (see guest/irq_watchdog.hh). */
     IrqWatchdog &watchdog() { return wdog; }

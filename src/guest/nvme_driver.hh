@@ -51,6 +51,11 @@ class NvmeDriver : public sim::SimObject, public BlockDriver
 
     std::uint64_t opsCompleted() const override { return numOps; }
     sim::Tick totalLatency() const override { return latencySum; }
+    bool
+    idle() const override
+    {
+        return queue.empty() && busyCount == 0;
+    }
 
     /** Commands currently issued (telemetry / tests). */
     unsigned slotsBusy() const { return busyCount; }

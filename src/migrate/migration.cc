@@ -1,0 +1,233 @@
+#include "migrate/migration.hh"
+
+#include <algorithm>
+
+#include "simcore/logging.hh"
+
+namespace migrate {
+
+std::vector<DirtyRun>
+diffDisks(const hw::DiskStore &src, const hw::DiskStore &ref,
+          sim::Lba start, std::uint64_t count)
+{
+    // Both walks tile [start, start+count) contiguously (gaps appear
+    // with base 0), so a merge walk over run boundaries finds every
+    // maximal differing segment.
+    struct Run
+    {
+        sim::Lba lba;
+        std::uint64_t count;
+        std::uint64_t base;
+    };
+    std::vector<Run> a, b;
+    src.forEachBase(start, count,
+                    [&a](sim::Lba l, std::uint64_t c,
+                         std::uint64_t bs) { a.push_back({l, c, bs}); });
+    ref.forEachBase(start, count,
+                    [&b](sim::Lba l, std::uint64_t c,
+                         std::uint64_t bs) { b.push_back({l, c, bs}); });
+
+    std::vector<DirtyRun> out;
+    std::size_t i = 0, j = 0;
+    sim::Lba pos = start;
+    const sim::Lba end = start + count;
+    while (pos < end) {
+        while (i < a.size() && a[i].lba + a[i].count <= pos)
+            ++i;
+        while (j < b.size() && b[j].lba + b[j].count <= pos)
+            ++j;
+        sim::panicIfNot(i < a.size() && j < b.size(),
+                        "diffDisks: walks must tile the range");
+        sim::Lba seg_end = std::min(a[i].lba + a[i].count,
+                                    b[j].lba + b[j].count);
+        seg_end = std::min(seg_end, end);
+        if (a[i].base != b[j].base) {
+            if (!out.empty() &&
+                out.back().lba + out.back().count == pos &&
+                out.back().base == a[i].base) {
+                out.back().count += seg_end - pos;
+            } else {
+                out.push_back({pos, seg_end - pos, a[i].base});
+            }
+        }
+        pos = seg_end;
+    }
+    return out;
+}
+
+MigrationManager::MigrationManager(sim::EventQueue &eq,
+                                   std::string name,
+                                   MigrateParams params,
+                                   sim::Lba image_sectors)
+    : sim::SimObject(eq, std::move(name)), prm_(params),
+      tracker_(image_sectors)
+{
+}
+
+void
+MigrationManager::seedDirty(const std::vector<DirtyRun> &runs)
+{
+    for (const DirtyRun &r : runs)
+        tracker_.note(r.lba, r.count);
+}
+
+void
+MigrationManager::start(Hooks hooks)
+{
+    sim::panicIfNot(phase_ == Phase::Idle, "migration started twice");
+    sim::panicIfNot(hooks.revirt && hooks.ship && hooks.handoff,
+                    "migration needs revirt/ship/handoff hooks");
+    hooks_ = std::move(hooks);
+    phase_ = Phase::Revirt;
+    stats_.startedAt = now();
+    hooks_.revirt([this]() {
+        if (canceled_)
+            return;
+        beginRound();
+    });
+}
+
+void
+MigrationManager::cancel()
+{
+    canceled_ = true;
+    if (!finished()) {
+        phase_ = Phase::Aborted;
+        stats_.aborted = true;
+        stats_.abortAtRound = stats_.rounds;
+        tracker_.clear();
+    }
+}
+
+sim::Bytes
+MigrationManager::memRedirty(sim::Tick duration) const
+{
+    if (prm_.memoryDirtyBytesPerSec == 0 || duration == 0)
+        return 0;
+    // rate * duration overflows 64 bits for realistic rates (GiB/s)
+    // times second-scale rounds; 128-bit keeps it exact — anything
+    // lossy here would break cross-shard determinism.
+    unsigned __int128 redirty =
+        static_cast<unsigned __int128>(prm_.memoryDirtyBytesPerSec) *
+        duration / sim::kSec;
+    if (redirty > prm_.memoryBytes)
+        return prm_.memoryBytes;
+    return static_cast<sim::Bytes>(redirty);
+}
+
+void
+MigrationManager::beginRound()
+{
+    phase_ = Phase::PreCopy;
+    ++stats_.rounds;
+    if (fi_ && fi_->shouldFire(sim::FaultSite::MigrateStreamDrop,
+                               stats_.rounds)) {
+        abort();
+        return;
+    }
+    // Round 1 owes the whole memory working set; later rounds owe
+    // the re-dirty of the previous round's flight time.
+    if (stats_.rounds == 1)
+        memPending_ = prm_.memoryBytes;
+    const sim::Bytes disk = tracker_.dirtyBytes();
+    tracker_.clear(); // writes during the round re-dirty
+    const sim::Bytes ship = disk + memPending_;
+    stats_.diskBytesShipped += disk;
+    stats_.memoryBytesShipped += memPending_;
+    stats_.bytesShipped += ship;
+    const sim::Tick ship_start = now();
+    if (ship == 0) {
+        roundShipped(ship_start);
+        return;
+    }
+    hooks_.ship(ship, [this, ship_start]() {
+        if (canceled_)
+            return;
+        roundShipped(ship_start);
+    });
+}
+
+void
+MigrationManager::roundShipped(sim::Tick ship_start)
+{
+    memPending_ = memRedirty(now() - ship_start);
+    const sim::Bytes remaining = tracker_.dirtyBytes() + memPending_;
+    if (remaining <= prm_.stopCopyThresholdBytes) {
+        stopAndCopy();
+        return;
+    }
+    if (stats_.rounds >= prm_.maxRounds) {
+        stats_.forcedStop = true;
+        stopAndCopy();
+        return;
+    }
+    beginRound();
+}
+
+void
+MigrationManager::stopAndCopy()
+{
+    phase_ = Phase::StopAndCopy; // the guest pauses here
+    stats_.pausedAt = now();
+    const sim::Bytes disk = tracker_.dirtyBytes();
+    tracker_.clear();
+    const sim::Bytes final_bytes = disk + memPending_;
+    stats_.finalBytes = final_bytes;
+    stats_.diskBytesShipped += disk;
+    stats_.memoryBytesShipped += memPending_;
+    stats_.bytesShipped += final_bytes;
+    if (fi_ && fi_->shouldFire(sim::FaultSite::MigrateStreamDrop,
+                               stats_.rounds + 1)) {
+        abort();
+        return;
+    }
+    if (final_bytes == 0) {
+        finalShipped();
+        return;
+    }
+    hooks_.ship(final_bytes, [this]() {
+        if (canceled_)
+            return;
+        finalShipped();
+    });
+}
+
+void
+MigrationManager::finalShipped()
+{
+    if (fi_ && fi_->shouldFire(sim::FaultSite::MigrateDestCrash)) {
+        abort();
+        return;
+    }
+    // The handoff budget: destination de-virtualization + resume.
+    // State application (the handoff hook) runs at its end, so the
+    // destination's disk snapshot sees every pre-pause write and
+    // nothing later — the guest is paused throughout.
+    schedule(prm_.handoffTime, [this]() {
+        if (canceled_)
+            return;
+        hooks_.handoff([this]() {
+            if (canceled_)
+                return;
+            phase_ = Phase::Done;
+            stats_.finishedAt = now();
+            stats_.downtime = stats_.finishedAt - stats_.pausedAt;
+            if (hooks_.onDone)
+                hooks_.onDone(stats_);
+        });
+    });
+}
+
+void
+MigrationManager::abort()
+{
+    phase_ = Phase::Aborted;
+    stats_.aborted = true;
+    stats_.abortAtRound = stats_.rounds;
+    stats_.finishedAt = now();
+    tracker_.clear();
+    if (hooks_.onAbort)
+        hooks_.onAbort(stats_);
+}
+
+} // namespace migrate

@@ -26,6 +26,8 @@ faultSiteName(FaultSite site)
       case FaultSite::StoreShardCorrupt: return "store.shard_corrupt";
       case FaultSite::RackOutage: return "rack.outage";
       case FaultSite::RackRecover: return "rack.recover";
+      case FaultSite::MigrateStreamDrop: return "migrate.stream_drop";
+      case FaultSite::MigrateDestCrash: return "migrate.dest_crash";
       case FaultSite::kCount: break;
     }
     return "?";

@@ -52,6 +52,8 @@ enum class FaultSite : unsigned {
     StoreShardCorrupt,  ///< Shard payload damaged after digesting.
     RackOutage,  ///< A rack drops out of placement for `magnitude`.
     RackRecover, ///< Derived: an out rack rejoined the pool.
+    MigrateStreamDrop, ///< A pre-copy round's stream is lost mid-flight.
+    MigrateDestCrash,  ///< Destination node dies at the handoff point.
     kCount
 };
 

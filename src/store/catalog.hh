@@ -81,6 +81,12 @@ class ImageCatalog
 
     std::size_t imageCount() const { return images_.size(); }
 
+    /** Every registered image, by name (digest-sharing walks). */
+    const std::map<std::string, ImageDesc> &images() const
+    {
+        return images_;
+    }
+
   private:
     const ImageDesc &insert(const std::string &name, ImageDesc desc);
 

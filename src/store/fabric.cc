@@ -62,12 +62,17 @@ StoreFabric::noteChunkLanded(net::MacAddr mac, const std::string &image,
     Digest d = desc->chunks[chunk_idx];
     if (peers_.holds(mac, d))
         return;
-    aoe::AoeServer *server = peerServer(mac);
-    sim::panicIfNot(server != nullptr, "chunk landed without a peer");
-    aoe::AoeTarget *target = server->findTarget(desc->major, 0);
-    if (!target)
-        target = &server->addTarget(desc->major, 0, desc->sectors, 0);
-    catalog_.fillChunk(image, chunk_idx, target->store);
+    sim::panicIfNot(peerServer(mac) != nullptr,
+                    "chunk landed without a peer");
+    // Peer sourcing is digest-addressed, but the AoE wire addresses
+    // (major, lba): mirror the payload under every catalog image that
+    // references this digest, so a deployment of any family member
+    // (e.g. an overlay sharing the base's untouched chunks) can fetch
+    // it from this peer.
+    for (const auto &[img_name, idesc] : catalog_.images())
+        for (std::size_t j = 0; j < idesc.chunks.size(); ++j)
+            if (idesc.chunks[j] == d)
+                mirrorChunkExport(mac, img_name, j);
     peers_.addChunk(mac, d);
     chunks_.refReplica(d);
     ++stats_.registeredChunks;
@@ -75,6 +80,40 @@ StoreFabric::noteChunkLanded(net::MacAddr mac, const std::string &image,
         obs::Tracer &t = obs::tracer();
         t.milestone(obsTrack_.id(t), "store.chunk_registered", now(),
                     static_cast<double>(stats_.registeredChunks));
+    }
+}
+
+void
+StoreFabric::mirrorChunkExport(net::MacAddr mac,
+                               const std::string &image,
+                               std::size_t chunk_idx)
+{
+    const ImageDesc *desc = catalog_.find(image);
+    aoe::AoeServer *server = peerServer(mac);
+    sim::panicIfNot(desc != nullptr && server != nullptr,
+                    "mirroring a chunk export without image/peer");
+    aoe::AoeTarget *target = server->findTarget(desc->major, 0);
+    if (!target)
+        target = &server->addTarget(desc->major, 0, desc->sectors, 0);
+    catalog_.fillChunk(image, chunk_idx, target->store);
+}
+
+void
+StoreFabric::noteImageAdded(const std::string &image)
+{
+    const ImageDesc *desc = catalog_.find(image);
+    sim::panicIfNot(desc != nullptr, "unknown image added");
+    // A new image (typically an overlay folded from a released
+    // tenant's writes) shares digests with chunks warm peers already
+    // hold: give those peers an export target under the new image's
+    // major so its deployments fetch the shared chunks peer-assisted
+    // instead of off the seed backbone.
+    for (const auto &[mac, srv] : peerServers_) {
+        if (!peers_.known(mac))
+            continue;
+        for (std::size_t j = 0; j < desc->chunks.size(); ++j)
+            if (peers_.holds(mac, desc->chunks[j]))
+                mirrorChunkExport(mac, image, j);
     }
 }
 

@@ -118,6 +118,14 @@ class StoreFabric : public sim::SimObject
     void noteChunkLanded(net::MacAddr mac, const std::string &image,
                          std::size_t chunkIdx);
 
+    /**
+     * A new image entered the catalog: retro-mirror every digest it
+     * shares with chunks warm peers already hold into export targets
+     * under the new image's major (peer sourcing is digest-addressed,
+     * the AoE wire is (major, lba)-addressed).
+     */
+    void noteImageAdded(const std::string &image);
+
     /** The node at @p mac dirtied chunk @p chunkIdx (tenant write):
      *  stop offering it.  The export content stays untouched so any
      *  in-flight fetch still serves the pristine payload. */
@@ -140,6 +148,11 @@ class StoreFabric : public sim::SimObject
     void setFaultInjector(sim::FaultInjector *fi);
 
   private:
+    /** Fill @p image's chunk @p chunkIdx into @p mac's export target
+     *  for the image's major (created on first use). */
+    void mirrorChunkExport(net::MacAddr mac, const std::string &image,
+                           std::size_t chunkIdx);
+
     StoreParams params_;
     ChunkStore chunks_;
     ImageCatalog catalog_;

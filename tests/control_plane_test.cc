@@ -76,9 +76,19 @@ class FakePort : public cloud::ProvisionerPort
         return rack < scores.size() ? scores[rack] : 0;
     }
 
+    void
+    startMigration(Lease &lease, unsigned destSlot) override
+    {
+        ++migrationsStarted;
+        pendingMigrations.push_back({lease.id(), destSlot});
+    }
+
     std::vector<std::uint64_t> scores;
     unsigned deploysStarted = 0;
     unsigned releasesStarted = 0;
+    unsigned migrationsStarted = 0;
+    /** Migrations handed to the pool, for the test to resolve. */
+    std::vector<std::pair<std::uint64_t, unsigned>> pendingMigrations;
 
   private:
     sim::EventQueue &eq_;
@@ -323,6 +333,177 @@ TEST(ControlPlane, RackOutageProbeStopsAndRestoresPlacement)
     EXPECT_EQ(q->rack(), 1u);
     EXPECT_EQ(fi.triggers(sim::FaultSite::RackOutage), 1u);
     EXPECT_EQ(fi.triggers(sim::FaultSite::RackRecover), 1u);
+}
+
+TEST(ControlPlane, MigrateMovesSlotAndRackBookkeeping)
+{
+    sim::EventQueue eq;
+    FakePort port(eq, 4, 2, 1 * sim::kMs, 1 * sim::kMs);
+    ControlPlane plane(eq, "cp", planeParams(), port);
+    port.attach(&plane);
+
+    Lease *l = plane.submit({.image = "img"}, {});
+    eq.runUntil(10 * sim::kMs);
+    ASSERT_EQ(l->state(), LeaseState::Serving);
+    ASSERT_EQ(l->slot(), 0u);
+
+    // Slot 1 is rack 1 (slots stripe round-robin): the destination
+    // is reserved the moment the verb is accepted.
+    ASSERT_EQ(plane.migrate(l->id(), 1), cloud::MigrateReject::None);
+    EXPECT_EQ(l->state(), LeaseState::Migrating);
+    EXPECT_EQ(l->migratingTo(), 1u);
+    EXPECT_EQ(port.migrationsStarted, 1u);
+    EXPECT_EQ(plane.rackLoad(0), 1u);
+    EXPECT_EQ(plane.rackLoad(1), 1u);
+
+    plane.noteMigrated(l->id());
+    EXPECT_EQ(l->state(), LeaseState::Serving);
+    EXPECT_EQ(l->slot(), 1u);
+    EXPECT_EQ(l->rack(), 1u);
+    EXPECT_GT(l->migratedAt(), 0u);
+    EXPECT_EQ(plane.stats().migrated, 1u);
+
+    // The source slot frees (scrub 0): rack 0 drains and the next
+    // lease lands there.
+    eq.runUntil(20 * sim::kMs);
+    EXPECT_EQ(plane.rackLoad(0), 0u);
+    Lease *n = plane.submit({.image = "img"}, {});
+    EXPECT_EQ(n->rack(), 0u);
+}
+
+TEST(ControlPlane, MigrateRejectionsAreTyped)
+{
+    sim::EventQueue eq;
+    FakePort port(eq, 4, 2, 1 * sim::kMs, 1 * sim::kMs);
+    ControlPlane plane(eq, "cp", planeParams(), port);
+    port.attach(&plane);
+
+    Lease *a = plane.submit({.image = "img"}, {});
+    // Still Deploying: mobility needs a running instance.
+    EXPECT_EQ(plane.migrate(a->id(), 2),
+              cloud::MigrateReject::NotServing);
+    eq.runUntil(10 * sim::kMs);
+    ASSERT_EQ(a->state(), LeaseState::Serving);
+
+    Lease *b = plane.submit({.image = "img"}, {});
+    eq.runUntil(20 * sim::kMs);
+    ASSERT_EQ(b->state(), LeaseState::Serving);
+    ASSERT_EQ(b->slot(), 1u);
+
+    EXPECT_EQ(plane.migrate(a->id(), a->slot()),
+              cloud::MigrateReject::SameSlot);
+    EXPECT_EQ(plane.migrate(a->id(), b->slot()),
+              cloud::MigrateReject::DestBusy);
+
+    EXPECT_EQ(plane.migrateRejectedFor(cloud::MigrateReject::NotServing),
+              1u);
+    EXPECT_EQ(plane.migrateRejectedFor(cloud::MigrateReject::SameSlot),
+              1u);
+    EXPECT_EQ(plane.migrateRejectedFor(cloud::MigrateReject::DestBusy),
+              1u);
+    // Rejections leave the lease untouched.
+    EXPECT_EQ(a->state(), LeaseState::Serving);
+    EXPECT_EQ(port.migrationsStarted, 0u);
+}
+
+TEST(ControlPlane, MigrateToDrainedRackIsRejected)
+{
+    sim::EventQueue eq;
+    FakePort port(eq, 4, 2, 1 * sim::kMs, 1 * sim::kMs);
+    ControlPlane plane(eq, "cp", planeParams(), port);
+    port.attach(&plane);
+
+    Lease *l = plane.submit({.image = "img"}, {});
+    eq.runUntil(5 * sim::kMs);
+    ASSERT_EQ(l->state(), LeaseState::Serving);
+    ASSERT_EQ(l->rack(), 0u);
+
+    // The RackOutage probe drains rack 1; the destination check
+    // consults the same health state placement does.
+    sim::FaultInjector fi(7);
+    sim::SitePlan plan;
+    plan.fireOn = {1};
+    plan.keyLo = 1;
+    plan.keyHi = 1;
+    plan.magnitude = 200 * sim::kMs;
+    fi.arm(sim::FaultSite::RackOutage, plan);
+    plane.armRackHealthProbe(&fi, 10 * sim::kMs);
+    eq.runUntil(25 * sim::kMs);
+    ASSERT_FALSE(plane.rackUsable(1));
+
+    EXPECT_EQ(plane.migrate(l->id(), 1),
+              cloud::MigrateReject::DestRackDown);
+    EXPECT_EQ(plane.migrateRejectedFor(
+                  cloud::MigrateReject::DestRackDown),
+              1u);
+    EXPECT_EQ(l->state(), LeaseState::Serving);
+
+    // Healed rack accepts the retry.
+    eq.runUntil(1 * sim::kSec);
+    ASSERT_TRUE(plane.rackUsable(1));
+    EXPECT_EQ(plane.migrate(l->id(), 1), cloud::MigrateReject::None);
+}
+
+TEST(ControlPlane, ReleaseDuringMigrationFreesBothSlots)
+{
+    sim::EventQueue eq;
+    FakePort port(eq, 4, 2, 1 * sim::kMs, 1 * sim::kMs);
+    ControlPlane plane(eq, "cp", planeParams(), port);
+    port.attach(&plane);
+
+    Lease *l = plane.submit({.image = "img"}, {});
+    eq.runUntil(5 * sim::kMs);
+    ASSERT_EQ(l->state(), LeaseState::Serving);
+    ASSERT_EQ(plane.migrate(l->id(), 1), cloud::MigrateReject::None);
+    ASSERT_EQ(l->state(), LeaseState::Migrating);
+
+    // The tenant walks away mid-migration (mirror of the PR-7
+    // release-while-provisioning race): teardown must free BOTH the
+    // source and the reserved destination.
+    plane.release(*l);
+    EXPECT_EQ(l->state(), LeaseState::Releasing);
+    eq.runUntil(20 * sim::kMs);
+    EXPECT_EQ(l->state(), LeaseState::Released);
+    EXPECT_EQ(plane.rackLoad(0), 0u);
+    EXPECT_EQ(plane.rackLoad(1), 0u);
+
+    // The pool's in-flight migration completion lands on a Released
+    // lease and is absorbed.
+    ASSERT_EQ(port.pendingMigrations.size(), 1u);
+    plane.noteMigrated(port.pendingMigrations[0].first);
+    EXPECT_EQ(l->state(), LeaseState::Released);
+    EXPECT_EQ(plane.stats().migrated, 0u);
+
+    // Both slots genuinely lease again.
+    Lease *x = plane.submit({.image = "img"}, {});
+    Lease *y = plane.submit({.image = "img"}, {});
+    EXPECT_EQ(x->state(), LeaseState::Deploying);
+    EXPECT_EQ(y->state(), LeaseState::Deploying);
+    EXPECT_NE(x->slot(), y->slot());
+}
+
+TEST(ControlPlane, MigrationFailureRollsBackToSourceSlot)
+{
+    sim::EventQueue eq;
+    FakePort port(eq, 4, 2, 1 * sim::kMs, 1 * sim::kMs);
+    ControlPlane plane(eq, "cp", planeParams(), port);
+    port.attach(&plane);
+
+    Lease *l = plane.submit({.image = "img"}, {});
+    eq.runUntil(5 * sim::kMs);
+    ASSERT_EQ(l->state(), LeaseState::Serving);
+    ASSERT_EQ(plane.migrate(l->id(), 1), cloud::MigrateReject::None);
+
+    plane.noteMigrationFailed(l->id());
+    EXPECT_EQ(l->state(), LeaseState::Serving);
+    EXPECT_EQ(l->slot(), 0u);
+    EXPECT_EQ(l->rack(), 0u);
+    EXPECT_EQ(plane.stats().migrateFailed, 1u);
+    EXPECT_EQ(plane.stats().migrated, 0u);
+
+    // The reserved destination reclaims; rack 1 is empty again.
+    eq.runUntil(20 * sim::kMs);
+    EXPECT_EQ(plane.rackLoad(1), 0u);
 }
 
 TEST(Congestion, LaneRateBoundsGrantsAndChargesTenants)

@@ -15,8 +15,10 @@
 #include <tuple>
 
 #include "aoe/protocol.hh"
+#include "bench/migrate_world.hh"
 #include "bmcast/cloud.hh"
 #include "bmcast/deployer.hh"
+#include "migrate/migration.hh"
 #include "net/l2.hh"
 #include "simcore/fault_injector.hh"
 #include "tests/test_util.hh"
@@ -806,6 +808,209 @@ TEST(ModerationEdge, HugeSuspendStillCompletes)
     ASSERT_TRUE(runUntil(rig.eq, 40000 * sim::kSec,
                          [&]() { return dep.bareMetalReached(); }));
     EXPECT_GT(dep.vmm().backgroundCopy().suspensions(), 0u);
+}
+
+// --- Migration chaos: aborted mobility must roll back losslessly ---
+
+constexpr std::uint64_t kMigImg = 0xCCAA000000000001ULL;
+
+bmcast::CloudConfig
+migChaosConfig()
+{
+    bmcast::CloudConfig cfg;
+    cfg.machines = 2;
+    cfg.machineTemplate.disk.capacityBytes = 2 * sim::kGiB;
+    cfg.vmm.bootTime = 5 * sim::kSec;
+    cfg.vmm.moderation.vmmWriteInterval = 2 * sim::kMs;
+    cfg.vmm.moderation.guestIoFreqThreshold = 1e9;
+    cfg.guestTemplate.boot.loaderBytes = 1 * sim::kMiB;
+    cfg.guestTemplate.boot.kernelBytes = 4 * sim::kMiB;
+    cfg.guestTemplate.boot.numReads = 40;
+    cfg.guestTemplate.boot.cpuTotal = 500 * sim::kMs;
+    cfg.guestTemplate.boot.regionBytes = 16 * sim::kMiB;
+    cfg.migrate.memoryBytes = 8 * sim::kMiB;
+    cfg.migrate.memoryDirtyBytesPerSec = 1 * sim::kMiB;
+    cfg.migrate.stopCopyThresholdBytes = 2 * sim::kMiB;
+    cfg.migrate.handoffTime = 50 * sim::kMs;
+    return cfg;
+}
+
+/** Stripe-isolated random writer mirroring issued writes into a
+ *  shadow disk (same contract as tests/migration_test.cc). */
+struct MigWriter
+{
+    MigWriter(sim::EventQueue &eq, bmcast::Instance &inst,
+              std::uint64_t seed, sim::Lba sectors)
+        : eq(eq), inst(inst), rng(seed), sectors(sectors)
+    {
+        shadow.write(0, sectors, kMigImg);
+        arm();
+    }
+
+    void
+    arm()
+    {
+        eq.schedule(3 * sim::kMs, [this]() {
+            migrate::MigrationManager *mig = inst.migration();
+            if (mig && mig->finished())
+                return;
+            if ((!mig || !mig->paused()) &&
+                (seq + 1) * 64 <= sectors) {
+                sim::Lba off = rng.uniformInt(0, 31);
+                std::uint64_t burst = rng.uniformInt(1, 64 - off);
+                sim::Lba lba = seq * 64 + off;
+                std::uint64_t base =
+                    0xD000000000000000ULL | rng.next() >> 16;
+                shadow.write(lba, burst, base);
+                inst.guest().blk().write(
+                    lba, static_cast<std::uint32_t>(burst), base,
+                    [this]() { ++done; });
+                ++seq;
+                ++issued;
+            }
+            arm();
+        });
+    }
+
+    sim::EventQueue &eq;
+    bmcast::Instance &inst;
+    sim::Rng rng;
+    sim::Lba sectors;
+    hw::DiskStore shadow;
+    std::uint64_t seq = 0;
+    std::uint64_t issued = 0;
+    std::uint64_t done = 0;
+};
+
+/** Deploy, write, migrate into an armed fault plan; assert the
+ *  migration aborts exactly once and the source rolls back with
+ *  every completed write intact. */
+void
+runAbortedMigration(sim::FaultInjector &fi, FaultSite site)
+{
+    const sim::Lba img_sectors = (16 * sim::kMiB) / sim::kSectorSize;
+    sim::EventQueue eq;
+    bmcast::Cloud cloud(eq, "region", migChaosConfig());
+    cloud.setFaultInjector(&fi);
+    cloud.addImage("img", 16 * sim::kMiB, kMigImg);
+
+    bmcast::Instance *inst = cloud.provision("img", nullptr);
+    ASSERT_NE(inst, nullptr);
+    ASSERT_TRUE(runUntil(eq, 40000 * sim::kSec, [&]() {
+        return inst->state() == bmcast::Instance::State::BareMetal &&
+               inst->lease().state() == cloud::LeaseState::Serving;
+    }));
+
+    hw::Machine &src = inst->machine();
+    const unsigned src_slot = inst->lease().slot();
+    MigWriter wr(eq, *inst, 77, img_sectors);
+
+    ASSERT_EQ(cloud.migrate(*inst, 1u - src_slot),
+              cloud::MigrateReject::None);
+    migrate::MigrationManager *mig = inst->migration();
+
+    // The plan fires exactly once, the migration aborts, and the
+    // source de-virtualizes back to bare metal.
+    ASSERT_TRUE(runUntil(eq, 40000 * sim::kSec, [&]() {
+        return mig->finished() &&
+               inst->state() == bmcast::Instance::State::BareMetal &&
+               inst->lease().state() == cloud::LeaseState::Serving;
+    })) << "aborted migration never rolled back; injector: "
+        << fi.summary();
+
+    EXPECT_TRUE(mig->stats().aborted);
+    EXPECT_EQ(fi.triggers(site), 1u);
+    EXPECT_GE(fi.queries(site), 1u);
+
+    // The instance never moved: same machine, same slot, lease
+    // Serving on the source, the failure counted.
+    EXPECT_EQ(&inst->machine(), &src);
+    EXPECT_EQ(inst->lease().slot(), src_slot);
+    EXPECT_EQ(cloud.plane().stats().migrated, 0u);
+    EXPECT_EQ(cloud.plane().stats().migrateFailed, 1u);
+
+    // Zero lost writes: drain the tail, then the source disk must
+    // hold the image plus every write the guest issued.
+    ASSERT_TRUE(runUntil(eq, eq.now() + 400 * sim::kSec, [&]() {
+        return wr.done == wr.issued && inst->guest().blk().idle();
+    }));
+    EXPECT_GT(wr.issued, 0u);
+    EXPECT_TRUE(migrate::diffDisks(src.disk().store(), wr.shadow, 0,
+                                   img_sectors)
+                    .empty())
+        << "rollback lost guest writes";
+
+    // The reserved destination slot returns to the pool.
+    ASSERT_TRUE(runUntil(eq, eq.now() + 400 * sim::kSec, [&]() {
+        return cloud.freeMachines() == 1u;
+    }));
+}
+
+TEST(MigrateChaos, StreamDropDuringPreCopyRollsBackToSource)
+{
+    sim::FaultInjector fi(99);
+    sim::SitePlan drop;
+    drop.fireOn = {2}; // second pre-copy round's shipment
+    fi.arm(FaultSite::MigrateStreamDrop, drop);
+    runAbortedMigration(fi, FaultSite::MigrateStreamDrop);
+}
+
+TEST(MigrateChaos, StreamDropAtStopAndCopyRollsBackToSource)
+{
+    // Key filter pins the drop to the stop-and-copy shipment (keyed
+    // rounds+1); every pre-copy round passes unharmed, so the guest
+    // was already paused when the abort unpauses it.
+    sim::FaultInjector fi(99);
+    sim::SitePlan drop;
+    drop.probability = 1.0;
+    drop.keyLo = 2;
+    drop.keyHi = 1000;
+    fi.arm(FaultSite::MigrateStreamDrop, drop);
+    runAbortedMigration(fi, FaultSite::MigrateStreamDrop);
+}
+
+TEST(MigrateChaos, DestCrashAtHandoffRollsBackToSource)
+{
+    sim::FaultInjector fi(31);
+    sim::SitePlan crash;
+    crash.fireOn = {1};
+    fi.arm(FaultSite::MigrateDestCrash, crash);
+    runAbortedMigration(fi, FaultSite::MigrateDestCrash);
+}
+
+// Seed-sweep determinism for chaotic sharded migrations: the same
+// (seed, plan) is bit-identical across shard counts, and different
+// seeds genuinely diverge.
+TEST(MigrateChaos, ChaoticShardedMigrationsAreSeedDeterministic)
+{
+    auto world = [](std::uint64_t seed, unsigned shards) {
+        migratebench::MigrateWorldParams p;
+        p.racks = 4;
+        p.shards = shards;
+        p.seed = seed;
+        p.imageBytes = 8 * sim::kMiB;
+        p.migrate.memoryBytes = 4 * sim::kMiB;
+        p.migrate.memoryDirtyBytesPerSec = 512 * sim::kKiB;
+        p.migrate.stopCopyThresholdBytes = 1 * sim::kMiB;
+        p.migrate.handoffTime = 20 * sim::kMs;
+        p.runFor = 5 * sim::kSec;
+        p.streamDrop.probability = 0.25;
+        p.destCrash.probability = 0.25;
+        migratebench::MigrateWorld w(p);
+        w.run();
+        return w.fingerprint();
+    };
+
+    bool saw_divergence = false;
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        std::uint64_t serial = world(seed, 1);
+        EXPECT_EQ(world(seed, 2), serial) << "seed " << seed;
+        EXPECT_EQ(world(seed, 4), serial) << "seed " << seed;
+        if (serial != world(seed + 100, 1))
+            saw_divergence = true;
+    }
+    EXPECT_TRUE(saw_divergence)
+        << "chaos plans never changed an outcome across seeds";
 }
 
 } // namespace
