@@ -1,374 +1,32 @@
 #include "bmcast/nic_mediator.hh"
 
-#include "simcore/logging.hh"
+#include "aoe/protocol.hh"
 
 namespace bmcast {
 
-using namespace hw::e1000;
-using hw::IoSpace;
-
 NicMediator::NicMediator(sim::EventQueue &eq, std::string name,
-                         hw::IoBus &bus_, hw::PhysMem &mem_,
-                         hw::E1000Nic &nic_, hw::MemArena &vmm_arena)
-    : sim::SimObject(eq, std::move(name)),
-      bus(bus_), vmmView(bus_, /*guestContext=*/false), mem(mem_),
-      nic(nic_)
+                         hw::IoBus &bus, hw::PhysMem &mem,
+                         hw::E1000Nic &nic, hw::MemArena &vmm_arena)
+    : sim::SimObject(eq, std::move(name))
 {
-    sTxRing = vmm_arena.alloc(kShadowSize * kDescSize, 128);
-    sRxRing = vmm_arena.alloc(kShadowSize * kDescSize, 128);
-    sTxBufs = vmm_arena.alloc(kShadowSize * kBufSize, 4096);
-    sRxBufs = vmm_arena.alloc(kShadowSize * kBufSize, 4096);
+    core_ = std::make_unique<netmed::NetMediationCore>(
+        eq, this->name() + ".core", bus, mem, nic, vmm_arena,
+        netmed::MedMode::Trap, aoe::kEtherType);
+    // The legacy shape: one guest, on the physical window, catch-all
+    // MAC (the original mediator was promiscuous), no rate limit.
+    core_->addGuest(netmed::NetMediationCore::GuestConfig{});
 }
 
-void
-NicMediator::install()
+const NicMediatorStats &
+NicMediator::stats() const
 {
-    sim::panicIfNot(!installed, "NIC mediator installed twice");
-    installed = true;
-
-    // Point the physical NIC at the shadow rings and enable it; the
-    // guest's idea of the ring registers is virtualized from now on.
-    sim::Addr base = nic.mmioBase();
-    for (unsigned i = 0; i < kShadowSize; ++i) {
-        sim::Addr d = sRxRing + i * kDescSize;
-        mem.write64(d, sRxBufs + i * kBufSize);
-        mem.write32(d + 8, 0);
-        mem.write32(d + 12, 0);
-    }
-    vmmView.write(IoSpace::Mmio, base + kRdbal,
-                  static_cast<std::uint32_t>(sRxRing), 4);
-    vmmView.write(IoSpace::Mmio, base + kRdlen,
-                  kShadowSize * kDescSize, 4);
-    vmmView.write(IoSpace::Mmio, base + kRdh, 0, 4);
-    vmmView.write(IoSpace::Mmio, base + kRdt, kShadowSize - 1, 4);
-    vmmView.write(IoSpace::Mmio, base + kRctl, kRctlEn, 4);
-    vmmView.write(IoSpace::Mmio, base + kTdbal,
-                  static_cast<std::uint32_t>(sTxRing), 4);
-    vmmView.write(IoSpace::Mmio, base + kTdlen,
-                  kShadowSize * kDescSize, 4);
-    vmmView.write(IoSpace::Mmio, base + kTdh, 0, 4);
-    vmmView.write(IoSpace::Mmio, base + kTdt, 0, 4);
-    vmmView.write(IoSpace::Mmio, base + kTctl, kTctlEn, 4);
-    // The physical interrupt stays armed: the device's IRQ drives
-    // the *guest's* ISR, whose first ICR read (intercepted) is where
-    // the mediator syncs the shadow rings. The guest's own IMS
-    // intent is virtualized in gIms.
-    vmmView.write(IoSpace::Mmio, base + kIms, kIcrTxdw | kIcrRxt0, 4);
-
-    bus.intercept(IoSpace::Mmio, nic.mmioBase(), kMmioSize, this);
-}
-
-void
-NicMediator::uninstall()
-{
-    sim::panicIfNot(installed, "NIC mediator not installed");
-    drainShadowRx();
-
-    // Reprogram the device with the guest's ring configuration so
-    // the guest driver continues seamlessly.
-    sim::Addr base = nic.mmioBase();
-    vmmView.write(IoSpace::Mmio, base + kRdbal, gRdbal, 4);
-    vmmView.write(IoSpace::Mmio, base + kRdlen, gRdlen, 4);
-    vmmView.write(IoSpace::Mmio, base + kRdh, gRdh, 4);
-    vmmView.write(IoSpace::Mmio, base + kRdt, gRdt, 4);
-    vmmView.write(IoSpace::Mmio, base + kRctl, gRctl, 4);
-    vmmView.write(IoSpace::Mmio, base + kTdbal, gTdbal, 4);
-    vmmView.write(IoSpace::Mmio, base + kTdlen, gTdlen, 4);
-    vmmView.write(IoSpace::Mmio, base + kTdh, gTdh, 4);
-    vmmView.write(IoSpace::Mmio, base + kTdt, gTdh, 4);
-    vmmView.write(IoSpace::Mmio, base + kTctl, gTctl, 4);
-    vmmView.write(IoSpace::Mmio, base + kIms, gIms, 4);
-
-    bus.removeIntercept(IoSpace::Mmio, nic.mmioBase(), kMmioSize);
-    installed = false;
-}
-
-net::MacAddr
-NicMediator::localMac() const
-{
-    return nic.port().mac();
-}
-
-sim::Bytes
-NicMediator::mtu() const
-{
-    return nic.port().config().mtu;
-}
-
-unsigned
-NicMediator::shadowTxFree()
-{
-    // Reclaim completed shadow TX descriptors first.
-    while (sTxClean != sTxTail) {
-        sim::Addr d = sTxRing + sTxClean * kDescSize;
-        if (!(mem.read8(d + 12) & kDescDd))
-            break;
-        sTxClean = (sTxClean + 1) % kShadowSize;
-    }
-    unsigned used = (sTxTail + kShadowSize - sTxClean) % kShadowSize;
-    return kShadowSize - 1 - used;
-}
-
-void
-NicMediator::shadowSend(const net::Frame &frame, bool from_guest)
-{
-    if (shadowTxFree() == 0) {
-        sim::warn(name(), ": shadow TX ring full; frame dropped");
-        return;
-    }
-    sim::Addr buf = sTxBufs + sTxTail * kBufSize;
-    sim::Bytes len = 14 + frame.payload.size();
-    sim::panicIfNot(len <= kBufSize, "oversize frame in shadow ring");
-    for (int i = 0; i < 6; ++i) {
-        mem.write8(buf + i, static_cast<std::uint8_t>(
-                                frame.dst >> (8 * (5 - i))));
-        mem.write8(buf + 6 + i, static_cast<std::uint8_t>(
-                                    frame.src >> (8 * (5 - i))));
-    }
-    mem.write8(buf + 12,
-               static_cast<std::uint8_t>(frame.etherType >> 8));
-    mem.write8(buf + 13, static_cast<std::uint8_t>(frame.etherType));
-    if (!frame.payload.empty())
-        mem.write(buf + 14, frame.payload.data(),
-                  frame.payload.size());
-
-    sim::Addr d = sTxRing + sTxTail * kDescSize;
-    mem.write64(d, buf);
-    mem.write16(d + 8, static_cast<std::uint16_t>(len));
-    mem.write8(d + 11, kTxCmdEop | kTxCmdRs);
-    mem.write8(d + 12, 0);
-    mem.write16(d + 14,
-                static_cast<std::uint16_t>(frame.padding >> 3));
-    sTxTail = (sTxTail + 1) % kShadowSize;
-    vmmView.write(IoSpace::Mmio, nic.mmioBase() + kTdt, sTxTail, 4);
-
-    if (from_guest) {
-        ++stats_.guestTx;
-        ++stats_.copies;
-    } else {
-        ++stats_.vmmTx;
-    }
-}
-
-void
-NicMediator::sendFrame(net::Frame frame)
-{
-    frame.src = localMac();
-    shadowSend(frame, /*fromGuest=*/false);
-}
-
-void
-NicMediator::pumpGuestTx()
-{
-    // Copy newly queued guest descriptors into the shadow ring.
-    unsigned count = gTdlen / kDescSize;
-    if (count == 0)
-        return;
-    while (gTdh != gTdt && shadowTxFree() > 0) {
-        sim::Addr d = sim::Addr(gTdbal) + gTdh * kDescSize;
-        sim::Addr buf = mem.read64(d);
-        std::uint16_t len = mem.read16(d + 8);
-        std::uint16_t special = mem.read16(d + 14);
-
-        net::Frame f;
-        std::uint64_t dst = 0, src = 0;
-        for (int i = 0; i < 6; ++i) {
-            dst = (dst << 8) | mem.read8(buf + i);
-            src = (src << 8) | mem.read8(buf + 6 + i);
-        }
-        f.dst = dst;
-        f.src = src;
-        f.etherType = static_cast<std::uint16_t>(
-            (mem.read8(buf + 12) << 8) | mem.read8(buf + 13));
-        f.payload.resize(len > 14 ? len - 14 : 0);
-        if (!f.payload.empty())
-            mem.read(buf + 14, f.payload.data(), f.payload.size());
-        f.padding = sim::Bytes(special) << 3;
-
-        shadowSend(f, /*fromGuest=*/true);
-        // Complete the guest descriptor.
-        mem.write8(d + 12, static_cast<std::uint8_t>(
-                               mem.read8(d + 12) | kDescDd));
-        gTdh = (gTdh + 1) % count;
-    }
-}
-
-void
-NicMediator::deliverToGuest(const net::Frame &frame)
-{
-    unsigned count = gRdlen / kDescSize;
-    if (!(gRctl & kRctlEn) || count == 0 || gRdh == gRdt)
-        return; // guest not ready: drop, as hardware would
-    sim::Addr d = sim::Addr(gRdbal) + gRdh * kDescSize;
-    sim::Addr buf = mem.read64(d);
-    for (int i = 0; i < 6; ++i) {
-        mem.write8(buf + i, static_cast<std::uint8_t>(
-                                frame.dst >> (8 * (5 - i))));
-        mem.write8(buf + 6 + i, static_cast<std::uint8_t>(
-                                    frame.src >> (8 * (5 - i))));
-    }
-    mem.write8(buf + 12,
-               static_cast<std::uint8_t>(frame.etherType >> 8));
-    mem.write8(buf + 13, static_cast<std::uint8_t>(frame.etherType));
-    if (!frame.payload.empty())
-        mem.write(buf + 14, frame.payload.data(),
-                  frame.payload.size());
-    mem.write16(d + 8, static_cast<std::uint16_t>(
-                           14 + frame.payload.size()));
-    mem.write8(d + 12,
-               static_cast<std::uint8_t>(kDescDd | kRxStEop));
-    mem.write16(d + 14,
-                static_cast<std::uint16_t>(frame.padding >> 3));
-    gRdh = (gRdh + 1) % count;
-    gIcr |= kIcrRxt0;
-    ++stats_.guestRx;
-    ++stats_.copies;
-}
-
-void
-NicMediator::drainShadowRx()
-{
-    while (true) {
-        sim::Addr d = sRxRing + sRxHead * kDescSize;
-        std::uint8_t st = mem.read8(d + 12);
-        if (!(st & kDescDd))
-            break;
-        sim::Addr buf = mem.read64(d);
-        std::uint16_t len = mem.read16(d + 8);
-        std::uint16_t special = mem.read16(d + 14);
-
-        net::Frame f;
-        std::uint64_t dst = 0, src = 0;
-        for (int i = 0; i < 6; ++i) {
-            dst = (dst << 8) | mem.read8(buf + i);
-            src = (src << 8) | mem.read8(buf + 6 + i);
-        }
-        f.dst = dst;
-        f.src = src;
-        f.etherType = static_cast<std::uint16_t>(
-            (mem.read8(buf + 12) << 8) | mem.read8(buf + 13));
-        f.payload.resize(len > 14 ? len - 14 : 0);
-        if (!f.payload.empty())
-            mem.read(buf + 14, f.payload.data(), f.payload.size());
-        f.padding = sim::Bytes(special) << 3;
-
-        // Return the shadow descriptor to hardware.
-        mem.write8(d + 12, 0);
-        vmmView.write(IoSpace::Mmio, nic.mmioBase() + kRdt, sRxHead,
-                      4);
-        sRxHead = (sRxHead + 1) % kShadowSize;
-
-        // Demultiplex: AoE is the VMM's deployment traffic; all
-        // other frames belong to the guest.
-        if (f.etherType == aoe::kEtherType) {
-            ++stats_.vmmRx;
-            if (vmmRx)
-                vmmRx(f);
-        } else {
-            deliverToGuest(f);
-        }
-    }
-}
-
-void
-NicMediator::poll()
-{
-    if (!installed)
-        return;
-    drainShadowRx();
-    shadowTxFree(); // reclaim
-}
-
-bool
-NicMediator::interceptRead(sim::Addr addr, unsigned size,
-                           std::uint64_t &value)
-{
-    (void)size;
-    switch (addr - nic.mmioBase()) {
-      case kIcr: {
-        // Guest ISR entry: sync the shadow RX into the guest ring
-        // before the guest looks, then hand over the causes.
-        drainShadowRx();
-        value = gIcr;
-        gIcr = 0;
-        return true;
-      }
-      case kTdh:
-        value = gTdh;
-        return true;
-      case kTdt:
-        value = gTdt;
-        return true;
-      case kRdh:
-        value = gRdh;
-        return true;
-      case kRdt:
-        value = gRdt;
-        return true;
-      case kTdbal:
-        value = gTdbal;
-        return true;
-      case kRdbal:
-        value = gRdbal;
-        return true;
-      case kIms:
-        value = gIms;
-        return true;
-      default:
-        return false; // STATUS etc. pass through
-    }
-}
-
-bool
-NicMediator::interceptWrite(sim::Addr addr, std::uint64_t value,
-                            unsigned size)
-{
-    (void)size;
-    auto v = static_cast<std::uint32_t>(value);
-    switch (addr - nic.mmioBase()) {
-      case kTdbal:
-        gTdbal = v;
-        return true;
-      case kTdlen:
-        gTdlen = v;
-        return true;
-      case kTdh:
-        gTdh = v;
-        return true;
-      case kTdt:
-        gTdt = v;
-        pumpGuestTx();
-        // The guest expects a TX-done interrupt; the real device
-        // raises one for the shadow descriptors carrying its frames.
-        gIcr |= kIcrTxdw;
-        return true;
-      case kRdbal:
-        gRdbal = v;
-        return true;
-      case kRdlen:
-        gRdlen = v;
-        return true;
-      case kRdh:
-        gRdh = v;
-        return true;
-      case kRdt:
-        gRdt = v;
-        return true;
-      case kRctl:
-        gRctl = v;
-        return true;
-      case kTctl:
-        gTctl = v;
-        return true;
-      case kIms:
-        gIms |= v;
-        return true;
-      case kImc:
-        gIms &= ~v;
-        return true;
-      default:
-        return false;
-    }
+    const netmed::NetMedStats &s = core_->stats();
+    stats_.guestTx = s.guestTx;
+    stats_.guestRx = s.guestRx;
+    stats_.vmmTx = s.vmmTx;
+    stats_.vmmRx = s.vmmRx;
+    stats_.copies = s.copies;
+    return stats_;
 }
 
 } // namespace bmcast

@@ -13,22 +13,25 @@
  * copied from the guest ring into the shadow ring, interleaved with
  * the VMM's own frames; received frames are demultiplexed — AoE
  * traffic to the VMM, everything else copied into the guest's
- * receive ring. Most housekeeping stays in the guest driver; the
- * VMM virtualizes only the head/tail pointer registers.
+ * receive ring.
+ *
+ * Since the netmed tier landed this class is the legacy single-guest
+ * facade over netmed::NetMediationCore (trap mode, one catch-all
+ * guest on the physical window): the historical constructor and
+ * behaviour, the generalized engine. New code — multi-guest, QoS,
+ * exitless, passthrough — should use the core directly.
  */
 
 #ifndef BMCAST_NIC_MEDIATOR_HH
 #define BMCAST_NIC_MEDIATOR_HH
 
-#include <deque>
+#include <memory>
 
-#include "aoe/protocol.hh"
-#include "hw/e1000_driver.hh"
-#include "hw/io_bus.hh"
 #include "hw/mem_arena.hh"
 #include "hw/nic.hh"
 #include "hw/phys_mem.hh"
 #include "net/l2.hh"
+#include "netmed/net_mediation_core.hh"
 #include "simcore/sim_object.hh"
 
 namespace bmcast {
@@ -44,9 +47,7 @@ struct NicMediatorStats
 };
 
 /** The mediator: also the VMM's L2 endpoint on the shared NIC. */
-class NicMediator : public sim::SimObject,
-                    public hw::IoInterceptor,
-                    public net::L2Endpoint
+class NicMediator : public sim::SimObject, public net::L2Endpoint
 {
   public:
     NicMediator(sim::EventQueue &eq, std::string name, hw::IoBus &bus,
@@ -54,70 +55,43 @@ class NicMediator : public sim::SimObject,
                 hw::MemArena &vmmArena);
 
     /** Take the NIC: program shadow rings, intercept registers. */
-    void install();
+    void install() { core_->install(); }
 
     /**
      * De-virtualize the NIC: drain the shadow rings, reprogram the
      * device with the guest's own ring configuration, remove the
      * intercepts.
      */
-    void uninstall();
+    void uninstall() { core_->uninstall(); }
 
     /** VMM-side service: drain shadow RX, reap shadow TX. */
-    void poll();
+    void poll() { core_->poll(); }
 
     /** @name net::L2Endpoint (the VMM's network path). */
     /// @{
-    void sendFrame(net::Frame frame) override;
-    net::MacAddr localMac() const override;
-    sim::Bytes mtu() const override;
-    void setRxHandler(RxHandler handler) override { vmmRx = std::move(handler); }
+    void sendFrame(net::Frame frame) override
+    {
+        core_->sendFrame(std::move(frame));
+    }
+    net::MacAddr localMac() const override
+    {
+        return core_->localMac();
+    }
+    sim::Bytes mtu() const override { return core_->mtu(); }
+    void setRxHandler(RxHandler handler) override
+    {
+        core_->setRxHandler(std::move(handler));
+    }
     /// @}
 
-    /** @name hw::IoInterceptor (guest register accesses). */
-    /// @{
-    bool interceptRead(sim::Addr addr, unsigned size,
-                       std::uint64_t &value) override;
-    bool interceptWrite(sim::Addr addr, std::uint64_t value,
-                        unsigned size) override;
-    /// @}
+    const NicMediatorStats &stats() const;
 
-    const NicMediatorStats &stats() const { return stats_; }
+    /** The engine underneath (QoS knobs, fault injection, publish). */
+    netmed::NetMediationCore &core() { return *core_; }
 
   private:
-    static constexpr unsigned kShadowSize = 128;
-    static constexpr sim::Bytes kBufSize = 2048;
-
-    void pumpGuestTx();
-    void shadowSend(const net::Frame &frame, bool fromGuest);
-    void drainShadowRx();
-    void deliverToGuest(const net::Frame &frame);
-    unsigned shadowTxFree();
-
-    hw::IoBus &bus;
-    hw::BusView vmmView;
-    hw::PhysMem &mem;
-    hw::E1000Nic &nic;
-
-    bool installed = false;
-    RxHandler vmmRx;
-
-    /** Shadow rings + buffers (VMM memory). */
-    sim::Addr sTxRing = 0;
-    sim::Addr sRxRing = 0;
-    sim::Addr sTxBufs = 0;
-    sim::Addr sRxBufs = 0;
-    unsigned sTxTail = 0;
-    unsigned sTxClean = 0;
-    unsigned sRxHead = 0;
-
-    /** Guest-visible (virtualized) register state. */
-    std::uint32_t gTdbal = 0, gTdlen = 0, gTdh = 0, gTdt = 0;
-    std::uint32_t gRdbal = 0, gRdlen = 0, gRdh = 0, gRdt = 0;
-    std::uint32_t gRctl = 0, gTctl = 0, gIms = 0;
-    std::uint32_t gIcr = 0;
-
-    NicMediatorStats stats_;
+    std::unique_ptr<netmed::NetMediationCore> core_;
+    mutable NicMediatorStats stats_;
 };
 
 } // namespace bmcast

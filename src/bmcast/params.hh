@@ -9,6 +9,7 @@
 
 #include <functional>
 
+#include "netmed/types.hh"
 #include "simcore/types.hh"
 
 namespace bmcast {
@@ -90,6 +91,23 @@ struct VmmParams
 
     /** Reserved on-disk region (block bitmap + dummy sector) size. */
     std::uint32_t reservedDiskSectors = 2048;
+
+    /** @name Shared-NIC deployment (paper §6, netmed tier)
+     * When sharedNic is set the VMM initializes no dedicated
+     * management NIC: it mediates the guest's NIC instead and rides
+     * its deployment traffic through the netmed core.
+     */
+    /// @{
+    bool sharedNic = false;
+    netmed::MedMode sharedNicMode = netmed::MedMode::Trap;
+    /** Exitless doorbell page (0 = allocate from the VMM arena). */
+    sim::Addr sharedNicDoorbell = 0;
+    /** Dedicated netmed service interval — the sidecore of the
+     *  exitless path (0 = ride the preemption-timer poll loop). */
+    sim::Tick netmedPollInterval = 0;
+    /** QoS contract for the guest's slot on the shared NIC. */
+    netmed::GuestQos sharedNicQos;
+    /// @}
 
     /** AoE target (shelf/slot) holding this instance's image. */
     std::uint16_t aoeMajor = 0;

@@ -1,9 +1,11 @@
 #include "bmcast/vmm.hh"
 
+#include "aoe/protocol.hh"
 #include "bmcast/ahci_mediator.hh"
 #include "bmcast/ide_mediator.hh"
 #include "bmcast/nvme_mediator.hh"
 #include "hw/disk_store.hh"
+#include "hw/nic_doorbell.hh"
 #include "simcore/logging.hh"
 
 namespace bmcast {
@@ -99,12 +101,51 @@ Vmm::installVmm()
     for (unsigned c = 0; c < machine_.cores(); ++c)
         machine_.vmx().vmxon(c);
 
-    // Only the dedicated NIC is initialized by the VMM (§3.1);
-    // polling mode, interrupts masked (§4.3).
+    // Network path. Dedicated: only the management NIC is
+    // initialized by the VMM (§3.1); polling mode, interrupts masked
+    // (§4.3). Shared (netmed tier): the VMM mediates the *guest's*
+    // NIC instead and rides its own deployment traffic through the
+    // mediation core's VMM lane, leaving the management port free
+    // (or absent).
     hw::BusView vmm_view(machine_.bus(), /*guestContext=*/false);
-    nicDriver = std::make_unique<hw::E1000Driver>(
-        eventQueue(), name() + ".nic", vmm_view, machine_.mgmtNic(),
-        machine_.mem(), *arena, hw::E1000Driver::Mode::Polling);
+    net::L2Endpoint *l2 = nullptr;
+    if (params_.sharedNic) {
+        netmed_ = std::make_unique<netmed::NetMediationCore>(
+            eventQueue(), name() + ".netmed", machine_.bus(),
+            machine_.mem(), machine_.guestNic(), *arena,
+            params_.sharedNicMode, aoe::kEtherType);
+        netmed::NetMediationCore::GuestConfig gc;
+        gc.qos = params_.sharedNicQos;
+        if (params_.sharedNicMode == netmed::MedMode::Exitless) {
+            gc.doorbell = params_.sharedNicDoorbell
+                              ? params_.sharedNicDoorbell
+                              : arena->alloc(hw::nicdb::kPageSize,
+                                             /*align=*/64);
+            gc.intc = &machine_.intc();
+            gc.irqVector = hw::kGuestNicIrq;
+        }
+        netmed_->addGuest(gc);
+        netmed_->install();
+        if (params_.netmedPollInterval > 0) {
+            // Dedicated sidecore: service the shared-memory
+            // doorbells more often than the preemption timer fires.
+            netmedTimer_ = schedulePeriodic(
+                params_.netmedPollInterval, [this]() {
+                    if (halted || !netmed_ || !netmed_->installed()) {
+                        eventQueue().cancel(netmedTimer_);
+                        return;
+                    }
+                    netmed_->poll();
+                });
+        }
+        l2 = netmed_.get();
+    } else {
+        nicDriver = std::make_unique<hw::E1000Driver>(
+            eventQueue(), name() + ".nic", vmm_view,
+            machine_.mgmtNic(), machine_.mem(), *arena,
+            hw::E1000Driver::Mode::Polling);
+        l2 = nicDriver.get();
+    }
     aoe::InitiatorParams aoe_params;
     aoe_params.major = params_.aoeMajor;
     aoe_params.minor = params_.aoeMinor;
@@ -124,7 +165,7 @@ Vmm::installVmm()
         params_.copyFetchAlignSectors = store::kChunkSectors;
     }
     aoe_ = std::make_unique<aoe::AoeInitiator>(
-        eventQueue(), name() + ".aoe", *nicDriver,
+        eventQueue(), name() + ".aoe", *l2,
         serverMacs[serverIdx], aoe_params);
     // Terminal fetch errors: slow the background copy down, tell the
     // observer, fail over to the next server if one exists, and keep
@@ -302,7 +343,10 @@ Vmm::installVmm()
 void
 Vmm::pollLoop()
 {
-    nicDriver->poll();
+    if (nicDriver)
+        nicDriver->poll();
+    if (netmed_)
+        netmed_->poll();
     mediator_->poll();
     if (devirtRequested && !devirtStarted)
         tryDevirtualize();
@@ -322,6 +366,8 @@ Vmm::powerOff()
         streamer_->shutdown();
     if (aoe_)
         aoe_->shutdown();
+    if (netmed_)
+        netmed_->powerOff();
     if (mediator_)
         mediator_->powerOff();
     machine_.clearProfile();
@@ -389,8 +435,12 @@ Vmm::finishDevirtualization()
             [this]() { finishDevirtualization(); });
         return;
     }
-    // All CPUs run without nested paging; remove interposition.
+    // All CPUs run without nested paging; remove interposition. On
+    // the shared-NIC path the netmed core hands the real rings back
+    // to the guest here — the guest keeps its NIC across the arrow.
     mediator_->uninstall();
+    if (netmed_)
+        netmed_->uninstall();
     sim::panicIfNot(!machine_.bus().anyInterceptActive(),
                     "intercepts remain after de-virtualization");
 

@@ -36,6 +36,7 @@
 #include "bmcast/params.hh"
 #include "hw/e1000_driver.hh"
 #include "hw/machine.hh"
+#include "netmed/net_mediation_core.hh"
 #include "obs/obs.hh"
 #include "simcore/sim_object.hh"
 #include "store/streamer.hh"
@@ -149,6 +150,8 @@ class Vmm : public sim::SimObject
     BlockBitmap &bitmap() { return *bitmap_; }
     BackgroundCopy &backgroundCopy() { return *copy; }
     DeviceMediator &mediator() { return *mediator_; }
+    /** Shared-NIC mediation core (nullptr on the dedicated path). */
+    netmed::NetMediationCore *netmed() { return netmed_.get(); }
     aoe::AoeInitiator &initiator() { return *aoe_; }
     hw::Machine &machine() { return machine_; }
     const VmmParams &params() const { return params_; }
@@ -248,6 +251,9 @@ class Vmm : public sim::SimObject
 
     std::unique_ptr<hw::MemArena> arena;
     std::unique_ptr<hw::E1000Driver> nicDriver;
+    std::unique_ptr<netmed::NetMediationCore> netmed_;
+    /** Sidecore service timer (exitless netmed fast path). */
+    sim::EventId netmedTimer_{};
     std::unique_ptr<aoe::AoeInitiator> aoe_;
     std::unique_ptr<BlockBitmap> bitmap_;
     std::unique_ptr<DeviceMediator> mediator_;

@@ -14,15 +14,18 @@ CongestionController::CongestionController(CongestionParams p,
     sim::fatalIf(racks == 0, "congestion controller needs racks");
     sim::fatalIf(prm_.linkShare <= 0.0 || prm_.linkShare > 1.0,
                  "deployment link share must be in (0, 1]");
+    sim::fatalIf(prm_.servingShare < 0.0 ||
+                     prm_.linkShare + prm_.servingShare > 1.0,
+                 "deployment + serving shares exceed the link");
     lanes_.resize(racks);
     for (unsigned r = 0; r < racks; ++r) {
         Lane &lane = lanes_[r];
+        double link =
+            topo ? topo->effectiveUplinkBps() : prm_.rackLinkBps;
         if (prm_.deployBudgetBps > 0.0) {
             lane.rackBps =
                 prm_.deployBudgetBps / static_cast<double>(racks);
         } else {
-            double link = topo ? topo->effectiveUplinkBps()
-                               : prm_.rackLinkBps;
             lane.rackBps = prm_.linkShare * link;
         }
         sim::fatalIf(lane.rackBps <= 0.0,
@@ -30,6 +33,16 @@ CongestionController::CongestionController(CongestionParams p,
         lane.tenantBps = prm_.tenantShare > 0.0
                              ? lane.rackBps * prm_.tenantShare
                              : 0.0;
+        // The serving lane is always carved from the physical link,
+        // never from the deployment budget — the whole point is that
+        // the two cannot book each other's capacity.
+        lane.servingBps = prm_.servingShare > 0.0
+                              ? prm_.servingShare * link
+                              : 0.0;
+        lane.servingTenantBps =
+            prm_.servingTenantShare > 0.0
+                ? lane.servingBps * prm_.servingTenantShare
+                : 0.0;
     }
 }
 
@@ -73,6 +86,44 @@ CongestionController::admit(unsigned rack, TenantId tenant,
     return start;
 }
 
+sim::Tick
+CongestionController::admitServing(unsigned rack, TenantId tenant,
+                                   sim::Bytes bytes, sim::Tick now)
+{
+    Lane &lane = lanes_.at(rack);
+    if (lane.servingBps <= 0.0)
+        return now; // no serving contract: unshaped
+    Bucket &tb = lane.servingTenants[tenant];
+
+    double bits = static_cast<double>(bytes) * 8.0;
+    auto lane_ser = static_cast<sim::Tick>(
+        bits / lane.servingBps * static_cast<double>(sim::kSec));
+    sim::Tick tenant_ser =
+        lane.servingTenantBps > 0.0
+            ? static_cast<sim::Tick>(bits / lane.servingTenantBps *
+                                     static_cast<double>(sim::kSec))
+            : lane_ser;
+
+    sim::Tick start = std::max({now, lane.serving.freeAt, tb.freeAt});
+    lane.serving.freeAt = start + lane_ser;
+    tb.freeAt = start + tenant_ser;
+
+    sim::Tick delay = start - now;
+    lane.serving.bytes += bytes;
+    ++lane.serving.grants;
+    lane.serving.delaySum += delay;
+    tb.bytes += bytes;
+    ++tb.grants;
+    tb.delaySum += delay;
+    return start;
+}
+
+double
+CongestionController::servingBps(unsigned rack) const
+{
+    return lanes_.at(rack).servingBps;
+}
+
 sim::Bytes
 CongestionController::grantedBytes(unsigned rack) const
 {
@@ -100,6 +151,18 @@ CongestionController::tenantBytes(unsigned rack,
     return it == lane.tenants.end() ? 0 : it->second.bytes;
 }
 
+sim::Bytes
+CongestionController::servingBytes(unsigned rack) const
+{
+    return lanes_.at(rack).serving.bytes;
+}
+
+sim::Tick
+CongestionController::servingDelay(unsigned rack) const
+{
+    return lanes_.at(rack).serving.delaySum;
+}
+
 void
 CongestionController::publish(obs::Registry &reg,
                               const std::string &prefix) const
@@ -115,6 +178,19 @@ CongestionController::publish(obs::Registry &reg,
             .set(lane.all.delaySum);
         for (const auto &[tenant, b] : lane.tenants) {
             reg.counter(prefix + "congestion.tenant_bytes",
+                        rack + ".t" + std::to_string(tenant))
+                .set(b.bytes);
+        }
+        if (lane.servingBps <= 0.0)
+            continue;
+        reg.counter(prefix + "congestion.serving_bytes", rack)
+            .set(lane.serving.bytes);
+        reg.counter(prefix + "congestion.serving_grants", rack)
+            .set(lane.serving.grants);
+        reg.counter(prefix + "congestion.serving_delay_ns", rack)
+            .set(lane.serving.delaySum);
+        for (const auto &[tenant, b] : lane.servingTenants) {
+            reg.counter(prefix + "congestion.serving_tenant_bytes",
                         rack + ".t" + std::to_string(tenant))
                 .set(b.bytes);
         }

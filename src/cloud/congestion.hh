@@ -60,6 +60,16 @@ struct CongestionParams
     double tenantShare = 0.5;
     /** Rack aggregation capacity used when no topology is attached. */
     double rackLinkBps = 1e9;
+    /**
+     * Fraction of a rack's aggregation capacity reserved for guest
+     * *serving* traffic (the netmed shared-NIC tier draws here). 0 =
+     * no serving lane: admitServing() grants immediately, so nodes
+     * without a serving contract behave exactly as before. When set,
+     * linkShare + servingShare must not exceed 1.
+     */
+    double servingShare = 0.0;
+    /** Per-tenant cap inside the serving lane (0 = no cap). */
+    double servingTenantShare = 0.0;
 };
 
 class CongestionController
@@ -91,6 +101,28 @@ class CongestionController
         };
     }
 
+    /**
+     * Book @p bytes of guest *serving* traffic for (rack, tenant) at
+     * @p now — the netmed tier's draw. Separate lane from deployment:
+     * a deploy storm can never book serving capacity and vice versa.
+     * With servingShare == 0 this returns @p now (unshaped).
+     */
+    sim::Tick admitServing(unsigned rack, TenantId tenant,
+                           sim::Bytes bytes, sim::Tick now);
+
+    /** Serving lane rate for @p rack in bits/sec (0 = unshaped). */
+    double servingBps(unsigned rack) const;
+
+    /** A RateGate over the serving lane, ready to hand to
+     *  netmed::NetMediationCore::setGuestGate(). */
+    RateGate
+    servingGateFor(unsigned rack, TenantId tenant)
+    {
+        return [this, rack, tenant](sim::Bytes bytes, sim::Tick now) {
+            return admitServing(rack, tenant, bytes, now);
+        };
+    }
+
     /** @name Telemetry (read after the run, or from the owning shard) */
     /// @{
     sim::Bytes grantedBytes(unsigned rack) const;
@@ -99,6 +131,10 @@ class CongestionController
     sim::Tick throttleDelay(unsigned rack) const;
     /** Bytes granted to @p tenant in rack @p rack. */
     sim::Bytes tenantBytes(unsigned rack, TenantId tenant) const;
+    /** Serving-lane bytes granted against rack @p rack. */
+    sim::Bytes servingBytes(unsigned rack) const;
+    /** Total issue-delay imposed on rack @p rack's serving flows. */
+    sim::Tick servingDelay(unsigned rack) const;
     /** Snapshot "<prefix>congestion.*" counters into @p reg. */
     void publish(obs::Registry &reg,
                  const std::string &prefix = "") const;
@@ -119,6 +155,11 @@ class CongestionController
         double tenantBps = 0.0;
         Bucket all;
         std::map<TenantId, Bucket> tenants;
+        /** Serving lane (0 bps = unshaped). */
+        double servingBps = 0.0;
+        double servingTenantBps = 0.0;
+        Bucket serving;
+        std::map<TenantId, Bucket> servingTenants;
     };
 
     CongestionParams prm_;

@@ -1,5 +1,6 @@
 #include "hw/e1000_driver.hh"
 
+#include "hw/nic_doorbell.hh"
 #include "simcore/logging.hh"
 
 namespace hw {
@@ -11,8 +12,21 @@ E1000Driver::E1000Driver(sim::EventQueue &eq, std::string name,
                          MemArena &arena, Mode mode_,
                          InterruptController *intc_p,
                          unsigned irq_vector)
+    : E1000Driver(eq, std::move(name), view_, nic_.mmioBase(),
+                  nic_.port().mac(), nic_.port().config().mtu, mem_,
+                  arena, mode_, intc_p, irq_vector)
+{
+}
+
+E1000Driver::E1000Driver(sim::EventQueue &eq, std::string name,
+                         BusView view_, sim::Addr mmio_base,
+                         net::MacAddr mac, sim::Bytes mtu,
+                         PhysMem &mem_, MemArena &arena, Mode mode_,
+                         InterruptController *intc_p,
+                         unsigned irq_vector)
     : sim::SimObject(eq, std::move(name)),
-      view(view_), nic(nic_), mem(mem_), mode(mode_)
+      view(view_), mem(mem_), mode(mode_), base(mmio_base),
+      mac_(mac), mtu_(mtu)
 {
     txRing = arena.alloc(kRingSize * kDescSize, 128);
     rxRing = arena.alloc(kRingSize * kDescSize, 128);
@@ -37,10 +51,17 @@ E1000Driver::~E1000Driver()
 }
 
 void
+E1000Driver::attachDoorbell(sim::Addr page)
+{
+    dbPage = page;
+    // Publish the current tails so the poller's mirrors line up with
+    // the trapped setup writes that already happened.
+    nicdb::init(mem, page, txTail, kRingSize - 1);
+}
+
+void
 E1000Driver::initRings()
 {
-    sim::Addr base = nic.mmioBase();
-
     // Receive ring: hand all but one descriptor to hardware.
     for (unsigned i = 0; i < kRingSize; ++i) {
         sim::Addr desc = rxRing + i * kDescSize;
@@ -73,13 +94,13 @@ E1000Driver::initRings()
 net::MacAddr
 E1000Driver::localMac() const
 {
-    return nic.port().mac();
+    return mac_;
 }
 
 sim::Bytes
 E1000Driver::mtu() const
 {
-    return nic.port().config().mtu;
+    return mtu_;
 }
 
 void
@@ -93,7 +114,6 @@ E1000Driver::sendFrame(net::Frame frame)
 void
 E1000Driver::pumpTx()
 {
-    sim::Addr base = nic.mmioBase();
     bool queued = false;
     while (!txBacklog.empty() && txFree > 1) {
         net::Frame f = std::move(txBacklog.front());
@@ -129,8 +149,12 @@ E1000Driver::pumpTx()
         ++numTx;
         queued = true;
     }
-    if (queued)
-        view.write(IoSpace::Mmio, base + kTdt, txTail, 4);
+    if (queued) {
+        if (dbPage)
+            nicdb::ringTx(mem, dbPage, txTail);
+        else
+            view.write(IoSpace::Mmio, base + kTdt, txTail, 4);
+    }
 }
 
 unsigned
@@ -148,7 +172,6 @@ E1000Driver::poll()
 
     // Deliver received frames.
     unsigned delivered = 0;
-    sim::Addr base = nic.mmioBase();
     while (true) {
         sim::Addr desc = rxRing + rxHead * kDescSize;
         std::uint8_t st = mem.read8(desc + 12);
@@ -176,7 +199,10 @@ E1000Driver::poll()
 
         // Return the descriptor to hardware.
         mem.write8(desc + 12, 0);
-        view.write(IoSpace::Mmio, base + kRdt, rxHead, 4);
+        if (dbPage)
+            nicdb::ringRx(mem, dbPage, rxHead);
+        else
+            view.write(IoSpace::Mmio, base + kRdt, rxHead, 4);
         rxHead = (rxHead + 1) % kRingSize;
 
         ++numRx;
@@ -191,7 +217,11 @@ void
 E1000Driver::serviceIrq()
 {
     // Read-to-clear the cause register, then service both directions.
-    view.read(IoSpace::Mmio, nic.mmioBase() + kIcr, 4);
+    // On the exitless path the causes live in the doorbell page.
+    if (dbPage)
+        nicdb::takeCauses(mem, dbPage);
+    else
+        view.read(IoSpace::Mmio, base + kIcr, 4);
     poll();
 }
 

@@ -41,7 +41,31 @@ class E1000Driver : public sim::SimObject, public net::L2Endpoint
                 E1000Nic &nic, PhysMem &mem, MemArena &arena,
                 Mode mode, InterruptController *intc = nullptr,
                 unsigned irqVector = 0);
+
+    /**
+     * Virtual-window variant (netmed multi-guest): the driver runs
+     * against a register window with no physical device behind it —
+     * the mediation tier virtualizes every register and owns the
+     * identity (@p mac / @p mtu). Interrupt mode hooks @p irqVector,
+     * which the mediation tier raises.
+     */
+    E1000Driver(sim::EventQueue &eq, std::string name, BusView view,
+                sim::Addr mmioBase, net::MacAddr mac, sim::Bytes mtu,
+                PhysMem &mem, MemArena &arena, Mode mode,
+                InterruptController *intc = nullptr,
+                unsigned irqVector = 0);
     ~E1000Driver() override;
+
+    /**
+     * Switch the steady-state doorbells (TDT/RDT writes, ICR reads)
+     * to a shared-memory page (see hw/nic_doorbell.hh): the exitless
+     * fast path. Ring setup has already gone through (trapped) MMIO;
+     * from here on the driver touches the window only if the page is
+     * detached again. The page must be the one the mediation tier
+     * polls for this guest.
+     */
+    void attachDoorbell(sim::Addr page);
+    void detachDoorbell() { dbPage = 0; }
 
     /** @name net::L2Endpoint */
     /// @{
@@ -71,9 +95,12 @@ class E1000Driver : public sim::SimObject, public net::L2Endpoint
     void serviceIrq();
 
     BusView view;
-    E1000Nic &nic;
     PhysMem &mem;
     Mode mode;
+    sim::Addr base = 0;      //!< register window this driver programs
+    net::MacAddr mac_ = 0;
+    sim::Bytes mtu_ = 1500;
+    sim::Addr dbPage = 0;    //!< doorbell page (0 = trapped MMIO)
     InterruptController *intc = nullptr;
     unsigned irqVector = 0;
     InterruptController::HandlerId irqHandler = 0;

@@ -81,6 +81,30 @@ IoBus::anyInterceptActive() const
 }
 
 std::uint64_t
+IoBus::interceptedIn(IoSpace space, sim::Addr base,
+                     sim::Addr size) const
+{
+    const auto &m = space == IoSpace::Pio ? pio : mmio;
+    std::uint64_t n = 0;
+    for (const auto &[b, r] : m)
+        if (r.base < base + size && base < r.base + r.size)
+            n += r.numIntercepted;
+    return n;
+}
+
+std::uint64_t
+IoBus::guestAccessesIn(IoSpace space, sim::Addr base,
+                       sim::Addr size) const
+{
+    const auto &m = space == IoSpace::Pio ? pio : mmio;
+    std::uint64_t n = 0;
+    for (const auto &[b, r] : m)
+        if (r.base < base + size && base < r.base + r.size)
+            n += r.numGuestAccesses;
+    return n;
+}
+
+std::uint64_t
 IoBus::deviceRead(Range &r, sim::Addr addr, unsigned size)
 {
     if (!r.dev.read)
@@ -105,8 +129,10 @@ IoBus::guestRead(IoSpace space, sim::Addr addr, unsigned size)
         // Reads from unmapped I/O space float high, as on real x86.
         return ~0ULL;
     }
+    ++r->numGuestAccesses;
     if (r->interceptor) {
         ++numIntercepted;
+        ++r->numIntercepted;
         if (exitSink)
             exitSink->ioExit(space, addr, false);
         std::uint64_t value = 0;
@@ -124,8 +150,10 @@ IoBus::guestWrite(IoSpace space, sim::Addr addr, std::uint64_t value,
     Range *r = findRange(space, addr);
     if (!r)
         return;
+    ++r->numGuestAccesses;
     if (r->interceptor) {
         ++numIntercepted;
+        ++r->numIntercepted;
         if (exitSink)
             exitSink->ioExit(space, addr, true);
         if (r->interceptor->interceptWrite(addr, value, size))

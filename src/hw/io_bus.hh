@@ -120,6 +120,18 @@ class IoBus
     /** Guest accesses that caused a VM exit. */
     std::uint64_t interceptedAccesses() const { return numIntercepted; }
 
+    /**
+     * Intercepted guest accesses (VM exits) attributable to device
+     * ranges overlapping [base, base+size) — the per-window cut the
+     * exit-rate benches use to separate NIC-mediation exits from
+     * storage-mediation exits on the same bus.
+     */
+    std::uint64_t interceptedIn(IoSpace space, sim::Addr base,
+                                sim::Addr size) const;
+    /** Total guest accesses landing in the window (exiting or not). */
+    std::uint64_t guestAccessesIn(IoSpace space, sim::Addr base,
+                                  sim::Addr size) const;
+
   private:
     struct Range
     {
@@ -127,6 +139,8 @@ class IoBus
         sim::Addr size;
         IoDevice dev;
         IoInterceptor *interceptor = nullptr;
+        std::uint64_t numIntercepted = 0;
+        std::uint64_t numGuestAccesses = 0;
     };
 
     Range *findRange(IoSpace space, sim::Addr addr);

@@ -178,23 +178,48 @@ E1000Nic::processTx()
         // payload bytes, carried in the descriptor's special field.
         frame.padding = sim::Bytes(special) << 3;
 
-        port_.send(std::move(frame));
-        ++numTx;
+        auto finish = [this, desc, cmd, count2](net::Frame f) {
+            port_.send(std::move(f));
+            ++numTx;
 
-        // Write back DD and advance head.
-        mem.write8(desc + 12,
-                   static_cast<std::uint8_t>(mem.read8(desc + 12) |
-                                             kDescDd));
-        tdh = (tdh + 1) % count2;
-        if (cmd & kTxCmdRs)
-            raiseIrq(kIcrTxdw);
-        processTx();
+            // Write back DD and advance head.
+            mem.write8(desc + 12, static_cast<std::uint8_t>(
+                                      mem.read8(desc + 12) |
+                                      kDescDd));
+            tdh = (tdh + 1) % count2;
+            if (cmd & kTxCmdRs)
+                raiseIrq(kIcrTxdw);
+            processTx();
+        };
+
+        // Software-passthrough pacing: the tap books the frame on its
+        // budget and the descriptor completes only once the frame may
+        // hit the wire.
+        if (txTap) {
+            sim::Tick allowed = txTap(frame, now());
+            if (allowed > now()) {
+                txInProgress = true;
+                schedule(allowed - now(),
+                         [this, finish,
+                          frame = std::move(frame)]() mutable {
+                             txInProgress = false;
+                             finish(std::move(frame));
+                         });
+                return;
+            }
+        }
+        finish(std::move(frame));
     });
 }
 
 void
 E1000Nic::onFrame(const net::Frame &frame)
 {
+    if (rxTap && rxTap(frame)) {
+        // Steered away (the VMM's traffic); the rings never see it.
+        ++numRxSteered;
+        return;
+    }
     if (!(rctl & kRctlEn)) {
         ++numRxDropped;
         return;

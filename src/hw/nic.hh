@@ -19,6 +19,7 @@
 #define HW_NIC_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "hw/interrupts.hh"
@@ -96,6 +97,26 @@ class E1000Nic : public sim::SimObject
     net::Port &port() { return port_; }
     sim::Addr mmioBase() const { return base; }
 
+    /**
+     * @name Software-passthrough taps (netmed tier).
+     * The taps are the only mediation the VMM retains when a guest
+     * owns the real rings: the TX tap paces an outgoing frame (it
+     * returns the earliest tick the frame may hit the wire — a
+     * token-bucket admit, charged exactly once per frame), the RX tap
+     * may consume an incoming frame before the rings see it (steering
+     * the VMM's own traffic away from the guest). Unset taps leave
+     * the device bit-identical to the tap-less model.
+     */
+    /// @{
+    using TxTap = std::function<sim::Tick(const net::Frame &,
+                                          sim::Tick now)>;
+    using RxTap = std::function<bool(const net::Frame &)>;
+    void setTxTap(TxTap t) { txTap = std::move(t); }
+    void setRxTap(RxTap t) { rxTap = std::move(t); }
+    /** Frames the RX tap consumed (steered to the VMM). */
+    std::uint64_t rxSteered() const { return numRxSteered; }
+    /// @}
+
     std::uint64_t framesTransmitted() const { return numTx; }
     std::uint64_t framesReceived() const { return numRx; }
     std::uint64_t rxDropped() const { return numRxDropped; }
@@ -127,9 +148,13 @@ class E1000Nic : public sim::SimObject
 
     bool txInProgress = false;
 
+    TxTap txTap;
+    RxTap rxTap;
+
     std::uint64_t numTx = 0;
     std::uint64_t numRx = 0;
     std::uint64_t numRxDropped = 0;
+    std::uint64_t numRxSteered = 0;
 };
 
 } // namespace hw

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Shared-memory NIC doorbell page (the exitless fast path's guest/VMM
+ * rendezvous, after Kedia & Bansal's software passthrough and the
+ * paper's §6 shared-NIC sketch).
+ *
+ * In trapping mediation every tail-pointer write and every ICR read
+ * is a VM exit. The doorbell page moves exactly those three
+ * steady-state touches into ordinary memory:
+ *
+ *   guest -> VMM:  kTxTail  (the guest's TDT value)
+ *                  kRxTail  (the guest's RDT value)
+ *   VMM -> guest:  kIcr     (pending interrupt causes, OR-accumulated
+ *                            by the VMM, cleared by the guest's ISR)
+ *
+ * Ring *setup* (base/len/head registers, RCTL/TCTL) still goes
+ * through trapped MMIO — a handful of exits at driver init — so the
+ * mediation layer learns the ring geometry without any new protocol.
+ * A VMM poll loop (the sidecore) compares the page's tails against
+ * its mirrors; nothing here generates events or takes simulated
+ * time, so an unattached page is exactly absent.
+ */
+
+#ifndef HW_NIC_DOORBELL_HH
+#define HW_NIC_DOORBELL_HH
+
+#include "hw/phys_mem.hh"
+#include "simcore/types.hh"
+
+namespace hw {
+namespace nicdb {
+
+/** Page layout (word offsets). */
+constexpr sim::Addr kTxTail = 0x00; //!< guest-owned: TDT
+constexpr sim::Addr kRxTail = 0x04; //!< guest-owned: RDT
+constexpr sim::Addr kIcr = 0x08;    //!< VMM sets causes, guest clears
+constexpr sim::Bytes kPageSize = 64;
+
+/** Initialize a fresh page to a known state. */
+inline void
+init(PhysMem &mem, sim::Addr page, std::uint32_t tx_tail,
+     std::uint32_t rx_tail)
+{
+    mem.write32(page + kTxTail, tx_tail);
+    mem.write32(page + kRxTail, rx_tail);
+    mem.write32(page + kIcr, 0);
+}
+
+/** Guest side: ring a tail doorbell (plain store, no exit). */
+inline void
+ringTx(PhysMem &mem, sim::Addr page, std::uint32_t tail)
+{
+    mem.write32(page + kTxTail, tail);
+}
+
+inline void
+ringRx(PhysMem &mem, sim::Addr page, std::uint32_t tail)
+{
+    mem.write32(page + kRxTail, tail);
+}
+
+/** VMM side: read the guest's tails. */
+inline std::uint32_t
+txTail(PhysMem &mem, sim::Addr page)
+{
+    return mem.read32(page + kTxTail);
+}
+
+inline std::uint32_t
+rxTail(PhysMem &mem, sim::Addr page)
+{
+    return mem.read32(page + kRxTail);
+}
+
+/** VMM side: post interrupt causes for the guest's ISR. */
+inline void
+postCause(PhysMem &mem, sim::Addr page, std::uint32_t cause)
+{
+    mem.write32(page + kIcr, mem.read32(page + kIcr) | cause);
+}
+
+/** Guest ISR: consume the pending causes (read-to-clear). */
+inline std::uint32_t
+takeCauses(PhysMem &mem, sim::Addr page)
+{
+    std::uint32_t v = mem.read32(page + kIcr);
+    mem.write32(page + kIcr, 0);
+    return v;
+}
+
+} // namespace nicdb
+} // namespace hw
+
+#endif // HW_NIC_DOORBELL_HH

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * GuestPort over the e1000 register file.
+ *
+ * Two window flavours:
+ *  - The *real* window: the physical NIC's own MMIO range. Register
+ *    accesses the port does not virtualize fall through to the
+ *    device, exactly as the original single-guest mediator behaved.
+ *  - A *virtual* window: a register range with no device behind it,
+ *    used to give additional guests their own NIC. The port registers
+ *    a stub device (link-up STATUS, zeroes elsewhere) and virtualizes
+ *    everything.
+ *
+ * Trap mode intercepts every access. Exitless mode still intercepts —
+ * ring setup is a handful of boot-time exits — but the steady-state
+ * doorbells (TDT/RDT/ICR) travel through a shared-memory page the
+ * core folds in via syncDoorbell(); a guest driver that has attached
+ * the page never exits on the data path.
+ */
+
+#ifndef NETMED_E1000_GUEST_PORT_HH
+#define NETMED_E1000_GUEST_PORT_HH
+
+#include <string>
+
+#include "hw/interrupts.hh"
+#include "hw/io_bus.hh"
+#include "hw/phys_mem.hh"
+#include "netmed/guest_port.hh"
+#include "netmed/types.hh"
+
+namespace netmed {
+
+/** e1000-flavoured guest attachment. */
+class E1000GuestPort : public GuestPort, public hw::IoInterceptor
+{
+  public:
+    /**
+     * @param windowBase  the register window to virtualize.
+     * @param virtualWindow  true when no device backs the window.
+     * @param doorbell  exitless doorbell page (0 = trapped doorbells).
+     * @param intc  when set, interrupt causes are delivered as virtual
+     *              IRQs on @p irqVector; when null the physical NIC's
+     *              interrupt is assumed to reach the guest (the
+     *              single-guest trap configuration).
+     */
+    E1000GuestPort(std::string name, hw::IoBus &bus, hw::PhysMem &mem,
+                   sim::Addr windowBase, bool virtualWindow,
+                   MedMode mode, sim::Addr doorbell,
+                   hw::InterruptController *intc, unsigned irqVector);
+
+    /** @name GuestPort */
+    /// @{
+    void attach(GuestPortHooks hooks) override;
+    void detach() override;
+    bool syncDoorbell() override;
+    sim::Bytes peekTxWire() override;
+    bool takeTx(net::Frame &frame) override;
+    bool deliverRx(const net::Frame &frame) override;
+    void postTxCause() override;
+    void postRxCause() override;
+    GuestRingState rings() const override;
+    sim::Addr doorbellPage() const override { return dbPage; }
+    /// @}
+
+    /** @name hw::IoInterceptor (guest register accesses) */
+    /// @{
+    bool interceptRead(sim::Addr addr, unsigned size,
+                       std::uint64_t &value) override;
+    bool interceptWrite(sim::Addr addr, std::uint64_t value,
+                        unsigned size) override;
+    /// @}
+
+    sim::Addr windowBase() const { return base; }
+
+  private:
+    void postCause(std::uint32_t cause);
+
+    std::string name_;
+    hw::IoBus &bus;
+    hw::PhysMem &mem;
+    sim::Addr base;
+    bool virtualWindow;
+    MedMode mode;
+    sim::Addr dbPage;
+    hw::InterruptController *intc;
+    unsigned irqVector;
+
+    bool deviceAdded = false;
+    bool attached = false;
+    GuestPortHooks hooks_;
+
+    GuestRingState g;
+};
+
+} // namespace netmed
+
+#endif // NETMED_E1000_GUEST_PORT_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * RingPort over the e1000-class NIC model: VMM-owned shadow rings,
+ * programmed through direct (non-exiting) register writes.
+ */
+
+#ifndef NETMED_E1000_RING_PORT_HH
+#define NETMED_E1000_RING_PORT_HH
+
+#include "hw/io_bus.hh"
+#include "hw/mem_arena.hh"
+#include "hw/nic.hh"
+#include "hw/phys_mem.hh"
+#include "netmed/ring_port.hh"
+#include "netmed/types.hh"
+
+namespace netmed {
+
+/** Shadow-ring port for hw::E1000Nic. */
+class E1000RingPort : public RingPort
+{
+  public:
+    /**
+     * Shadow ring/buffer memory comes from @p vmmArena.
+     * @p mode picks the interrupt policy applied by take(): Trap
+     * leaves the physical IRQ armed (it drives the guest's ISR, whose
+     * intercepted ICR read is the sync point); Exitless masks it (a
+     * sidecore polls).
+     */
+    E1000RingPort(hw::IoBus &bus, hw::PhysMem &mem, hw::E1000Nic &nic,
+                  hw::MemArena &vmmArena, MedMode mode);
+
+    void take() override;
+    void release(const GuestRingState &g) override;
+    unsigned reapTx() override;
+    unsigned txFree() override;
+    bool txPush(const net::Frame &frame) override;
+    bool rxPop(net::Frame &frame) override;
+    net::MacAddr mac() const override;
+    sim::Bytes mtu() const override;
+
+    hw::E1000Nic &nic() { return nic_; }
+
+    static constexpr unsigned kShadowSize = 128;
+    static constexpr sim::Bytes kBufSize = 2048;
+
+  private:
+    hw::BusView vmmView;
+    hw::PhysMem &mem;
+    hw::E1000Nic &nic_;
+    MedMode mode;
+
+    sim::Addr sTxRing = 0;
+    sim::Addr sRxRing = 0;
+    sim::Addr sTxBufs = 0;
+    sim::Addr sRxBufs = 0;
+    unsigned sTxTail = 0;
+    unsigned sTxClean = 0;
+    unsigned sRxHead = 0;
+};
+
+} // namespace netmed
+
+#endif // NETMED_E1000_RING_PORT_HH

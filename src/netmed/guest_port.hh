@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The guest-side contract of the mediation tier: one GuestPort per
+ * guest, owning that guest's virtualized ring-register file and the
+ * machinery to move frames between it and the core.
+ *
+ * The port is passive: it never touches the physical NIC. The core
+ * drives it — pulling queued TX frames (peekTxWire/takeTx, so QoS can
+ * inspect a frame's wire cost before committing to it), pushing RX
+ * frames (deliverRx), and posting interrupt causes. The port calls
+ * back into the core only through the two hooks, from intercepted
+ * guest accesses.
+ */
+
+#ifndef NETMED_GUEST_PORT_HH
+#define NETMED_GUEST_PORT_HH
+
+#include <functional>
+
+#include "net/frame.hh"
+#include "netmed/ring_port.hh"
+
+namespace netmed {
+
+/** Core-provided callbacks, invoked from guest register accesses. */
+struct GuestPortHooks
+{
+    /** The guest rang its TX doorbell (trap mode only). */
+    std::function<void()> txKick;
+    /** The guest entered its ISR (trap-mode ICR read): sync RX now. */
+    std::function<void()> rxSync;
+};
+
+/** One guest's attachment point. */
+class GuestPort
+{
+  public:
+    virtual ~GuestPort() = default;
+
+    /** Begin virtualizing the guest's register window. */
+    virtual void attach(GuestPortHooks hooks) = 0;
+
+    /** Stop virtualizing (de-virtualization or teardown). */
+    virtual void detach() = 0;
+
+    /**
+     * Exitless mode: fold the doorbell page into the virtual register
+     * state. @return true if the TX tail moved (work to pump).
+     */
+    virtual bool syncDoorbell() = 0;
+
+    /**
+     * Wire size of the next queued TX frame, 0 when none. The frame
+     * stays queued until takeTx() — QoS admission happens in between.
+     */
+    virtual sim::Bytes peekTxWire() = 0;
+
+    /** Dequeue the next TX frame and complete its guest descriptor. */
+    virtual bool takeTx(net::Frame &frame) = 0;
+
+    /** Copy @p frame into the guest's RX ring; false = not ready. */
+    virtual bool deliverRx(const net::Frame &frame) = 0;
+
+    /** Post TX-done / RX interrupt causes toward the guest. */
+    virtual void postTxCause() = 0;
+    virtual void postRxCause() = 0;
+
+    /** Snapshot of the virtual register file (for RingPort::release). */
+    virtual GuestRingState rings() const = 0;
+
+    /** Exitless doorbell page address (0 = trapped doorbells). */
+    virtual sim::Addr doorbellPage() const = 0;
+};
+
+} // namespace netmed
+
+#endif // NETMED_GUEST_PORT_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The ring-port abstraction: netmed's contract with a physical NIC.
+ *
+ * A RingPort owns the device's real descriptor rings while mediation
+ * is installed (pointing them at VMM shadow memory) and exposes them
+ * as a frame-granular push/pop interface, so NetMediationCore never
+ * touches controller registers. This mirrors what MediationCore's
+ * ControllerPort did for storage: one core, per-adapter ports.
+ *
+ * Contract:
+ *  - take() may be called once per install; the device is reprogrammed
+ *    onto shadow rings and its interrupt policy set for the mode.
+ *  - release() restores a guest-visible ring configuration verbatim;
+ *    the caller decides what that state is (for a seamless handover
+ *    the TX tail is the guest's *head*, because every frame the guest
+ *    queued has already been pumped through the shadow path).
+ *  - txPush/rxPop never block: a full TX ring fails the push, an
+ *    empty RX ring fails the pop. reapTx() reclaims completed TX
+ *    descriptors and must be called periodically.
+ */
+
+#ifndef NETMED_RING_PORT_HH
+#define NETMED_RING_PORT_HH
+
+#include <cstdint>
+
+#include "net/frame.hh"
+#include "simcore/types.hh"
+
+namespace netmed {
+
+/** A guest's virtualized e1000-style ring-register file. */
+struct GuestRingState
+{
+    std::uint32_t tdbal = 0, tdlen = 0, tdh = 0, tdt = 0;
+    std::uint32_t rdbal = 0, rdlen = 0, rdh = 0, rdt = 0;
+    std::uint32_t rctl = 0, tctl = 0, ims = 0, icr = 0;
+};
+
+/** The physical side of the mediation tier. */
+class RingPort
+{
+  public:
+    virtual ~RingPort() = default;
+
+    /** Seize the device: program shadow rings, set IRQ policy. */
+    virtual void take() = 0;
+
+    /** Hand the device back, programmed with @p g. */
+    virtual void release(const GuestRingState &g) = 0;
+
+    /** Reclaim completed shadow TX descriptors. @return count. */
+    virtual unsigned reapTx() = 0;
+
+    /** Shadow TX descriptors currently available. */
+    virtual unsigned txFree() = 0;
+
+    /** Copy @p frame into the shadow TX ring and ring the doorbell. */
+    virtual bool txPush(const net::Frame &frame) = 0;
+
+    /** Pop one completed shadow RX descriptor into @p frame. */
+    virtual bool rxPop(net::Frame &frame) = 0;
+
+    /** Station identity of the underlying device. */
+    virtual net::MacAddr mac() const = 0;
+    virtual sim::Bytes mtu() const = 0;
+};
+
+} // namespace netmed
+
+#endif // NETMED_RING_PORT_HH

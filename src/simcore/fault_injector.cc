@@ -28,6 +28,8 @@ faultSiteName(FaultSite site)
       case FaultSite::RackRecover: return "rack.recover";
       case FaultSite::MigrateStreamDrop: return "migrate.stream_drop";
       case FaultSite::MigrateDestCrash: return "migrate.dest_crash";
+      case FaultSite::NicRingStall: return "nic.ring_stall";
+      case FaultSite::NicFrameDrop: return "nic.frame_drop";
       case FaultSite::kCount: break;
     }
     return "?";

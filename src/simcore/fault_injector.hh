@@ -54,6 +54,8 @@ enum class FaultSite : unsigned {
     RackRecover, ///< Derived: an out rack rejoined the pool.
     MigrateStreamDrop, ///< A pre-copy round's stream is lost mid-flight.
     MigrateDestCrash,  ///< Destination node dies at the handoff point.
+    NicRingStall, ///< NIC mediation poll/reap freezes for `magnitude`.
+    NicFrameDrop, ///< A mediated frame is dropped at the copy point.
     kCount
 };
 

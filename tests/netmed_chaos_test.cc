@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Fault injection on the shared-NIC mediation tier: the
+ * nic.ring_stall and nic.frame_drop sites are seed-deterministic,
+ * recoverable (upper layers retry, service resumes), and — the
+ * determinism contract — draw nothing when unarmed, leaving runs
+ * bit-identical to injector-less ones.
+ */
+
+#include <gtest/gtest.h>
+
+#include "aoe/initiator.hh"
+#include "aoe/protocol.hh"
+#include "aoe/server.hh"
+#include "hw/e1000_driver.hh"
+#include "hw/machine.hh"
+#include "hw/nic_doorbell.hh"
+#include "netmed/net_mediation_core.hh"
+#include "simcore/fault_injector.hh"
+#include "tests/test_util.hh"
+
+using namespace testutil;
+
+namespace {
+
+constexpr net::MacAddr kPeerMac = 0x42;
+
+/** Single-guest mediated world (same shape as netmed_test.cc). */
+struct ChaosWorld
+{
+    explicit ChaosWorld(netmed::MedMode mode)
+        : mode(mode), lan(eq, "lan", 4 * sim::kUs, 42),
+          sport(lan.attach(kServerMac, {1e9, 9000, 0.0})),
+          server(eq, "server", sport)
+    {
+        server.addTarget(0, 0, 1 << 20, kImageBase);
+        hw::MachineConfig mc;
+        mc.name = "m";
+        machine = std::make_unique<hw::Machine>(eq, mc, lan,
+                                                kGuestMac, lan,
+                                                kMgmtMac);
+        vmmArena = std::make_unique<hw::MemArena>(0x78000000,
+                                                  128 * sim::kMiB);
+        guestArena = std::make_unique<hw::MemArena>(32 * sim::kMiB,
+                                                    128 * sim::kMiB);
+        core = std::make_unique<netmed::NetMediationCore>(
+            eq, "netmed", machine->bus(), machine->mem(),
+            machine->guestNic(), *vmmArena, mode, aoe::kEtherType);
+        netmed::NetMediationCore::GuestConfig g0;
+        if (mode == netmed::MedMode::Exitless) {
+            g0.doorbell = vmmArena->alloc(hw::nicdb::kPageSize, 64);
+            g0.intc = &machine->intc();
+            g0.irqVector = hw::kGuestNicIrq;
+        }
+        core->addGuest(g0);
+        core->install();
+        guestDrv = std::make_unique<hw::E1000Driver>(
+            eq, "gdrv", hw::BusView(machine->bus(), true),
+            machine->guestNic(), machine->mem(), *guestArena,
+            hw::E1000Driver::Mode::Interrupt, &machine->intc(),
+            hw::kGuestNicIrq);
+        if (mode == netmed::MedMode::Exitless)
+            guestDrv->attachDoorbell(
+                core->guestPort(0).doorbellPage());
+        pollLoop();
+    }
+
+    void
+    pollLoop()
+    {
+        core->poll();
+        eq.schedule(100 * sim::kUs, [this]() { pollLoop(); });
+    }
+
+    netmed::MedMode mode;
+    sim::EventQueue eq;
+    net::Network lan;
+    net::Port &sport;
+    aoe::AoeServer server;
+    std::unique_ptr<hw::Machine> machine;
+    std::unique_ptr<hw::MemArena> vmmArena, guestArena;
+    std::unique_ptr<netmed::NetMediationCore> core;
+    std::unique_ptr<hw::E1000Driver> guestDrv;
+};
+
+net::Frame
+testFrame(net::MacAddr dst, std::vector<std::uint8_t> payload)
+{
+    net::Frame f;
+    f.dst = dst;
+    f.etherType = 0x88B5;
+    f.payload = std::move(payload);
+    return f;
+}
+
+TEST(NetmedChaos, RingStallRecoversViaAoeRetry)
+{
+    ChaosWorld w(netmed::MedMode::Trap);
+    sim::FaultInjector fi(7);
+    sim::SitePlan stall;
+    stall.fireOn = {1};
+    stall.magnitude = 200 * sim::kMs; // > the AoE minimum timeout
+    fi.arm(sim::FaultSite::NicRingStall, stall);
+    w.core->setFaultInjector(&fi);
+
+    aoe::AoeInitiator init(w.eq, "aoe", *w.core, kServerMac);
+    std::vector<std::uint64_t> got;
+    init.readSectors(16, 16, [&](const auto &t) { got = t; });
+    ASSERT_TRUE(runUntil(w.eq, 30 * sim::kSec,
+                         [&]() { return !got.empty(); }));
+    for (std::uint32_t i = 0; i < 16; ++i)
+        EXPECT_EQ(got[i], hw::sectorToken(kImageBase, 16 + i));
+    EXPECT_EQ(w.core->stats().ringStalls, 1u);
+    EXPECT_EQ(fi.triggers(sim::FaultSite::NicRingStall), 1u);
+
+    // Service resumed: guest traffic still flows after the stall.
+    net::Port &peer = w.lan.attach(kPeerMac);
+    unsigned peer_rx = 0;
+    peer.onReceive([&](const net::Frame &) { ++peer_rx; });
+    w.guestDrv->sendFrame(testFrame(kPeerMac, {1}));
+    ASSERT_TRUE(runUntil(w.eq, 1 * sim::kSec,
+                         [&]() { return peer_rx == 1; }));
+}
+
+TEST(NetmedChaos, FrameDropLosesOneFrameServiceContinues)
+{
+    ChaosWorld w(netmed::MedMode::Exitless);
+    sim::FaultInjector fi(7);
+    sim::SitePlan drop;
+    drop.fireOn = {1};
+    fi.arm(sim::FaultSite::NicFrameDrop, drop);
+    w.core->setFaultInjector(&fi);
+
+    net::Port &peer = w.lan.attach(kPeerMac);
+    unsigned peer_rx = 0;
+    peer.onReceive([&](const net::Frame &) { ++peer_rx; });
+    for (int i = 0; i < 5; ++i)
+        w.guestDrv->sendFrame(
+            testFrame(kPeerMac, {std::uint8_t(i)}));
+    runUntil(w.eq, w.eq.now() + 1 * sim::kSec,
+             [&]() { return false; });
+    // Exactly one frame was lost at the copy point; the rest flowed.
+    EXPECT_EQ(peer_rx, 4u);
+    EXPECT_EQ(w.core->stats().injectedDrops, 1u);
+    EXPECT_EQ(fi.triggers(sim::FaultSite::NicFrameDrop), 1u);
+
+    // The sender recovers by retrying: the next send goes through.
+    w.guestDrv->sendFrame(testFrame(kPeerMac, {9}));
+    ASSERT_TRUE(runUntil(w.eq, w.eq.now() + 1 * sim::kSec,
+                         [&]() { return peer_rx == 5; }));
+}
+
+/** Fingerprint of one fixed traffic scenario. */
+struct Trace
+{
+    std::vector<sim::Tick> peerRxAt;
+    std::vector<sim::Tick> guestRxAt;
+    sim::Tick fetchDoneAt = 0;
+    std::uint64_t guestTx = 0, guestRx = 0;
+    std::uint64_t vmmTx = 0, vmmRx = 0, copies = 0;
+
+    bool
+    operator==(const Trace &o) const
+    {
+        return peerRxAt == o.peerRxAt && guestRxAt == o.guestRxAt &&
+               fetchDoneAt == o.fetchDoneAt &&
+               guestTx == o.guestTx && guestRx == o.guestRx &&
+               vmmTx == o.vmmTx && vmmRx == o.vmmRx &&
+               copies == o.copies;
+    }
+};
+
+Trace
+runScenario(bool attachUnarmedInjector)
+{
+    ChaosWorld w(netmed::MedMode::Exitless);
+    sim::FaultInjector fi(7); // constructed, but nothing armed
+    if (attachUnarmedInjector)
+        w.core->setFaultInjector(&fi);
+
+    Trace t;
+    net::Port &peer = w.lan.attach(kPeerMac);
+    peer.onReceive([&](const net::Frame &) {
+        t.peerRxAt.push_back(w.eq.now());
+    });
+    w.guestDrv->setRxHandler([&](const net::Frame &) {
+        t.guestRxAt.push_back(w.eq.now());
+    });
+    aoe::AoeInitiator init(w.eq, "aoe", *w.core, kServerMac);
+    init.readSectors(0, 64,
+                     [&](const auto &) { t.fetchDoneAt = w.eq.now(); });
+    for (int i = 0; i < 10; ++i)
+        w.guestDrv->sendFrame(
+            testFrame(kPeerMac,
+                      std::vector<std::uint8_t>(100, std::uint8_t(i))));
+    for (int i = 0; i < 5; ++i)
+        peer.send(
+            testFrame(kGuestMac,
+                      std::vector<std::uint8_t>(60, std::uint8_t(i))));
+    runUntil(w.eq, w.eq.now() + 2 * sim::kSec, [&]() { return false; });
+
+    const netmed::NetMedStats &s = w.core->stats();
+    t.guestTx = s.guestTx;
+    t.guestRx = s.guestRx;
+    t.vmmTx = s.vmmTx;
+    t.vmmRx = s.vmmRx;
+    t.copies = s.copies;
+    EXPECT_EQ(t.peerRxAt.size(), 10u);
+    EXPECT_EQ(t.guestRxAt.size(), 5u);
+    EXPECT_GT(t.fetchDoneAt, 0u);
+    return t;
+}
+
+TEST(NetmedChaos, UnarmedInjectorIsBitIdentical)
+{
+    Trace without = runScenario(false);
+    Trace with = runScenario(true);
+    EXPECT_TRUE(without == with)
+        << "an attached-but-unarmed injector perturbed the run";
+}
+
+} // namespace
