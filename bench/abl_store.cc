@@ -76,6 +76,21 @@ regionConfig(unsigned machines, bool store_on)
     cfg.guestTemplate.boot.cpuTotal = 500 * sim::kMs;
     cfg.guestTemplate.boot.regionBytes = 8 * sim::kMiB;
     cfg.store.enabled = store_on;
+    // BMCAST_CODE=flat-rs | lrc | hitchhiker swaps the stripe
+    // algebra without a recompile; LRC widens the stripe (local
+    // parities ride on top of the globals), so grow the seed pool to
+    // fit the code's width.
+    cfg.store.code =
+        bench::envCodeKind("BMCAST_CODE", store::ec::CodeKind::FlatRs);
+    const unsigned width =
+        store::ec::makeCode(cfg.store.code,
+                            store::ec::CodeParams{
+                                cfg.store.dataShards,
+                                cfg.store.parityShards,
+                                cfg.store.lrcGroups,
+                                cfg.store.decodePenalty})
+            ->width();
+    cfg.store.seedServers = std::max(cfg.store.seedServers, width);
     return cfg;
 }
 
@@ -191,7 +206,10 @@ main(int argc, char **argv)
         "peer-assisted streaming");
     std::cout << "image: " << image_bytes / sim::kMiB << " MiB"
               << (smoke ? " (smoke)" : "") << ", arrival stagger: "
-              << sim::toSeconds(kArrivalStagger) << " s\n";
+              << sim::toSeconds(kArrivalStagger) << " s, code: "
+              << store::ec::codeKindName(bench::envCodeKind(
+                     "BMCAST_CODE", store::ec::CodeKind::FlatRs))
+              << "\n";
 
     // Fleet sizes come from the environment (BMCAST_NODES=16,32,...)
     // so storm sweeps need no recompile.

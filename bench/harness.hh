@@ -35,6 +35,7 @@
 #include "obs/obs.hh"
 #include "obs/run_report.hh"
 #include "simcore/table.hh"
+#include "store/ec/code.hh"
 
 namespace bench {
 
@@ -307,6 +308,23 @@ envUnsigned(const char *name, unsigned def)
     if (*p != '\0')
         envBad(name, v, "trailing junk after the number");
     return parsed;
+}
+
+/** Coding-plan knob: BMCAST_CODE=flat-rs | lrc | hitchhiker picks
+ *  the store tier's erasure code. Junk is fatal (exit 2) under the
+ *  same corrupted-trajectory rule as the numeric knobs. */
+inline store::ec::CodeKind
+envCodeKind(const char *name, store::ec::CodeKind def)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return def;
+    if (auto kind = store::ec::parseCodeKind(v))
+        return *kind;
+    std::cerr << "bad " << name << "=\"" << v
+              << "\": unknown code (expected flat-rs | lrc | "
+                 "hitchhiker)\n";
+    std::exit(2);
 }
 
 /** Comma-separated unsigned list knob (BMCAST_SHARDS=1,2,4,8).

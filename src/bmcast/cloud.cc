@@ -66,6 +66,18 @@ Cloud::Cloud(sim::EventQueue &eq, std::string name, CloudConfig config)
         congestion_ = std::make_unique<cloud::CongestionController>(
             cfg.congestion, cfg.racks, topo_.get());
     }
+    if (fabric_ && cfg.store.repair.enabled) {
+        // Seed-pool lifecycle: the background healer that rebuilds
+        // lost stripe members onto live pool members.  Its bytes
+        // draw the Scavenger lane (seed servers sit at the core;
+        // rack 0's lane stands in for the region).
+        repair_ = std::make_unique<store::RepairScheduler>(
+            eq, this->name() + ".repair", *fabric_,
+            cfg.store.repair);
+        if (congestion_)
+            repair_->setRateGate(congestion_->scavengerGateFor(0, 0));
+        repair_->start();
+    }
     // The port conversion must happen here (the base is private).
     cloud::ProvisionerPort &port = *this;
     plane_ = std::make_unique<cloud::ControlPlane>(
@@ -161,6 +173,8 @@ Cloud::setFaultInjector(sim::FaultInjector *fi)
         m->setFaultInjector(fi);
     if (fabric_)
         fabric_->setFaultInjector(fi);
+    if (repair_)
+        repair_->setFaultInjector(fi);
 }
 
 Instance *

@@ -41,6 +41,7 @@
 #include "net/topology.hh"
 #include "simcore/sim_object.hh"
 #include "store/fabric.hh"
+#include "store/repair_scheduler.hh"
 
 namespace bmcast {
 
@@ -241,6 +242,9 @@ class Cloud : public sim::SimObject, private cloud::ProvisionerPort
     }
     /** The store fabric (nullptr when the store tier is disabled). */
     store::StoreFabric *storeFabric() { return fabric_.get(); }
+    /** The background stripe healer (nullptr unless the store tier
+     *  and its repair knob are both enabled). */
+    store::RepairScheduler *repairScheduler() { return repair_.get(); }
     /** Wire chaos into the LAN, the seed servers, every machine and
      *  the store fabric's peer exporters. */
     void setFaultInjector(sim::FaultInjector *fi);
@@ -295,6 +299,7 @@ class Cloud : public sim::SimObject, private cloud::ProvisionerPort
     std::vector<net::MacAddr> serverMacs_;
     std::vector<std::unique_ptr<aoe::AoeServer>> servers_;
     std::unique_ptr<store::StoreFabric> fabric_;
+    std::unique_ptr<store::RepairScheduler> repair_;
     std::vector<std::unique_ptr<hw::Machine>> pool;
     std::map<std::string, Image> images;
     std::uint16_t nextMajor = 0;

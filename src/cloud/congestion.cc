@@ -17,6 +17,12 @@ CongestionController::CongestionController(CongestionParams p,
     sim::fatalIf(prm_.servingShare < 0.0 ||
                      prm_.linkShare + prm_.servingShare > 1.0,
                  "deployment + serving shares exceed the link");
+    sim::fatalIf(prm_.scavengerShare < 0.0 ||
+                     prm_.linkShare + prm_.servingShare +
+                             prm_.scavengerShare >
+                         1.0,
+                 "deployment + serving + scavenger shares exceed "
+                 "the link");
     lanes_.resize(racks);
     for (unsigned r = 0; r < racks; ++r) {
         Lane &lane = lanes_[r];
@@ -42,6 +48,15 @@ CongestionController::CongestionController(CongestionParams p,
         lane.servingTenantBps =
             prm_.servingTenantShare > 0.0
                 ? lane.servingBps * prm_.servingTenantShare
+                : 0.0;
+        // Scavenger (repair) traffic likewise draws from the
+        // physical link, in its own lane.
+        lane.scavBps = prm_.scavengerShare > 0.0
+                           ? prm_.scavengerShare * link
+                           : 0.0;
+        lane.scavTenantBps =
+            prm_.scavengerTenantShare > 0.0
+                ? lane.scavBps * prm_.scavengerTenantShare
                 : 0.0;
     }
 }
@@ -124,6 +139,44 @@ CongestionController::servingBps(unsigned rack) const
     return lanes_.at(rack).servingBps;
 }
 
+sim::Tick
+CongestionController::admitScavenger(unsigned rack, TenantId tenant,
+                                     sim::Bytes bytes, sim::Tick now)
+{
+    Lane &lane = lanes_.at(rack);
+    if (lane.scavBps <= 0.0)
+        return now; // no repair contract: unshaped
+    Bucket &tb = lane.scavTenants[tenant];
+
+    double bits = static_cast<double>(bytes) * 8.0;
+    auto lane_ser = static_cast<sim::Tick>(
+        bits / lane.scavBps * static_cast<double>(sim::kSec));
+    sim::Tick tenant_ser =
+        lane.scavTenantBps > 0.0
+            ? static_cast<sim::Tick>(bits / lane.scavTenantBps *
+                                     static_cast<double>(sim::kSec))
+            : lane_ser;
+
+    sim::Tick start = std::max({now, lane.scav.freeAt, tb.freeAt});
+    lane.scav.freeAt = start + lane_ser;
+    tb.freeAt = start + tenant_ser;
+
+    sim::Tick delay = start - now;
+    lane.scav.bytes += bytes;
+    ++lane.scav.grants;
+    lane.scav.delaySum += delay;
+    tb.bytes += bytes;
+    ++tb.grants;
+    tb.delaySum += delay;
+    return start;
+}
+
+double
+CongestionController::scavengerBps(unsigned rack) const
+{
+    return lanes_.at(rack).scavBps;
+}
+
 sim::Bytes
 CongestionController::grantedBytes(unsigned rack) const
 {
@@ -163,6 +216,18 @@ CongestionController::servingDelay(unsigned rack) const
     return lanes_.at(rack).serving.delaySum;
 }
 
+sim::Bytes
+CongestionController::scavengerBytes(unsigned rack) const
+{
+    return lanes_.at(rack).scav.bytes;
+}
+
+sim::Tick
+CongestionController::scavengerDelay(unsigned rack) const
+{
+    return lanes_.at(rack).scav.delaySum;
+}
+
 void
 CongestionController::publish(obs::Registry &reg,
                               const std::string &prefix) const
@@ -181,18 +246,32 @@ CongestionController::publish(obs::Registry &reg,
                         rack + ".t" + std::to_string(tenant))
                 .set(b.bytes);
         }
-        if (lane.servingBps <= 0.0)
-            continue;
-        reg.counter(prefix + "congestion.serving_bytes", rack)
-            .set(lane.serving.bytes);
-        reg.counter(prefix + "congestion.serving_grants", rack)
-            .set(lane.serving.grants);
-        reg.counter(prefix + "congestion.serving_delay_ns", rack)
-            .set(lane.serving.delaySum);
-        for (const auto &[tenant, b] : lane.servingTenants) {
-            reg.counter(prefix + "congestion.serving_tenant_bytes",
-                        rack + ".t" + std::to_string(tenant))
-                .set(b.bytes);
+        if (lane.servingBps > 0.0) {
+            reg.counter(prefix + "congestion.serving_bytes", rack)
+                .set(lane.serving.bytes);
+            reg.counter(prefix + "congestion.serving_grants", rack)
+                .set(lane.serving.grants);
+            reg.counter(prefix + "congestion.serving_delay_ns", rack)
+                .set(lane.serving.delaySum);
+            for (const auto &[tenant, b] : lane.servingTenants) {
+                reg.counter(prefix + "congestion.serving_tenant_bytes",
+                            rack + ".t" + std::to_string(tenant))
+                    .set(b.bytes);
+            }
+        }
+        if (lane.scavBps > 0.0) {
+            reg.counter(prefix + "congestion.scavenger_bytes", rack)
+                .set(lane.scav.bytes);
+            reg.counter(prefix + "congestion.scavenger_grants", rack)
+                .set(lane.scav.grants);
+            reg.counter(prefix + "congestion.scavenger_delay_ns", rack)
+                .set(lane.scav.delaySum);
+            for (const auto &[tenant, b] : lane.scavTenants) {
+                reg.counter(
+                       prefix + "congestion.scavenger_tenant_bytes",
+                       rack + ".t" + std::to_string(tenant))
+                    .set(b.bytes);
+            }
         }
     }
 }

@@ -70,6 +70,17 @@ struct CongestionParams
     double servingShare = 0.0;
     /** Per-tenant cap inside the serving lane (0 = no cap). */
     double servingTenantShare = 0.0;
+    /**
+     * Fraction of a rack's aggregation capacity the Scavenger class
+     * may book — background repair / healing traffic
+     * (store::RepairScheduler draws here).  0 = no scavenger lane:
+     * admitScavenger() grants immediately, so runs without a repair
+     * contract behave exactly as before.  When set, linkShare +
+     * servingShare + scavengerShare must not exceed 1.
+     */
+    double scavengerShare = 0.0;
+    /** Per-tenant cap inside the scavenger lane (0 = no cap). */
+    double scavengerTenantShare = 0.0;
 };
 
 class CongestionController
@@ -123,6 +134,28 @@ class CongestionController
         };
     }
 
+    /**
+     * Book @p bytes of Scavenger-class background traffic (repair /
+     * healing) for (rack, tenant) at @p now.  Its own lane: repair
+     * can never book deployment or serving capacity and vice versa.
+     * With scavengerShare == 0 this returns @p now (unshaped).
+     */
+    sim::Tick admitScavenger(unsigned rack, TenantId tenant,
+                             sim::Bytes bytes, sim::Tick now);
+
+    /** Scavenger lane rate for @p rack in bits/sec (0 = unshaped). */
+    double scavengerBps(unsigned rack) const;
+
+    /** A RateGate over the scavenger lane, ready to hand to
+     *  store::RepairScheduler::setRateGate(). */
+    RateGate
+    scavengerGateFor(unsigned rack, TenantId tenant)
+    {
+        return [this, rack, tenant](sim::Bytes bytes, sim::Tick now) {
+            return admitScavenger(rack, tenant, bytes, now);
+        };
+    }
+
     /** @name Telemetry (read after the run, or from the owning shard) */
     /// @{
     sim::Bytes grantedBytes(unsigned rack) const;
@@ -135,6 +168,10 @@ class CongestionController
     sim::Bytes servingBytes(unsigned rack) const;
     /** Total issue-delay imposed on rack @p rack's serving flows. */
     sim::Tick servingDelay(unsigned rack) const;
+    /** Scavenger-lane bytes granted against rack @p rack. */
+    sim::Bytes scavengerBytes(unsigned rack) const;
+    /** Total issue-delay imposed on rack @p rack's scavenger flows. */
+    sim::Tick scavengerDelay(unsigned rack) const;
     /** Snapshot "<prefix>congestion.*" counters into @p reg. */
     void publish(obs::Registry &reg,
                  const std::string &prefix = "") const;
@@ -160,6 +197,11 @@ class CongestionController
         double servingTenantBps = 0.0;
         Bucket serving;
         std::map<TenantId, Bucket> servingTenants;
+        /** Scavenger (background repair) lane (0 bps = unshaped). */
+        double scavBps = 0.0;
+        double scavTenantBps = 0.0;
+        Bucket scav;
+        std::map<TenantId, Bucket> scavTenants;
     };
 
     CongestionParams prm_;

@@ -30,6 +30,9 @@ faultSiteName(FaultSite site)
       case FaultSite::MigrateDestCrash: return "migrate.dest_crash";
       case FaultSite::NicRingStall: return "nic.ring_stall";
       case FaultSite::NicFrameDrop: return "nic.frame_drop";
+      case FaultSite::RepairSourceTimeout:
+        return "store.repair_source_timeout";
+      case FaultSite::RepairDestCrash: return "store.repair_dest_crash";
       case FaultSite::kCount: break;
     }
     return "?";

@@ -56,6 +56,8 @@ enum class FaultSite : unsigned {
     MigrateDestCrash,  ///< Destination node dies at the handoff point.
     NicRingStall, ///< NIC mediation poll/reap freezes for `magnitude`.
     NicFrameDrop, ///< A mediated frame is dropped at the copy point.
+    RepairSourceTimeout, ///< A repair-plan fetch step times out.
+    RepairDestCrash,     ///< Rebuild destination dies at landing.
     kCount
 };
 

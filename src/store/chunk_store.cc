@@ -1,8 +1,23 @@
 #include "store/chunk_store.hh"
 
+#include <iomanip>
+#include <sstream>
+
 #include "simcore/logging.hh"
 
 namespace store {
+
+namespace {
+
+std::string
+digestHex(Digest d)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << std::setw(16) << std::setfill('0') << d;
+    return os.str();
+}
+
+} // namespace
 
 Digest
 ChunkStore::addImageRef(sim::Lba chunk_start, ChunkPayload payload)
@@ -33,8 +48,11 @@ void
 ChunkStore::unrefImage(Digest d)
 {
     auto it = chunks_.find(d);
-    sim::panicIfNot(it != chunks_.end() && it->second.imageRefs > 0,
-                    "image unref of unknown chunk");
+    sim::panicIfNot(it != chunks_.end(),
+                    "image unref of unknown chunk ", digestHex(d));
+    sim::panicIfNot(it->second.imageRefs > 0,
+                    "image refcount underflow on chunk ",
+                    digestHex(d), " (double release)");
     --it->second.imageRefs;
     maybeDrop(it);
 }
@@ -43,19 +61,25 @@ void
 ChunkStore::refReplica(Digest d)
 {
     auto it = chunks_.find(d);
-    sim::panicIfNot(it != chunks_.end(),
-                    "replica ref of unknown chunk");
+    sim::panicIfNot(it != chunks_.end(), "replica ref of unknown chunk ",
+                    digestHex(d));
     ++it->second.replicaRefs;
 }
 
 void
 ChunkStore::unrefReplica(Digest d)
 {
+    // A chunk with an outstanding replica reference can never have
+    // been dropped (maybeDrop() requires both counts at zero), so an
+    // unknown digest or a zero count here is always a double release.
     auto it = chunks_.find(d);
-    if (it == chunks_.end())
-        return; // image removed and chunk already reclaimed
-    if (it->second.replicaRefs > 0)
-        --it->second.replicaRefs;
+    sim::panicIfNot(it != chunks_.end(),
+                    "replica unref of unknown chunk ", digestHex(d),
+                    " (double release)");
+    sim::panicIfNot(it->second.replicaRefs > 0,
+                    "replica refcount underflow on chunk ",
+                    digestHex(d), " (double release)");
+    --it->second.replicaRefs;
     maybeDrop(it);
 }
 

@@ -1,0 +1,59 @@
+#include "store/ec/code.hh"
+
+#include "simcore/logging.hh"
+#include "store/ec/flat_rs.hh"
+#include "store/ec/hitchhiker.hh"
+#include "store/ec/lrc.hh"
+
+namespace store::ec {
+
+const char *
+codeKindName(CodeKind kind)
+{
+    switch (kind) {
+      case CodeKind::FlatRs: return "flat-rs";
+      case CodeKind::Lrc: return "lrc";
+      case CodeKind::Hitchhiker: return "hitchhiker";
+    }
+    return "?";
+}
+
+std::optional<CodeKind>
+parseCodeKind(const std::string &name)
+{
+    if (name == "flat-rs")
+        return CodeKind::FlatRs;
+    if (name == "lrc")
+        return CodeKind::Lrc;
+    if (name == "hitchhiker")
+        return CodeKind::Hitchhiker;
+    return std::nullopt;
+}
+
+std::uint32_t
+Code::shardSectors(std::uint32_t chunk_sectors, unsigned i) const
+{
+    // The streamer's slice layout: base + 1 for the first
+    // chunk_sectors % k shards (so shard sizes tile the chunk).
+    const unsigned k = dataShards();
+    std::uint32_t base = chunk_sectors / k;
+    std::uint32_t rem = chunk_sectors % k;
+    return base + (i < rem ? 1 : 0);
+}
+
+std::shared_ptr<const Code>
+makeCode(CodeKind kind, CodeParams p)
+{
+    switch (kind) {
+      case CodeKind::FlatRs:
+        return std::make_shared<FlatRs>(p);
+      case CodeKind::Lrc:
+        return std::make_shared<Lrc>(p);
+      case CodeKind::Hitchhiker:
+        return std::make_shared<Hitchhiker>(p);
+    }
+    sim::fatal("unknown code kind");
+    return nullptr;
+}
+
+} // namespace store::ec

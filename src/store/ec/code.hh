@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The Code interface: erasure codes as plan factories.
+ *
+ * A Code never touches data (the simulation's data plane is sector
+ * tokens; every stripe member exports full chunk content, see
+ * store/placement.hh) — it answers two questions as explicit plan
+ * DAGs over a concrete stripe:
+ *
+ *  - readPlan(): which members serve a degraded-or-healthy read of
+ *    `sectors` sectors, what each moves, and what combine cost makes
+ *    the result usable;
+ *  - repairPlan(): which surviving members contribute how many
+ *    sectors to rebuild lost member `lost`, and at what combine cost.
+ *
+ * Implementations: FlatRs (re-hosts the PR-5 behaviour, pinned
+ * byte-identical), Lrc (Azure-style local parity groups: a
+ * single-member repair touches one group, not k shards), Hitchhiker
+ * (XOR+ piggybacked sub-shards: single-failure repair moves half
+ * shards from every survivor).  See transform.hh for re-planning a
+ * stripe between codes.
+ */
+
+#ifndef STORE_EC_CODE_HH
+#define STORE_EC_CODE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "store/ec/plan.hh"
+
+namespace store::ec {
+
+enum class CodeKind : std::uint8_t {
+    FlatRs = 0, ///< Flat k+m Reed–Solomon (the PR-5 store code).
+    Lrc,        ///< Azure-style LRC: local parity groups + globals.
+    Hitchhiker, ///< Hitchhiker-XOR+ piggybacked sub-shards over RS.
+};
+
+/** Stable kind name ("flat-rs" | "lrc" | "hitchhiker"). */
+const char *codeKindName(CodeKind kind);
+
+/** Parse a kind name; nullopt on junk. */
+std::optional<CodeKind> parseCodeKind(const std::string &name);
+
+/** Member liveness oracle a plan is built against. */
+using LiveFn = std::function<bool(net::MacAddr)>;
+
+struct CodeParams
+{
+    unsigned dataShards = 4;
+    /** Global (Reed–Solomon) parities.  For Lrc this counts only the
+     *  globals; local group parities come on top. */
+    unsigned parityShards = 2;
+    /** Lrc only: local parity groups (dataShards % localGroups == 0). */
+    unsigned localGroups = 2;
+    /** Modeled full GF decode cost; cheaper combines derive from it
+     *  (XOR = 1/4, Hitchhiker two-stage = 1/2). */
+    sim::Tick gfPenalty = 2 * sim::kMs;
+};
+
+class Code
+{
+  public:
+    virtual ~Code() = default;
+
+    virtual CodeKind kind() const = 0;
+    const char *name() const { return codeKindName(kind()); }
+
+    unsigned dataShards() const { return prm_.dataShards; }
+    /** Parity members in the stripe (locals + globals for Lrc). */
+    virtual unsigned parityMembers() const { return prm_.parityShards; }
+    /** Local (group) parities among them — 0 except for Lrc. */
+    virtual unsigned localParities() const { return 0; }
+    /** Global (Reed–Solomon) parities. */
+    unsigned globalParities() const
+    {
+        return parityMembers() - localParities();
+    }
+    unsigned width() const { return dataShards() + parityMembers(); }
+
+    const CodeParams &params() const { return prm_; }
+
+    /**
+     * Plan a read of @p sectors sectors against @p stripe (member
+     * MACs, possibly fewer than width() when the pool is small).
+     * Fetch steps appear in issue order and their sector counts tile
+     * [0, sectors).  Returns nullopt when too few members are live to
+     * reconstruct.
+     */
+    virtual std::optional<Plan>
+    readPlan(const std::vector<net::MacAddr> &stripe, const LiveFn &live,
+             std::uint32_t sectors) const = 0;
+
+    /**
+     * Plan the rebuild of stripe member @p lost (its MAC is dead; the
+     * plan fetches only from other, live members) for a chunk of
+     * @p chunkSectors sectors.  Returns nullopt when the survivors
+     * cannot reconstruct the member.
+     */
+    virtual std::optional<Plan>
+    repairPlan(const std::vector<net::MacAddr> &stripe, unsigned lost,
+               const LiveFn &live, std::uint32_t chunkSectors) const = 0;
+
+    /** Sector count of data shard @p i under the streamer's slicing
+     *  (base + 1 for the first `chunkSectors % k` shards). */
+    std::uint32_t shardSectors(std::uint32_t chunkSectors,
+                               unsigned i) const;
+
+  protected:
+    explicit Code(CodeParams p) : prm_(p) {}
+
+    CodeParams prm_;
+};
+
+/** Build a code; fatal on inconsistent parameters. */
+std::shared_ptr<const Code> makeCode(CodeKind kind, CodeParams p);
+
+} // namespace store::ec
+
+#endif // STORE_EC_CODE_HH

@@ -1,0 +1,146 @@
+#include "store/ec/hitchhiker.hh"
+
+#include "simcore/logging.hh"
+
+namespace store::ec {
+
+Hitchhiker::Hitchhiker(CodeParams p) : Code(p)
+{
+    sim::fatalIf(prm_.dataShards == 0 || prm_.parityShards == 0,
+                 "hitchhiker needs data and parity shards");
+}
+
+std::optional<Plan>
+Hitchhiker::readPlan(const std::vector<net::MacAddr> &stripe,
+                     const LiveFn &live, std::uint32_t sectors) const
+{
+    const unsigned k = dataShards();
+    // Source selection and wire bytes match flat RS; only the
+    // degraded combine differs (peel the piggybacks, then decode a
+    // half-size sub-stripe — two cheap passes instead of one full GF
+    // decode).
+    std::vector<unsigned> picks;
+    picks.reserve(k);
+    unsigned parity_used = 0;
+    for (unsigned i = 0; i < k && i < stripe.size(); ++i) {
+        if (live(stripe[i]))
+            picks.push_back(i);
+    }
+    for (unsigned i = k; i < stripe.size() && picks.size() < k; ++i) {
+        if (live(stripe[i])) {
+            picks.push_back(i);
+            ++parity_used;
+        }
+    }
+    if (picks.size() < k)
+        return std::nullopt;
+
+    Plan plan;
+    plan.parityUsed = parity_used;
+    std::uint32_t slice_base = sectors / k;
+    std::uint32_t slice_rem = sectors % k;
+    std::uint32_t off = 0;
+    for (unsigned i = 0; i < k && off < sectors; ++i) {
+        std::uint32_t n = slice_base + (i < slice_rem ? 1 : 0);
+        if (n == 0)
+            continue;
+        plan.steps.push_back(PlanStep{StepOp::Fetch, stripe[picks[i]],
+                                      picks[i], n, 0, {}});
+        off += n;
+    }
+    if (parity_used > 0) {
+        auto fetches = static_cast<std::uint16_t>(plan.steps.size());
+        PlanStep peel{StepOp::Xor, 0, 0, sectors, prm_.gfPenalty / 4,
+                      {}};
+        for (std::uint16_t i = 0; i < fetches; ++i)
+            peel.inputs.push_back(i);
+        plan.steps.push_back(std::move(peel));
+        plan.steps.push_back(PlanStep{StepOp::GfCombine, 0, 0, sectors,
+                                      prm_.gfPenalty / 4,
+                                      {fetches}});
+    }
+    return plan;
+}
+
+std::optional<Plan>
+Hitchhiker::repairPlan(const std::vector<net::MacAddr> &stripe,
+                       unsigned lost, const LiveFn &live,
+                       std::uint32_t chunk_sectors) const
+{
+    sim::panicIfNot(lost < stripe.size(),
+                    "repair of a member outside the stripe");
+    const unsigned k = dataShards();
+
+    // The piggyback decode needs a precise survivor set: every other
+    // stripe member live.  Count them (and remember the flat-RS
+    // fallback contributors as we go).
+    bool single_failure = true;
+    for (unsigned i = 0; i < stripe.size(); ++i)
+        if (i != lost && !live(stripe[i]))
+            single_failure = false;
+
+    if (single_failure && lost < k) {
+        // The Hitchhiker payoff: b-halves of all k survivors — half a
+        // shard each — peel the piggybacked XORs, then run a
+        // half-size RS decode.
+        Plan plan;
+        for (unsigned pass = 0; pass < 2 && plan.steps.size() < k;
+             ++pass) {
+            for (unsigned i = 0;
+                 i < stripe.size() && plan.steps.size() < k; ++i) {
+                bool is_data = i < k;
+                if ((pass == 0) != is_data || i == lost)
+                    continue;
+                std::uint32_t shard =
+                    shardSectors(chunk_sectors, is_data ? i : 0);
+                plan.steps.push_back(PlanStep{StepOp::Fetch, stripe[i],
+                                              i, (shard + 1) / 2, 0,
+                                              {}});
+                if (!is_data)
+                    ++plan.parityUsed;
+            }
+        }
+        auto fetches = static_cast<std::uint16_t>(plan.steps.size());
+        std::uint32_t out = shardSectors(chunk_sectors, lost);
+        PlanStep peel{StepOp::Xor, 0, lost, out, prm_.gfPenalty / 4,
+                      {}};
+        for (std::uint16_t i = 0; i < fetches; ++i)
+            peel.inputs.push_back(i);
+        plan.steps.push_back(std::move(peel));
+        plan.steps.push_back(PlanStep{StepOp::GfCombine, 0, lost, out,
+                                      prm_.gfPenalty / 4,
+                                      {fetches}});
+        return plan;
+    }
+
+    // Parity rebuild or multi-failure: the flat-RS plan (k full
+    // shards, full GF decode).
+    Plan plan;
+    for (unsigned pass = 0; pass < 2 && plan.steps.size() < k; ++pass) {
+        for (unsigned i = 0; i < stripe.size() && plan.steps.size() < k;
+             ++i) {
+            bool is_data = i < k;
+            if ((pass == 0) != is_data)
+                continue;
+            if (i == lost || !live(stripe[i]))
+                continue;
+            std::uint32_t n =
+                shardSectors(chunk_sectors, is_data ? i : 0);
+            plan.steps.push_back(
+                PlanStep{StepOp::Fetch, stripe[i], i, n, 0, {}});
+            if (!is_data)
+                ++plan.parityUsed;
+        }
+    }
+    if (plan.steps.size() < k)
+        return std::nullopt;
+    PlanStep combine{StepOp::GfCombine, 0, lost,
+                     shardSectors(chunk_sectors, lost < k ? lost : 0),
+                     prm_.gfPenalty, {}};
+    for (std::uint16_t i = 0; i < plan.steps.size(); ++i)
+        combine.inputs.push_back(i);
+    plan.steps.push_back(std::move(combine));
+    return plan;
+}
+
+} // namespace store::ec

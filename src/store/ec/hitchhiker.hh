@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Hitchhiker-XOR+ over flat RS.
+ *
+ * Every shard is split into two sub-shards (a / b halves); the second
+ * sub-stripe's parities piggyback XORs of first-sub-stripe data, at
+ * zero extra storage.  Layout and healthy reads match flat RS; the
+ * payoff is single-failure repair: the lost data member rebuilds from
+ * the b-halves of all k survivors — half a shard each, k/2 shards
+ * total instead of k — with an XOR pass to peel the piggybacks and a
+ * half-size RS decode.  Multi-failure repair and parity rebuilds fall
+ * back to the flat-RS plan.
+ */
+
+#ifndef STORE_EC_HITCHHIKER_HH
+#define STORE_EC_HITCHHIKER_HH
+
+#include "store/ec/code.hh"
+
+namespace store::ec {
+
+class Hitchhiker : public Code
+{
+  public:
+    explicit Hitchhiker(CodeParams p);
+
+    CodeKind kind() const override { return CodeKind::Hitchhiker; }
+
+    std::optional<Plan>
+    readPlan(const std::vector<net::MacAddr> &stripe, const LiveFn &live,
+             std::uint32_t sectors) const override;
+
+    std::optional<Plan>
+    repairPlan(const std::vector<net::MacAddr> &stripe, unsigned lost,
+               const LiveFn &live,
+               std::uint32_t chunkSectors) const override;
+};
+
+} // namespace store::ec
+
+#endif // STORE_EC_HITCHHIKER_HH

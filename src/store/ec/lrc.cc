@@ -1,0 +1,198 @@
+#include "store/ec/lrc.hh"
+
+#include "simcore/logging.hh"
+
+namespace store::ec {
+
+namespace {
+
+/** Local XOR decode cost relative to the full GF penalty. */
+constexpr sim::Tick
+xorCost(sim::Tick gf)
+{
+    return gf / 4;
+}
+
+} // namespace
+
+Lrc::Lrc(CodeParams p) : Code(p)
+{
+    sim::fatalIf(prm_.dataShards == 0 || prm_.localGroups == 0,
+                 "lrc needs data shards and local groups");
+    sim::fatalIf(prm_.dataShards % prm_.localGroups != 0,
+                 "lrc local groups must divide the data shards (",
+                 prm_.dataShards, " % ", prm_.localGroups, ")");
+    groupSize_ = prm_.dataShards / prm_.localGroups;
+}
+
+bool
+Lrc::groupDataLive(const std::vector<net::MacAddr> &stripe,
+                   const LiveFn &live, unsigned j, unsigned skip) const
+{
+    for (unsigned i = j * groupSize_; i < (j + 1) * groupSize_; ++i)
+        if (i != skip && !live(stripe[i]))
+            return false;
+    return true;
+}
+
+std::optional<Plan>
+Lrc::readPlan(const std::vector<net::MacAddr> &stripe,
+              const LiveFn &live, std::uint32_t sectors) const
+{
+    sim::fatalIf(stripe.size() < width(),
+                 "lrc stripe narrower than the code (", stripe.size(),
+                 " < ", width(), ")");
+    const unsigned k = dataShards();
+    const unsigned g = prm_.localGroups;
+
+    // One serving member per data slot: the member itself, else its
+    // group's local parity (cheap XOR decode, needs the rest of the
+    // group live), else a global parity (full GF decode).
+    std::vector<unsigned> picks(k, 0);
+    std::vector<bool> used(stripe.size(), false);
+    unsigned xor_used = 0;
+    unsigned gf_used = 0;
+    for (unsigned i = 0; i < k; ++i) {
+        if (live(stripe[i])) {
+            picks[i] = i;
+            continue;
+        }
+        unsigned lp = localParityIndex(groupOf(i));
+        if (live(stripe[lp]) && !used[lp] &&
+            groupDataLive(stripe, live, groupOf(i), i)) {
+            picks[i] = lp;
+            used[lp] = true;
+            ++xor_used;
+            continue;
+        }
+        bool found = false;
+        for (unsigned gp = k + g; gp < width() && !found; ++gp) {
+            if (live(stripe[gp]) && !used[gp]) {
+                picks[i] = gp;
+                used[gp] = true;
+                ++gf_used;
+                found = true;
+            }
+        }
+        if (!found)
+            return std::nullopt;
+    }
+
+    Plan plan;
+    plan.parityUsed = xor_used + gf_used;
+    std::uint32_t slice_base = sectors / k;
+    std::uint32_t slice_rem = sectors % k;
+    std::uint32_t off = 0;
+    for (unsigned i = 0; i < k && off < sectors; ++i) {
+        std::uint32_t n = slice_base + (i < slice_rem ? 1 : 0);
+        if (n == 0)
+            continue;
+        plan.steps.push_back(PlanStep{StepOp::Fetch, stripe[picks[i]],
+                                      picks[i], n, 0, {}});
+        off += n;
+    }
+    if (plan.parityUsed > 0) {
+        // Any global substitution forces the full decode; pure local
+        // substitutions stay at XOR cost.
+        PlanStep combine{gf_used > 0 ? StepOp::GfCombine : StepOp::Xor,
+                         0, 0, sectors,
+                         gf_used > 0 ? prm_.gfPenalty
+                                     : xorCost(prm_.gfPenalty),
+                         {}};
+        for (std::uint16_t i = 0; i < plan.steps.size(); ++i)
+            combine.inputs.push_back(i);
+        plan.steps.push_back(std::move(combine));
+    }
+    return plan;
+}
+
+std::optional<Plan>
+Lrc::repairPlan(const std::vector<net::MacAddr> &stripe, unsigned lost,
+                const LiveFn &live, std::uint32_t chunk_sectors) const
+{
+    sim::panicIfNot(lost < stripe.size() && stripe.size() >= width(),
+                    "lrc repair outside the stripe");
+    const unsigned k = dataShards();
+    const unsigned g = prm_.localGroups;
+
+    auto fetch = [&](unsigned i) {
+        return PlanStep{StepOp::Fetch, stripe[i], i,
+                        shardSectors(chunk_sectors, i < k ? i : 0), 0,
+                        {}};
+    };
+    auto seal = [&](Plan &&plan, StepOp op, sim::Tick cost) {
+        PlanStep combine{op, 0, lost,
+                         shardSectors(chunk_sectors,
+                                      lost < k ? lost : 0),
+                         cost, {}};
+        for (std::uint16_t i = 0; i < plan.steps.size(); ++i)
+            combine.inputs.push_back(i);
+        plan.steps.push_back(std::move(combine));
+        return std::optional<Plan>(std::move(plan));
+    };
+
+    if (lost < k) {
+        // The LRC payoff: rebuild from the local group — k/g shards
+        // and an XOR instead of k shards and a GF decode.
+        unsigned j = groupOf(lost);
+        unsigned lp = localParityIndex(j);
+        if (live(stripe[lp]) &&
+            groupDataLive(stripe, live, j, lost)) {
+            Plan plan;
+            for (unsigned i = j * groupSize_; i < (j + 1) * groupSize_;
+                 ++i)
+                if (i != lost)
+                    plan.steps.push_back(fetch(i));
+            plan.steps.push_back(fetch(lp));
+            plan.parityUsed = 1;
+            return seal(std::move(plan), StepOp::Xor,
+                        xorCost(prm_.gfPenalty));
+        }
+        // Multi-failure in the group: fall back to a global decode
+        // over any k live survivors (data, then globals).
+        Plan plan;
+        for (unsigned i = 0; i < k && plan.steps.size() < k; ++i)
+            if (i != lost && live(stripe[i]))
+                plan.steps.push_back(fetch(i));
+        for (unsigned i = k + g;
+             i < width() && plan.steps.size() < k; ++i) {
+            if (live(stripe[i])) {
+                plan.steps.push_back(fetch(i));
+                ++plan.parityUsed;
+            }
+        }
+        if (plan.steps.size() < k)
+            return std::nullopt;
+        return seal(std::move(plan), StepOp::GfCombine, prm_.gfPenalty);
+    }
+
+    if (lost < k + g) {
+        // A local parity re-encodes from its group's data members.
+        unsigned j = lost - k;
+        if (!groupDataLive(stripe, live, j, lost))
+            return std::nullopt;
+        Plan plan;
+        for (unsigned i = j * groupSize_; i < (j + 1) * groupSize_; ++i)
+            plan.steps.push_back(fetch(i));
+        return seal(std::move(plan), StepOp::Xor,
+                    xorCost(prm_.gfPenalty));
+    }
+
+    // A global parity re-encodes from k live members (data first,
+    // other globals back-fill).
+    Plan plan;
+    for (unsigned i = 0; i < k && plan.steps.size() < k; ++i)
+        if (live(stripe[i]))
+            plan.steps.push_back(fetch(i));
+    for (unsigned i = k + g; i < width() && plan.steps.size() < k; ++i) {
+        if (i != lost && live(stripe[i])) {
+            plan.steps.push_back(fetch(i));
+            ++plan.parityUsed;
+        }
+    }
+    if (plan.steps.size() < k)
+        return std::nullopt;
+    return seal(std::move(plan), StepOp::GfCombine, prm_.gfPenalty);
+}
+
+} // namespace store::ec

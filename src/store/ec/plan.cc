@@ -1,0 +1,74 @@
+#include "store/ec/plan.hh"
+
+#include <sstream>
+
+namespace store::ec {
+
+const char *
+stepOpName(StepOp op)
+{
+    switch (op) {
+      case StepOp::Fetch: return "fetch";
+      case StepOp::Xor: return "xor";
+      case StepOp::GfCombine: return "gf";
+    }
+    return "?";
+}
+
+std::uint32_t
+Plan::fetchSectors() const
+{
+    std::uint32_t total = 0;
+    for (const PlanStep &s : steps)
+        if (s.op == StepOp::Fetch)
+            total += s.sectors;
+    return total;
+}
+
+sim::Bytes
+Plan::fetchBytes() const
+{
+    return sim::Bytes(fetchSectors()) * sim::kSectorSize;
+}
+
+sim::Tick
+Plan::combineCost() const
+{
+    sim::Tick total = 0;
+    for (const PlanStep &s : steps)
+        if (s.op != StepOp::Fetch)
+            total += s.cost;
+    return total;
+}
+
+std::size_t
+Plan::fetches() const
+{
+    std::size_t n = 0;
+    for (const PlanStep &s : steps)
+        if (s.op == StepOp::Fetch)
+            ++n;
+    return n;
+}
+
+std::string
+Plan::describe() const
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < steps.size(); ++i) {
+        const PlanStep &s = steps[i];
+        if (i)
+            os << "; ";
+        os << stepOpName(s.op);
+        if (s.op == StepOp::Fetch) {
+            os << " m" << s.member << " " << s.sectors << "s";
+        } else {
+            os << " <-";
+            for (std::uint16_t in : s.inputs)
+                os << " #" << in;
+        }
+    }
+    return os.str();
+}
+
+} // namespace store::ec

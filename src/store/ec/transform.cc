@@ -1,0 +1,68 @@
+#include "store/ec/transform.hh"
+
+#include <algorithm>
+
+#include "simcore/logging.hh"
+
+namespace store::ec {
+
+sim::Bytes
+TransformPlan::fetchBytes() const
+{
+    sim::Bytes total = 0;
+    for (const Build &b : builds)
+        total += b.plan.fetchBytes();
+    return total;
+}
+
+std::optional<TransformPlan>
+transformPlan(const Code &from, const Code &to,
+              const std::vector<net::MacAddr> &new_stripe,
+              const LiveFn &live, std::uint32_t chunk_sectors)
+{
+    sim::fatalIf(from.dataShards() != to.dataShards(),
+                 "transform cannot change the data shard count (",
+                 from.dataShards(), " -> ", to.dataShards(), ")");
+    sim::fatalIf(new_stripe.size() < to.width(),
+                 "transform stripe narrower than the target code");
+    const unsigned k = to.dataShards();
+
+    // Old/new global parities sit after the local tail of each
+    // layout; they carry over one-for-one.
+    unsigned from_globals_at = k + from.localParities();
+    unsigned to_globals_at = k + to.localParities();
+    unsigned reuse =
+        std::min(from.globalParities(), to.globalParities());
+
+    TransformPlan tp;
+    for (unsigned t = 0; t < reuse; ++t)
+        tp.reused.push_back(TransformPlan::Reuse{from_globals_at + t,
+                                                 to_globals_at + t});
+    // Everything else in the old parity tail retires.
+    for (unsigned i = k; i < from.width(); ++i) {
+        bool kept = i >= from_globals_at && i < from_globals_at + reuse;
+        if (!kept)
+            tp.retired.push_back(i);
+    }
+    // Build the target parity members that did not carry over, each
+    // by the target code's own repair plan (this is where Lrc's
+    // locals read one group instead of k shards).
+    for (unsigned i = k; i < to.width(); ++i) {
+        bool reused_slot =
+            i >= to_globals_at && i < to_globals_at + reuse;
+        if (reused_slot)
+            continue;
+        auto plan = to.repairPlan(new_stripe, i, live, chunk_sectors);
+        if (!plan)
+            return std::nullopt;
+        tp.builds.push_back(
+            TransformPlan::Build{i, std::move(*plan)});
+        tp.naiveBytes += sim::Bytes(chunk_sectors) * sim::kSectorSize;
+    }
+    // The naive path also recomputes the carried-over globals.
+    tp.naiveBytes +=
+        sim::Bytes(reuse) * chunk_sectors * sim::kSectorSize;
+    return tp;
+}
+
+} // namespace store::ec

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Elastic transformation: re-plan a stripe between codes without
+ * re-reading the full image.
+ *
+ * Both codes here keep data members at stripe indices [0, k), so a
+ * transformation never moves data — it only reconciles the parity
+ * tail.  Global RS parities carry over one-for-one up to
+ * min(from.globals, to.globals) (a reuse is pure bookkeeping: the
+ * member re-homes to the old parity's server, zero bytes move); every
+ * remaining target parity member gets a *build plan* — the target
+ * code's own repair plan for that member, so an Lrc local parity
+ * reads just its group while a fresh global still pays k shards.
+ * Old parity members with no slot in the target layout retire
+ * (replica bookkeeping only).
+ *
+ * The win over the naive path (recompute every target parity from k
+ * full data shards) is exactly what the build plans encode; the
+ * TransformPlan reports both byte counts so callers can assert it.
+ */
+
+#ifndef STORE_EC_TRANSFORM_HH
+#define STORE_EC_TRANSFORM_HH
+
+#include "store/ec/code.hh"
+
+namespace store::ec {
+
+struct TransformPlan
+{
+    /** A target parity member carried over from the old layout. */
+    struct Reuse
+    {
+        unsigned fromMember = 0; ///< old-layout stripe index
+        unsigned toMember = 0;   ///< new-layout stripe index
+    };
+
+    /** A target parity member built fresh by executing @p plan. */
+    struct Build
+    {
+        unsigned member = 0; ///< new-layout stripe index
+        Plan plan;
+    };
+
+    std::vector<Reuse> reused;
+    std::vector<Build> builds;
+    /** Old-layout members with no slot in the target layout. */
+    std::vector<unsigned> retired;
+
+    /** Bytes the builds move. */
+    sim::Bytes fetchBytes() const;
+    /** Bytes the naive full re-encode would move (every target
+     *  parity from k full data shards). */
+    sim::Bytes naiveBytes = 0;
+};
+
+/**
+ * Plan the transformation of one stripe from @p from to @p to.
+ * @p newStripe is the target layout's member MACs (to.width() wide;
+ * data members must be the old data members).  Returns nullopt when
+ * a build plan is unsatisfiable (too many dead members).
+ * Fatal when the codes disagree on dataShards.
+ */
+std::optional<TransformPlan>
+transformPlan(const Code &from, const Code &to,
+              const std::vector<net::MacAddr> &newStripe,
+              const LiveFn &live, std::uint32_t chunkSectors);
+
+} // namespace store::ec
+
+#endif // STORE_EC_TRANSFORM_HH

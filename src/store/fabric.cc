@@ -9,7 +9,11 @@ StoreFabric::StoreFabric(sim::EventQueue &eq, std::string name,
                          std::vector<net::MacAddr> seed_macs)
     : sim::SimObject(eq, std::move(name)), params_(params),
       catalog_(chunks_),
-      placement_(params.dataShards, params.parityShards,
+      placement_(ec::makeCode(params.code,
+                              ec::CodeParams{params.dataShards,
+                                             params.parityShards,
+                                             params.lrcGroups,
+                                             params.decodePenalty}),
                  std::move(seed_macs)),
       obsTrack_(this->name())
 {

@@ -24,10 +24,31 @@
 #include "simcore/sim_object.hh"
 #include "store/catalog.hh"
 #include "store/chunk_store.hh"
+#include "store/ec/code.hh"
 #include "store/peer_registry.hh"
 #include "store/placement.hh"
 
 namespace store {
+
+/** Background repair service configuration (see repair_scheduler.hh;
+ *  defined here so StoreParams can embed it without a header cycle). */
+struct RepairParams
+{
+    /** Master switch; false = no scheduler, bit-identical runs. */
+    bool enabled = false;
+
+    /** Seed-pool liveness probe period. */
+    sim::Tick probePeriod = 500 * sim::kMs;
+
+    /** Rebuild jobs in flight at once. */
+    unsigned maxConcurrent = 4;
+
+    /** Back-off before re-planning a failed rebuild. */
+    sim::Tick retryDelay = 100 * sim::kMs;
+
+    /** Serialization rate of repair traffic into the new home. */
+    double wireBps = 1e9;
+};
 
 /** Store subsystem configuration (all-default = legacy behaviour). */
 struct StoreParams
@@ -35,9 +56,18 @@ struct StoreParams
     /** Master switch; false keeps the single-server legacy path. */
     bool enabled = false;
 
-    /** Erasure code: any k of k+m stripe members reconstruct. */
+    /** Stripe algebra (flat-rs reproduces the legacy path exactly). */
+    ec::CodeKind code = ec::CodeKind::FlatRs;
+
+    /** Erasure code: any k of k+m stripe members reconstruct.  For
+     *  Lrc, parityShards counts the global parities and lrcGroups
+     *  local parities come on top. */
     unsigned dataShards = 4;
     unsigned parityShards = 2;
+    unsigned lrcGroups = 2;
+
+    /** Background repair service (off by default). */
+    RepairParams repair;
 
     /** Seed AoE servers in the pool. */
     unsigned seedServers = 6;

@@ -2,67 +2,117 @@
  * @file
  * Erasure-coded chunk placement across the seed-server pool.
  *
- * Each chunk digest maps to a stripe of k data + m parity members
- * drawn round-robin from the server pool.  Any k live members of the
- * stripe can reconstruct the chunk; fetch plans substitute live
- * parity members for dead data members (Reed–Solomon-style), at a
- * decode cost the streamer models as a fixed penalty.
+ * Each chunk digest maps to a stripe of code->width() members drawn
+ * round-robin from the server pool.  The stripe's algebra lives in an
+ * ec::Code: fetch plans and repair plans are plan DAGs the code
+ * builds over the concrete member MACs (store/ec/code.hh), and the
+ * legacy planFor() shape survives as a flattening shim for callers
+ * that only need the source list.
  *
  * Modeling note: the simulation carries sector *tokens*, not real
  * bytes, so every stripe member exports the full chunk content and
  * the erasure code is modeled at the placement/availability level —
- * a plan exists iff >= k stripe members are live, and using parity
+ * a plan exists iff enough stripe members are live, and using parity
  * members marks the plan as a reconstruction.  Wire traffic still
- * splits the chunk across the k chosen members (1/k each), so
- * throughput scales the way a real k+m striping would.
+ * splits the chunk across the chosen members the way the code
+ * dictates, so throughput scales the way real striping would.
+ *
+ * Repair re-homes members per digest: rehome(d, i, mac) overrides
+ * stripe slot i for chunk d (the RepairScheduler points a rebuilt
+ * member at its new server), and all plans follow the override.
  */
 
 #ifndef STORE_PLACEMENT_HH
 #define STORE_PLACEMENT_HH
 
 #include <functional>
+#include <map>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "net/frame.hh"
 #include "store/chunk.hh"
+#include "store/ec/code.hh"
 
 namespace store {
 
 class Placement
 {
   public:
+    /** Legacy shape: flat k+m Reed–Solomon over @p servers. */
     Placement(unsigned dataShards, unsigned parityShards,
               std::vector<net::MacAddr> servers);
 
-    /** A concrete fetch plan: k sources, possibly using parity. */
+    /** Plan-driven shape: any code over @p servers. */
+    Placement(std::shared_ptr<const ec::Code> code,
+              std::vector<net::MacAddr> servers);
+
+    /** A flattened fetch plan: the chosen sources, possibly parity. */
     struct Plan
     {
         std::vector<net::MacAddr> sources;
         unsigned parityUsed = 0;
     };
 
-    /** Stripe members for @p d (data members first). */
+    /** Stripe members for @p d (data members first, overrides
+     *  applied). */
     std::vector<net::MacAddr> stripeFor(Digest d) const;
 
     /**
      * Pick k live stripe members for @p d, preferring data members
-     * and back-filling from live parity.  Returns nullopt when fewer
-     * than k members are live (chunk unreconstructable right now).
+     * and back-filling from live parity.  Returns nullopt when too
+     * few members are live (chunk unreconstructable right now).
      */
     std::optional<Plan>
     planFor(Digest d,
             const std::function<bool(net::MacAddr)> &live) const;
 
-    unsigned dataShards() const { return k_; }
-    unsigned parityShards() const { return m_; }
+    /** The code's read plan for @p sectors sectors of chunk @p d. */
+    std::optional<ec::Plan>
+    readPlanFor(Digest d, const ec::LiveFn &live,
+                std::uint32_t sectors) const;
+
+    /** The code's rebuild plan for stripe member @p lost of @p d. */
+    std::optional<ec::Plan>
+    repairPlanFor(Digest d, unsigned lost, const ec::LiveFn &live,
+                  std::uint32_t chunkSectors) const;
+
+    /** Override stripe slot @p member of chunk @p d to @p mac (a
+     *  completed rebuild re-homing the member). */
+    void rehome(Digest d, unsigned member, net::MacAddr mac);
+
+    /** Stripe slot of @p mac in @p d's stripe, if any. */
+    std::optional<unsigned> memberIndexOf(Digest d,
+                                          net::MacAddr mac) const;
+
+    const ec::Code &code() const { return *code_; }
+    std::shared_ptr<const ec::Code> sharedCode() const
+    {
+        return code_;
+    }
+    /** Swap the stripe algebra (elastic transformation); the caller
+     *  is responsible for rebuilding parity members. */
+    void setCode(std::shared_ptr<const ec::Code> code);
+
+    const std::vector<net::MacAddr> &servers() const
+    {
+        return servers_;
+    }
+    std::size_t rehomedChunks() const { return overrides_.size(); }
+
+    unsigned dataShards() const { return code_->dataShards(); }
+    unsigned parityShards() const { return code_->parityMembers(); }
     unsigned stripeWidth() const { return width_; }
 
   private:
-    unsigned k_;
-    unsigned m_;
+    void checkPool() const;
+
+    std::shared_ptr<const ec::Code> code_;
     unsigned width_;
     std::vector<net::MacAddr> servers_;
+    /** Per-digest member overrides from completed repairs. */
+    std::map<Digest, std::map<unsigned, net::MacAddr>> overrides_;
 };
 
 } // namespace store

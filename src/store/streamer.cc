@@ -130,10 +130,11 @@ ChunkStreamer::fetchFromSeeds(const std::shared_ptr<FetchOp> &op,
                               Piece piece, unsigned attempts)
 {
     Digest d = fabric_.catalog().digestAt(image_, piece.chunkIdx);
-    auto plan = fabric_.placement().planFor(
-        d, [this](net::MacAddr mac) { return live(mac); });
+    auto plan = fabric_.placement().readPlanFor(
+        d, [this](net::MacAddr mac) { return live(mac); },
+        piece.count);
     if (!plan) {
-        // Fewer than k stripe members reachable: the chunk cannot be
+        // Too few stripe members reachable: the chunk cannot be
         // reconstructed right now.  Park the piece and retry.
         ++stalls_;
         schedule(fabric_.params().noSourceRetry,
@@ -141,8 +142,9 @@ ChunkStreamer::fetchFromSeeds(const std::shared_ptr<FetchOp> &op,
         return;
     }
 
-    // Stripe the piece 1/k per chosen member (a k+m code moves only
-    // count/k sectors per source).
+    // Execute the code's plan DAG: issue the fetch steps (their
+    // sector counts tile the piece), then pay the summed combine
+    // cost before the data is usable.
     struct Joined
     {
         std::vector<std::uint64_t> tokens;
@@ -152,10 +154,8 @@ ChunkStreamer::fetchFromSeeds(const std::shared_ptr<FetchOp> &op,
     auto join = std::make_shared<Joined>();
     join->tokens.resize(piece.count);
 
-    const unsigned k = static_cast<unsigned>(plan->sources.size());
-    std::uint32_t slice_base = piece.count / k;
-    std::uint32_t slice_rem = piece.count % k;
-    const bool reconstructed = plan->parityUsed > 0;
+    const bool reconstructed = plan->degraded();
+    const sim::Tick combine = plan->combineCost();
 
     struct Slice
     {
@@ -166,20 +166,20 @@ ChunkStreamer::fetchFromSeeds(const std::shared_ptr<FetchOp> &op,
     };
     std::vector<Slice> slices;
     std::uint32_t off = 0;
-    for (unsigned i = 0; i < k && off < piece.count; ++i) {
-        std::uint32_t n = slice_base + (i < slice_rem ? 1 : 0);
-        if (n == 0)
+    for (const ec::PlanStep &step : plan->steps) {
+        if (step.op != ec::StepOp::Fetch)
             continue;
         slices.push_back(
-            Slice{plan->sources[i], piece.lba + off, off, n});
-        off += n;
+            Slice{step.source, piece.lba + off, off, step.sectors});
+        off += step.sectors;
     }
     join->remaining = slices.size();
 
     for (const Slice &s : slices) {
         aoe_.readSectorsVia(
             s.src, s.lba, s.count,
-            [this, op, piece, attempts, join, s, reconstructed](
+            [this, op, piece, attempts, join, s, reconstructed,
+             combine](
                 aoe::RoutedStatus st,
                 const std::vector<std::uint64_t> &tokens) {
                 if (halted_)
@@ -210,13 +210,12 @@ ChunkStreamer::fetchFromSeeds(const std::shared_ptr<FetchOp> &op,
                                     "store.reconstruction", now(),
                                     1.0);
                     }
-                    // Model the Reed–Solomon decode before the data
-                    // is usable.
-                    schedule(fabric_.params().decodePenalty,
-                             [this, op, piece, join]() {
-                                 if (!halted_)
-                                     commit(op, piece, join->tokens);
-                             });
+                    // Model the plan's combine steps (XOR peel / GF
+                    // decode) before the data is usable.
+                    schedule(combine, [this, op, piece, join]() {
+                        if (!halted_)
+                            commit(op, piece, join->tokens);
+                    });
                     return;
                 }
                 commit(op, piece, join->tokens);

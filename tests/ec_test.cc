@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Unit tests of the store/ec coding plans: shard slicing, flat-RS
+ * read/repair shapes, the LRC local-group repair discount, the
+ * Hitchhiker half-shard repair, the dead-member-never-fetched
+ * property across every code, elastic transformation structure, and
+ * per-digest placement re-homing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "store/ec/code.hh"
+#include "store/ec/transform.hh"
+#include "store/placement.hh"
+
+namespace {
+
+using store::ec::Code;
+using store::ec::CodeKind;
+using store::ec::CodeParams;
+using store::ec::Plan;
+using store::ec::PlanStep;
+using store::ec::StepOp;
+
+constexpr std::uint32_t kChunk = 2048; // sectors, divisible by k=4
+constexpr sim::Tick kGf = 2 * sim::kMs;
+
+std::vector<net::MacAddr>
+stripeOf(unsigned width)
+{
+    std::vector<net::MacAddr> s;
+    for (unsigned i = 0; i < width; ++i)
+        s.push_back(0xA0 + i);
+    return s;
+}
+
+store::ec::LiveFn
+allLive()
+{
+    return [](net::MacAddr) { return true; };
+}
+
+store::ec::LiveFn
+deadSet(std::set<net::MacAddr> dead)
+{
+    return [dead = std::move(dead)](net::MacAddr m) {
+        return dead.count(m) == 0;
+    };
+}
+
+std::shared_ptr<const Code>
+make(CodeKind kind)
+{
+    return store::ec::makeCode(kind, CodeParams{4, 2, 2, kGf});
+}
+
+std::uint32_t
+fetchFrom(const Plan &p, net::MacAddr mac)
+{
+    std::uint32_t n = 0;
+    for (const PlanStep &s : p.steps)
+        if (s.op == StepOp::Fetch && s.source == mac)
+            n += s.sectors;
+    return n;
+}
+
+TEST(EcCode, ShardSectorsTileTheChunk)
+{
+    auto code = make(CodeKind::FlatRs);
+    std::uint32_t total = 0;
+    for (unsigned i = 0; i < code->dataShards(); ++i)
+        total += code->shardSectors(1003, i);
+    EXPECT_EQ(total, 1003u);
+    // The remainder lands one sector at a time on the first shards.
+    EXPECT_EQ(code->shardSectors(1003, 0), 251u);
+    EXPECT_EQ(code->shardSectors(1003, 3), 250u);
+}
+
+TEST(EcFlatRs, HealthyReadSlicesAcrossDataMembers)
+{
+    auto code = make(CodeKind::FlatRs);
+    auto stripe = stripeOf(code->width());
+    auto plan = code->readPlan(stripe, allLive(), 100);
+    ASSERT_TRUE(plan.has_value());
+    EXPECT_FALSE(plan->degraded());
+    EXPECT_EQ(plan->fetches(), 4u);
+    EXPECT_EQ(plan->fetchSectors(), 100u);
+    EXPECT_EQ(plan->combineCost(), 0u);
+    // Data members in index order, 25 sectors each.
+    for (unsigned i = 0; i < 4; ++i) {
+        EXPECT_EQ(plan->steps[i].member, i);
+        EXPECT_EQ(plan->steps[i].sectors, 25u);
+    }
+}
+
+TEST(EcFlatRs, DegradedReadBackfillsParityAndPaysTheDecode)
+{
+    auto code = make(CodeKind::FlatRs);
+    auto stripe = stripeOf(code->width());
+    auto plan = code->readPlan(stripe, deadSet({stripe[1]}), 100);
+    ASSERT_TRUE(plan.has_value());
+    EXPECT_TRUE(plan->degraded());
+    EXPECT_EQ(plan->parityUsed, 1u);
+    EXPECT_EQ(plan->combineCost(), kGf);
+    EXPECT_EQ(fetchFrom(*plan, stripe[1]), 0u);
+    EXPECT_GT(fetchFrom(*plan, stripe[4]), 0u) << "first parity fills";
+
+    // Below k live members there is no plan at all.
+    EXPECT_FALSE(code->readPlan(stripe,
+                                deadSet({stripe[0], stripe[1],
+                                         stripe[4], stripe[5]}),
+                                100)
+                     .has_value());
+}
+
+TEST(EcFlatRs, RepairMovesKFullShards)
+{
+    auto code = make(CodeKind::FlatRs);
+    auto stripe = stripeOf(code->width());
+    auto plan =
+        code->repairPlan(stripe, 1, deadSet({stripe[1]}), kChunk);
+    ASSERT_TRUE(plan.has_value());
+    EXPECT_EQ(plan->fetches(), 4u);
+    EXPECT_EQ(plan->fetchSectors(), kChunk)
+        << "flat RS pays a full chunk to rebuild one member";
+    EXPECT_EQ(plan->combineCost(), kGf);
+}
+
+TEST(EcLrc, DataRepairTouchesOneLocalGroup)
+{
+    auto code = make(CodeKind::Lrc);
+    ASSERT_EQ(code->width(), 8u); // 4 data + 2 locals + 2 globals
+    auto stripe = stripeOf(code->width());
+    auto plan =
+        code->repairPlan(stripe, 0, deadSet({stripe[0]}), kChunk);
+    ASSERT_TRUE(plan.has_value());
+    // Group 0 = data {0,1} + local parity 4: one sibling + the local
+    // parity, XOR-combined — half of flat RS's bill.
+    EXPECT_EQ(plan->fetches(), 2u);
+    EXPECT_EQ(plan->fetchSectors(), kChunk / 2);
+    EXPECT_GT(fetchFrom(*plan, stripe[1]), 0u);
+    EXPECT_GT(fetchFrom(*plan, stripe[4]), 0u);
+    EXPECT_EQ(plan->combineCost(), kGf / 4) << "XOR, not GF";
+}
+
+TEST(EcLrc, GroupDoubleFailureFallsBackToGlobalDecode)
+{
+    auto code = make(CodeKind::Lrc);
+    auto stripe = stripeOf(code->width());
+    // Lost member 0 and its local parity: the cheap path is gone.
+    auto plan = code->repairPlan(
+        stripe, 0, deadSet({stripe[0], stripe[4]}), kChunk);
+    ASSERT_TRUE(plan.has_value());
+    EXPECT_EQ(plan->fetches(), 4u);
+    EXPECT_EQ(plan->fetchSectors(), kChunk);
+    EXPECT_EQ(plan->combineCost(), kGf);
+}
+
+TEST(EcLrc, ParityRepairsReencodeFromTheRightMembers)
+{
+    auto code = make(CodeKind::Lrc);
+    auto stripe = stripeOf(code->width());
+    // A local parity re-encodes from its own group's data only.
+    auto local =
+        code->repairPlan(stripe, 4, deadSet({stripe[4]}), kChunk);
+    ASSERT_TRUE(local.has_value());
+    EXPECT_EQ(local->fetches(), 2u);
+    EXPECT_GT(fetchFrom(*local, stripe[0]), 0u);
+    EXPECT_GT(fetchFrom(*local, stripe[1]), 0u);
+    EXPECT_EQ(local->combineCost(), kGf / 4);
+    // A global parity pays the full k-shard re-encode.
+    auto global =
+        code->repairPlan(stripe, 6, deadSet({stripe[6]}), kChunk);
+    ASSERT_TRUE(global.has_value());
+    EXPECT_EQ(global->fetches(), 4u);
+    EXPECT_EQ(global->fetchSectors(), kChunk);
+}
+
+TEST(EcHitchhiker, SingleFailureRepairMovesHalfShards)
+{
+    auto code = make(CodeKind::Hitchhiker);
+    auto stripe = stripeOf(code->width());
+    auto plan =
+        code->repairPlan(stripe, 1, deadSet({stripe[1]}), kChunk);
+    ASSERT_TRUE(plan.has_value());
+    EXPECT_EQ(plan->fetches(), 4u);
+    EXPECT_EQ(plan->fetchSectors(), kChunk / 2)
+        << "piggybacked sub-shards halve the repair bill";
+    EXPECT_EQ(plan->combineCost(), kGf / 2)
+        << "two-stage combine: XOR then a small GF solve";
+}
+
+TEST(EcHitchhiker, MultiFailureFallsBackToFullRs)
+{
+    auto code = make(CodeKind::Hitchhiker);
+    auto stripe = stripeOf(code->width());
+    auto plan = code->repairPlan(
+        stripe, 1, deadSet({stripe[1], stripe[3]}), kChunk);
+    ASSERT_TRUE(plan.has_value());
+    EXPECT_EQ(plan->fetchSectors(), kChunk)
+        << "the sub-shard trick only covers single failures";
+    EXPECT_EQ(plan->combineCost(), kGf);
+}
+
+TEST(EcCode, NoPlanEverFetchesADeadMember)
+{
+    for (CodeKind kind : {CodeKind::FlatRs, CodeKind::Lrc,
+                          CodeKind::Hitchhiker}) {
+        auto code = make(kind);
+        auto stripe = stripeOf(code->width());
+        for (unsigned dead = 0; dead < code->width(); ++dead) {
+            auto live = deadSet({stripe[dead]});
+            auto read = code->readPlan(stripe, live, kChunk);
+            ASSERT_TRUE(read.has_value()) << code->name();
+            EXPECT_EQ(fetchFrom(*read, stripe[dead]), 0u)
+                << code->name() << " read fetched dead member "
+                << dead;
+            for (unsigned lost = 0; lost < code->width(); ++lost) {
+                auto rep =
+                    code->repairPlan(stripe, lost, live, kChunk);
+                if (!rep.has_value())
+                    continue;
+                EXPECT_EQ(fetchFrom(*rep, stripe[dead]), 0u)
+                    << code->name() << " repair of " << lost
+                    << " fetched dead member " << dead;
+            }
+        }
+    }
+}
+
+TEST(EcTransform, FlatToLrcReusesGlobalsAndBuildsLocals)
+{
+    auto flat = make(CodeKind::FlatRs);
+    auto lrc = make(CodeKind::Lrc);
+    auto plan = store::ec::transformPlan(*flat, *lrc, stripeOf(8),
+                                         allLive(), kChunk);
+    ASSERT_TRUE(plan.has_value());
+    // Both globals carry over for free; only the two new local
+    // parities move bytes — each from its own group.
+    ASSERT_EQ(plan->reused.size(), 2u);
+    EXPECT_EQ(plan->reused[0].fromMember, 4u);
+    EXPECT_EQ(plan->reused[0].toMember, 6u);
+    ASSERT_EQ(plan->builds.size(), 2u);
+    EXPECT_EQ(plan->builds[0].member, 4u);
+    EXPECT_EQ(plan->builds[1].member, 5u);
+    EXPECT_TRUE(plan->retired.empty());
+    EXPECT_EQ(plan->fetchBytes(),
+              sim::Bytes(kChunk) * sim::kSectorSize)
+        << "two half-chunk group reads";
+    EXPECT_EQ(plan->naiveBytes,
+              4 * sim::Bytes(kChunk) * sim::kSectorSize)
+        << "naive re-encode reads k shards per target parity";
+}
+
+TEST(EcTransform, LrcToFlatRetiresTheLocalParities)
+{
+    auto flat = make(CodeKind::FlatRs);
+    auto lrc = make(CodeKind::Lrc);
+    auto plan = store::ec::transformPlan(*lrc, *flat, stripeOf(6),
+                                         allLive(), kChunk);
+    ASSERT_TRUE(plan.has_value());
+    EXPECT_EQ(plan->reused.size(), 2u);
+    EXPECT_TRUE(plan->builds.empty()) << "no new parity to build";
+    ASSERT_EQ(plan->retired.size(), 2u);
+    EXPECT_EQ(plan->retired[0], 4u) << "the old local parities";
+    EXPECT_EQ(plan->fetchBytes(), 0u);
+}
+
+TEST(EcPlacement, RehomeRedirectsStripesAndPlans)
+{
+    auto servers = stripeOf(8);
+    store::Placement p(store::ec::makeCode(CodeKind::FlatRs,
+                                           CodeParams{4, 2, 2, kGf}),
+                       servers);
+    const store::Digest d = 17;
+    auto before = p.stripeFor(d);
+    const net::MacAddr spare = 0xFF01;
+    p.rehome(d, 0, spare);
+    auto after = p.stripeFor(d);
+    EXPECT_EQ(after[0], spare);
+    EXPECT_EQ(after[1], before[1]) << "other slots untouched";
+    EXPECT_EQ(p.rehomedChunks(), 1u);
+    EXPECT_EQ(p.memberIndexOf(d, spare), std::optional<unsigned>(0));
+
+    // Plans follow the override: a healthy read of the re-homed
+    // stripe fetches from the spare, never the old member.
+    auto plan = p.readPlanFor(d, allLive(), kChunk);
+    ASSERT_TRUE(plan.has_value());
+    EXPECT_GT(fetchFrom(*plan, spare), 0u);
+    EXPECT_EQ(fetchFrom(*plan, before[0]), 0u);
+
+    // Other digests keep their original stripes.
+    EXPECT_NE(p.stripeFor(d + 1)[0], spare);
+}
+
+} // namespace

@@ -9,10 +9,13 @@
 
 #include <gtest/gtest.h>
 
+#include <iomanip>
 #include <set>
+#include <sstream>
 
 #include "aoe/protocol.hh"
 #include "hw/disk_store.hh"
+#include "simcore/logging.hh"
 #include "store/catalog.hh"
 #include "store/peer_registry.hh"
 #include "store/placement.hh"
@@ -110,6 +113,46 @@ TEST(StoreChunkStore, ReplicaRefsKeepOrphanedChunksAlive)
     EXPECT_EQ(cs.find(d), nullptr) << "both counts zero: reclaimed";
     EXPECT_EQ(cs.uniqueChunks(), 0u);
     EXPECT_EQ(cs.storedBytes(), 0u);
+}
+
+TEST(StoreChunkStore, DoubleReleaseFailsFastWithTheChunkDigest)
+{
+    store::ChunkStore cs;
+    store::Digest d = cs.addImageRef(0, flatPayload(kBaseA));
+    cs.refReplica(d);
+    cs.unrefReplica(d); // balanced: the chunk survives on image ref
+
+    // The digest the message must name, formatted as the store does.
+    std::ostringstream hex;
+    hex << "0x" << std::hex << std::setw(16) << std::setfill('0') << d;
+
+    // Image side: second release of a spent refcount.
+    cs.unrefImage(d); // replica count is zero too, so d is reclaimed
+    try {
+        cs.unrefImage(d);
+        FAIL() << "double image release must panic";
+    } catch (const sim::PanicError &e) {
+        EXPECT_NE(std::string(e.what()).find(hex.str()),
+                  std::string::npos)
+            << "message must carry the chunk digest: " << e.what();
+    }
+
+    // Replica side: underflow while the chunk is still live.
+    store::Digest d2 = cs.addImageRef(0, flatPayload(kBaseB));
+    std::ostringstream hex2;
+    hex2 << "0x" << std::hex << std::setw(16) << std::setfill('0')
+         << d2;
+    try {
+        cs.unrefReplica(d2);
+        FAIL() << "replica underflow must panic";
+    } catch (const sim::PanicError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find(hex2.str()), std::string::npos) << msg;
+        EXPECT_NE(msg.find("double release"), std::string::npos);
+    }
+    ASSERT_NE(cs.find(d2), nullptr)
+        << "the failed release must not corrupt the live chunk";
+    EXPECT_EQ(cs.imageRefs(d2), 1u);
 }
 
 // --- Catalog: flat and overlay recipes ---
@@ -320,6 +363,39 @@ TEST(StorePeerRegistry, PoisonAndDeregisterStopOffering)
     EXPECT_FALSE(reg.known(0xA1));
     EXPECT_TRUE(reg.sourcesFor(0xD2, 0).empty());
     EXPECT_EQ(reg.peerCount(), 0u);
+}
+
+TEST(StorePeerRegistry, DeadPeerReRegistersAsAWarmSourceAgain)
+{
+    store::PeerRegistry reg;
+    const store::Digest d = 0xD7;
+    reg.registerPeer(0xA1);
+    reg.registerPeer(0xA2);
+    reg.addChunk(0xA1, d);
+    reg.addChunk(0xA2, d);
+
+    // Seed death: the dead member disappears from every fetch plan.
+    auto held = reg.deregisterPeer(0xA1);
+    ASSERT_EQ(held.size(), 1u);
+    EXPECT_EQ(held[0], d);
+    auto src = reg.sourcesFor(d, 0);
+    ASSERT_EQ(src.size(), 1u);
+    EXPECT_EQ(src[0], 0xA2u) << "a dead peer is never offered";
+    EXPECT_FALSE(reg.known(0xA1));
+    EXPECT_FALSE(reg.holds(0xA1, d));
+
+    // Re-registration after recovery starts from a clean slate and
+    // ranks as a warm source once its chunks are re-announced.
+    reg.registerPeer(0xA1);
+    EXPECT_TRUE(reg.known(0xA1));
+    EXPECT_TRUE(reg.sourcesFor(d, 0xA2).empty())
+        << "re-registration alone offers nothing";
+    reg.noteFetchEnd(0xA2); // the survivor has served once meanwhile
+    reg.addChunk(0xA1, d);
+    src = reg.sourcesFor(d, 0);
+    ASSERT_EQ(src.size(), 2u);
+    EXPECT_EQ(src[0], 0xA1u)
+        << "the reborn peer has no serve history, so it ranks first";
 }
 
 } // namespace
